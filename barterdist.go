@@ -1,0 +1,89 @@
+// Package barterdist is a Go reproduction of "On Cooperative Content
+// Distribution and the Price of Barter" (Ganesan & Seshadri, ICDCS
+// 2005): a discrete-time simulator plus every algorithm the paper
+// analyzes — the optimal cooperative Binomial Pipeline and its hypercube
+// embedding, the baseline pipeline/tree schedules, the strict-barter
+// Riffle Pipeline, and the BitTorrent-style randomized algorithms under
+// cooperative, credit-limited, and triangular barter mechanisms.
+//
+// Quick start:
+//
+//	res, err := barterdist.Run(barterdist.Config{
+//		Nodes:     1024,          // server + 1023 clients
+//		Blocks:    1000,          // file size in blocks
+//		Algorithm: barterdist.AlgoBinomialPipeline,
+//	})
+//	// res.CompletionTime == res.OptimalTime == 1009 ticks
+//
+// See the examples/ directory for richer scenarios and cmd/paperfigs for
+// the harness that regenerates every figure and table in the paper's
+// evaluation.
+package barterdist
+
+import (
+	"barterdist/internal/core"
+	"barterdist/internal/randomized"
+)
+
+// Config describes one dissemination run; see core.Config for field
+// documentation.
+type Config = core.Config
+
+// Result reports a completed run; see core.Result.
+type Result = core.Result
+
+// Algorithm selects a content-distribution algorithm.
+type Algorithm = core.Algorithm
+
+// Overlay selects an overlay topology for the randomized algorithm.
+type Overlay = core.Overlay
+
+// Mechanism selects a barter mechanism for trace verification.
+type Mechanism = core.Mechanism
+
+// Policy selects the randomized algorithm's block-selection policy.
+type Policy = randomized.Policy
+
+// The algorithms of the paper (Sections 2.2, 2.3, 3.1, 2.4/3.2).
+const (
+	AlgoPipeline         = core.AlgoPipeline
+	AlgoMulticastTree    = core.AlgoMulticastTree
+	AlgoBinomialTree     = core.AlgoBinomialTree
+	AlgoBinomialPipeline = core.AlgoBinomialPipeline
+	AlgoMultiServer      = core.AlgoMultiServer
+	AlgoRiffle           = core.AlgoRiffle
+	AlgoRandomized       = core.AlgoRandomized
+	AlgoTriangular       = core.AlgoTriangular
+)
+
+// Overlay topologies for AlgoRandomized.
+const (
+	OverlayComplete      = core.OverlayComplete
+	OverlayRandomRegular = core.OverlayRandomRegular
+	OverlayHypercube     = core.OverlayHypercube
+	OverlayChain         = core.OverlayChain
+)
+
+// Barter mechanisms for Config.Verify.
+const (
+	MechanismNone       = core.MechanismNone
+	MechanismStrict     = core.MechanismStrict
+	MechanismCredit     = core.MechanismCredit
+	MechanismTriangular = core.MechanismTriangular
+)
+
+// Block-selection policies.
+const (
+	PolicyRandom      = randomized.Random
+	PolicyRarestFirst = randomized.RarestFirst
+	PolicyLocalRare   = randomized.LocalRare
+)
+
+// DownloadUnlimited as Config.DownloadCap removes the download bound.
+const DownloadUnlimited = core.DownloadUnlimited
+
+// ErrStalled reports a run that did not complete within its tick budget.
+var ErrStalled = core.ErrStalled
+
+// Run executes one configured dissemination and returns its metrics.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }

@@ -1,0 +1,87 @@
+package barterdist_test
+
+import (
+	"errors"
+	"testing"
+
+	"barterdist"
+)
+
+func TestFacadeOptimalRun(t *testing.T) {
+	res, err := barterdist.Run(barterdist.Config{Nodes: 64, Blocks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime != res.OptimalTime {
+		t.Fatalf("T=%d, optimal %d", res.CompletionTime, res.OptimalTime)
+	}
+	if res.OptimalTime != 32-1+6 {
+		t.Fatalf("optimal = %d, want 37", res.OptimalTime)
+	}
+}
+
+func TestFacadeAllAlgorithmConstants(t *testing.T) {
+	algos := []barterdist.Algorithm{
+		barterdist.AlgoPipeline, barterdist.AlgoMulticastTree,
+		barterdist.AlgoBinomialTree, barterdist.AlgoBinomialPipeline,
+		barterdist.AlgoMultiServer, barterdist.AlgoRiffle, barterdist.AlgoRandomized,
+	}
+	for _, algo := range algos {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 8, Blocks: 4, Algorithm: algo, Seed: 1,
+		}); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestFacadeVerifiedBarterRun(t *testing.T) {
+	res, err := barterdist.Run(barterdist.Config{
+		Nodes: 17, Blocks: 32, Algorithm: barterdist.AlgoRiffle,
+		Verify: barterdist.MechanismStrict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 32 + 16 - 1; res.CompletionTime != want {
+		t.Fatalf("riffle T=%d, want %d", res.CompletionTime, want)
+	}
+}
+
+func TestFacadeStalledError(t *testing.T) {
+	_, err := barterdist.Run(barterdist.Config{
+		Nodes: 32, Blocks: 32, Algorithm: barterdist.AlgoRandomized,
+		Overlay: barterdist.OverlayRandomRegular, Degree: 3,
+		CreditLimit: 1, MaxTicks: 100, Seed: 2,
+	})
+	if !errors.Is(err, barterdist.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	for _, p := range []barterdist.Policy{
+		barterdist.PolicyRandom, barterdist.PolicyRarestFirst, barterdist.PolicyLocalRare,
+	} {
+		res, err := barterdist.Run(barterdist.Config{
+			Nodes: 16, Blocks: 8, Algorithm: barterdist.AlgoRandomized,
+			Policy: p, Seed: 4,
+		})
+		if err != nil {
+			t.Errorf("policy %v: %v", p, err)
+			continue
+		}
+		if res.CompletionTime < res.OptimalTime {
+			t.Errorf("policy %v: impossible T=%d", p, res.CompletionTime)
+		}
+	}
+}
+
+func TestFacadeUnlimitedDownload(t *testing.T) {
+	if _, err := barterdist.Run(barterdist.Config{
+		Nodes: 16, Blocks: 8, Algorithm: barterdist.AlgoRandomized,
+		DownloadCap: barterdist.DownloadUnlimited, Seed: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package barterdist_test
+
+// One benchmark per figure/table of the paper's evaluation, at reduced
+// (CI) scale so `go test -bench=.` finishes quickly; cmd/paperfigs runs
+// the same generators at full paper scale. The mapping from benchmark to
+// paper artifact is recorded in DESIGN.md's experiment index.
+
+import (
+	"testing"
+
+	"barterdist"
+	"barterdist/internal/experiment"
+)
+
+func benchFigure(b *testing.B, gen func(experiment.Scale, experiment.Progress) (*experiment.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(experiment.ScaleCI, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func benchTable(b *testing.B, gen func(experiment.Scale, experiment.Progress) (*experiment.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := gen(experiment.ScaleCI, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableA_Baselines regenerates Table A: the Section 2.2
+// baseline schedules against the Theorem 1 bound.
+func BenchmarkTableA_Baselines(b *testing.B) { benchTable(b, experiment.TableA) }
+
+// BenchmarkFig3_TvsN regenerates Figure 3: randomized cooperative
+// completion time vs n on the complete graph.
+func BenchmarkFig3_TvsN(b *testing.B) { benchFigure(b, experiment.Fig3) }
+
+// BenchmarkFig4_TvsK regenerates Figure 4: completion time vs k.
+func BenchmarkFig4_TvsK(b *testing.B) { benchFigure(b, experiment.Fig4) }
+
+// BenchmarkTableB_Regression regenerates Table B: the least-squares fit
+// of Section 2.4.4.
+func BenchmarkTableB_Regression(b *testing.B) { benchTable(b, experiment.TableB) }
+
+// BenchmarkFig5_TvsDegree regenerates Figure 5: completion time vs
+// random-regular overlay degree, plus the hypercube comparison.
+func BenchmarkFig5_TvsDegree(b *testing.B) { benchFigure(b, experiment.Fig5) }
+
+// BenchmarkFig6_CreditRandom regenerates Figure 6: credit-limited barter
+// under the Random policy.
+func BenchmarkFig6_CreditRandom(b *testing.B) { benchFigure(b, experiment.Fig6) }
+
+// BenchmarkFig7_CreditRarest regenerates Figure 7: credit-limited barter
+// under Rarest-First.
+func BenchmarkFig7_CreditRarest(b *testing.B) { benchFigure(b, experiment.Fig7) }
+
+// BenchmarkTableC_PriceOfBarter regenerates Table C: cooperative vs
+// strict-barter completion times with mechanism audits.
+func BenchmarkTableC_PriceOfBarter(b *testing.B) { benchTable(b, experiment.TableC) }
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblation_BinomialPipeline measures the optimal schedule
+// itself (n=256, k=256): the engine plus schedule cost of one run.
+func BenchmarkAblation_BinomialPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := barterdist.Run(barterdist.Config{Nodes: 256, Blocks: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletionTime != res.OptimalTime {
+			b.Fatalf("T=%d, optimal %d", res.CompletionTime, res.OptimalTime)
+		}
+	}
+}
+
+// BenchmarkAblation_RifflePipeline measures the strict-barter schedule
+// (n=129, k=256), including schedule construction.
+func BenchmarkAblation_RifflePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 129, Blocks: 256, Algorithm: barterdist.AlgoRiffle,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RandomizedComplete measures one randomized
+// cooperative run (n=256, k=256) on the complete graph — the Figure 3/4
+// inner loop.
+func BenchmarkAblation_RandomizedComplete(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 256, Blocks: 256, Algorithm: barterdist.AlgoRandomized, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RandomizedRegularDegree16 measures the
+// random-regular overlay path (n=256, k=256, d=16) — the Figure 5-7
+// inner loop.
+func BenchmarkAblation_RandomizedRegularDegree16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 256, Blocks: 256, Algorithm: barterdist.AlgoRandomized,
+			Overlay: barterdist.OverlayRandomRegular, Degree: 16, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RarestFirstOverhead isolates the cost of
+// Rarest-First block selection versus Random at the same size.
+func BenchmarkAblation_RarestFirstOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 256, Blocks: 256, Algorithm: barterdist.AlgoRandomized,
+			Policy: barterdist.PolicyRarestFirst, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_CreditLedgerOverhead compares credit-limited against
+// cooperative at the same size and overlay: the delta is the ledger and
+// qualification cost of the barter mechanism.
+func BenchmarkAblation_CreditLedgerOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 256, Blocks: 128, Algorithm: barterdist.AlgoRandomized,
+			Overlay: barterdist.OverlayRandomRegular, Degree: 64,
+			Policy: barterdist.PolicyRarestFirst, CreditLimit: 1, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_TriangularSettlement measures the cycle-settlement
+// scheduler (the Section 3.3 future-work algorithm).
+func BenchmarkAblation_TriangularSettlement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 128, Blocks: 128, Algorithm: barterdist.AlgoTriangular,
+			Overlay: barterdist.OverlayRandomRegular, Degree: 32,
+			Policy: barterdist.PolicyRarestFirst, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RewiredOverlay measures the periodic-rewiring
+// variant the paper's Section 3.2.4 closes with.
+func BenchmarkAblation_RewiredOverlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 128, Blocks: 128, Algorithm: barterdist.AlgoRandomized,
+			Overlay: barterdist.OverlayRandomRegular, Degree: 16,
+			Policy: barterdist.PolicyRarestFirst, CreditLimit: 1,
+			RewireEvery: 20, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableD_BitTorrent regenerates Table D: the Section 4
+// BitTorrent-vs-optimal comparison on the asynchronous simulator.
+func BenchmarkTableD_BitTorrent(b *testing.B) { benchTable(b, experiment.TableD) }

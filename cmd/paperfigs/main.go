@@ -1,0 +1,120 @@
+// Command paperfigs regenerates every figure and table from the paper's
+// evaluation section and writes CSV data plus ASCII renderings.
+//
+// Usage:
+//
+//	paperfigs [-scale ci|medium|full] [-only fig3,fig6] [-out results]
+//
+// At -scale full the parameters match the paper (n up to 10000, k up to
+// 2000); budget tens of minutes on a single core. The rendered output is
+// the source material for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"barterdist/internal/experiment"
+)
+
+type artifact struct {
+	id  string
+	run func(experiment.Scale, experiment.Progress) (render, csv string, err error)
+}
+
+func figureArtifact(gen func(experiment.Scale, experiment.Progress) (*experiment.Figure, error)) func(experiment.Scale, experiment.Progress) (string, string, error) {
+	return func(sc experiment.Scale, prog experiment.Progress) (string, string, error) {
+		fig, err := gen(sc, prog)
+		if err != nil {
+			return "", "", err
+		}
+		return fig.Render(72, 16), fig.CSV(), nil
+	}
+}
+
+func tableArtifact(gen func(experiment.Scale, experiment.Progress) (*experiment.Table, error)) func(experiment.Scale, experiment.Progress) (string, string, error) {
+	return func(sc experiment.Scale, prog experiment.Progress) (string, string, error) {
+		tbl, err := gen(sc, prog)
+		if err != nil {
+			return "", "", err
+		}
+		return tbl.Render(), tbl.CSV(), nil
+	}
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "experiment scale: ci, medium, or full (paper parameters)")
+	onlyFlag := flag.String("only", "", "comma-separated subset, e.g. fig3,tableC (default: everything)")
+	outFlag := flag.String("out", "results", "output directory for CSV and text renderings")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	scale, err := experiment.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	artifacts := []artifact{
+		{"tableA", tableArtifact(experiment.TableA)},
+		{"fig3", figureArtifact(experiment.Fig3)},
+		{"fig4", figureArtifact(experiment.Fig4)},
+		{"tableB", tableArtifact(experiment.TableB)},
+		{"fig5", figureArtifact(experiment.Fig5)},
+		{"fig6", figureArtifact(experiment.Fig6)},
+		{"fig7", figureArtifact(experiment.Fig7)},
+		{"tableC", tableArtifact(experiment.TableC)},
+		{"tableD", tableArtifact(experiment.TableD)},
+	}
+
+	selected := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var prog experiment.Progress
+	if !*quiet {
+		prog = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	exitCode := 0
+	for _, a := range artifacts {
+		if len(selected) > 0 && !selected[a.id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s (scale=%s) ==\n", a.id, scale)
+		render, csv, err := a.run(scale, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.id, err)
+			exitCode = 1
+			continue
+		}
+		csvPath := filepath.Join(*outFlag, a.id+".csv")
+		txtPath := filepath.Join(*outFlag, a.id+".txt")
+		if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+		if err := os.WriteFile(txtPath, []byte(render), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 1
+		}
+		fmt.Println(render)
+		fmt.Fprintf(os.Stderr, "== %s done in %v (%s, %s) ==\n\n", a.id, time.Since(start).Round(time.Millisecond), csvPath, txtPath)
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,73 @@
+// The price of barter, measured: how much completion time does each
+// incentive mechanism cost over free cooperation?
+//
+// For a sweep of swarm sizes the example runs (and audits!) the three
+// regimes the paper analyzes:
+//
+//   - cooperative optimum — the Binomial Pipeline (Section 2.3);
+//
+//   - strict barter — the Riffle Pipeline (Section 3.1), every
+//     client-client transfer verified to be a simultaneous exchange;
+//
+//   - credit-limited barter — the same Binomial Pipeline trace audited
+//     against a per-pair credit limit (Section 3.2): for power-of-two
+//     n and k it passes with s = 1, i.e. barter with one block of slack
+//     is FREE.
+//
+//     go run ./examples/barterprice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barterdist"
+)
+
+func main() {
+	fmt.Println("The price of barter: ticks to deliver k blocks to N clients")
+	fmt.Println()
+	fmt.Printf("%6s %6s | %10s | %16s | %22s\n",
+		"N", "k", "coop opt", "strict (riffle)", "credit s=1 (hypercube)")
+	fmt.Println("---------------+------------+------------------+-----------------------")
+
+	for _, sz := range []struct{ n, k int }{
+		{16, 16}, {32, 32}, {64, 64}, {128, 128}, {256, 256}, {512, 512},
+	} {
+		coop, err := barterdist.Run(barterdist.Config{
+			Nodes: sz.n, Blocks: sz.k, Algorithm: barterdist.AlgoBinomialPipeline,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Strict barter: run AND verify the mechanism on the trace.
+		strict, err := barterdist.Run(barterdist.Config{
+			Nodes: sz.n, Blocks: sz.k, Algorithm: barterdist.AlgoRiffle,
+			Verify: barterdist.MechanismStrict,
+		})
+		if err != nil {
+			log.Fatalf("strict barter audit failed: %v", err)
+		}
+
+		// Credit-limited: the SAME optimal schedule, audited at s = 1.
+		credit, err := barterdist.Run(barterdist.Config{
+			Nodes: sz.n, Blocks: sz.k, Algorithm: barterdist.AlgoBinomialPipeline,
+			Verify: barterdist.MechanismCredit, CreditLimit: 1,
+		})
+		if err != nil {
+			log.Fatalf("credit audit failed: %v", err)
+		}
+
+		fmt.Printf("%6d %6d | %10d | %9d (+%3d) | %15d (+0)\n",
+			sz.n-1, sz.k,
+			coop.CompletionTime,
+			strict.CompletionTime, strict.CompletionTime-coop.CompletionTime,
+			credit.CompletionTime)
+	}
+
+	fmt.Println()
+	fmt.Println("strict barter costs ~N extra ticks (Theorem 2's Theta(N) startup),")
+	fmt.Println("while credit-limited barter with s=1 achieves the cooperative")
+	fmt.Println("optimum outright — the mechanism, not the incentive, sets the price.")
+}

@@ -1,0 +1,77 @@
+// Flash-crowd video drop with selfish subscribers: an ESPN-Motion-style
+// service (the paper's motivating example) pushes a highlight reel to
+// subscribers who only upload when the mechanism makes it worth their
+// while — the credit-limited barter model of Section 3.2.
+//
+// The example shows the paper's two central findings about practical
+// barter: the overlay degree has a cliff below which distribution
+// effectively stalls (Figure 6), and Rarest-First block selection moves
+// that cliff roughly 4x lower (Figure 7).
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"barterdist"
+)
+
+func main() {
+	const (
+		subscribers = 256
+		blocks      = 256
+		creditLimit = 1 // one free block per neighbor pair, then barter
+		budget      = 4000
+	)
+	nodes := subscribers + 1
+
+	fmt.Printf("video drop: %d blocks to %d subscribers under credit-limited barter (s=%d)\n\n",
+		blocks, subscribers, creditLimit)
+
+	run := func(degree int, policy barterdist.Policy) (int, bool) {
+		res, err := barterdist.Run(barterdist.Config{
+			Nodes: nodes, Blocks: blocks,
+			Algorithm:   barterdist.AlgoRandomized,
+			Overlay:     barterdist.OverlayRandomRegular,
+			Degree:      degree,
+			Policy:      policy,
+			CreditLimit: creditLimit,
+			Seed:        11,
+			MaxTicks:    budget,
+		})
+		if err != nil {
+			if errors.Is(err, barterdist.ErrStalled) {
+				return budget, true
+			}
+			log.Fatalf("degree %d: %v", degree, err)
+		}
+		return res.CompletionTime, false
+	}
+
+	fmt.Printf("%-8s | %-22s | %-22s\n", "degree", "Random policy", "Rarest-First policy")
+	fmt.Println("---------+------------------------+-----------------------")
+	for _, d := range []int{8, 16, 24, 32, 48, 64, 96} {
+		tr, stalledR := run(d, barterdist.PolicyRandom)
+		tf, stalledF := run(d, barterdist.PolicyRarestFirst)
+		fmt.Printf("%-8d | %-22s | %-22s\n", d, cell(tr, stalledR), cell(tf, stalledF))
+	}
+
+	opt, err := barterdist.Run(barterdist.Config{Nodes: nodes, Blocks: blocks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncooperative optimum for comparison: %d ticks\n", opt.CompletionTime)
+	fmt.Println("takeaway: under barter the overlay degree is make-or-break, and")
+	fmt.Println("Rarest-First lets a ~4x sparser overlay reach near-optimal time —")
+	fmt.Println("the paper's Figures 6 and 7 in miniature.")
+}
+
+func cell(t int, stalled bool) string {
+	if stalled {
+		return fmt.Sprintf(">%d  (stalled)", t)
+	}
+	return fmt.Sprintf("%d ticks", t)
+}

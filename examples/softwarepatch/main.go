@@ -1,0 +1,79 @@
+// Software-patch rollout: the paper's opening scenario — a vendor must
+// push an urgent patch to every installed host in the shortest possible
+// time, and the hosts are willing to help each other (the cooperative
+// model of Section 2).
+//
+// The example sizes the patch in real units, maps it onto the paper's
+// block/tick model, and compares a naive unicast rollout, a CDN-style
+// multicast tree, and the cooperative algorithms. It also shows the
+// paper's robustness argument for the randomized algorithm: it needs no
+// rigid structure, only a low-degree random overlay.
+//
+//	go run ./examples/softwarepatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barterdist"
+)
+
+func main() {
+	const (
+		hosts        = 1024      // machines needing the patch
+		patchBytes   = 256 << 20 // 256 MiB patch
+		blockBytes   = 1 << 20   // 1 MiB blocks
+		uploadBytesS = 4 << 20   // every host uploads 4 MiB/s
+	)
+	blocks := patchBytes / blockBytes
+	nodes := hosts + 1
+	tickSeconds := float64(blockBytes) / float64(uploadBytesS)
+
+	fmt.Printf("patch: %d MiB in %d blocks; %d hosts; 1 tick = %.2fs\n\n",
+		patchBytes>>20, blocks, hosts, tickSeconds)
+
+	type rollout struct {
+		name string
+		cfg  barterdist.Config
+	}
+	plans := []rollout{
+		{"unicast chain (pipeline)", barterdist.Config{Algorithm: barterdist.AlgoPipeline}},
+		{"CDN tree (binary multicast)", barterdist.Config{Algorithm: barterdist.AlgoMulticastTree, TreeArity: 2}},
+		{"blockwise binomial tree", barterdist.Config{Algorithm: barterdist.AlgoBinomialTree}},
+		{"binomial pipeline (optimal)", barterdist.Config{Algorithm: barterdist.AlgoBinomialPipeline}},
+		{"binomial pipeline + 4x server", barterdist.Config{Algorithm: barterdist.AlgoMultiServer, VirtualServers: 4}},
+		{"randomized, complete overlay", barterdist.Config{Algorithm: barterdist.AlgoRandomized, Seed: 7}},
+		{"randomized, degree-20 overlay", barterdist.Config{
+			Algorithm: barterdist.AlgoRandomized,
+			Overlay:   barterdist.OverlayRandomRegular, Degree: 20, Seed: 7,
+		}},
+		{"randomized, hypercube overlay", barterdist.Config{
+			Algorithm: barterdist.AlgoRandomized,
+			Overlay:   barterdist.OverlayHypercube, Seed: 7,
+		}},
+	}
+
+	fmt.Printf("%-32s %8s %10s %12s\n", "rollout plan", "ticks", "minutes", "vs optimal")
+	var optimal int
+	for _, p := range plans {
+		p.cfg.Nodes = nodes
+		p.cfg.Blocks = blocks
+		res, err := barterdist.Run(p.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		if optimal == 0 {
+			optimal = res.OptimalTime
+		}
+		fmt.Printf("%-32s %8d %10.1f %11.2fx\n",
+			p.name, res.CompletionTime,
+			float64(res.CompletionTime)*tickSeconds/60,
+			float64(res.CompletionTime)/float64(optimal))
+	}
+	fmt.Printf("\ncooperative lower bound (Theorem 1): %d ticks = %.1f minutes\n",
+		optimal, float64(optimal)*tickSeconds/60)
+	fmt.Println("takeaway: cooperation turns an hours-long unicast rollout into")
+	fmt.Println("minutes, and a random degree-20 overlay is already near-optimal —")
+	fmt.Println("no rigid hypercube coordination needed (paper, Section 2.4).")
+}

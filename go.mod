@@ -1,0 +1,3 @@
+module barterdist
+
+go 1.22

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"barterdist/internal/xrand"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 7: 3, 8: 3, 9: 4, 1 << 20: 20}
+	for x, want := range cases {
+		if got := CeilLog2(x); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestCooperativeLowerBound(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 5, 0}, // no clients
+		{2, 1, 1}, // one client, one block
+		{2, 5, 5}, // one client: server drains k blocks
+		{8, 1, 3}, // binomial tree case
+		{8, 4, 6}, // k-1+log2(8)
+		{1000, 1000, 1009},
+		{10000, 1000, 1013},
+	}
+	for _, c := range cases {
+		if got := CooperativeLowerBound(c.n, c.k); got != c.want {
+			t.Errorf("CooperativeLowerBound(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPipelineAndBinomialTreeTimes(t *testing.T) {
+	if got := PipelineTime(10, 5); got != 13 {
+		t.Errorf("PipelineTime = %d, want 13", got)
+	}
+	if got := PipelineTime(1, 5); got != 0 {
+		t.Errorf("PipelineTime(n=1) = %d, want 0", got)
+	}
+	if got := BinomialTreeTime(8, 4); got != 12 {
+		t.Errorf("BinomialTreeTime = %d, want 12", got)
+	}
+	if got := BinomialTreeTime(1, 4); got != 0 {
+		t.Errorf("BinomialTreeTime(n=1) = %d, want 0", got)
+	}
+}
+
+func TestBinomialPipelineTime(t *testing.T) {
+	got, err := BinomialPipelineTime(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Errorf("BinomialPipelineTime = %d, want 13", got)
+	}
+	if _, err := BinomialPipelineTime(12, 10); err == nil {
+		t.Error("non-power-of-two should error")
+	}
+	if _, err := BinomialPipelineTime(1, 10); err == nil {
+		t.Error("n=1 should error")
+	}
+}
+
+func TestBinomialPipelineMeetsLowerBound(t *testing.T) {
+	for r := 1; r <= 12; r++ {
+		n := 1 << uint(r)
+		for _, k := range []int{1, 7, 100} {
+			opt, err := BinomialPipelineTime(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt != CooperativeLowerBound(n, k) {
+				t.Errorf("n=%d k=%d: pipeline %d != bound %d", n, k, opt, CooperativeLowerBound(n, k))
+			}
+		}
+	}
+}
+
+func TestStrictBarterLowerBounds(t *testing.T) {
+	// D = U: T >= N + k - 1.
+	if got := StrictBarterLowerBoundEqualBW(5, 8); got != 4+8-1 {
+		t.Errorf("equal-BW bound = %d, want 11", got)
+	}
+	if got := StrictBarterLowerBoundEqualBW(1, 8); got != 0 {
+		t.Errorf("n=1 bound = %d, want 0", got)
+	}
+	// General: the counting bound must be at least ~k + N/2 and at most
+	// the equal-bandwidth bound.
+	for _, tc := range []struct{ n, k int }{{5, 4}, {9, 16}, {101, 100}, {1001, 1000}} {
+		got := StrictBarterLowerBound(tc.n, tc.k)
+		N := tc.n - 1
+		if got < tc.k {
+			t.Errorf("n=%d k=%d: bound %d below k", tc.n, tc.k, got)
+		}
+		if got > N+tc.k-1 {
+			t.Errorf("n=%d k=%d: bound %d above equal-BW bound %d", tc.n, tc.k, got, N+tc.k-1)
+		}
+		// The asymptotic shape: at least k + N/2 - O(1) once k >= N.
+		if tc.k >= N && got < tc.k+N/2-2 {
+			t.Errorf("n=%d k=%d: bound %d below k + N/2 - 2 = %d", tc.n, tc.k, got, tc.k+N/2-2)
+		}
+	}
+}
+
+func TestStrictBarterBoundDominatesCooperative(t *testing.T) {
+	// The price of barter: the strict-barter bound must exceed the
+	// cooperative bound for any non-trivial instance.
+	for _, tc := range []struct{ n, k int }{{8, 8}, {64, 64}, {1000, 500}} {
+		coop := CooperativeLowerBound(tc.n, tc.k)
+		strict := StrictBarterLowerBound(tc.n, tc.k)
+		if strict <= coop {
+			t.Errorf("n=%d k=%d: strict %d <= coop %d", tc.n, tc.k, strict, coop)
+		}
+	}
+	if CreditLimitedLowerBound(64, 64) != CooperativeLowerBound(64, 64) {
+		t.Error("credit-limited bound should equal cooperative bound")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	want := 1.96 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.CI95-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample should error")
+	}
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 7 || s.StdDev != 0 || s.CI95 != 0 || s.Median != 7 {
+		t.Errorf("single sample Summary = %+v", s)
+	}
+	even, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Summarize(xs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestFitLinear2RecoversExactCoefficients(t *testing.T) {
+	truth := RandomizedFit{KCoeff: 1.01, LogNCoeff: 2.5, Const: -2.2}
+	var obs []FitObservation
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		for _, k := range []int{10, 100, 1000} {
+			obs = append(obs, FitObservation{N: n, K: k, T: truth.Predict(n, k)})
+		}
+	}
+	fit, err := FitLinear2(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.KCoeff-truth.KCoeff) > 1e-9 ||
+		math.Abs(fit.LogNCoeff-truth.LogNCoeff) > 1e-9 ||
+		math.Abs(fit.Const-truth.Const) > 1e-9 {
+		t.Errorf("fit = %+v, want %+v", fit, truth)
+	}
+	if r2 := RSquared(fit, obs); math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R^2 = %v, want 1", r2)
+	}
+}
+
+func TestFitLinear2NoisyRecovery(t *testing.T) {
+	rng := xrand.New(7)
+	truth := RandomizedFit{KCoeff: 1.05, LogNCoeff: 3.0, Const: 1.0}
+	var obs []FitObservation
+	for _, n := range []int{32, 128, 512, 2048} {
+		for _, k := range []int{50, 200, 800, 3200} {
+			noise := (rng.Float64() - 0.5) * 4
+			obs = append(obs, FitObservation{N: n, K: k, T: truth.Predict(n, k) + noise})
+		}
+	}
+	fit, err := FitLinear2(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.KCoeff-truth.KCoeff) > 0.01 {
+		t.Errorf("KCoeff = %v, want ~%v", fit.KCoeff, truth.KCoeff)
+	}
+	if math.Abs(fit.LogNCoeff-truth.LogNCoeff) > 1.0 {
+		t.Errorf("LogNCoeff = %v, want ~%v", fit.LogNCoeff, truth.LogNCoeff)
+	}
+	if r2 := RSquared(fit, obs); r2 < 0.999 {
+		t.Errorf("R^2 = %v too low", r2)
+	}
+}
+
+func TestFitLinear2Errors(t *testing.T) {
+	if _, err := FitLinear2(nil); err == nil {
+		t.Error("empty observations should error")
+	}
+	// Singular: all observations identical.
+	same := []FitObservation{{N: 10, K: 10, T: 1}, {N: 10, K: 10, T: 1}, {N: 10, K: 10, T: 1}}
+	if _, err := FitLinear2(same); err == nil {
+		t.Error("singular system should error")
+	}
+}
+
+func TestRSquaredDegenerate(t *testing.T) {
+	fit := RandomizedFit{KCoeff: 1}
+	if RSquared(fit, nil) != 0 {
+		t.Error("empty observations should give 0")
+	}
+	constObs := []FitObservation{{N: 2, K: 5, T: 5}, {N: 4, K: 5, T: 5}}
+	if got := RSquared(RandomizedFit{KCoeff: 1}, constObs); got != 1 {
+		t.Errorf("perfect fit of constant data = %v, want 1", got)
+	}
+	if got := RSquared(RandomizedFit{KCoeff: 2}, constObs); got != 0 {
+		t.Errorf("bad fit of constant data = %v, want 0", got)
+	}
+}
+
+func TestPaperFitPrediction(t *testing.T) {
+	// The paper's quoted fit at (n=1024, k=1000): 1.01*1000 + 2.5*10 - 2.2.
+	got := PaperRandomizedFit.Predict(1024, 1000)
+	want := 1010 + 25 - 2.2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+// Property: the general strict-barter bound is monotone in k (more
+// blocks can never finish sooner) and always at least k. It is NOT
+// monotone in n — adding a client adds barter capacity whose parity can
+// shave a tick — so that direction is deliberately not asserted.
+func TestQuickStrictBoundMonotone(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(n, k uint8) bool {
+		nn, kk := int(n)+2, int(k)+1
+		b := StrictBarterLowerBound(nn, kk)
+		return StrictBarterLowerBound(nn, kk+1) >= b && b >= kk
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, _ *rand.Rand) {
+			args[0] = reflect.ValueOf(uint8(rng.Intn(256)))
+			args[1] = reflect.ValueOf(uint8(rng.Intn(256)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// Summary holds basic statistics for a sample of completion times.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	// CI95 is the half-width of the 95% confidence interval on the mean
+	// using the normal approximation (the paper plots 95% error bars the
+	// same way over repeated runs).
+	CI95 float64
+}
+
+// Summarize computes summary statistics. It returns an error for an
+// empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("analysis: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// FitObservation is one (n, k, T) data point for the regression of
+// Section 2.4.4.
+type FitObservation struct {
+	N int
+	K int
+	T float64
+}
+
+// FitLinear2 performs the paper's least-squares fit
+// T ≈ a·k + b·log2(n) + c over the observations, solving the 3x3 normal
+// equations directly. It returns an error when the system is singular
+// (fewer than three affinely independent observations).
+func FitLinear2(obs []FitObservation) (RandomizedFit, error) {
+	if len(obs) < 3 {
+		return RandomizedFit{}, fmt.Errorf("analysis: need >= 3 observations, got %d", len(obs))
+	}
+	// Design matrix columns: x1 = k, x2 = log2 n, x3 = 1.
+	var m [3][3]float64 // X^T X
+	var v [3]float64    // X^T y
+	for _, o := range obs {
+		x := [3]float64{float64(o.K), log2(float64(o.N)), 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			v[i] += x[i] * o.T
+		}
+	}
+	sol, err := solve3(m, v)
+	if err != nil {
+		return RandomizedFit{}, err
+	}
+	return RandomizedFit{KCoeff: sol[0], LogNCoeff: sol[1], Const: sol[2]}, nil
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, error) {
+	var a [3][4]float64
+	for i := 0; i < 3; i++ {
+		copy(a[i][:3], m[i][:])
+		a[i][3] = v[i]
+	}
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [3]float64{}, errors.New("analysis: singular normal equations (observations not independent)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = a[i][3] / a[i][i]
+	}
+	return out, nil
+}
+
+// RSquared returns the coefficient of determination of fit over obs.
+func RSquared(fit RandomizedFit, obs []FitObservation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	meanT := 0.0
+	for _, o := range obs {
+		meanT += o.T
+	}
+	meanT /= float64(len(obs))
+	ssRes, ssTot := 0.0, 0.0
+	for _, o := range obs {
+		d := o.T - fit.Predict(o.N, o.K)
+		ssRes += d * d
+		dt := o.T - meanT
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,413 @@
+// Package asim is the event-driven, continuous-time companion to the
+// synchronous simulator: the substrate for the paper's asynchrony
+// discussion (Section 2.3.4, "Dealing with asynchrony") and for the
+// BitTorrent study it reports as ongoing work in Section 4, which used
+// "asynchronous simulations".
+//
+// Model: time is continuous. Each node has an upload rate and a download
+// rate in blocks per unit time; a node uploads one block at a time
+// (serial upload port) and may receive up to DownloadPorts blocks
+// concurrently. Following the paper's tail-link bandwidth model, a
+// transfer from u to v proceeds at min(upRate(u), downRate(v)/active(v)),
+// approximated here by reserving one download port at the receiver and
+// using min(upRate(u), downRate(v)/DownloadPorts) — each port carries an
+// equal share. With all rates 1 and one port, durations are 1 and the
+// model coincides with the synchronous simulator's tick.
+//
+// A Protocol is sender-driven: whenever a node's upload port is free the
+// engine asks it for the next (receiver, block) pair. The engine tracks
+// why a node went idle — nothing to offer vs. all targets busy — and
+// wakes it on exactly the events that can change that answer, so runs
+// stay near O(events·degree).
+package asim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"barterdist/internal/bitset"
+)
+
+// Unlimited download ports.
+const Unlimited = 0
+
+// Config describes an asynchronous simulation instance.
+type Config struct {
+	// Nodes is the total node count (node 0 = server, holds all blocks).
+	Nodes int
+	// Blocks is the file size in blocks.
+	Blocks int
+	// UploadRate[v] is node v's upload bandwidth in blocks per unit
+	// time. nil means rate 1 everywhere.
+	UploadRate []float64
+	// DownloadRate[v] is node v's download bandwidth. nil means rate
+	// equal to the upload rate ("tail links", D = U).
+	DownloadRate []float64
+	// DownloadPorts bounds concurrent receives per node (Unlimited = no
+	// bound; each concurrent receive still shares DownloadRate).
+	DownloadPorts int
+	// MaxTime aborts runaway protocols. 0 selects a generous default.
+	MaxTime float64
+}
+
+func (c *Config) normalize() (Config, error) {
+	cc := *c
+	if cc.Nodes < 1 {
+		return cc, fmt.Errorf("asim: Nodes = %d, need >= 1", cc.Nodes)
+	}
+	if cc.Blocks < 1 {
+		return cc, fmt.Errorf("asim: Blocks = %d, need >= 1", cc.Blocks)
+	}
+	if cc.UploadRate == nil {
+		cc.UploadRate = make([]float64, cc.Nodes)
+		for i := range cc.UploadRate {
+			cc.UploadRate[i] = 1
+		}
+	}
+	if len(cc.UploadRate) != cc.Nodes {
+		return cc, fmt.Errorf("asim: UploadRate has %d entries for %d nodes", len(cc.UploadRate), cc.Nodes)
+	}
+	for v, r := range cc.UploadRate {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return cc, fmt.Errorf("asim: UploadRate[%d] = %v must be positive and finite", v, r)
+		}
+	}
+	if cc.DownloadRate == nil {
+		cc.DownloadRate = append([]float64(nil), cc.UploadRate...)
+	}
+	if len(cc.DownloadRate) != cc.Nodes {
+		return cc, fmt.Errorf("asim: DownloadRate has %d entries for %d nodes", len(cc.DownloadRate), cc.Nodes)
+	}
+	for v, r := range cc.DownloadRate {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return cc, fmt.Errorf("asim: DownloadRate[%d] = %v must be positive and finite", v, r)
+		}
+	}
+	if cc.DownloadPorts < 0 {
+		return cc, fmt.Errorf("asim: DownloadPorts = %d, need >= 0", cc.DownloadPorts)
+	}
+	if cc.MaxTime == 0 {
+		cc.MaxTime = 100 * float64(cc.Blocks+cc.Nodes)
+	}
+	return cc, nil
+}
+
+// State exposes read-only ownership and progress to protocols.
+type State struct {
+	n, k     int
+	have     []*bitset.Set
+	inFlight []map[int32]struct{} // blocks currently being received, per node
+	complete int
+	now      float64
+}
+
+// N returns the node count.
+func (s *State) N() int { return s.n }
+
+// K returns the block count.
+func (s *State) K() int { return s.k }
+
+// Now returns the current simulation time.
+func (s *State) Now() float64 { return s.now }
+
+// Has reports whether v holds block b.
+func (s *State) Has(v, b int) bool { return s.have[v].Has(b) }
+
+// Blocks returns v's block set (read-only).
+func (s *State) Blocks(v int) *bitset.Set { return s.have[v] }
+
+// InFlightTo reports whether block b is currently being received by v.
+func (s *State) InFlightTo(v, b int) bool {
+	_, ok := s.inFlight[v][int32(b)]
+	return ok
+}
+
+// InFlightCount returns the number of blocks currently arriving at v.
+func (s *State) InFlightCount(v int) int { return len(s.inFlight[v]) }
+
+// AllClientsComplete reports completion.
+func (s *State) AllClientsComplete() bool { return s.complete == s.n-1 }
+
+// Upload is a protocol's answer to "what should this node send next".
+type Upload struct {
+	To    int
+	Block int
+}
+
+// Protocol drives the simulation.
+type Protocol interface {
+	// NextUpload is invoked when node u's upload port is free. Returning
+	// ok = false parks u until an event that may change the answer (u
+	// gains a block, a download port near u frees, or a timer fires).
+	// The returned target must need the block and have a free port; the
+	// engine validates and errors out otherwise.
+	NextUpload(u int, s *State) (Upload, bool)
+	// Wakeups returns protocol timer periods; the engine calls OnTimer
+	// every period until completion. Nil means no timers.
+	Wakeups() []float64
+	// OnTimer is called when a timer fires (e.g. a BitTorrent choke
+	// recomputation). idx is the index into Wakeups().
+	OnTimer(idx int, s *State)
+	// Neighbors returns the nodes that might upload to v (v's in-edge
+	// peers), or nil for "anyone" (complete overlays). The engine uses
+	// it to wake exactly the parked nodes whose answer can have changed
+	// when a block lands at v.
+	Neighbors(v int) []int32
+	// OnDeliver is called after block b lands at node to — the hook
+	// BitTorrent-style protocols use for download-rate accounting and
+	// rarity statistics.
+	OnDeliver(from, to, block int, s *State)
+}
+
+// Result reports a finished asynchronous run.
+type Result struct {
+	// CompletionTime is when the last client finished (time units).
+	CompletionTime float64
+	// ClientCompletion[v] is when client v finished.
+	ClientCompletion []float64
+	// Transfers is the number of block deliveries.
+	Transfers int
+}
+
+// ErrMaxTime is returned when the protocol fails to complete in time.
+var ErrMaxTime = errors.New("asim: exceeded MaxTime before completion")
+
+type eventKind int
+
+const (
+	evComplete eventKind = iota + 1 // a transfer finished
+	evTimer
+)
+
+type event struct {
+	at   float64
+	seq  int // tie-break for determinism
+	kind eventKind
+
+	// evComplete fields.
+	from, to, block int
+
+	// evTimer field.
+	timer int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the protocol to completion.
+func Run(cfg Config, p Protocol) (*Result, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	st := &State{
+		n:        c.Nodes,
+		k:        c.Blocks,
+		have:     make([]*bitset.Set, c.Nodes),
+		inFlight: make([]map[int32]struct{}, c.Nodes),
+	}
+	for v := range st.have {
+		st.have[v] = bitset.New(c.Blocks)
+		st.inFlight[v] = make(map[int32]struct{})
+	}
+	for b := 0; b < c.Blocks; b++ {
+		st.have[0].Add(b)
+	}
+	res := &Result{ClientCompletion: make([]float64, c.Nodes)}
+	if c.Nodes == 1 {
+		return res, nil
+	}
+
+	eng := &engine{
+		cfg:       c,
+		st:        st,
+		proto:     p,
+		uploading: make([]bool, c.Nodes),
+		parked:    make([]bool, c.Nodes),
+	}
+	heap.Init(&eng.queue)
+	for i, period := range p.Wakeups() {
+		if period <= 0 {
+			return nil, fmt.Errorf("asim: timer %d period %v must be positive", i, period)
+		}
+		eng.schedule(&event{at: period, kind: evTimer, timer: i})
+	}
+	// Kick every node once; most will park immediately.
+	for v := 0; v < c.Nodes; v++ {
+		if err := eng.tryStartUpload(v); err != nil {
+			return nil, err
+		}
+	}
+
+	for eng.queue.Len() > 0 {
+		ev := heap.Pop(&eng.queue).(*event)
+		if ev.at > c.MaxTime {
+			return nil, fmt.Errorf("%w (t=%.2f, clients complete: %d/%d)",
+				ErrMaxTime, ev.at, st.complete, c.Nodes-1)
+		}
+		st.now = ev.at
+		switch ev.kind {
+		case evComplete:
+			if err := eng.finishTransfer(ev, res); err != nil {
+				return nil, err
+			}
+			if st.AllClientsComplete() {
+				res.CompletionTime = st.now
+				return res, nil
+			}
+		case evTimer:
+			p.OnTimer(ev.timer, st)
+			// A choke rotation can create work anywhere: wake everyone
+			// parked. Timers are sparse, so this stays cheap.
+			for v := 0; v < c.Nodes; v++ {
+				if eng.parked[v] {
+					if err := eng.tryStartUpload(v); err != nil {
+						return nil, err
+					}
+				}
+			}
+			period := p.Wakeups()[ev.timer]
+			eng.schedule(&event{at: st.now + period, kind: evTimer, timer: ev.timer})
+		}
+	}
+	return nil, fmt.Errorf("%w (event queue drained, clients complete: %d/%d)",
+		ErrMaxTime, st.complete, c.Nodes-1)
+}
+
+type engine struct {
+	cfg   Config
+	st    *State
+	proto Protocol
+	queue eventQueue
+	seq   int
+
+	uploading []bool // upload port busy
+	parked    []bool // NextUpload returned false; awaiting a wake event
+}
+
+func (e *engine) schedule(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.queue, ev)
+}
+
+// tryStartUpload polls the protocol for node u if its port is free.
+func (e *engine) tryStartUpload(u int) error {
+	if e.uploading[u] {
+		return nil
+	}
+	if e.st.have[u].Count() == 0 {
+		e.parked[u] = true
+		return nil
+	}
+	up, ok := e.proto.NextUpload(u, e.st)
+	if !ok {
+		e.parked[u] = true
+		return nil
+	}
+	if err := e.validate(u, up); err != nil {
+		return err
+	}
+	e.parked[u] = false
+	e.uploading[u] = true
+	e.st.inFlight[up.To][int32(up.Block)] = struct{}{}
+	rate := e.cfg.UploadRate[u]
+	down := e.cfg.DownloadRate[up.To]
+	if e.cfg.DownloadPorts > 0 {
+		down /= float64(e.cfg.DownloadPorts)
+	}
+	if down < rate {
+		rate = down
+	}
+	e.schedule(&event{
+		at: e.st.now + 1/rate, kind: evComplete,
+		from: u, to: up.To, block: up.Block,
+	})
+	return nil
+}
+
+func (e *engine) validate(u int, up Upload) error {
+	switch {
+	case up.To < 0 || up.To >= e.st.n:
+		return fmt.Errorf("asim: node %d uploads to out-of-range node %d", u, up.To)
+	case up.To == u:
+		return fmt.Errorf("asim: node %d uploads to itself", u)
+	case up.Block < 0 || up.Block >= e.st.k:
+		return fmt.Errorf("asim: node %d uploads out-of-range block %d", u, up.Block)
+	case !e.st.have[u].Has(up.Block):
+		return fmt.Errorf("asim: node %d does not hold block %d", u, up.Block)
+	case e.st.have[up.To].Has(up.Block):
+		return fmt.Errorf("asim: node %d already holds block %d", up.To, up.Block)
+	case e.st.InFlightTo(up.To, up.Block):
+		return fmt.Errorf("asim: block %d already in flight to node %d", up.Block, up.To)
+	}
+	if e.cfg.DownloadPorts != Unlimited && len(e.st.inFlight[up.To]) >= e.cfg.DownloadPorts {
+		return fmt.Errorf("asim: node %d has no free download port", up.To)
+	}
+	return nil
+}
+
+// finishTransfer lands a block and wakes exactly the nodes whose
+// NextUpload answer may have changed: the sender (its port is free), the
+// receiver (new inventory to offer), and the receiver's parked
+// in-neighbors (a download port at the receiver just freed). A node
+// parked for lack of interested neighbors needs no other wake-up:
+// neighbors' needs only shrink, so its answer can change only when it
+// gains a block itself — and then it is the receiver.
+func (e *engine) finishTransfer(ev *event, res *Result) error {
+	st := e.st
+	if st.have[ev.to].Add(ev.block) {
+		res.Transfers++
+		if ev.to != 0 && st.have[ev.to].Full() {
+			st.complete++
+			res.ClientCompletion[ev.to] = st.now
+		}
+	}
+	delete(st.inFlight[ev.to], int32(ev.block))
+	e.uploading[ev.from] = false
+	e.proto.OnDeliver(ev.from, ev.to, ev.block, st)
+
+	if err := e.tryStartUpload(ev.from); err != nil {
+		return err
+	}
+	if err := e.tryStartUpload(ev.to); err != nil {
+		return err
+	}
+	if nbrs := e.proto.Neighbors(ev.to); nbrs != nil {
+		for _, v := range nbrs {
+			if e.parked[v] {
+				if err := e.tryStartUpload(int(v)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for v := 0; v < st.n; v++ {
+		if e.parked[v] {
+			if err := e.tryStartUpload(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package asim
+
+import (
+	"fmt"
+
+	"barterdist/internal/graph"
+	"barterdist/internal/xrand"
+)
+
+// AsyncRandomized is the asynchronous counterpart of the paper's
+// randomized algorithm: whenever a node's upload port frees, it sends a
+// random useful block to a random interested neighbor with a free
+// download port — "each node simply using its links at its own pace",
+// the asynchrony variant sketched in Section 2.3.4.
+type AsyncRandomized struct {
+	// Graph is the overlay; nil means the complete graph.
+	Graph *graph.Graph
+	// RarestFirst selects the globally rarest useful block instead of a
+	// uniform one.
+	RarestFirst bool
+	// DownloadPorts mirrors Config.DownloadPorts for target filtering.
+	DownloadPorts int
+
+	rng     *xrand.Rand
+	freq    []int
+	scratch []int32
+}
+
+var _ Protocol = (*AsyncRandomized)(nil)
+
+// NewAsyncRandomized returns the protocol with the given seed.
+func NewAsyncRandomized(g *graph.Graph, rarest bool, ports int, seed uint64) *AsyncRandomized {
+	return &AsyncRandomized{
+		Graph:         g,
+		RarestFirst:   rarest,
+		DownloadPorts: ports,
+		rng:           xrand.New(seed),
+	}
+}
+
+// Wakeups implements Protocol (no timers).
+func (a *AsyncRandomized) Wakeups() []float64 { return nil }
+
+// OnTimer implements Protocol.
+func (a *AsyncRandomized) OnTimer(int, *State) {}
+
+// Neighbors implements Protocol.
+func (a *AsyncRandomized) Neighbors(v int) []int32 {
+	if a.Graph == nil {
+		return nil
+	}
+	return a.Graph.Neighbors(v)
+}
+
+// OnDeliver implements Protocol: maintain block replication counts for
+// Rarest-First.
+func (a *AsyncRandomized) OnDeliver(_, _, block int, s *State) {
+	a.ensure(s)
+	a.freq[block]++
+}
+
+func (a *AsyncRandomized) ensure(s *State) {
+	if a.freq == nil {
+		a.freq = make([]int, s.K())
+		for b := range a.freq {
+			a.freq[b] = 1
+		}
+	}
+}
+
+// NextUpload implements Protocol.
+func (a *AsyncRandomized) NextUpload(u int, s *State) (Upload, bool) {
+	a.ensure(s)
+	v := a.pickTarget(u, s)
+	if v < 0 {
+		return Upload{}, false
+	}
+	b := a.pickBlock(u, v, s)
+	if b < 0 {
+		return Upload{}, false
+	}
+	return Upload{To: v, Block: b}, true
+}
+
+func (a *AsyncRandomized) pickTarget(u int, s *State) int {
+	if a.Graph != nil {
+		a.scratch = append(a.scratch[:0], a.Graph.Neighbors(u)...)
+	} else {
+		a.scratch = a.scratch[:0]
+		for v := 0; v < s.N(); v++ {
+			if v != u {
+				a.scratch = append(a.scratch, int32(v))
+			}
+		}
+	}
+	for i := range a.scratch {
+		j := i + a.rng.Intn(len(a.scratch)-i)
+		a.scratch[i], a.scratch[j] = a.scratch[j], a.scratch[i]
+		v := int(a.scratch[i])
+		if v == 0 {
+			continue
+		}
+		if a.DownloadPorts != Unlimited && s.InFlightCount(v) >= a.DownloadPorts {
+			continue
+		}
+		if a.usefulFor(u, v, s) {
+			return v
+		}
+	}
+	return -1
+}
+
+// usefulFor reports whether u holds a block v needs that is not already
+// in flight to v.
+func (a *AsyncRandomized) usefulFor(u, v int, s *State) bool {
+	need := false
+	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+		if s.InFlightTo(v, b) {
+			return true
+		}
+		need = true
+		return false
+	})
+	return need
+}
+
+func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
+	if a.RarestFirst {
+		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
+		s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+			if s.InFlightTo(v, b) {
+				return true
+			}
+			switch {
+			case a.freq[b] < bestFreq:
+				best, bestFreq, ties = b, a.freq[b], 1
+			case a.freq[b] == bestFreq:
+				ties++
+				if a.rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+			return true
+		})
+		return best
+	}
+	count := 0
+	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+		if !s.InFlightTo(v, b) {
+			count++
+		}
+		return true
+	})
+	if count == 0 {
+		return -1
+	}
+	target := a.rng.Intn(count)
+	chosen := -1
+	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+		if s.InFlightTo(v, b) {
+			return true
+		}
+		if target == 0 {
+			chosen = b
+			return false
+		}
+		target--
+		return true
+	})
+	return chosen
+}
+
+// String describes the protocol for experiment output.
+func (a *AsyncRandomized) String() string {
+	policy := "random"
+	if a.RarestFirst {
+		policy = "rarest-first"
+	}
+	overlay := "complete"
+	if a.Graph != nil {
+		overlay = a.Graph.Name()
+	}
+	return fmt.Sprintf("async-randomized(%s,%s)", policy, overlay)
+}

@@ -1,0 +1,290 @@
+// Package bitset implements a dense fixed-capacity bit set used to track
+// which blocks of the file each node holds.
+//
+// The simulator's inner loops — "does neighbor v need any block u has?",
+// "which is the rarest block v needs?" — are all set operations over block
+// IDs, so the representation is a packed []uint64 with word-at-a-time
+// AndNot/intersection scans. All sets in one simulation share a capacity
+// (the block count k); mixing capacities is a programming error and
+// panics.
+package bitset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over [0, Cap()).
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+	count int // cached population count
+}
+
+// New returns an empty set with capacity n bits. n must be non-negative.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Cap returns the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Count returns the number of set bits. It is O(1).
+func (s *Set) Count() int { return s.count }
+
+// Full reports whether every bit in [0, Cap()) is set.
+func (s *Set) Full() bool { return s.count == s.n }
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool { return s.count == 0 }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Add sets bit i and reports whether it was newly set.
+func (s *Set) Add(i int) bool {
+	s.check(i)
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	s.count++
+	return true
+}
+
+// Remove clears bit i and reports whether it was previously set.
+func (s *Set) Remove(i int) bool {
+	s.check(i)
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	s.count--
+	return true
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// Fill sets every bit in [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if extra := s.n % wordBits; extra != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << uint(extra)) - 1
+	}
+	s.count = s.n
+}
+
+// AndWith intersects s with o in place (s &= o).
+func (s *Set) AndWith(o *Set) {
+	s.sameCap(o)
+	count := 0
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+		count += bits.OnesCount64(s.words[i])
+	}
+	s.count = count
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+func (s *Set) sameCap(o *Set) {
+	if s.n != o.n {
+		panic("bitset: capacity mismatch")
+	}
+}
+
+// ContainsAll reports whether every bit of o is also in s.
+func (s *Set) ContainsAll(o *Set) bool {
+	s.sameCap(o)
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyMissingFrom reports whether s holds at least one bit that o lacks,
+// i.e. whether s \ o is non-empty. In protocol terms: "does the holder of
+// s have anything the holder of o wants?"
+func (s *Set) AnyMissingFrom(o *Set) bool {
+	s.sameCap(o)
+	// Cheap pre-filter: if o already has at least as many bits and is a
+	// superset the scan below returns false; the counts alone can prove
+	// non-emptiness only when s has more bits than o.
+	if s.count > o.count {
+		return true
+	}
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffCount returns |s \ o|.
+func (s *Set) DiffCount(o *Set) int {
+	s.sameCap(o)
+	total := 0
+	for i, w := range s.words {
+		total += bits.OnesCount64(w &^ o.words[i])
+	}
+	return total
+}
+
+// Diff overwrites dst with s \ o and returns dst. dst may be s or o.
+func (s *Set) Diff(o, dst *Set) *Set {
+	s.sameCap(o)
+	s.sameCap(dst)
+	count := 0
+	for i, w := range s.words {
+		d := w &^ o.words[i]
+		dst.words[i] = d
+		count += bits.OnesCount64(d)
+	}
+	dst.count = count
+	return dst
+}
+
+// IterDiff calls fn for each bit in s \ o, in ascending order, until fn
+// returns false. It allocates nothing.
+func (s *Set) IterDiff(o *Set, fn func(i int) bool) {
+	s.sameCap(o)
+	for wi, w := range s.words {
+		d := w &^ o.words[wi]
+		for d != 0 {
+			b := bits.TrailingZeros64(d)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			d &= d - 1
+		}
+	}
+}
+
+// Iter calls fn for each set bit in ascending order until fn returns false.
+func (s *Set) Iter(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in ascending order. Intended for tests and
+// trace output, not hot paths.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.count)
+	s.Iter(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Max returns the highest set bit, or -1 if the set is empty. The
+// Binomial Pipeline's "transmit the highest-index block you have" rule
+// makes this a hot call.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Min returns the lowest set bit, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// MaxDiff returns the highest bit of s \ o, or -1 if s ⊆ o.
+func (s *Set) MaxDiff(o *Set) int {
+	s.sameCap(o)
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if d := s.words[wi] &^ o.words[wi]; d != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// FirstDiff returns the lowest bit of s \ o, or -1 if s ⊆ o.
+func (s *Set) FirstDiff(o *Set) int {
+	s.sameCap(o)
+	for wi, w := range s.words {
+		if d := w &^ o.words[wi]; d != 0 {
+			return wi*wordBits + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
+// Equal reports whether s and o hold exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n || s.count != o.count {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a compact bit string (LSB first), for traces.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n + 2)
+	b.WriteByte('[')
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,358 @@
+// Package core ties the substrates together behind a single entry point:
+// describe a content-distribution scenario as a Config, call Run, and get
+// back completion-time metrics, optimality gaps, and optional mechanism
+// audits.
+//
+// It is the implementation behind the repository's public barterdist
+// facade and is what the example programs, CLIs, and benchmark harness
+// drive.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"barterdist/internal/analysis"
+	"barterdist/internal/graph"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/randomized"
+	"barterdist/internal/schedule"
+	"barterdist/internal/simulate"
+	"barterdist/internal/xrand"
+)
+
+// Algorithm names a content-distribution algorithm from the paper.
+type Algorithm string
+
+// The supported algorithms.
+const (
+	// AlgoPipeline is the chain of Section 2.2.1.
+	AlgoPipeline Algorithm = "pipeline"
+	// AlgoMulticastTree is the m-ary tree of Section 2.2.2 (set TreeArity).
+	AlgoMulticastTree Algorithm = "multicast-tree"
+	// AlgoBinomialTree is the blockwise broadcast of Section 2.2.3.
+	AlgoBinomialTree Algorithm = "binomial-tree"
+	// AlgoBinomialPipeline is the paper's optimal algorithm (Section 2.3).
+	AlgoBinomialPipeline Algorithm = "binomial-pipeline"
+	// AlgoMultiServer is the m-virtual-server variant of Section 2.3.4
+	// (set VirtualServers).
+	AlgoMultiServer Algorithm = "multi-server"
+	// AlgoRiffle is the strict-barter Riffle Pipeline of Section 3.1.3.
+	AlgoRiffle Algorithm = "riffle"
+	// AlgoRandomized is the randomized algorithm of Sections 2.4/3.2.3
+	// (configure Overlay, Policy, CreditLimit).
+	AlgoRandomized Algorithm = "randomized"
+	// AlgoTriangular is the randomized algorithm under triangular barter
+	// (Section 3.3, the paper's future work): blocked transfers settle
+	// around simultaneous cycles of length <= CycleLimit.
+	AlgoTriangular Algorithm = "randomized-triangular"
+)
+
+// Overlay names an overlay topology for the randomized algorithm.
+type Overlay string
+
+// The supported overlays.
+const (
+	// OverlayComplete is the complete graph (Figures 3 and 4).
+	OverlayComplete Overlay = "complete"
+	// OverlayRandomRegular is a random Degree-regular graph (Figures 5-7).
+	OverlayRandomRegular Overlay = "random-regular"
+	// OverlayHypercube is the paired hypercube of Section 2.3.3.
+	OverlayHypercube Overlay = "hypercube"
+	// OverlayChain is the path graph.
+	OverlayChain Overlay = "chain"
+)
+
+// Mechanism names a barter mechanism for trace verification.
+type Mechanism string
+
+// The verifiable mechanisms.
+const (
+	// MechanismNone skips verification.
+	MechanismNone Mechanism = ""
+	// MechanismStrict verifies Section 3.1 strict barter.
+	MechanismStrict Mechanism = "strict"
+	// MechanismCredit verifies Section 3.2 credit-limited barter with
+	// limit CreditLimit (default 1).
+	MechanismCredit Mechanism = "credit"
+	// MechanismTriangular verifies Section 3.3 triangular barter with
+	// limit CreditLimit (default 1).
+	MechanismTriangular Mechanism = "triangular"
+)
+
+// Config describes one dissemination run.
+type Config struct {
+	// Nodes is the total node count (server + clients), >= 2.
+	Nodes int
+	// Blocks is the file size in blocks, >= 1.
+	Blocks int
+	// Algorithm selects the schedule; default AlgoBinomialPipeline.
+	Algorithm Algorithm
+
+	// TreeArity is the multicast tree fan-out (default 2).
+	TreeArity int
+	// VirtualServers is the multi-server split m (default 2); the engine
+	// gives the server m upload slots per tick.
+	VirtualServers int
+	// RiffleOverlap selects the D >= 2U overlapped riffle (default true;
+	// set DownloadCap >= 2 or leave it 0 to have Run pick it).
+	RiffleNoOverlap bool
+
+	// Overlay selects the randomized algorithm's overlay; default
+	// OverlayComplete.
+	Overlay Overlay
+	// Degree is the random-regular overlay degree (required for
+	// OverlayRandomRegular).
+	Degree int
+	// Policy is the block-selection policy (default randomized.Random).
+	Policy randomized.Policy
+	// CreditLimit > 0 runs the randomized algorithm under credit-limited
+	// barter; it is also the limit used by MechanismCredit verification.
+	CreditLimit int
+	// CycleLimit is the longest settlement cycle for AlgoTriangular
+	// (default 3; 2 degenerates to credit-limited barter).
+	CycleLimit int
+	// RewireEvery > 0 rebuilds the randomized algorithm's random regular
+	// overlay every RewireEvery ticks (the paper's "change neighbors
+	// periodically" variant).
+	RewireEvery int
+
+	// DownloadCap is the per-node download capacity D. 0 lets Run choose
+	// the algorithm's natural requirement (2 for the overlapped riffle,
+	// 1 for the randomized algorithm, unbounded for deterministic
+	// schedules); DownloadUnlimited removes the bound.
+	DownloadCap int
+	// Seed drives every random choice (overlay construction and the
+	// randomized algorithm).
+	Seed uint64
+	// RecordTrace retains the full transfer trace (needed for Verify).
+	RecordTrace bool
+	// Verify audits the recorded trace against a mechanism after the run.
+	Verify Mechanism
+	// MaxTicks bounds the simulation (0 = generous default). Runs that
+	// exceed it — e.g. credit-limited runs on under-provisioned overlays
+	// (Figure 6's "off the charts" region) — return ErrStalled.
+	MaxTicks int
+}
+
+// Result reports a completed run.
+type Result struct {
+	// CompletionTime is the tick at which the last client finished.
+	CompletionTime int
+	// OptimalTime is Theorem 1's cooperative lower bound for (n, k).
+	OptimalTime int
+	// StrictBarterBound is Theorem 2's strict-barter lower bound.
+	StrictBarterBound int
+	// Efficiency is useful transfers over total upload slots used.
+	Efficiency float64
+	// MinimalCreditLimit is the smallest s the recorded trace would have
+	// satisfied (0 unless RecordTrace).
+	MinimalCreditLimit int
+	// Overlay describes the overlay used, if any.
+	Overlay string
+	// Sim carries the raw engine result (per-client completion times,
+	// per-tick upload counts, trace when recorded).
+	Sim *simulate.Result
+}
+
+// DownloadUnlimited as Config.DownloadCap removes the download bound.
+const DownloadUnlimited = -1
+
+// ErrStalled wraps simulate.ErrMaxTicks for callers that treat
+// non-completion as data (Figure 6 treats stalls as off-the-chart
+// points).
+var ErrStalled = errors.New("core: run did not complete within MaxTicks")
+
+// Run executes one configured dissemination and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("core: Nodes = %d, need >= 2", cfg.Nodes)
+	}
+	if cfg.Blocks < 1 {
+		return nil, fmt.Errorf("core: Blocks = %d, need >= 1", cfg.Blocks)
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoBinomialPipeline
+	}
+
+	if cfg.DownloadCap < 0 && cfg.DownloadCap != DownloadUnlimited {
+		return nil, fmt.Errorf("core: DownloadCap = %d is invalid", cfg.DownloadCap)
+	}
+	simCfg := simulate.Config{
+		Nodes:       cfg.Nodes,
+		Blocks:      cfg.Blocks,
+		DownloadCap: cfg.DownloadCap,
+		MaxTicks:    cfg.MaxTicks,
+		RecordTrace: cfg.RecordTrace || cfg.Verify != MechanismNone,
+	}
+	if cfg.DownloadCap == DownloadUnlimited {
+		simCfg.DownloadCap = simulate.Unlimited
+	}
+
+	sched, overlayName, err := buildScheduler(&cfg, &simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	simRes, err := simulate.Run(simCfg, sched)
+	if err != nil {
+		if errors.Is(err, simulate.ErrMaxTicks) {
+			return nil, fmt.Errorf("%w: %v", ErrStalled, err)
+		}
+		return nil, err
+	}
+
+	res := &Result{
+		CompletionTime:    simRes.CompletionTime,
+		OptimalTime:       analysis.CooperativeLowerBound(cfg.Nodes, cfg.Blocks),
+		StrictBarterBound: analysis.StrictBarterLowerBound(cfg.Nodes, cfg.Blocks),
+		Efficiency:        simRes.Efficiency(cfg.Nodes),
+		Overlay:           overlayName,
+		Sim:               simRes,
+	}
+	if len(simRes.Trace) > 0 {
+		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace)
+	}
+	if err := verify(cfg, simRes); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func buildScheduler(cfg *Config, simCfg *simulate.Config) (simulate.Scheduler, string, error) {
+	switch cfg.Algorithm {
+	case AlgoPipeline:
+		return schedule.Pipeline(), "chain", nil
+	case AlgoMulticastTree:
+		arity := cfg.TreeArity
+		if arity == 0 {
+			arity = 2
+		}
+		s, err := schedule.MulticastTree(cfg.Nodes, cfg.Blocks, arity)
+		return s, fmt.Sprintf("kary(m=%d)", arity), err
+	case AlgoBinomialTree:
+		s, err := schedule.BinomialTree(cfg.Nodes, cfg.Blocks)
+		return s, "binomial-tree", err
+	case AlgoBinomialPipeline:
+		s, err := schedule.NewBinomialPipeline(cfg.Nodes, cfg.Blocks)
+		return s, "hypercube", err
+	case AlgoMultiServer:
+		m := cfg.VirtualServers
+		if m == 0 {
+			m = 2
+		}
+		simCfg.ServerUploadCap = m
+		s, err := schedule.MultiServer(cfg.Nodes, cfg.Blocks, m)
+		return s, fmt.Sprintf("multi-hypercube(m=%d)", m), err
+	case AlgoRiffle:
+		overlap := !cfg.RiffleNoOverlap
+		if cfg.DownloadCap == 0 {
+			if overlap {
+				simCfg.DownloadCap = 2
+			} else {
+				simCfg.DownloadCap = 1
+			}
+		}
+		s, err := schedule.NewRifflePipeline(cfg.Nodes, cfg.Blocks, overlap)
+		return s, "riffle", err
+	case AlgoRandomized:
+		if cfg.DownloadCap == 0 {
+			simCfg.DownloadCap = 1
+		}
+		g, name, err := buildOverlay(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := randomized.New(randomized.Options{
+			Graph:       g,
+			Policy:      cfg.Policy,
+			CreditLimit: cfg.CreditLimit,
+			DownloadCap: simCfg.DownloadCap,
+			Seed:        cfg.Seed,
+			RewireEvery: cfg.RewireEvery,
+		})
+		return s, name, err
+	case AlgoTriangular:
+		if cfg.DownloadCap == 0 {
+			simCfg.DownloadCap = 1
+		}
+		g, name, err := buildOverlay(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		if g == nil {
+			// The triangular scheduler needs explicit adjacency.
+			g = graph.Complete(cfg.Nodes)
+		}
+		s, err := randomized.NewTriangular(randomized.TriangularOptions{
+			Graph:       g,
+			Policy:      cfg.Policy,
+			CreditLimit: cfg.CreditLimit,
+			CycleLimit:  cfg.CycleLimit,
+			DownloadCap: simCfg.DownloadCap,
+			Seed:        cfg.Seed,
+		})
+		return s, name, err
+	default:
+		return nil, "", fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+func buildOverlay(cfg *Config) (*graph.Graph, string, error) {
+	switch cfg.Overlay {
+	case OverlayComplete, "":
+		// nil selects the scheduler's complete-graph fast path.
+		return nil, "complete", nil
+	case OverlayRandomRegular:
+		if cfg.Degree < 1 {
+			return nil, "", fmt.Errorf("core: random-regular overlay requires Degree >= 1 (got %d)", cfg.Degree)
+		}
+		rng := xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+		g, err := graph.RandomRegular(cfg.Nodes, cfg.Degree, rng)
+		if err != nil {
+			return nil, "", fmt.Errorf("core: %w", err)
+		}
+		if !g.Connected() {
+			// A disconnected overlay can never complete; retry a few
+			// seeds before giving up.
+			for attempt := 0; attempt < 20 && !g.Connected(); attempt++ {
+				if g, err = graph.RandomRegular(cfg.Nodes, cfg.Degree, rng); err != nil {
+					return nil, "", fmt.Errorf("core: %w", err)
+				}
+			}
+			if !g.Connected() {
+				return nil, "", fmt.Errorf("core: could not build a connected %d-regular overlay on %d nodes", cfg.Degree, cfg.Nodes)
+			}
+		}
+		return g, g.Name(), nil
+	case OverlayHypercube:
+		g, _, err := graph.PairedHypercube(cfg.Nodes)
+		if err != nil {
+			return nil, "", fmt.Errorf("core: %w", err)
+		}
+		return g, g.Name(), nil
+	case OverlayChain:
+		return graph.Chain(cfg.Nodes), "chain", nil
+	default:
+		return nil, "", fmt.Errorf("core: unknown overlay %q", cfg.Overlay)
+	}
+}
+
+func verify(cfg Config, simRes *simulate.Result) error {
+	limit := cfg.CreditLimit
+	if limit == 0 {
+		limit = 1
+	}
+	switch cfg.Verify {
+	case MechanismNone:
+		return nil
+	case MechanismStrict:
+		return mechanism.VerifyStrictBarter(simRes.Trace)
+	case MechanismCredit:
+		return mechanism.VerifyCreditLimited(simRes.Trace, limit)
+	case MechanismTriangular:
+		return mechanism.VerifyTriangular(simRes.Trace, limit)
+	default:
+		return fmt.Errorf("core: unknown mechanism %q", cfg.Verify)
+	}
+}

@@ -1,0 +1,287 @@
+// Package experiment regenerates every figure and table in the paper's
+// evaluation (the per-experiment index lives in DESIGN.md):
+//
+//	Table A — Section 2.2's baseline completion times vs the Theorem 1
+//	          lower bound (analytic and simulated).
+//	Figure 3 — randomized cooperative algorithm: T vs n (complete graph).
+//	Figure 4 — randomized cooperative algorithm: T vs k (complete graph).
+//	Table B — the least-squares fit T ≈ a·k + b·log2 n + c (Section 2.4.4).
+//	Figure 5 — T vs overlay degree on random regular graphs (+ hypercube).
+//	Figure 6 — credit-limited barter, Random policy: T vs degree for s=1
+//	          and s·d=100 (Section 3.2.4).
+//	Figure 7 — the same with Rarest-First block selection.
+//	Table C — the price of barter: cooperative optimum vs Riffle Pipeline
+//	          vs lower bounds, plus mechanism audits.
+//
+// Each generator takes a Scale so the same code serves the full-size
+// paper reproduction (cmd/paperfigs), the benchmark suite, and fast CI
+// runs. Results render to CSV (machine-readable) and ASCII plots/tables
+// (EXPERIMENTS.md).
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+// The preset scales.
+const (
+	// ScaleCI is small enough for unit tests and testing.B benchmarks.
+	ScaleCI Scale = iota + 1
+	// ScaleMedium reproduces every qualitative effect in a few minutes.
+	ScaleMedium
+	// ScaleFull is the paper's own parameterization (n up to 10000,
+	// k up to 2000). Budget tens of minutes on one core.
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleCI:
+		return "ci"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+// ParseScale converts a CLI flag value.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "ci", "small":
+		return ScaleCI, nil
+	case "medium", "med":
+		return ScaleMedium, nil
+	case "full", "paper":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown scale %q (want ci|medium|full)", s)
+	}
+}
+
+// Point is one x-position of a series: aggregated completion times over
+// repetitions.
+type Point struct {
+	X       float64
+	Mean    float64
+	CI95    float64
+	Reps    int
+	Stalled int // runs that hit the tick budget (plotted as the budget)
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced plot.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	XLog   bool
+	Series []Series
+	Notes  []string
+}
+
+// Table is a reproduced table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// CSV renders the figure's data points as CSV.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,mean_T,ci95,reps,stalled\n", csvSafe(f.XLabel))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%.2f,%.2f,%d,%d\n", csvSafe(s.Name), p.X, p.Mean, p.CI95, p.Reps, p.Stalled)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i, h := range t.Header {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvSafe(h))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvSafe(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvSafe(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Render draws the figure as an ASCII scatter plot, one rune per series.
+func (f *Figure) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var xs, ys []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs = append(xs, f.xpos(p.X))
+			ys = append(ys, p.Mean)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if len(xs) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@")
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			col := int(math.Round((f.xpos(p.X) - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Mean-ymin)/(ymax-ymin)*float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+	fmt.Fprintf(&b, "%10.0f +%s\n", ymax, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%10s |%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%10.0f +%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", width/2, xvalLabel(f, xmin), width-width/2, xvalLabel(f, xmax))
+	fmt.Fprintf(&b, "%10s  x: %s%s   y: %s\n", "", f.XLabel, logSuffix(f.XLog), f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func (f *Figure) xpos(x float64) float64 {
+	if f.XLog && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+func xvalLabel(f *Figure, pos float64) float64 {
+	if f.XLog {
+		return math.Round(math.Exp2(pos))
+	}
+	return pos
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// sortSeriesPoints orders every series by x for stable output.
+func sortSeriesPoints(f *Figure) {
+	for i := range f.Series {
+		pts := f.Series[i].Points
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+	}
+}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"ci": ScaleCI, "small": ScaleCI, "medium": ScaleMedium,
+		"med": ScaleMedium, "full": ScaleFull, "paper": ScaleFull, "FULL": ScaleFull,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale should error")
+	}
+	if ScaleCI.String() != "ci" || ScaleFull.String() != "full" || Scale(9).String() != "scale(9)" {
+		t.Error("Scale.String mismatch")
+	}
+}
+
+func TestFig3CI(t *testing.T) {
+	fig, err := Fig3(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	meas, opt := fig.Series[0], fig.Series[1]
+	if len(meas.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(meas.Points))
+	}
+	// Shape checks: T grows with n and stays above the bound.
+	for i, p := range meas.Points {
+		if p.Mean < opt.Points[i].Mean {
+			t.Errorf("n=%g: measured %v below optimal %v", p.X, p.Mean, opt.Points[i].Mean)
+		}
+		if p.Stalled != 0 {
+			t.Errorf("n=%g: unexpected stall", p.X)
+		}
+	}
+	first, last := meas.Points[0], meas.Points[len(meas.Points)-1]
+	if last.Mean <= first.Mean {
+		t.Errorf("T should grow with n: first %v, last %v", first.Mean, last.Mean)
+	}
+	// CSV and render sanity.
+	csv := fig.CSV()
+	if !strings.Contains(csv, "randomized") || !strings.Contains(csv, "series,n") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+	plot := fig.Render(60, 12)
+	if !strings.Contains(plot, "fig3") || !strings.Contains(plot, "log scale") {
+		t.Errorf("render malformed:\n%s", plot)
+	}
+}
+
+func TestFig4CIShapeLinearInK(t *testing.T) {
+	fig, err := Fig4(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := fig.Series[0].Points
+	// Doubling k should roughly double T (within 40% tolerance at this
+	// tiny scale).
+	for i := 1; i < len(meas); i++ {
+		ratioK := meas[i].X / meas[i-1].X
+		ratioT := meas[i].Mean / meas[i-1].Mean
+		if ratioT < ratioK*0.5 || ratioT > ratioK*1.6 {
+			t.Errorf("k %g->%g: T ratio %.2f far from k ratio %.2f",
+				meas[i-1].X, meas[i].X, ratioT, ratioK)
+		}
+	}
+}
+
+func TestFig5CIDegreeEffect(t *testing.T) {
+	fig, err := Fig5(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First series is the degree sweep: lowest degree must not beat the
+	// highest degree.
+	pts := fig.Series[0].Points
+	lo, hi := pts[0], pts[len(pts)-1]
+	if lo.Mean < hi.Mean {
+		t.Errorf("degree %g (T=%v) outperformed degree %g (T=%v)", lo.X, lo.Mean, hi.X, hi.Mean)
+	}
+}
+
+func TestFig6CICreditCliff(t *testing.T) {
+	fig, err := Fig6(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := fig.Series[0].Points
+	lo, hi := s1[0], s1[len(s1)-1]
+	if lo.Mean <= hi.Mean {
+		t.Errorf("credit-limited low degree %g (T=%v) should be slower than degree %g (T=%v)",
+			lo.X, lo.Mean, hi.X, hi.Mean)
+	}
+}
+
+func TestFig7CIRarestBeatsRandomAtLowDegree(t *testing.T) {
+	f6, err := Fig6(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Fig7(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the lowest-degree s=1 points: Rarest-First must do no
+	// worse than Random (the paper's fourfold-threshold improvement).
+	r6, r7 := f6.Series[0].Points[0], f7.Series[0].Points[0]
+	if r7.Mean > r6.Mean*1.1 {
+		t.Errorf("rarest-first at degree %g (T=%v) worse than random (T=%v)", r7.X, r7.Mean, r6.Mean)
+	}
+}
+
+func TestTableACI(t *testing.T) {
+	tbl, err := TableA(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// Binomial pipeline column (last) must equal the bound column (2)
+	// when n is a power of two.
+	for _, row := range tbl.Rows {
+		if row[0] == "8" || row[0] == "16" || row[0] == "32" {
+			if row[2] != row[6] {
+				t.Errorf("n=%s k=%s: pipeline %s != bound %s", row[0], row[1], row[6], row[2])
+			}
+		}
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "tableA") || !strings.Contains(out, "lower bound") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+	if !strings.Contains(tbl.CSV(), "binomial pipeline") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestTableBCI(t *testing.T) {
+	tbl, err := TableB(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The k coefficient must land near 1 even at CI scale.
+	var aRow []string
+	for _, r := range tbl.Rows {
+		if r[0] == "a (k)" {
+			aRow = r
+		}
+	}
+	if aRow == nil {
+		t.Fatal("missing a (k) row")
+	}
+	a, err := strconv.ParseFloat(aRow[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.9 || a > 1.5 {
+		t.Errorf("k coefficient %v far from 1", a)
+	}
+}
+
+func TestTableCCI(t *testing.T) {
+	tbl, err := TableC(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[7] != "pass" {
+			t.Errorf("n=%s k=%s: strict-barter audit failed: %s", row[0], row[1], row[7])
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var lines []string
+	prog := Progress(func(format string, args ...any) {
+		lines = append(lines, strings.TrimSpace(format))
+	})
+	if _, err := TableA(ScaleCI, prog); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("progress callback never invoked")
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t"}
+	if out := f.Render(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty render: %q", out)
+	}
+}
+
+func TestTableDCI(t *testing.T) {
+	tbl, err := TableD(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "bittorrent") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}

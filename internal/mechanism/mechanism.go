@@ -1,0 +1,298 @@
+// Package mechanism implements the paper's barter-based incentive
+// mechanisms (Section 3):
+//
+//   - strict barter: a client uploads to another client only as half of a
+//     simultaneous pairwise exchange (Section 3.1);
+//   - credit-limited barter: node u uploads to v only while the running
+//     net transfer from u to v stays within a credit limit s
+//     (Section 3.2);
+//   - triangular barter: credit may also be settled around 3-cycles of
+//     simultaneous transfers (Section 3.3).
+//
+// The server (node 0) is exempt, as in the paper: it uploads without
+// receiving anything in return.
+//
+// The package provides both a live Ledger used by the randomized
+// credit-limited algorithm while it schedules transfers, and Verify*
+// auditors that check a completed simulation trace against each
+// mechanism — the paper's feasibility claims (e.g. "the Hypercube
+// algorithm satisfies credit-limited barter with s = 1 when n and k are
+// powers of two") become executable assertions.
+package mechanism
+
+import (
+	"fmt"
+
+	"barterdist/internal/simulate"
+)
+
+// Ledger tracks pairwise net transfers between clients under a credit
+// limit. Transfers involving the server are exempt and never recorded.
+type Ledger struct {
+	limit int
+	net   map[uint64]int // key pair(u,v) with u < v; value = net sent u -> v
+}
+
+// NewLedger returns a ledger enforcing per-pair credit limit s >= 1.
+func NewLedger(s int) (*Ledger, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
+	}
+	return &Ledger{limit: s, net: make(map[uint64]int)}, nil
+}
+
+// Limit returns the credit limit s.
+func (l *Ledger) Limit() int { return l.limit }
+
+func pairKey(u, v int32) (uint64, bool) {
+	if u < v {
+		return uint64(uint32(u))<<32 | uint64(uint32(v)), false
+	}
+	return uint64(uint32(v))<<32 | uint64(uint32(u)), true
+}
+
+// Net returns the running net transfer from u to v (positive when u has
+// sent more than it received).
+func (l *Ledger) Net(u, v int32) int {
+	key, swapped := pairKey(u, v)
+	n := l.net[key]
+	if swapped {
+		return -n
+	}
+	return n
+}
+
+// CanSend reports whether u may upload one more block to v without
+// exceeding the credit limit. Server transfers are always allowed.
+func (l *Ledger) CanSend(u, v int32) bool {
+	if u == 0 || v == 0 {
+		return true
+	}
+	return l.Net(u, v)+1 <= l.limit
+}
+
+// Record registers a completed one-block transfer from u to v. Server
+// transfers are ignored.
+func (l *Ledger) Record(u, v int32) {
+	if u == 0 || v == 0 {
+		return
+	}
+	key, swapped := pairKey(u, v)
+	if swapped {
+		l.net[key]--
+	} else {
+		l.net[key]++
+	}
+}
+
+// MaxAbsNet returns the largest absolute pairwise net balance seen so
+// far — the smallest credit limit under which the recorded history would
+// have been feasible.
+func (l *Ledger) MaxAbsNet() int {
+	max := 0
+	for _, n := range l.net {
+		if n < 0 {
+			n = -n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Violation describes where and how a trace broke a mechanism.
+type Violation struct {
+	Tick   int // 1-based tick of the offending transfer
+	From   int32
+	To     int32
+	Reason string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mechanism: tick %d, transfer %d->%d: %s", v.Tick, v.From, v.To, v.Reason)
+}
+
+// VerifyStrictBarter checks that every client-to-client transfer in the
+// trace is matched by a simultaneous reverse transfer between the same
+// two clients (Section 3.1's simultaneous exchange requirement). Server
+// transfers are exempt. It returns nil if the trace complies.
+func VerifyStrictBarter(trace [][]simulate.Transfer) error {
+	for ti, tick := range trace {
+		// reverse[u<<32|v] counts transfers u -> v this tick.
+		fwd := make(map[uint64]int)
+		for _, tr := range tick {
+			if tr.From == 0 || tr.To == 0 {
+				continue
+			}
+			fwd[uint64(uint32(tr.From))<<32|uint64(uint32(tr.To))]++
+		}
+		for key, cnt := range fwd {
+			u, v := int32(key>>32), int32(uint32(key))
+			rev := fwd[uint64(uint32(v))<<32|uint64(uint32(u))]
+			if rev != cnt {
+				return &Violation{
+					Tick: ti + 1, From: u, To: v,
+					Reason: fmt.Sprintf("%d transfer(s) forward but %d in return (strict barter requires a simultaneous exchange)", cnt, rev),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyCreditLimited checks that at the end of every tick the net
+// transfer between every ordered client pair is at most s. Within a tick
+// transfers are simultaneous, so an exchange nets to zero regardless of
+// ordering. It returns nil if the trace complies.
+func VerifyCreditLimited(trace [][]simulate.Transfer, s int) error {
+	if s < 1 {
+		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
+	}
+	net := make(map[uint64]int)
+	for ti, tick := range trace {
+		for _, tr := range tick {
+			if tr.From == 0 || tr.To == 0 {
+				continue
+			}
+			key, swapped := pairKey(tr.From, tr.To)
+			if swapped {
+				net[key]--
+			} else {
+				net[key]++
+			}
+		}
+		for key, n := range net {
+			if n > s || -n > s {
+				u, v := int32(key>>32), int32(uint32(key))
+				if n < 0 {
+					u, v = v, u
+					n = -n
+				}
+				return &Violation{
+					Tick: ti + 1, From: u, To: v,
+					Reason: fmt.Sprintf("net transfer %d exceeds credit limit %d", n, s),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MinimalCreditLimit returns the smallest credit limit s under which the
+// trace satisfies credit-limited barter — i.e. the peak per-pair
+// imbalance at any tick boundary. A fully cooperative trace may return
+// large values; the Riffle Pipeline returns 1.
+func MinimalCreditLimit(trace [][]simulate.Transfer) int {
+	net := make(map[uint64]int)
+	max := 0
+	for _, tick := range trace {
+		for _, tr := range tick {
+			if tr.From == 0 || tr.To == 0 {
+				continue
+			}
+			key, swapped := pairKey(tr.From, tr.To)
+			if swapped {
+				net[key]--
+			} else {
+				net[key]++
+			}
+		}
+		for _, n := range net {
+			if n < 0 {
+				n = -n
+			}
+			if n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// VerifyTriangular checks the triangular barter mechanism of Section
+// 3.3 with credit limit s: within each tick, transfers that participate
+// in simultaneous 2-cycles (direct exchanges) or 3-cycles (u→v, v→w,
+// w→u) settle instantly and cost no credit; every remaining transfer
+// charges the sender's per-pair balance, which must stay within s.
+//
+// Cycle cancellation is greedy — 2-cycles first, then 3-cycles — which
+// matches the enforceable handshake the paper sketches (a node agrees to
+// a triangle before transmitting, so cycles are explicit, not found by
+// an optimizer).
+func VerifyTriangular(trace [][]simulate.Transfer, s int) error {
+	if s < 1 {
+		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
+	}
+	net := make(map[uint64]int)
+	for ti, tick := range trace {
+		// count[u][v] = remaining uncancelled transfers u -> v this tick.
+		count := make(map[int32]map[int32]int)
+		addEdge := func(u, v int32, d int) {
+			m := count[u]
+			if m == nil {
+				m = make(map[int32]int)
+				count[u] = m
+			}
+			m[v] += d
+			if m[v] == 0 {
+				delete(m, v)
+				if len(m) == 0 {
+					delete(count, u)
+				}
+			}
+		}
+		for _, tr := range tick {
+			if tr.From == 0 || tr.To == 0 {
+				continue
+			}
+			addEdge(tr.From, tr.To, 1)
+		}
+		// Cancel 2-cycles.
+		for u, outs := range count {
+			for v := range outs {
+				for count[u][v] > 0 && count[v][u] > 0 {
+					addEdge(u, v, -1)
+					addEdge(v, u, -1)
+				}
+			}
+		}
+		// Cancel 3-cycles.
+		for u, outs := range count {
+			for v := range outs {
+				for w := range count[v] {
+					for count[u][v] > 0 && count[v][w] > 0 && count[w][u] > 0 {
+						addEdge(u, v, -1)
+						addEdge(v, w, -1)
+						addEdge(w, u, -1)
+					}
+				}
+			}
+		}
+		// Remaining transfers consume credit.
+		for u, outs := range count {
+			for v, c := range outs {
+				key, swapped := pairKey(u, v)
+				if swapped {
+					net[key] -= c
+				} else {
+					net[key] += c
+				}
+			}
+		}
+		for key, n := range net {
+			if n > s || -n > s {
+				u, v := int32(key>>32), int32(uint32(key))
+				if n < 0 {
+					u, v = v, u
+					n = -n
+				}
+				return &Violation{
+					Tick: ti + 1, From: u, To: v,
+					Reason: fmt.Sprintf("net non-cycle transfer %d exceeds credit limit %d", n, s),
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,517 @@
+// Package randomized implements the paper's randomized content
+// distribution algorithm (Sections 2.4 and 3.2.3) as a
+// simulate.Scheduler.
+//
+// Per tick, every node u that holds data attempts one upload:
+//
+//  1. Among u's overlay neighbors, find those that (a) still need a
+//     block u holds, (b) have download capacity left this tick, and
+//     (c) — under credit-limited barter — are within u's credit limit.
+//     Pick one uniformly at random (the paper's "handshake protocol"
+//     resolving collisions is modeled by processing uploaders in a
+//     random order against shared per-tick capacity counters).
+//  2. Upload one block v needs, chosen by the block-selection policy:
+//     Random (uniform over the useful blocks) or Rarest-First (the
+//     globally least-replicated useful block, the paper's
+//     perfect-statistics variant; LocalRare estimates rarity from the
+//     receiver's neighborhood instead).
+//
+// The scheduler supports arbitrary overlay graphs and special-cases the
+// complete graph so that Figure 3's n = 10000 runs stay fast: instead of
+// materializing 50M edges, candidate receivers are rejection-sampled
+// from the incomplete-node list with an exact full-scan fallback.
+package randomized
+
+import (
+	"fmt"
+
+	"barterdist/internal/bitset"
+	"barterdist/internal/graph"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/simulate"
+	"barterdist/internal/xrand"
+)
+
+// Policy selects which block to upload once a receiver is chosen.
+type Policy int
+
+const (
+	// Random uploads a uniformly random useful block (paper default).
+	Random Policy = iota + 1
+	// RarestFirst uploads the useful block with the fewest holders
+	// system-wide (the paper's perfect-statistics Rarest-First).
+	RarestFirst
+	// LocalRare estimates rarity over the receiver's neighborhood
+	// instead of global statistics (the paper notes results are almost
+	// identical; this variant lets us check that claim).
+	LocalRare
+)
+
+// String implements fmt.Stringer for experiment output.
+func (p Policy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case RarestFirst:
+		return "rarest-first"
+	case LocalRare:
+		return "local-rare"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures the randomized scheduler.
+type Options struct {
+	// Graph is the overlay network. nil means the complete graph.
+	Graph *graph.Graph
+	// Policy is the block-selection policy; zero value means Random.
+	Policy Policy
+	// CreditLimit, when > 0, enforces credit-limited barter with the
+	// given per-pair limit s (Section 3.2.3). Zero means cooperative.
+	CreditLimit int
+	// DownloadCap mirrors simulate.Config.DownloadCap and must match the
+	// engine configuration: the scheduler uses it to model the handshake
+	// that steers uploads away from saturated receivers.
+	DownloadCap int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// RewireEvery, when > 0, rebuilds the overlay as a fresh random
+	// regular graph of the same degree every RewireEvery ticks — the
+	// "change neighbors periodically" variant the paper flags as
+	// promising future work at the end of Section 3.2.4. Requires a
+	// regular Graph (all degrees equal).
+	RewireEvery int
+}
+
+// Scheduler is the randomized algorithm. Create one per simulation run;
+// it carries per-run state (RNG, credit ledger, rarity statistics).
+type Scheduler struct {
+	opts   Options
+	rng    *xrand.Rand
+	ledger *mechanism.Ledger // nil in cooperative mode
+
+	n, k int
+	init bool
+
+	freq     []int     // freq[b] = number of nodes holding block b
+	order    []int     // uploader processing order, reshuffled per tick
+	downUsed []int     // per-node downloads consumed this tick
+	incoming [][]int32 // per-node blocks already in flight this tick
+	// avail holds the complete-graph candidate receivers for the current
+	// tick: incomplete clients with download capacity left. Saturated
+	// nodes are swap-removed as the tick progresses so both sampling and
+	// the exact fallback stay proportional to the remaining candidates.
+	avail         []int32
+	availPos      []int32 // availPos[v] = index of v in avail, -1 if absent
+	removedInTick int     // saturated receivers dropped this tick
+	scratch       []int32 // candidate shuffling buffer (general graphs)
+	// commonBlocks is the intersection of every incomplete client's
+	// block set at the start of the tick (complete-graph mode). An
+	// uploader whose holdings are a subset of commonBlocks has nothing
+	// anyone needs and skips without scanning.
+	commonBlocks *bitset.Set
+	// noPeerAtCount[u] caches that u found no interested peer while
+	// holding noPeerAtCount[u] blocks; valid until u's holdings grow
+	// (interest is monotone in the sender's block set). It is only set
+	// when the failed scan saw no interested peer at all — capacity- or
+	// credit-blocked peers do not populate the cache.
+	noPeerAtCount []int
+}
+
+var _ simulate.Scheduler = (*Scheduler)(nil)
+
+// New returns a randomized scheduler. The overlay graph, if given, must
+// have as many vertices as the simulation has nodes — this is checked on
+// the first tick.
+func New(opts Options) (*Scheduler, error) {
+	if opts.Policy == 0 {
+		opts.Policy = Random
+	}
+	switch opts.Policy {
+	case Random, RarestFirst, LocalRare:
+	default:
+		return nil, fmt.Errorf("randomized: unknown policy %d", int(opts.Policy))
+	}
+	if opts.CreditLimit < 0 {
+		return nil, fmt.Errorf("randomized: negative credit limit %d", opts.CreditLimit)
+	}
+	if opts.RewireEvery < 0 {
+		return nil, fmt.Errorf("randomized: negative rewire interval %d", opts.RewireEvery)
+	}
+	if opts.RewireEvery > 0 {
+		if opts.Graph == nil {
+			return nil, fmt.Errorf("randomized: rewiring requires an explicit overlay graph")
+		}
+		d := opts.Graph.Degree(0)
+		for v := 1; v < opts.Graph.N(); v++ {
+			if opts.Graph.Degree(v) != d {
+				return nil, fmt.Errorf("randomized: rewiring requires a regular graph (degree mismatch at node %d)", v)
+			}
+		}
+	}
+	s := &Scheduler{opts: opts, rng: xrand.New(opts.Seed)}
+	if opts.CreditLimit > 0 {
+		ledger, err := mechanism.NewLedger(opts.CreditLimit)
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = ledger
+	}
+	return s, nil
+}
+
+// Ledger exposes the credit ledger (nil in cooperative mode) so tests
+// and experiments can inspect peak balances.
+func (s *Scheduler) Ledger() *mechanism.Ledger { return s.ledger }
+
+func (s *Scheduler) setup(st *simulate.State) error {
+	s.n, s.k = st.N(), st.K()
+	if g := s.opts.Graph; g != nil && g.N() != s.n {
+		return fmt.Errorf("randomized: overlay has %d vertices but simulation has %d nodes", g.N(), s.n)
+	}
+	s.freq = make([]int, s.k)
+	for b := 0; b < s.k; b++ {
+		s.freq[b] = 1 // the server
+	}
+	s.order = make([]int, s.n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	s.downUsed = make([]int, s.n)
+	s.incoming = make([][]int32, s.n)
+	s.availPos = make([]int32, s.n)
+	s.noPeerAtCount = make([]int, s.n)
+	for i := range s.noPeerAtCount {
+		s.noPeerAtCount[i] = -1
+	}
+	s.init = true
+	return nil
+}
+
+// Tick implements simulate.Scheduler.
+func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+	if !s.init {
+		if err := s.setup(st); err != nil {
+			return nil, err
+		}
+	}
+	if s.opts.RewireEvery > 0 && t > 1 && (t-1)%s.opts.RewireEvery == 0 {
+		if err := s.rewire(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		s.downUsed[i] = 0
+		s.incoming[i] = s.incoming[i][:0]
+		s.availPos[i] = -1
+	}
+	s.avail = s.avail[:0]
+	s.removedInTick = 0
+	for v := 1; v < s.n; v++ {
+		if !st.Blocks(v).Full() {
+			s.availPos[v] = int32(len(s.avail))
+			s.avail = append(s.avail, int32(v))
+		}
+	}
+	if s.opts.Graph == nil {
+		if s.commonBlocks == nil {
+			s.commonBlocks = bitset.New(s.k)
+		}
+		s.commonBlocks.Fill()
+		for _, v := range s.avail {
+			s.commonBlocks.AndWith(st.Blocks(int(v)))
+		}
+	}
+
+	s.rng.Shuffle(s.order)
+	for _, u := range s.order {
+		if st.CountOf(u) == 0 {
+			continue // nothing to offer yet
+		}
+		if s.noPeerAtCount[u] == st.CountOf(u) {
+			continue // no peer wanted anything at this holding level
+		}
+		v, sawInterest := s.pickReceiver(st, u)
+		if v < 0 {
+			if !sawInterest {
+				s.noPeerAtCount[u] = st.CountOf(u)
+			}
+			continue
+		}
+		b := s.pickBlock(st, u, v)
+		if b < 0 {
+			continue // cannot happen if pickReceiver qualified v; defensive
+		}
+		dst = append(dst, simulate.Transfer{From: int32(u), To: int32(v), Block: int32(b)})
+		s.downUsed[v]++
+		s.incoming[v] = append(s.incoming[v], int32(b))
+		s.freq[b]++
+		if s.ledger != nil {
+			s.ledger.Record(int32(u), int32(v))
+		}
+		if s.opts.DownloadCap != simulate.Unlimited && s.downUsed[v] >= s.opts.DownloadCap {
+			s.removeAvail(v)
+		}
+	}
+	return dst, nil
+}
+
+// rewire replaces the overlay with a fresh random regular graph of the
+// same degree and invalidates the no-peer cache (it is keyed to the old
+// neighborhoods).
+func (s *Scheduler) rewire() error {
+	g, err := graph.RandomRegular(s.opts.Graph.N(), s.opts.Graph.Degree(0), s.rng)
+	if err != nil {
+		return fmt.Errorf("randomized: rewire failed: %w", err)
+	}
+	s.opts.Graph = g
+	for i := range s.noPeerAtCount {
+		s.noPeerAtCount[i] = -1
+	}
+	return nil
+}
+
+// pickReceiver returns a uniformly random qualified receiver for u, or
+// -1. sawInterest reports whether any peer was interested in u's content
+// regardless of capacity or credit (used for the no-peer cache).
+func (s *Scheduler) pickReceiver(st *simulate.State, u int) (int, bool) {
+	if s.opts.Graph == nil {
+		return s.pickReceiverComplete(st, u)
+	}
+	nbrs := s.opts.Graph.Neighbors(u)
+	if len(nbrs) == 0 {
+		return -1, false
+	}
+	// Lazily shuffle the neighbor list and take the first qualified
+	// entry: the first qualified element of a uniform permutation is
+	// uniform over the qualified set.
+	s.scratch = append(s.scratch[:0], nbrs...)
+	sawInterest := false
+	for i := range s.scratch {
+		j := i + s.rng.Intn(len(s.scratch)-i)
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+		v := int(s.scratch[i])
+		interested, qualified := s.qualify(st, u, v)
+		sawInterest = sawInterest || interested
+		if qualified {
+			return v, true
+		}
+	}
+	return -1, sawInterest
+}
+
+// removeAvail drops a saturated receiver from the complete-graph
+// candidate list (swap-remove, O(1)).
+func (s *Scheduler) removeAvail(v int) {
+	pos := s.availPos[v]
+	if pos < 0 {
+		return
+	}
+	last := int32(len(s.avail) - 1)
+	moved := s.avail[last]
+	s.avail[pos] = moved
+	s.availPos[moved] = pos
+	s.avail = s.avail[:last]
+	s.availPos[v] = -1
+	s.removedInTick++
+}
+
+// pickReceiverComplete is the complete-graph fast path: candidates are
+// drawn from the per-tick available list (incomplete clients with
+// download capacity left), since complete nodes and the server want no
+// blocks.
+func (s *Scheduler) pickReceiverComplete(st *simulate.State, u int) (int, bool) {
+	m := len(s.avail)
+	if m == 0 {
+		// An empty candidate list mid-tick only means every incomplete
+		// client is saturated right now — that must not prime the
+		// no-peer cache, so report interest whenever receivers were
+		// removed this tick.
+		return -1, s.removedInTick > 0
+	}
+	// Subset test against the tick-start intersection of incomplete
+	// clients: if u offers nothing outside it, no incomplete client
+	// needs anything from u — now or later this tick (sets only grow),
+	// so the result may safely prime the no-peer cache.
+	if !st.Blocks(u).AnyMissingFrom(s.commonBlocks) {
+		return -1, false
+	}
+	// Rejection-sample while the population is large; a miss streak
+	// falls through to the exact scan. Capacity is guaranteed by the
+	// avail list, so misses only come from disinterest or credit.
+	const maxTries = 40
+	if m > 64 {
+		for try := 0; try < maxTries; try++ {
+			v := int(s.avail[s.rng.Intn(m)])
+			if v == u {
+				continue
+			}
+			if _, qualified := s.qualify(st, u, v); qualified {
+				return v, true
+			}
+		}
+	}
+	// Exact pass: uniform choice over all qualified receivers via
+	// reservoir sampling.
+	chosen := -1
+	count := 0
+	sawInterest := false
+	for _, vv := range s.avail {
+		v := int(vv)
+		if v == u {
+			continue
+		}
+		interested, qualified := s.qualify(st, u, v)
+		sawInterest = sawInterest || interested
+		if !qualified {
+			continue
+		}
+		count++
+		if s.rng.Intn(count) == 0 {
+			chosen = v
+		}
+	}
+	// The scan only covered unsaturated receivers; if any were removed
+	// this tick, an interested-but-saturated peer may exist, so the
+	// no-peer cache must not be primed from this result.
+	if s.removedInTick > 0 {
+		sawInterest = true
+	}
+	return chosen, sawInterest || chosen >= 0
+}
+
+// qualify reports whether v is interested in u's content (needs a block
+// u holds beyond what is already in flight to v) and whether v is fully
+// qualified (interested, has download capacity, and is within credit).
+func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified bool) {
+	if v == 0 {
+		return false, false // the server needs nothing
+	}
+	if !s.needsSomething(st, u, v) {
+		return false, false
+	}
+	if s.opts.DownloadCap != simulate.Unlimited && s.downUsed[v] >= s.opts.DownloadCap {
+		return true, false
+	}
+	if s.ledger != nil && !s.ledger.CanSend(int32(u), int32(v)) {
+		return true, false
+	}
+	return true, true
+}
+
+// needsSomething reports whether u holds a block v lacks, discounting
+// blocks already being delivered to v this tick.
+func (s *Scheduler) needsSomething(st *simulate.State, u, v int) bool {
+	bu, bv := st.Blocks(u), st.Blocks(v)
+	inflight := s.incoming[v]
+	if len(inflight) == 0 {
+		return bu.AnyMissingFrom(bv)
+	}
+	need := false
+	bu.IterDiff(bv, func(b int) bool {
+		for _, fb := range inflight {
+			if int(fb) == b {
+				return true // already in flight; keep looking
+			}
+		}
+		need = true
+		return false
+	})
+	return need
+}
+
+// pickBlock selects the block u uploads to v under the configured
+// policy. Returns -1 if no useful block remains (in-flight blocks are
+// excluded).
+func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
+	bu, bv := st.Blocks(u), st.Blocks(v)
+	inflight := s.incoming[v]
+	useful := func(b int) bool {
+		for _, fb := range inflight {
+			if int(fb) == b {
+				return false
+			}
+		}
+		return true
+	}
+	switch s.opts.Policy {
+	case RarestFirst, LocalRare:
+		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
+		bu.IterDiff(bv, func(b int) bool {
+			if !useful(b) {
+				return true
+			}
+			f := s.blockFreq(st, v, b)
+			switch {
+			case f < bestFreq:
+				best, bestFreq, ties = b, f, 1
+			case f == bestFreq:
+				// Reservoir over ties keeps the choice unbiased.
+				ties++
+				if s.rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+			return true
+		})
+		return best
+	default: // Random
+		// Count the useful blocks first, then index into them — one RNG
+		// draw per transfer instead of one per candidate block.
+		count := 0
+		if len(inflight) == 0 {
+			count = bu.DiffCount(bv)
+		} else {
+			bu.IterDiff(bv, func(b int) bool {
+				if useful(b) {
+					count++
+				}
+				return true
+			})
+		}
+		if count == 0 {
+			return -1
+		}
+		target := s.rng.Intn(count)
+		chosen := -1
+		bu.IterDiff(bv, func(b int) bool {
+			if !useful(b) {
+				return true
+			}
+			if target == 0 {
+				chosen = b
+				return false
+			}
+			target--
+			return true
+		})
+		return chosen
+	}
+}
+
+// blockFreq returns the replication count used for rarity comparisons.
+func (s *Scheduler) blockFreq(st *simulate.State, v, b int) int {
+	if s.opts.Policy == RarestFirst {
+		return s.freq[b]
+	}
+	// LocalRare: count holders among v's neighbors (or a sample of the
+	// incomplete list on the complete graph).
+	count := 0
+	if g := s.opts.Graph; g != nil {
+		for _, w := range g.Neighbors(v) {
+			if st.Has(int(w), b) {
+				count++
+			}
+		}
+		return count
+	}
+	for _, w := range s.avail {
+		if st.Has(int(w), b) {
+			count++
+		}
+	}
+	return count
+}
+
+var _ fmt.Stringer = Policy(0)

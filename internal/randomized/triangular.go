@@ -1,0 +1,413 @@
+package randomized
+
+import (
+	"fmt"
+
+	"barterdist/internal/graph"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/simulate"
+	"barterdist/internal/xrand"
+)
+
+// TriangularOptions configures the triangular-barter randomized
+// scheduler.
+type TriangularOptions struct {
+	// Graph is the overlay network (required; triangular barter is a
+	// low-degree-overlay mechanism).
+	Graph *graph.Graph
+	// Policy is the block-selection policy; zero value means Random.
+	Policy Policy
+	// CreditLimit is the per-pair credit s for transfers that are not
+	// settled by a cycle. Default 1.
+	CreditLimit int
+	// CycleLimit is the longest settlement cycle accepted: 2 admits only
+	// direct exchanges, 3 is the paper's triangular barter, larger
+	// values approach the "cyclic barter" generalization the paper notes
+	// is nearly a cash economy. Default 3.
+	CycleLimit int
+	// DownloadCap mirrors the engine configuration (0 = unlimited).
+	DownloadCap int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// TriangularScheduler implements the randomized algorithm under the
+// triangular barter mechanism of Section 3.3 — the algorithm the paper
+// leaves as future work.
+//
+// Each tick runs in two phases:
+//
+//  1. Intent: every node with data picks one random interested neighbor
+//     with spare download capacity, ignoring credit (as if a handshake
+//     proposed the transfer).
+//  2. Settlement: intents a node can afford under its per-pair credit
+//     are approved directly and charged to the ledger. The remaining
+//     intents form a functional graph (one outgoing intent per node);
+//     every directed cycle of length <= CycleLimit in that graph is
+//     approved credit-free — all participants upload simultaneously, so
+//     the exchange is self-enforcing exactly as in the paper's
+//     description ("u uploads to v if v is simultaneously uploading to w
+//     and w to u"). Unsettled intents are dropped and the node stays
+//     silent for the tick.
+//
+// The resulting trace always passes mechanism.VerifyTriangular with the
+// same credit limit (asserted in tests), and for CycleLimit = 2 it
+// degenerates to credit-limited barter.
+type TriangularScheduler struct {
+	opts   TriangularOptions
+	rng    *xrand.Rand
+	ledger *mechanism.Ledger
+
+	n, k int
+	init bool
+
+	freq     []int
+	order    []int
+	downUsed []int
+	incoming [][]int32
+	scratch  []int32
+	intent   []int32 // intent[u] = chosen receiver, -1 if none
+}
+
+var _ simulate.Scheduler = (*TriangularScheduler)(nil)
+
+// NewTriangular returns a triangular-barter scheduler.
+func NewTriangular(opts TriangularOptions) (*TriangularScheduler, error) {
+	if opts.Graph == nil {
+		return nil, fmt.Errorf("randomized: triangular barter requires an overlay graph")
+	}
+	if opts.Policy == 0 {
+		opts.Policy = Random
+	}
+	switch opts.Policy {
+	case Random, RarestFirst, LocalRare:
+	default:
+		return nil, fmt.Errorf("randomized: unknown policy %d", int(opts.Policy))
+	}
+	if opts.CreditLimit == 0 {
+		opts.CreditLimit = 1
+	}
+	if opts.CycleLimit == 0 {
+		opts.CycleLimit = 3
+	}
+	if opts.CycleLimit < 2 {
+		return nil, fmt.Errorf("randomized: cycle limit %d must be >= 2", opts.CycleLimit)
+	}
+	ledger, err := mechanism.NewLedger(opts.CreditLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &TriangularScheduler{
+		opts:   opts,
+		rng:    xrand.New(opts.Seed),
+		ledger: ledger,
+	}, nil
+}
+
+// Ledger exposes the credit ledger for inspection.
+func (ts *TriangularScheduler) Ledger() *mechanism.Ledger { return ts.ledger }
+
+func (ts *TriangularScheduler) setup(st *simulate.State) error {
+	ts.n, ts.k = st.N(), st.K()
+	if ts.opts.Graph.N() != ts.n {
+		return fmt.Errorf("randomized: overlay has %d vertices but simulation has %d nodes",
+			ts.opts.Graph.N(), ts.n)
+	}
+	ts.freq = make([]int, ts.k)
+	for b := range ts.freq {
+		ts.freq[b] = 1
+	}
+	ts.order = make([]int, ts.n)
+	for i := range ts.order {
+		ts.order[i] = i
+	}
+	ts.downUsed = make([]int, ts.n)
+	ts.incoming = make([][]int32, ts.n)
+	ts.intent = make([]int32, ts.n)
+	ts.init = true
+	return nil
+}
+
+// Tick implements simulate.Scheduler.
+func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+	if !ts.init {
+		if err := ts.setup(st); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < ts.n; i++ {
+		ts.downUsed[i] = 0
+		ts.incoming[i] = ts.incoming[i][:0]
+		ts.intent[i] = -1
+	}
+
+	// Phase 1: intents, in random order, reserving download capacity.
+	ts.rng.Shuffle(ts.order)
+	for _, u := range ts.order {
+		if st.CountOf(u) == 0 {
+			continue
+		}
+		v := ts.pickIntent(st, u)
+		if v < 0 {
+			continue
+		}
+		ts.intent[u] = int32(v)
+		ts.downUsed[v]++
+	}
+
+	// Phase 2a: approve what credit allows (server intents are exempt
+	// and always approved).
+	approved := make([]bool, ts.n)
+	held := 0
+	for u := 0; u < ts.n; u++ {
+		v := ts.intent[u]
+		if v < 0 {
+			continue
+		}
+		if ts.ledger.CanSend(int32(u), v) {
+			approved[u] = true
+		} else {
+			held++
+		}
+	}
+
+	// Phase 2b: settle held intents around short cycles. Each node has
+	// at most one outgoing intent, so held intents form a functional
+	// graph; walk it from each held node looking for a cycle of length
+	// <= CycleLimit consisting solely of held nodes.
+	if held > 0 {
+		for u := 0; u < ts.n; u++ {
+			if ts.intent[u] < 0 || approved[u] {
+				continue
+			}
+			cycle := ts.findCycle(u, approved)
+			for _, w := range cycle {
+				approved[w] = true
+			}
+		}
+	}
+
+	// Emit transfers for approved intents.
+	start := len(dst)
+	for _, u := range ts.order {
+		if !approved[u] {
+			continue
+		}
+		v := int(ts.intent[u])
+		b := ts.pickBlockFor(st, u, v)
+		if b < 0 {
+			continue // everything useful is already in flight
+		}
+		dst = append(dst, simulate.Transfer{From: int32(u), To: int32(v), Block: int32(b)})
+		ts.incoming[v] = append(ts.incoming[v], int32(b))
+		ts.freq[b]++
+	}
+	// Charge the ledger with per-tick cycle cancellation, mirroring the
+	// verifier's semantics: transfers settled by a simultaneous 2- or
+	// 3-cycle are credit-free; everything else consumes credit.
+	ts.settleLedger(dst[start:])
+	return dst, nil
+}
+
+// settleLedger records this tick's emitted transfers into the credit
+// ledger with per-tick cycle cancellation (2-cycles and 3-cycles are
+// credit-free, matching mechanism.VerifyTriangular).
+func (ts *TriangularScheduler) settleLedger(tick []simulate.Transfer) {
+	remaining := make(map[[2]int32]int, len(tick))
+	next := make(map[int32][]int32, len(tick))
+	for _, tr := range tick {
+		if tr.From == 0 || tr.To == 0 {
+			continue
+		}
+		remaining[[2]int32{tr.From, tr.To}]++
+		next[tr.From] = append(next[tr.From], tr.To)
+	}
+	use := func(u, v int32) bool {
+		key := [2]int32{u, v}
+		if remaining[key] > 0 {
+			remaining[key]--
+			return true
+		}
+		return false
+	}
+	// Cancel 2-cycles.
+	for key, c := range remaining {
+		u, v := key[0], key[1]
+		for c > 0 && remaining[[2]int32{v, u}] > 0 {
+			remaining[key]--
+			remaining[[2]int32{v, u}]--
+			c = remaining[key]
+		}
+	}
+	// Cancel 3-cycles (only when allowed).
+	if ts.opts.CycleLimit >= 3 {
+		for key := range remaining {
+			u, v := key[0], key[1]
+			if remaining[key] == 0 {
+				continue
+			}
+			for _, w := range next[v] {
+				if w == u || remaining[key] == 0 {
+					continue
+				}
+				for remaining[key] > 0 && remaining[[2]int32{v, w}] > 0 && remaining[[2]int32{w, u}] > 0 {
+					if !use(u, v) || !use(v, w) || !use(w, u) {
+						break
+					}
+				}
+			}
+		}
+	}
+	for key, c := range remaining {
+		for i := 0; i < c; i++ {
+			ts.ledger.Record(key[0], key[1])
+		}
+	}
+}
+
+// findCycle follows held intents from u; if it returns to u within
+// CycleLimit steps through exclusively held (unapproved) nodes, the
+// cycle's members are returned, else nil.
+func (ts *TriangularScheduler) findCycle(u int, approved []bool) []int {
+	path := make([]int, 0, ts.opts.CycleLimit)
+	cur := u
+	for steps := 0; steps < ts.opts.CycleLimit; steps++ {
+		path = append(path, cur)
+		nxt := ts.intent[cur]
+		if nxt < 0 || approved[cur] {
+			return nil
+		}
+		if int(nxt) == u {
+			return path
+		}
+		cur = int(nxt)
+		// Stop if we already visited cur (a cycle not through u).
+		for _, p := range path {
+			if p == cur {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// pickIntent returns a random interested neighbor with download
+// capacity left, or -1. Credit-affordable receivers are preferred (they
+// settle unconditionally); when every interested neighbor is
+// credit-blocked, a random blocked one is proposed anyway in the hope
+// that settlement finds a cycle through it — the extra liquidity
+// triangular barter exists to provide.
+func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
+	nbrs := ts.opts.Graph.Neighbors(u)
+	if len(nbrs) == 0 {
+		return -1
+	}
+	ts.scratch = append(ts.scratch[:0], nbrs...)
+	blocked := -1
+	for i := range ts.scratch {
+		j := i + ts.rng.Intn(len(ts.scratch)-i)
+		ts.scratch[i], ts.scratch[j] = ts.scratch[j], ts.scratch[i]
+		v := int(ts.scratch[i])
+		if v == 0 {
+			continue
+		}
+		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsed[v] >= ts.opts.DownloadCap {
+			continue
+		}
+		if !ts.needs(st, u, v) {
+			continue
+		}
+		if ts.ledger.CanSend(int32(u), int32(v)) {
+			return v
+		}
+		if blocked < 0 {
+			blocked = v
+		}
+	}
+	return blocked
+}
+
+func (ts *TriangularScheduler) needs(st *simulate.State, u, v int) bool {
+	bu, bv := st.Blocks(u), st.Blocks(v)
+	inflight := ts.incoming[v]
+	if len(inflight) == 0 {
+		return bu.AnyMissingFrom(bv)
+	}
+	need := false
+	bu.IterDiff(bv, func(b int) bool {
+		for _, fb := range inflight {
+			if int(fb) == b {
+				return true
+			}
+		}
+		need = true
+		return false
+	})
+	return need
+}
+
+// pickBlockFor mirrors Scheduler.pickBlock for the triangular variant.
+func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
+	bu, bv := st.Blocks(u), st.Blocks(v)
+	inflight := ts.incoming[v]
+	useful := func(b int) bool {
+		for _, fb := range inflight {
+			if int(fb) == b {
+				return false
+			}
+		}
+		return true
+	}
+	if ts.opts.Policy == RarestFirst || ts.opts.Policy == LocalRare {
+		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
+		bu.IterDiff(bv, func(b int) bool {
+			if !useful(b) {
+				return true
+			}
+			f := ts.freq[b]
+			if ts.opts.Policy == LocalRare {
+				f = 0
+				for _, w := range ts.opts.Graph.Neighbors(v) {
+					if st.Has(int(w), b) {
+						f++
+					}
+				}
+			}
+			switch {
+			case f < bestFreq:
+				best, bestFreq, ties = b, f, 1
+			case f == bestFreq:
+				ties++
+				if ts.rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+			return true
+		})
+		return best
+	}
+	count := 0
+	bu.IterDiff(bv, func(b int) bool {
+		if useful(b) {
+			count++
+		}
+		return true
+	})
+	if count == 0 {
+		return -1
+	}
+	target := ts.rng.Intn(count)
+	chosen := -1
+	bu.IterDiff(bv, func(b int) bool {
+		if !useful(b) {
+			return true
+		}
+		if target == 0 {
+			chosen = b
+			return false
+		}
+		target--
+		return true
+	})
+	return chosen
+}

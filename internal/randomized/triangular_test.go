@@ -1,0 +1,228 @@
+package randomized
+
+import (
+	"errors"
+	"testing"
+
+	"barterdist/internal/analysis"
+	"barterdist/internal/graph"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/simulate"
+	"barterdist/internal/xrand"
+)
+
+func TestNewTriangularValidation(t *testing.T) {
+	g := graph.Complete(8)
+	if _, err := NewTriangular(TriangularOptions{}); err == nil {
+		t.Error("missing graph should error")
+	}
+	if _, err := NewTriangular(TriangularOptions{Graph: g, Policy: Policy(42)}); err == nil {
+		t.Error("bad policy should error")
+	}
+	if _, err := NewTriangular(TriangularOptions{Graph: g, CycleLimit: 1}); err == nil {
+		t.Error("cycle limit < 2 should error")
+	}
+	ts, err := NewTriangular(TriangularOptions{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Ledger() == nil || ts.Ledger().Limit() != 1 {
+		t.Error("default credit limit should be 1")
+	}
+	if ts.opts.CycleLimit != 3 {
+		t.Errorf("default cycle limit = %d, want 3", ts.opts.CycleLimit)
+	}
+}
+
+func TestTriangularSizeMismatch(t *testing.T) {
+	ts, err := NewTriangular(TriangularOptions{Graph: graph.Complete(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulate.Run(simulate.Config{Nodes: 8, Blocks: 2}, ts); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+func TestTriangularCompletesAndVerifies(t *testing.T) {
+	rng := xrand.New(8)
+	for _, tc := range []struct {
+		name   string
+		degree int
+		policy Policy
+		credit int
+	}{
+		// Degrees sit above the Figure 6/7 stall thresholds for each
+		// policy at this size; the Random policy additionally gets
+		// s*d >= k so a late straggler can always borrow its way to
+		// completion (the endgame deadlock is a real property of credit
+		// barter at marginal parameters, exercised separately).
+		{"d32-random", 32, Random, 2},
+		{"d16-rarest", 16, RarestFirst, 1},
+		{"d16-local", 16, LocalRare, 1},
+	} {
+		g, err := graph.RandomRegular(64, tc.degree, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := NewTriangular(TriangularOptions{
+			Graph: g, Policy: tc.policy, CreditLimit: tc.credit, DownloadCap: 1, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simulate.Run(simulate.Config{
+			Nodes: 64, Blocks: 64, DownloadCap: 1, MaxTicks: 30000, RecordTrace: true,
+		}, ts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.CompletionTime < analysis.CooperativeLowerBound(64, 64) {
+			t.Fatalf("%s: impossible T=%d", tc.name, res.CompletionTime)
+		}
+		if err := mechanism.VerifyTriangular(res.Trace, tc.credit); err != nil {
+			t.Errorf("%s: trace violates triangular barter: %v", tc.name, err)
+		}
+	}
+}
+
+func TestTriangularCycleLimit2IsCreditLimited(t *testing.T) {
+	// With CycleLimit 2 only direct exchanges settle credit-free, so the
+	// trace must pass the PLAIN credit-limited verifier.
+	rng := xrand.New(9)
+	g, err := graph.RandomRegular(32, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTriangular(TriangularOptions{
+		Graph: g, CreditLimit: 2, CycleLimit: 2, DownloadCap: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(simulate.Config{
+		Nodes: 32, Blocks: 32, DownloadCap: 1, MaxTicks: 30000, RecordTrace: true,
+	}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mechanism.VerifyCreditLimited(res.Trace, 2); err != nil {
+		t.Errorf("cycle-limit-2 trace violates credit barter: %v", err)
+	}
+}
+
+func TestTriangularNotWorseThanPlainCreditOnSparseOverlay(t *testing.T) {
+	// The paper's Section 3.3 motivation: triangular settlement adds
+	// exchange opportunities on low-degree overlays. Compare against
+	// plain credit-limited at the same degree, seed-for-seed.
+	rng := xrand.New(10)
+	const n, k, d = 64, 64, 10
+	g, err := graph.RandomRegular(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 20000
+	runPlain := func() int {
+		s, err := New(Options{Graph: g, CreditLimit: 1, DownloadCap: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simulate.Run(simulate.Config{Nodes: n, Blocks: k, DownloadCap: 1, MaxTicks: budget}, s)
+		if err != nil {
+			return budget
+		}
+		return res.CompletionTime
+	}
+	runTri := func() int {
+		s, err := NewTriangular(TriangularOptions{Graph: g, CreditLimit: 1, DownloadCap: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simulate.Run(simulate.Config{Nodes: n, Blocks: k, DownloadCap: 1, MaxTicks: budget}, s)
+		if err != nil {
+			return budget
+		}
+		return res.CompletionTime
+	}
+	plain, tri := runPlain(), runTri()
+	if tri > plain*2 {
+		t.Errorf("triangular (T=%d) much worse than plain credit (T=%d) on degree-%d overlay", tri, plain, d)
+	}
+	t.Logf("degree %d: plain credit T=%d, triangular T=%d", d, plain, tri)
+}
+
+func TestRewireCompletesAndInvalidatesCache(t *testing.T) {
+	rng := xrand.New(11)
+	g, err := graph.RandomRegular(32, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Graph: g, DownloadCap: 1, Seed: 12, RewireEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(simulate.Config{Nodes: 32, Blocks: 32, DownloadCap: 1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime < analysis.CooperativeLowerBound(32, 32) {
+		t.Fatal("impossible completion time")
+	}
+	// The overlay must actually have been replaced.
+	if s.opts.Graph == g {
+		t.Error("graph was never rewired")
+	}
+}
+
+func TestRewireValidation(t *testing.T) {
+	if _, err := New(Options{RewireEvery: 3}); err == nil {
+		t.Error("rewire without a graph should error")
+	}
+	if _, err := New(Options{RewireEvery: -1}); err == nil {
+		t.Error("negative rewire interval should error")
+	}
+	// Irregular graph: chain has degree-1 endpoints.
+	if _, err := New(Options{Graph: graph.Chain(8), RewireEvery: 3}); err == nil {
+		t.Error("rewiring an irregular graph should error")
+	}
+}
+
+func TestRewireHelpsCreditBarterOnSparseOverlay(t *testing.T) {
+	// The paper's closing experiment idea: a low-degree overlay with
+	// periodic neighbor changes. Under credit barter at a degree where
+	// the static overlay stalls, rewiring should make progress.
+	rng := xrand.New(13)
+	const n, k, d = 64, 64, 6
+	budget := 30000
+	g1, err := graph.RandomRegular(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := New(Options{Graph: g1, CreditLimit: 1, DownloadCap: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errStatic := simulate.Run(simulate.Config{Nodes: n, Blocks: k, DownloadCap: 1, MaxTicks: budget}, static)
+
+	g2, err := graph.RandomRegular(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := New(Options{Graph: g2, CreditLimit: 1, DownloadCap: 1, Seed: 4, RewireEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRewired, errRewired := simulate.Run(simulate.Config{Nodes: n, Blocks: k, DownloadCap: 1, MaxTicks: budget}, rewired)
+
+	if errRewired != nil {
+		if errors.Is(errRewired, simulate.ErrMaxTicks) && errStatic == nil {
+			t.Errorf("rewired overlay stalled while static completed")
+		}
+		t.Skipf("both configurations stalled at degree %d (budget %d)", d, budget)
+	}
+	if errStatic == nil {
+		t.Logf("both completed; rewired T=%d", resRewired.CompletionTime)
+	} else {
+		t.Logf("static stalled, rewired completed in T=%d — the paper's conjecture holds", resRewired.CompletionTime)
+	}
+}

@@ -1,0 +1,181 @@
+package schedule
+
+import (
+	"fmt"
+
+	"barterdist/internal/simulate"
+)
+
+// RifflePipeline is the strict-barter schedule of Section 3.1.3.
+//
+// Core pattern (k = N blocks, clients C_1..C_N): the server hands block
+// B_i to client C_i at tick i; clients C_i and C_j (i < j) barter at tick
+// i + j, C_i giving B_i and receiving B_j. Every client talks to the
+// others in the same cyclic sequence, each trailing the previous client
+// by one tick — the "riffle". All client-client transfers are
+// simultaneous pairwise exchanges, so the schedule obeys strict barter
+// (server transfers are exempt, as in the paper), and it completes in
+// 2N - 1 = k + N - 1 ticks.
+//
+// For k = cN the pattern repeats with the groups of N blocks overlapped:
+// group g starts N ticks after group g-1, which requires download
+// capacity D >= 2U because a client can receive a group-g barter block
+// and its group-(g+1) server block in the same tick. T = k + N - 1.
+// With Overlap disabled the shift grows to N + 1 ticks and D = U
+// suffices, at the cost of an extra k/N ticks (the paper's "additional
+// factor" remark after Theorem 3).
+//
+// For k = cN + rho (0 < rho < N) the paper's recursive construction is
+// used: after the c full rounds, the clients are split into ⌈N/rho⌉
+// groups of rho; each full group runs the basic rho-block riffle
+// back-to-back, and the ragged final group recurses.
+type RifflePipeline struct {
+	fixed
+	n, k    int
+	overlap bool
+	length  int // last tick with a scheduled transfer
+}
+
+var _ simulate.Scheduler = (*RifflePipeline)(nil)
+
+// NewRifflePipeline builds the schedule for n nodes (server + n-1
+// clients) and k blocks. With overlap true the engine must be configured
+// with DownloadCap >= 2 (or Unlimited).
+func NewRifflePipeline(n, k int, overlap bool) (*RifflePipeline, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("schedule: RifflePipeline requires n >= 2 (got %d)", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("schedule: RifflePipeline requires k >= 1 (got %d)", k)
+	}
+	rp := &RifflePipeline{n: n, k: k, overlap: overlap}
+	var sched scheduleMap
+	clients := make([]int32, n-1)
+	for i := range clients {
+		clients[i] = int32(i + 1)
+	}
+	blocks := make([]int32, k)
+	for i := range blocks {
+		blocks[i] = int32(i)
+	}
+	rp.length = buildRiffle(&sched, 0, blocks, clients, overlap)
+	rp.fixed = fixed{byTick: sched.byTick}
+	return rp, nil
+}
+
+// Length returns the schedule's last active tick — the analytic
+// completion time.
+func (rp *RifflePipeline) Length() int { return rp.length }
+
+// buildRiffle schedules delivery of blocks to clients with every
+// transfer offset by start ticks, and returns the last tick used.
+func buildRiffle(sched *scheduleMap, start int, blocks, clients []int32, overlap bool) int {
+	k, n := len(blocks), len(clients)
+	if k == 0 || n == 0 {
+		return start
+	}
+	if n == 1 {
+		// A single client cannot barter; the server feeds it directly.
+		for j, b := range blocks {
+			sched.add(start+j+1, simulate.Transfer{From: 0, To: clients[0], Block: b})
+		}
+		return start + k
+	}
+	c, rho := k/n, k%n
+	period := n
+	if !overlap {
+		period = n + 1
+	}
+	last := start
+	for g := 0; g < c; g++ {
+		base := start + g*period
+		end := scheduleRound(sched, base, blocks[g*n:(g+1)*n], clients)
+		if end > last {
+			last = end
+		}
+	}
+	if rho == 0 {
+		return last
+	}
+	// Leftover phase: rho blocks remain. The server becomes free right
+	// after its last full-round send; without overlap an extra tick
+	// separates the leftover sends from the final full-round barters.
+	serverFree := start
+	if c > 0 {
+		serverFree = start + (c-1)*period + n
+		if !overlap {
+			serverFree++
+		}
+	}
+	left := blocks[c*n:]
+	t := serverFree
+	for pos := 0; pos < n; pos += rho {
+		groupEnd := pos + rho
+		if groupEnd > n {
+			groupEnd = n
+		}
+		group := clients[pos:groupEnd]
+		if len(group) == rho {
+			end := scheduleRound(sched, t, left, group)
+			if end > last {
+				last = end
+			}
+			t += rho
+		} else {
+			// Ragged final group: fewer clients than blocks — recurse.
+			end := buildRiffle(sched, t, left, group, overlap)
+			if end > last {
+				last = end
+			}
+		}
+	}
+	return last
+}
+
+// scheduleRound emits one basic riffle round: len(blocks) == len(clients)
+// == q; the server sends blocks[i-1] to clients[i-1] at tick base+i, and
+// clients i < j exchange blocks[i-1] and blocks[j-1] at tick base+i+j.
+// It returns the round's last tick, base + 2q - 1.
+func scheduleRound(sched *scheduleMap, base int, blocks, clients []int32) int {
+	q := len(clients)
+	if len(blocks) != q {
+		panic(fmt.Sprintf("schedule: riffle round mismatch: %d blocks, %d clients", len(blocks), q))
+	}
+	if q == 1 {
+		sched.add(base+1, simulate.Transfer{From: 0, To: clients[0], Block: blocks[0]})
+		return base + 1
+	}
+	for i := 1; i <= q; i++ {
+		sched.add(base+i, simulate.Transfer{From: 0, To: clients[i-1], Block: blocks[i-1]})
+	}
+	for i := 1; i <= q; i++ {
+		for j := i + 1; j <= q; j++ {
+			tick := base + i + j
+			sched.add(tick, simulate.Transfer{From: clients[i-1], To: clients[j-1], Block: blocks[i-1]})
+			sched.add(tick, simulate.Transfer{From: clients[j-1], To: clients[i-1], Block: blocks[j-1]})
+		}
+	}
+	return base + 2*q - 1
+}
+
+// RiffleTime returns the analytic completion time of the Riffle Pipeline
+// when N divides k: k + N - 1 with overlap (D >= 2U), and
+// k + N - 2 + k/N without (the paper's D = U fallback). For other k use
+// NewRifflePipeline(...).Length().
+func RiffleTime(n, k int, overlap bool) (int, error) {
+	N := n - 1
+	if N < 1 || k < 1 {
+		return 0, fmt.Errorf("schedule: RiffleTime requires n >= 2, k >= 1")
+	}
+	if N == 1 {
+		return k, nil
+	}
+	if k%N != 0 {
+		return 0, fmt.Errorf("schedule: RiffleTime closed form needs N | k (N=%d, k=%d)", N, k)
+	}
+	if overlap {
+		return k + N - 1, nil
+	}
+	c := k / N
+	return (c-1)*(N+1) + 2*N - 1, nil
+}

@@ -1,0 +1,154 @@
+// Package schedule implements the paper's deterministic content
+// distribution algorithms as simulate.Scheduler values:
+//
+//   - Pipeline: the block-by-block chain of Section 2.2.1.
+//   - MulticastTree: the m-ary multicast tree of Section 2.2.2.
+//   - BinomialTree: the blockwise binomial broadcast of Section 2.2.3.
+//   - BinomialPipeline: the paper's optimal algorithm (Section 2.3),
+//     expressed through its hypercube embedding (Section 2.3.2) and
+//     generalized to arbitrary node counts via paired vertices
+//     (Section 2.3.3).
+//   - MultiServer: the higher-server-bandwidth variant (Section 2.3.4).
+//   - RifflePipeline: the strict-barter schedule of Section 3.1.3.
+//
+// All schedules assume node 0 is the server and clients are 1..n-1, with
+// upload capacity 1 block/tick, matching the paper's bandwidth model.
+package schedule
+
+import (
+	"fmt"
+
+	"barterdist/internal/simulate"
+)
+
+// fixed replays a precomputed tick-indexed transfer schedule.
+type fixed struct {
+	byTick [][]simulate.Transfer
+}
+
+func (f *fixed) Tick(t int, _ *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+	if t-1 < len(f.byTick) {
+		dst = append(dst, f.byTick[t-1]...)
+	}
+	return dst, nil
+}
+
+// scheduleMap accumulates transfers keyed by tick during construction.
+type scheduleMap struct {
+	byTick [][]simulate.Transfer
+}
+
+func (m *scheduleMap) add(tick int, tr simulate.Transfer) {
+	if tick < 1 {
+		panic(fmt.Sprintf("schedule: tick %d < 1", tick))
+	}
+	for len(m.byTick) < tick {
+		m.byTick = append(m.byTick, nil)
+	}
+	m.byTick[tick-1] = append(m.byTick[tick-1], tr)
+}
+
+func (m *scheduleMap) scheduler() simulate.Scheduler {
+	return &fixed{byTick: m.byTick}
+}
+
+// Pipeline returns the chain schedule of Section 2.2.1: the server feeds
+// client 1 block by block, client 1 feeds client 2, and so on. Completion
+// time is k + n - 2 ticks (k ticks to drain the server plus n - 2 hops
+// for the last block).
+func Pipeline() simulate.Scheduler {
+	return simulate.SchedulerFunc(func(_ int, s *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+		for v := 0; v+1 < s.N(); v++ {
+			// Forward the lowest-index block the successor lacks; in the
+			// chain this is always the next block in file order.
+			if b := s.Blocks(v).FirstDiff(s.Blocks(v + 1)); b >= 0 {
+				dst = append(dst, simulate.Transfer{From: int32(v), To: int32(v + 1), Block: int32(b)})
+			}
+		}
+		return dst, nil
+	})
+}
+
+// MulticastTree returns the m-ary multicast tree schedule of Section
+// 2.2.2. Nodes are arranged in a complete m-ary tree rooted at the
+// server (breadth-first numbering); each node relays each block to its m
+// children in order, taking m ticks per block, with blocks fully
+// pipelined down the tree. The completion time for a perfect tree of
+// depth L is m·(k-1) + m·L.
+func MulticastTree(n, k, m int) (simulate.Scheduler, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("schedule: MulticastTree requires n,k >= 1 (got n=%d k=%d)", n, k)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("schedule: MulticastTree arity %d must be >= 1", m)
+	}
+	// offset[v] is the tick at which v receives block 0; block j then
+	// arrives at offset[v] + j*m. The root "has" every block at offset 0.
+	offset := make([]int, n)
+	var sched scheduleMap
+	for v := 1; v < n; v++ {
+		parent := (v - 1) / m
+		childIdx := (v - 1) % m
+		offset[v] = offset[parent] + childIdx + 1
+		for j := 0; j < k; j++ {
+			sched.add(offset[v]+j*m, simulate.Transfer{
+				From: int32(parent), To: int32(v), Block: int32(j),
+			})
+		}
+	}
+	return sched.scheduler(), nil
+}
+
+// MulticastTreeTime returns the exact completion time of MulticastTree
+// for the given parameters, computed from the same recurrence the
+// schedule uses (no simulation needed).
+func MulticastTreeTime(n, k, m int) int {
+	if n <= 1 {
+		return 0
+	}
+	offset := make([]int, n)
+	maxOff := 0
+	for v := 1; v < n; v++ {
+		parent := (v - 1) / m
+		offset[v] = offset[parent] + (v-1)%m + 1
+		if offset[v] > maxOff {
+			maxOff = offset[v]
+		}
+	}
+	return maxOff + (k-1)*m
+}
+
+// BinomialTree returns the blockwise binomial broadcast of Section 2.2.3:
+// each block is fully disseminated by doubling (the Figure 1 pattern)
+// before the next block starts, so T = k·⌈log2 n⌉.
+func BinomialTree(n, k int) (simulate.Scheduler, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("schedule: BinomialTree requires n,k >= 1 (got n=%d k=%d)", n, k)
+	}
+	r := ceilLog2(n)
+	return simulate.SchedulerFunc(func(t int, s *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+		if n == 1 || t > k*r {
+			return dst, nil
+		}
+		block := (t - 1) / r      // block being broadcast this phase
+		step := (t-1)%r + 1       // doubling step within the phase
+		span := 1 << uint(step-1) // nodes 0..span-1 hold the block
+		for v := 0; v < span; v++ {
+			to := v + span
+			if to >= n {
+				break
+			}
+			dst = append(dst, simulate.Transfer{From: int32(v), To: int32(to), Block: int32(block)})
+		}
+		return dst, nil
+	}), nil
+}
+
+// ceilLog2 returns ⌈log2 x⌉ for x >= 1.
+func ceilLog2(x int) int {
+	r := 0
+	for 1<<uint(r) < x {
+		r++
+	}
+	return r
+}

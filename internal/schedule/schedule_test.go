@@ -1,0 +1,354 @@
+package schedule
+
+import (
+	"testing"
+
+	"barterdist/internal/analysis"
+	"barterdist/internal/simulate"
+)
+
+func run(t *testing.T, cfg simulate.Config, s simulate.Scheduler) *simulate.Result {
+	t.Helper()
+	res, err := simulate.Run(cfg, s)
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	return res
+}
+
+func TestPipelineFormula(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{2, 1}, {2, 10}, {3, 1}, {8, 5}, {16, 16}, {50, 3}, {100, 100},
+	} {
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k}, Pipeline())
+		want := tc.k + tc.n - 2
+		if res.CompletionTime != want {
+			t.Errorf("pipeline n=%d k=%d: T=%d want %d", tc.n, tc.k, res.CompletionTime, want)
+		}
+	}
+}
+
+func TestMulticastTreeFormula(t *testing.T) {
+	// Perfect m-ary trees: T = m(k-1) + m*depth.
+	for _, tc := range []struct{ n, k, m, depth int }{
+		{3, 4, 2, 1},  // root + 2 children
+		{7, 4, 2, 2},  // perfect binary, depth 2
+		{15, 1, 2, 3}, // perfect binary, depth 3
+		{13, 5, 3, 2}, // perfect ternary, depth 2
+		{21, 2, 4, 2}, // perfect 4-ary... 1+4+16 = 21
+	} {
+		sched, err := MulticastTree(tc.n, tc.k, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k}, sched)
+		want := tc.m*(tc.k-1) + tc.m*tc.depth
+		if res.CompletionTime != want {
+			t.Errorf("tree n=%d k=%d m=%d: T=%d want %d", tc.n, tc.k, tc.m, res.CompletionTime, want)
+		}
+		if got := MulticastTreeTime(tc.n, tc.k, tc.m); got != want {
+			t.Errorf("MulticastTreeTime(n=%d k=%d m=%d) = %d, want %d", tc.n, tc.k, tc.m, got, want)
+		}
+	}
+}
+
+func TestMulticastTreeIrregularSizes(t *testing.T) {
+	// Non-perfect trees must still complete, matching the analytic helper.
+	for _, tc := range []struct{ n, k, m int }{
+		{2, 3, 2}, {5, 2, 2}, {10, 4, 3}, {37, 6, 4}, {100, 3, 5},
+	} {
+		sched, err := MulticastTree(tc.n, tc.k, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k}, sched)
+		if want := MulticastTreeTime(tc.n, tc.k, tc.m); res.CompletionTime != want {
+			t.Errorf("tree n=%d k=%d m=%d: T=%d want %d", tc.n, tc.k, tc.m, res.CompletionTime, want)
+		}
+	}
+}
+
+func TestMulticastTreeErrors(t *testing.T) {
+	if _, err := MulticastTree(0, 1, 2); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := MulticastTree(4, 0, 2); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := MulticastTree(4, 1, 0); err == nil {
+		t.Error("m=0 should error")
+	}
+}
+
+func TestBinomialTreeFormula(t *testing.T) {
+	// T = k * ceil(log2 n), for any n.
+	for _, tc := range []struct{ n, k int }{
+		{2, 1}, {2, 7}, {4, 3}, {8, 1}, {8, 8}, {5, 4}, {6, 2}, {100, 3}, {128, 2},
+	} {
+		sched, err := BinomialTree(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k}, sched)
+		want := tc.k * ceilLog2(tc.n)
+		if res.CompletionTime != want {
+			t.Errorf("binomial tree n=%d k=%d: T=%d want %d", tc.n, tc.k, res.CompletionTime, want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for x, want := range cases {
+		if got := ceilLog2(x); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestBinomialPipelineOptimalPowersOfTwo(t *testing.T) {
+	// The headline result: T = k - 1 + r for n = 2^r, matching the
+	// Theorem 1 lower bound exactly.
+	for r := 1; r <= 7; r++ {
+		n := 1 << uint(r)
+		for _, k := range []int{1, 2, 3, 4, 7, 8, 16, 33, 64} {
+			bp, err := NewBinomialPipeline(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := run(t, simulate.Config{Nodes: n, Blocks: k}, bp)
+			want := k - 1 + r
+			if res.CompletionTime != want {
+				t.Errorf("binomial pipeline n=%d k=%d: T=%d want %d", n, k, res.CompletionTime, want)
+			}
+		}
+	}
+}
+
+func TestBinomialPipelineArbitraryN(t *testing.T) {
+	// Generalized (paired-vertex) version: optimal for all n per the
+	// paper, i.e. T <= k + ceil(log2 N) with N = n - 1 clients, and never
+	// below the cooperative lower bound.
+	for n := 2; n <= 40; n++ {
+		for _, k := range []int{1, 2, 5, 16, 31} {
+			bp, err := NewBinomialPipeline(n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := run(t, simulate.Config{Nodes: n, Blocks: k}, bp)
+			lower := analysis.CooperativeLowerBound(n, k)
+			upper := k + ceilLog2(n-1)
+			if n == 2 {
+				upper = k // single client: server feeds it directly
+			}
+			if res.CompletionTime < lower {
+				t.Errorf("n=%d k=%d: T=%d below lower bound %d", n, k, res.CompletionTime, lower)
+			}
+			if res.CompletionTime > upper {
+				t.Errorf("n=%d k=%d: T=%d above paper bound %d", n, k, res.CompletionTime, upper)
+			}
+		}
+	}
+}
+
+func TestBinomialPipelineAllClientsFinishTogether(t *testing.T) {
+	// Section 2.3.4: for n = 2^r and k >= r, every node completes at the
+	// same tick.
+	for _, tc := range []struct{ n, k int }{{8, 3}, {8, 10}, {16, 4}, {32, 8}} {
+		bp, err := NewBinomialPipeline(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k}, bp)
+		for v := 1; v < tc.n; v++ {
+			if res.ClientCompletion[v] != res.CompletionTime {
+				t.Errorf("n=%d k=%d: client %d finished at %d, completion %d",
+					tc.n, tc.k, v, res.ClientCompletion[v], res.CompletionTime)
+			}
+		}
+	}
+}
+
+func TestBinomialPipelineErrors(t *testing.T) {
+	if _, err := NewBinomialPipeline(1, 5); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := NewBinomialPipeline(4, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewBinomialPipelineOn([]int32{1, 2}, []int32{0}); err == nil {
+		t.Error("nodeID[0] != 0 should error")
+	}
+	if _, err := NewBinomialPipelineOn([]int32{0, 1}, nil); err == nil {
+		t.Error("no blocks should error")
+	}
+}
+
+func TestBinomialPipelineDimension(t *testing.T) {
+	bp, err := NewBinomialPipeline(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Dimension() != 4 {
+		t.Errorf("Dimension = %d, want 4", bp.Dimension())
+	}
+	bp2, err := NewBinomialPipeline(17, 4) // 17 nodes -> largest cube 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp2.Dimension() != 4 {
+		t.Errorf("Dimension = %d, want 4", bp2.Dimension())
+	}
+}
+
+func TestMultiServer(t *testing.T) {
+	// Server with m*U upload: each of the m groups is an independent
+	// binomial pipeline, so completion is k - 1 + ceil(log2(group)) + slack.
+	for _, tc := range []struct{ n, k, m int }{
+		{9, 4, 2}, {17, 8, 4}, {16, 5, 3}, {33, 16, 2}, {5, 3, 4},
+	} {
+		sched, err := MultiServer(tc.n, tc.k, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{
+			Nodes: tc.n, Blocks: tc.k, ServerUploadCap: tc.m,
+		}, sched)
+		largest := (tc.n - 1 + tc.m - 1) / tc.m
+		upper := tc.k + ceilLog2(largest) + 1
+		if res.CompletionTime > upper {
+			t.Errorf("multiserver n=%d k=%d m=%d: T=%d above %d", tc.n, tc.k, tc.m, res.CompletionTime, upper)
+		}
+	}
+}
+
+func TestMultiServerFasterThanSingle(t *testing.T) {
+	// With 4x server bandwidth and small k the log term dominates and
+	// splitting must not be slower than the single pipeline.
+	single, err := NewBinomialPipeline(65, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSingle := run(t, simulate.Config{Nodes: 65, Blocks: 2}, single)
+	multi, err := MultiServer(65, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMulti := run(t, simulate.Config{Nodes: 65, Blocks: 2, ServerUploadCap: 4}, multi)
+	if resMulti.CompletionTime > resSingle.CompletionTime {
+		t.Errorf("multiserver T=%d slower than single-server T=%d",
+			resMulti.CompletionTime, resSingle.CompletionTime)
+	}
+}
+
+func TestMultiServerErrors(t *testing.T) {
+	if _, err := MultiServer(5, 2, 0); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := MultiServer(3, 2, 5); err == nil {
+		t.Error("fewer clients than virtual servers should error")
+	}
+}
+
+func TestRifflePipelineExactWhenNDividesK(t *testing.T) {
+	// Theorem 3: T = k + N - 1 with D >= 2U.
+	for _, tc := range []struct{ n, k int }{
+		{2, 1}, {2, 4}, {5, 4}, {5, 8}, {9, 8}, {9, 32}, {17, 16}, {11, 50},
+	} {
+		rp, err := NewRifflePipeline(tc.n, tc.k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k, DownloadCap: 2}, rp)
+		want, err := RiffleTime(tc.n, tc.k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompletionTime != want {
+			t.Errorf("riffle n=%d k=%d: T=%d want %d", tc.n, tc.k, res.CompletionTime, want)
+		}
+		if rp.Length() != want {
+			t.Errorf("riffle n=%d k=%d: Length=%d want %d", tc.n, tc.k, rp.Length(), want)
+		}
+	}
+}
+
+func TestRifflePipelineNoOverlapRunsAtD1(t *testing.T) {
+	// Without overlap the schedule must satisfy D = U = 1.
+	for _, tc := range []struct{ n, k int }{
+		{2, 3}, {5, 4}, {5, 12}, {9, 24}, {7, 13}, {6, 7},
+	} {
+		rp, err := NewRifflePipeline(tc.n, tc.k, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, simulate.Config{Nodes: tc.n, Blocks: tc.k, DownloadCap: 1}, rp)
+		if res.CompletionTime != rp.Length() {
+			t.Errorf("riffle(no overlap) n=%d k=%d: T=%d, Length=%d",
+				tc.n, tc.k, res.CompletionTime, rp.Length())
+		}
+		if tc.k%(tc.n-1) == 0 {
+			want, err := RiffleTime(tc.n, tc.k, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CompletionTime != want {
+				t.Errorf("riffle(no overlap) n=%d k=%d: T=%d want %d", tc.n, tc.k, res.CompletionTime, want)
+			}
+		}
+	}
+}
+
+func TestRifflePipelineArbitraryK(t *testing.T) {
+	// Ragged block counts exercise the recursive leftover construction.
+	// Completion must stay within k + 2N of the strict-barter lower
+	// bound and the run must satisfy D = 2.
+	for n := 2; n <= 12; n++ {
+		for k := 1; k <= 30; k++ {
+			rp, err := NewRifflePipeline(n, k, true)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			res := run(t, simulate.Config{Nodes: n, Blocks: k, DownloadCap: 2}, rp)
+			N := n - 1
+			if res.CompletionTime > k+3*N {
+				t.Errorf("n=%d k=%d: T=%d exceeds k+3N=%d", n, k, res.CompletionTime, k+3*N)
+			}
+			if res.CompletionTime != rp.Length() {
+				t.Errorf("n=%d k=%d: T=%d but Length=%d", n, k, res.CompletionTime, rp.Length())
+			}
+		}
+	}
+}
+
+func TestRifflePipelineErrors(t *testing.T) {
+	if _, err := NewRifflePipeline(1, 5, true); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := NewRifflePipeline(5, 0, true); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := RiffleTime(5, 3, true); err == nil {
+		t.Error("non-divisible RiffleTime should error")
+	}
+	if _, err := RiffleTime(1, 3, true); err == nil {
+		t.Error("RiffleTime n=1 should error")
+	}
+}
+
+func TestComposeStopsOnError(t *testing.T) {
+	ok := Pipeline()
+	bad := simulate.SchedulerFunc(func(int, *simulate.State, []simulate.Transfer) ([]simulate.Transfer, error) {
+		return nil, errTest
+	})
+	_, err := simulate.Run(simulate.Config{Nodes: 2, Blocks: 1}, Compose(ok, bad))
+	if err == nil {
+		t.Fatal("composed scheduler error not propagated")
+	}
+}
+
+var errTest = errFor("test")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }

@@ -1,0 +1,280 @@
+// Package simulate implements the paper's synchronous, tick-based
+// dissemination simulator.
+//
+// Model (Section 2.1 of the paper): node 0 is the server and initially
+// holds all k blocks; clients 1..n-1 start empty. Time advances in ticks.
+// In each tick every node may upload at most U blocks and download at
+// most D blocks (U = 1 in the paper; D >= U, possibly unbounded), and a
+// node may only upload blocks it held at the *start* of the tick
+// (store-and-forward at block granularity). All transfers within a tick
+// land simultaneously at the tick boundary.
+//
+// An algorithm is a Scheduler: given the tick number and a read-only view
+// of the global state, it proposes the tick's transfer set. The engine
+// validates every proposal against the bandwidth and store-and-forward
+// rules — a scheduler bug is surfaced as an error, never silently
+// repaired — applies the transfers, and runs until every client holds the
+// whole file.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+
+	"barterdist/internal/bitset"
+)
+
+// Unlimited marks a download capacity with no bound.
+const Unlimited = 0
+
+// Transfer is one block moving from one node to another within a tick.
+type Transfer struct {
+	From  int32
+	To    int32
+	Block int32
+}
+
+// Config describes a simulation instance.
+type Config struct {
+	// Nodes is the total node count n (server + clients). Must be >= 1.
+	Nodes int
+	// Blocks is the file size k in blocks. Must be >= 1.
+	Blocks int
+	// UploadCap U: max blocks a node may upload per tick. 0 means the
+	// paper's default of 1.
+	UploadCap int
+	// ServerUploadCap overrides UploadCap for node 0, modeling the
+	// paper's "higher server bandwidths" variant (server bandwidth m·U,
+	// Section 2.3.4). 0 means same as UploadCap.
+	ServerUploadCap int
+	// DownloadCap D: max blocks a node may download per tick.
+	// Unlimited (0) means no bound. Must be 0 or >= UploadCap.
+	DownloadCap int
+	// MaxTicks aborts runaway schedulers. 0 selects a generous default
+	// proportional to the trivial pipeline bound.
+	MaxTicks int
+	// RecordTrace keeps every tick's transfer list in the result so that
+	// mechanism verifiers can audit the run. Costs memory on big runs.
+	RecordTrace bool
+}
+
+func (c *Config) normalize() (Config, error) {
+	cc := *c
+	if cc.Nodes < 1 {
+		return cc, fmt.Errorf("simulate: Nodes = %d, need >= 1", cc.Nodes)
+	}
+	if cc.Blocks < 1 {
+		return cc, fmt.Errorf("simulate: Blocks = %d, need >= 1", cc.Blocks)
+	}
+	if cc.UploadCap == 0 {
+		cc.UploadCap = 1
+	}
+	if cc.UploadCap < 0 {
+		return cc, fmt.Errorf("simulate: UploadCap = %d, need >= 0", cc.UploadCap)
+	}
+	if cc.ServerUploadCap == 0 {
+		cc.ServerUploadCap = cc.UploadCap
+	}
+	if cc.ServerUploadCap < 0 {
+		return cc, fmt.Errorf("simulate: ServerUploadCap = %d, need >= 0", cc.ServerUploadCap)
+	}
+	if cc.DownloadCap != Unlimited && cc.DownloadCap < cc.UploadCap {
+		return cc, fmt.Errorf("simulate: DownloadCap %d < UploadCap %d", cc.DownloadCap, cc.UploadCap)
+	}
+	if cc.MaxTicks == 0 {
+		// Pipeline needs k + n - 2; strict-barter worst cases add O(n);
+		// leave ample slack for deliberately bad schedulers under test.
+		cc.MaxTicks = 20*(cc.Blocks+cc.Nodes) + 1000
+	}
+	return cc, nil
+}
+
+// State is the global block-ownership state exposed read-only to
+// schedulers.
+type State struct {
+	n, k     int
+	have     []*bitset.Set
+	complete int // clients (not server) holding all k blocks
+	tick     int // last completed tick
+}
+
+func newState(n, k int) *State {
+	s := &State{n: n, k: k, have: make([]*bitset.Set, n)}
+	for i := range s.have {
+		s.have[i] = bitset.New(k)
+	}
+	for b := 0; b < k; b++ {
+		s.have[0].Add(b)
+	}
+	if n == 1 {
+		s.complete = 0
+	}
+	return s
+}
+
+// N returns the node count (server included).
+func (s *State) N() int { return s.n }
+
+// K returns the block count.
+func (s *State) K() int { return s.k }
+
+// Tick returns the index of the last completed tick (0 before the first).
+func (s *State) Tick() int { return s.tick }
+
+// Has reports whether node v currently holds block b.
+func (s *State) Has(v, b int) bool { return s.have[v].Has(b) }
+
+// Blocks returns node v's block set. Callers must treat it as read-only;
+// mutating it corrupts the simulation.
+func (s *State) Blocks(v int) *bitset.Set { return s.have[v] }
+
+// CountOf returns how many blocks node v holds.
+func (s *State) CountOf(v int) int { return s.have[v].Count() }
+
+// ClientsComplete returns the number of clients holding the entire file.
+func (s *State) ClientsComplete() int { return s.complete }
+
+// AllClientsComplete reports whether dissemination has finished.
+func (s *State) AllClientsComplete() bool { return s.complete == s.n-1 }
+
+// Scheduler proposes each tick's transfers.
+type Scheduler interface {
+	// Tick appends the transfers for tick t (1-based) to dst and returns
+	// the extended slice. It must only schedule blocks the sender holds
+	// in the provided state, and must respect the bandwidth caps the
+	// engine was configured with; violations abort the run with an error.
+	// Returning no transfers is legal (an idle tick).
+	Tick(t int, s *State, dst []Transfer) ([]Transfer, error)
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(t int, s *State, dst []Transfer) ([]Transfer, error)
+
+// Tick implements Scheduler.
+func (f SchedulerFunc) Tick(t int, s *State, dst []Transfer) ([]Transfer, error) {
+	return f(t, s, dst)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// CompletionTime is the tick by whose end the last client completed.
+	CompletionTime int
+	// ClientCompletion[v] is the tick at which node v (client) completed;
+	// index 0 (the server) is 0.
+	ClientCompletion []int
+	// TotalTransfers counts every block movement, including redundant
+	// deliveries of blocks the receiver already obtained the same tick.
+	TotalTransfers int
+	// UsefulTransfers counts transfers that delivered a new block.
+	UsefulTransfers int
+	// UploadsPerTick[t-1] is the number of transfers scheduled in tick t.
+	UploadsPerTick []int
+	// Trace holds per-tick transfer lists when Config.RecordTrace is set.
+	Trace [][]Transfer
+}
+
+// Efficiency returns useful transfers divided by the upload capacity
+// consumed if every node uploaded one block every tick until completion —
+// the utilization the paper's middlegame tries to drive to 1.
+func (r *Result) Efficiency(n int) float64 {
+	if r.CompletionTime == 0 || n == 0 {
+		return 0
+	}
+	return float64(r.UsefulTransfers) / float64(n*r.CompletionTime)
+}
+
+// ErrMaxTicks is returned when a scheduler fails to complete within the
+// configured budget — typically a livelocked or deadlocked protocol.
+var ErrMaxTicks = errors.New("simulate: exceeded MaxTicks before completion")
+
+// Run executes the scheduler until every client holds all blocks.
+func Run(cfg Config, sched Scheduler) (*Result, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	st := newState(c.Nodes, c.Blocks)
+	res := &Result{ClientCompletion: make([]int, c.Nodes)}
+	if c.Nodes == 1 {
+		return res, nil // no clients: vacuously complete at t=0
+	}
+
+	upUsed := make([]int, c.Nodes)
+	downUsed := make([]int, c.Nodes)
+	var buf []Transfer
+
+	for t := 1; t <= c.MaxTicks; t++ {
+		buf = buf[:0]
+		buf, err = sched.Tick(t, st, buf)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: scheduler failed at tick %d: %w", t, err)
+		}
+
+		for i := range upUsed {
+			upUsed[i] = 0
+			downUsed[i] = 0
+		}
+		// Validate against state at the start of the tick.
+		for _, tr := range buf {
+			if err := validate(tr, st, c, upUsed, downUsed); err != nil {
+				return nil, fmt.Errorf("simulate: tick %d: %w", t, err)
+			}
+		}
+		// Apply simultaneously.
+		for _, tr := range buf {
+			if st.have[tr.To].Add(int(tr.Block)) {
+				res.UsefulTransfers++
+				if int(tr.To) != 0 && st.have[tr.To].Full() {
+					st.complete++
+					res.ClientCompletion[tr.To] = t
+				}
+			}
+			res.TotalTransfers++
+		}
+		res.UploadsPerTick = append(res.UploadsPerTick, len(buf))
+		if c.RecordTrace {
+			tick := make([]Transfer, len(buf))
+			copy(tick, buf)
+			res.Trace = append(res.Trace, tick)
+		}
+		st.tick = t
+		if st.AllClientsComplete() {
+			res.CompletionTime = t
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (MaxTicks=%d, clients complete: %d/%d)",
+		ErrMaxTicks, c.MaxTicks, st.complete, c.Nodes-1)
+}
+
+func validate(tr Transfer, st *State, c Config, upUsed, downUsed []int) error {
+	from, to, b := int(tr.From), int(tr.To), int(tr.Block)
+	switch {
+	case from < 0 || from >= st.n:
+		return fmt.Errorf("sender %d out of range", from)
+	case to < 0 || to >= st.n:
+		return fmt.Errorf("receiver %d out of range", to)
+	case from == to:
+		return fmt.Errorf("node %d transfers to itself", from)
+	case b < 0 || b >= st.k:
+		return fmt.Errorf("block %d out of range", b)
+	}
+	if !st.have[from].Has(b) {
+		return fmt.Errorf("store-and-forward violation: node %d does not hold block %d", from, b)
+	}
+	upUsed[from]++
+	upCap := c.UploadCap
+	if from == 0 {
+		upCap = c.ServerUploadCap
+	}
+	if upUsed[from] > upCap {
+		return fmt.Errorf("node %d exceeds upload cap %d", from, upCap)
+	}
+	downUsed[to]++
+	if c.DownloadCap != Unlimited && downUsed[to] > c.DownloadCap {
+		return fmt.Errorf("node %d exceeds download cap %d", to, c.DownloadCap)
+	}
+	return nil
+}
+
+var _ Scheduler = SchedulerFunc(nil)

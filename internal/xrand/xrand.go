@@ -1,0 +1,142 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator used by every simulation in this repository.
+//
+// Reproducibility is a core requirement of the experiment harness: the
+// paper's figures are regenerated from fixed seeds, and two runs with the
+// same seed must produce bit-identical traces. The standard library's
+// math/rand/v2 would work, but pinning our own generator guarantees the
+// stream is stable across Go releases and lets us document the exact
+// algorithm (xoshiro256** seeded via splitmix64, the combination
+// recommended by Blackman and Vigna).
+package xrand
+
+import "math/bits"
+
+// Rand is a deterministic pseudo-random number generator. It is NOT safe
+// for concurrent use; create one generator per goroutine (see Split).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that nearby
+// seeds still yield decorrelated streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// splitmix64 advances the splitmix64 state and returns (newState, output).
+func splitmix64(state uint64) (uint64, uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the xoshiro256** stream.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is decorrelated from r's.
+// It is used to hand independent generators to per-replication runs.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand, because a non-positive bound is always a programming error.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn bound must be positive")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// nearly-divisionless multiply-shift rejection method.
+func (r *Rand) boundedUint64(bound uint64) uint64 {
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= -bound%bound {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place (Fisher–Yates).
+func (r *Rand) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Sample returns count distinct values drawn uniformly from [0, n) in
+// random order. It panics if count > n. It runs in O(count) expected time
+// for count << n (rejection from a set) and O(n) otherwise.
+func (r *Rand) Sample(n, count int) []int {
+	if count > n {
+		panic("xrand: Sample count exceeds population")
+	}
+	if count <= 0 {
+		return nil
+	}
+	// For dense samples, a partial Fisher–Yates is cheaper and exact.
+	if count*4 >= n {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		for i := 0; i < count; i++ {
+			j := i + r.Intn(n-i)
+			p[i], p[j] = p[j], p[i]
+		}
+		return p[:count:count]
+	}
+	seen := make(map[int]struct{}, count)
+	out := make([]int, 0, count)
+	for len(out) < count {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverge at step %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	var x uint64
+	for i := 0; i < 100; i++ {
+		x |= r.Uint64()
+	}
+	if x == 0 {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared test over 10 buckets; loose threshold to avoid flakes
+	// (the generator is deterministic, so this cannot actually flake).
+	r := New(99)
+	const buckets, samples = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("chi-squared %.2f exceeds threshold; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / samples; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUnbiasedFirstElement(t *testing.T) {
+	r := New(5)
+	const n, trials = 5, 50000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	expected := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > expected*0.1 {
+			t.Fatalf("position 0 value %d appeared %d times (expected ~%.0f)", i, c, expected)
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(13)
+	f := func(nRaw, cRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		c := int(cRaw) % (n + 1)
+		s := r.Sample(n, c)
+		if len(s) != c {
+			return false
+		}
+		seen := make(map[int]struct{}, c)
+		for _, v := range s {
+			if v < 0 || v >= n {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanicsWhenCountExceedsPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2, 3) did not panic")
+		}
+	}()
+	New(1).Sample(2, 3)
+}
+
+func TestSplitDecorrelated(t *testing.T) {
+	parent := New(21)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams matched %d times", same)
+	}
+}
+
+func TestShuffleEmptyAndSingle(t *testing.T) {
+	r := New(1)
+	r.Shuffle(nil)
+	one := []int{42}
+	r.Shuffle(one)
+	if one[0] != 42 {
+		t.Fatal("Shuffle mutated a single-element slice")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
