@@ -1,0 +1,35 @@
+# Pre-PR gate for barterdist. `make check` must pass before sending a
+# change for review; it is exactly what CI runs.
+
+GO ?= go
+
+.PHONY: check build vet fmt test race figures clean
+
+## check: the full pre-PR gate — vet, formatting, build, race-enabled tests
+check: vet fmt build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; any output fails the gate.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## figures: regenerate the evaluation artifacts at medium scale
+figures:
+	$(GO) run ./cmd/paperfigs -scale medium -out results
+
+clean:
+	$(GO) clean ./...

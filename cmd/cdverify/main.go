@@ -12,9 +12,15 @@
 //   - the generalized (paired) Binomial Pipeline satisfies triangular
 //     barter with a small limit (Section 3.3).
 //
+// Every recorded trace is additionally replayed through
+// simulate.RunAudit, which re-derives the whole execution and checks
+// the engine invariants (capacity, store-and-forward, liveness,
+// accounting) post hoc; a final churn section repeats the audit under
+// fault injection (crashes, rejoins, transfer loss).
+//
 // Usage:
 //
-//	cdverify [-nmax 64] [-kset 4,8,11,16]
+//	cdverify [-nmax 64] [-kset 4,8,11,16] [-churn=false]
 package main
 
 import (
@@ -25,12 +31,15 @@ import (
 	"strings"
 
 	"barterdist/internal/core"
+	"barterdist/internal/fault"
 	"barterdist/internal/mechanism"
+	"barterdist/internal/simulate"
 )
 
 func main() {
 	nmax := flag.Int("nmax", 33, "largest node count to audit (starts at 4)")
 	kset := flag.String("kset", "4,8,11,16", "comma-separated block counts")
+	churn := flag.Bool("churn", true, "also audit fault-injected runs")
 	flag.Parse()
 
 	ks, err := parseInts(*kset)
@@ -39,9 +48,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%-6s %-6s %-18s %-14s %-14s %-10s\n",
-		"n", "k", "schedule", "strict barter", "min credit s", "triangular")
-	fmt.Println(strings.Repeat("-", 74))
+	fmt.Printf("%-6s %-6s %-18s %-14s %-14s %-10s %-8s\n",
+		"n", "k", "schedule", "strict barter", "min credit s", "triangular", "replay")
+	fmt.Println(strings.Repeat("-", 82))
 
 	failures := 0
 	for n := 4; n <= *nmax; n += stepFor(n) {
@@ -50,10 +59,61 @@ func main() {
 			failures += auditRow(n, k, "binomial-pipeline", core.AlgoBinomialPipeline)
 		}
 	}
+	if *churn {
+		failures += auditChurn()
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d audits violated expectations\n", failures)
 		os.Exit(1)
 	}
+}
+
+// auditChurn runs a small grid of fault-injected scenarios and replays
+// each recorded trace through simulate.RunAudit: the trace invariants
+// must hold even when nodes crash, rejoin wiped, and transfers vanish.
+func auditChurn() int {
+	fmt.Println()
+	fmt.Printf("churn audits (crash rate / loss rate, rejoin after 8 ticks, wiped)\n")
+	fmt.Printf("%-24s %-12s %-12s %-12s %-8s\n", "scheduler", "crash", "loss", "completion", "replay")
+	fmt.Println(strings.Repeat("-", 72))
+	bad := 0
+	scenarios := []struct {
+		label string
+		algo  core.Algorithm
+		crash float64
+		loss  float64
+	}{
+		{"randomized", core.AlgoRandomized, 0.02, 0},
+		{"randomized", core.AlgoRandomized, 0.02, 0.05},
+		{"binomial+selfheal", core.AlgoBinomialPipeline, 0.02, 0},
+		{"riffle+selfheal", core.AlgoRiffle, 0.01, 0.02},
+	}
+	for i, sc := range scenarios {
+		res, err := core.Run(core.Config{
+			Nodes: 24, Blocks: 16, Algorithm: sc.algo, Seed: 7, RecordTrace: true,
+			Fault: &fault.Options{
+				Seed:              uint64(1000 + i),
+				CrashRate:         sc.crash,
+				MaxCrashes:        4,
+				RejoinDelay:       8,
+				RejoinLosesBlocks: true,
+				LossRate:          sc.loss,
+			},
+		})
+		if err != nil {
+			fmt.Printf("%-24s %-12g %-12g run failed: %v\n", sc.label, sc.crash, sc.loss, err)
+			bad++
+			continue
+		}
+		verdict := "PASS"
+		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+			verdict = aerr.Error()
+			bad++
+		}
+		fmt.Printf("%-24s %-12g %-12g %-12d %-8s\n",
+			sc.label, sc.crash, sc.loss, res.CompletionTime, verdict)
+	}
+	return bad
 }
 
 func stepFor(n int) int {
@@ -83,10 +143,19 @@ func auditRow(n, k int, label string, algo core.Algorithm) int {
 			break
 		}
 	}
-	fmt.Printf("%-6d %-6d %-18s %-14s %-14d %-10s\n", n, k, label, strict, minCredit, tri)
+	replay := "PASS"
+	replayErr := simulate.RunAudit(res.SimConfig, res.Sim)
+	if replayErr != nil {
+		replay = "FAIL"
+	}
+	fmt.Printf("%-6d %-6d %-18s %-14s %-14d %-10s %-8s\n", n, k, label, strict, minCredit, tri, replay)
 
 	// Expectation checks (exit nonzero if the paper's claims break).
 	bad := 0
+	if replayErr != nil {
+		fmt.Printf("    EXPECTATION VIOLATED: trace replay: %v\n", replayErr)
+		bad++
+	}
 	if algo == core.AlgoRiffle && strict != "YES" {
 		fmt.Printf("    EXPECTATION VIOLATED: riffle must satisfy strict barter\n")
 		bad++

@@ -69,6 +69,7 @@ func main() {
 		{"fig7", figureArtifact(experiment.Fig7)},
 		{"tableC", tableArtifact(experiment.TableC)},
 		{"tableD", tableArtifact(experiment.TableD)},
+		{"tableE", tableArtifact(experiment.TableE)},
 	}
 
 	selected := map[string]bool{}

@@ -19,6 +19,17 @@
 // why a node went idle — nothing to offer vs. all targets busy — and
 // wakes it on exactly the events that can change that answer, so runs
 // stay near O(events·degree).
+//
+// # Fault injection
+//
+// Config.Fault attaches a fault.Plan: crash arrivals become engine
+// events, a crash aborts every transfer in flight to or from the victim
+// (the sender's upload port and the receiver's download port are both
+// restored, and the affected peers are re-woken), and each completing
+// transfer may be lost or corrupted at delivery time. Protocols observe
+// liveness through State.Alive and, if they implement FaultAware,
+// receive OnCrash/OnRejoin/OnLoss callbacks. With a nil Plan the engine
+// is byte-identical to the fault-free implementation.
 package asim
 
 import (
@@ -28,6 +39,7 @@ import (
 	"math"
 
 	"barterdist/internal/bitset"
+	"barterdist/internal/fault"
 )
 
 // Unlimited download ports.
@@ -50,6 +62,13 @@ type Config struct {
 	DownloadPorts int
 	// MaxTime aborts runaway protocols. 0 selects a generous default.
 	MaxTime float64
+	// RecordTrace keeps every transfer (delivered, lost, or corrupted)
+	// in the result so RunAudit can replay the run. Costs memory.
+	RecordTrace bool
+	// Fault attaches a fault-injection plan (crashes, rejoins, transfer
+	// loss). nil runs the reliable engine unchanged. A Plan is
+	// single-use: build one per run.
+	Fault *fault.Plan
 }
 
 func (c *Config) normalize() (Config, error) {
@@ -98,9 +117,14 @@ func (c *Config) normalize() (Config, error) {
 type State struct {
 	n, k     int
 	have     []*bitset.Set
-	inFlight []map[int32]struct{} // blocks currently being received, per node
+	inFlight []map[int32]*event // blocks currently being received, per node
 	complete int
 	now      float64
+
+	// Fault-layer view; nil/zero without a fault plan.
+	alive         []bool
+	aliveClients  int
+	pendingRejoin int
 }
 
 // N returns the node count.
@@ -127,8 +151,28 @@ func (s *State) InFlightTo(v, b int) bool {
 // InFlightCount returns the number of blocks currently arriving at v.
 func (s *State) InFlightCount(v int) int { return len(s.inFlight[v]) }
 
-// AllClientsComplete reports completion.
-func (s *State) AllClientsComplete() bool { return s.complete == s.n-1 }
+// Alive reports whether node v is currently up. Without a fault plan
+// every node is always alive.
+func (s *State) Alive(v int) bool { return s.alive == nil || s.alive[v] }
+
+// AliveClients returns the number of clients currently up (n-1 without
+// a fault plan).
+func (s *State) AliveClients() int {
+	if s.alive == nil {
+		return s.n - 1
+	}
+	return s.aliveClients
+}
+
+// AllClientsComplete reports completion: every client still part of the
+// system holds the whole file (permanently departed nodes are excluded;
+// nodes scheduled to rejoin count as pending).
+func (s *State) AllClientsComplete() bool {
+	if s.alive == nil {
+		return s.complete == s.n-1
+	}
+	return s.complete == s.aliveClients && s.pendingRejoin == 0
+}
 
 // Upload is a protocol's answer to "what should this node send next".
 type Upload struct {
@@ -141,8 +185,8 @@ type Protocol interface {
 	// NextUpload is invoked when node u's upload port is free. Returning
 	// ok = false parks u until an event that may change the answer (u
 	// gains a block, a download port near u frees, or a timer fires).
-	// The returned target must need the block and have a free port; the
-	// engine validates and errors out otherwise.
+	// The returned target must need the block, have a free port, and be
+	// alive; the engine validates and errors out otherwise.
 	NextUpload(u int, s *State) (Upload, bool)
 	// Wakeups returns protocol timer periods; the engine calls OnTimer
 	// every period until completion. Nil means no timers.
@@ -161,14 +205,56 @@ type Protocol interface {
 	OnDeliver(from, to, block int, s *State)
 }
 
+// FaultAware is optionally implemented by protocols that want fault
+// notifications beyond what the State view exposes — typically to keep
+// rarity statistics honest or to drop dead peers from choke lists.
+type FaultAware interface {
+	// OnCrash is called after node v's state is fully torn down (alive
+	// cleared, in-flight transfers aborted, ports restored).
+	OnCrash(v int, s *State)
+	// OnRejoin is called after node v rejoined; wiped reports whether
+	// it came back with an empty cache.
+	OnRejoin(v int, wiped bool, s *State)
+	// OnLoss is called when a transfer is dropped at delivery time
+	// (lost in flight, or corrupt = delivered but discarded).
+	OnLoss(from, to, block int, corrupt bool, s *State)
+}
+
+// TransferRecord is one transfer as recorded by Config.RecordTrace.
+type TransferRecord struct {
+	Start, End      float64
+	From, To, Block int32
+	// Lost marks a transfer dropped at delivery time; Corrupt
+	// additionally marks it as delivered-but-discarded.
+	Lost    bool
+	Corrupt bool
+}
+
 // Result reports a finished asynchronous run.
 type Result struct {
 	// CompletionTime is when the last client finished (time units).
 	CompletionTime float64
-	// ClientCompletion[v] is when client v finished.
+	// ClientCompletion[v] is when client v finished (most recent
+	// completion under churn).
 	ClientCompletion []float64
 	// Transfers is the number of block deliveries.
 	Transfers int
+
+	// Fault-layer outcomes; zero without a fault plan.
+
+	// Lost counts transfers dropped in flight; Corrupt counts transfers
+	// delivered but discarded.
+	Lost, Corrupt int
+	// FaultLog lists applied crash/rejoin events (continuous Time).
+	FaultLog []fault.Event
+	// Trace holds every finished transfer when RecordTrace is set,
+	// ordered by End time (aborted transfers are not recorded: their
+	// bandwidth was reclaimed by the crash teardown).
+	Trace []TransferRecord
+	// FinalHave snapshots every node's final block set (RecordTrace).
+	FinalHave []*bitset.Set
+	// FinalAlive is the final liveness mask (RecordTrace + fault plan).
+	FinalAlive []bool
 }
 
 // ErrMaxTime is returned when the protocol fails to complete in time.
@@ -179,6 +265,8 @@ type eventKind int
 const (
 	evComplete eventKind = iota + 1 // a transfer finished
 	evTimer
+	evCrash  // a fault-plan crash arrival
+	evRejoin // a crashed node returns
 )
 
 type event struct {
@@ -188,9 +276,14 @@ type event struct {
 
 	// evComplete fields.
 	from, to, block int
+	start           float64
+	cancelled       bool // aborted by a crash; skip on pop
 
 	// evTimer field.
 	timer int
+
+	// evRejoin field.
+	node int
 }
 
 type eventQueue []*event
@@ -223,11 +316,11 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		n:        c.Nodes,
 		k:        c.Blocks,
 		have:     make([]*bitset.Set, c.Nodes),
-		inFlight: make([]map[int32]struct{}, c.Nodes),
+		inFlight: make([]map[int32]*event, c.Nodes),
 	}
 	for v := range st.have {
 		st.have[v] = bitset.New(c.Blocks)
-		st.inFlight[v] = make(map[int32]struct{})
+		st.inFlight[v] = make(map[int32]*event)
 	}
 	for b := 0; b < c.Blocks; b++ {
 		st.have[0].Add(b)
@@ -241,8 +334,21 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		cfg:       c,
 		st:        st,
 		proto:     p,
+		res:       res,
 		uploading: make([]bool, c.Nodes),
 		parked:    make([]bool, c.Nodes),
+		curUpload: make([]*event, c.Nodes),
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Acquire(); err != nil {
+			return nil, err
+		}
+		eng.faultAware, _ = p.(FaultAware)
+		st.alive = make([]bool, c.Nodes)
+		for i := range st.alive {
+			st.alive[i] = true
+		}
+		st.aliveClients = c.Nodes - 1
 	}
 	heap.Init(&eng.queue)
 	for i, period := range p.Wakeups() {
@@ -251,6 +357,9 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		}
 		eng.schedule(&event{at: period, kind: evTimer, timer: i})
 	}
+	if c.Fault != nil {
+		eng.scheduleNextCrash()
+	}
 	// Kick every node once; most will park immediately.
 	for v := 0; v < c.Nodes; v++ {
 		if err := eng.tryStartUpload(v); err != nil {
@@ -258,8 +367,25 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		}
 	}
 
+	finish := func() *Result {
+		res.CompletionTime = st.now
+		if c.RecordTrace {
+			res.FinalHave = make([]*bitset.Set, c.Nodes)
+			for v := range res.FinalHave {
+				res.FinalHave[v] = st.have[v].Clone()
+			}
+			if st.alive != nil {
+				res.FinalAlive = append([]bool(nil), st.alive...)
+			}
+		}
+		return res
+	}
+
 	for eng.queue.Len() > 0 {
 		ev := heap.Pop(&eng.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
 		if ev.at > c.MaxTime {
 			return nil, fmt.Errorf("%w (t=%.2f, clients complete: %d/%d)",
 				ErrMaxTime, ev.at, st.complete, c.Nodes-1)
@@ -267,12 +393,11 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		st.now = ev.at
 		switch ev.kind {
 		case evComplete:
-			if err := eng.finishTransfer(ev, res); err != nil {
+			if err := eng.finishTransfer(ev); err != nil {
 				return nil, err
 			}
 			if st.AllClientsComplete() {
-				res.CompletionTime = st.now
-				return res, nil
+				return finish(), nil
 			}
 		case evTimer:
 			p.OnTimer(ev.timer, st)
@@ -287,6 +412,23 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 			}
 			period := p.Wakeups()[ev.timer]
 			eng.schedule(&event{at: st.now + period, kind: evTimer, timer: ev.timer})
+		case evCrash:
+			c.Fault.TakeCrash()
+			if err := eng.applyCrash(); err != nil {
+				return nil, err
+			}
+			// Removing the last incomplete client can finish the run.
+			if st.AllClientsComplete() {
+				return finish(), nil
+			}
+			eng.scheduleNextCrash()
+		case evRejoin:
+			if err := eng.applyRejoin(ev.node); err != nil {
+				return nil, err
+			}
+			if st.AllClientsComplete() {
+				return finish(), nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("%w (event queue drained, clients complete: %d/%d)",
@@ -297,11 +439,14 @@ type engine struct {
 	cfg   Config
 	st    *State
 	proto Protocol
+	res   *Result
 	queue eventQueue
 	seq   int
 
-	uploading []bool // upload port busy
-	parked    []bool // NextUpload returned false; awaiting a wake event
+	uploading  []bool   // upload port busy
+	parked     []bool   // NextUpload returned false; awaiting a wake event
+	curUpload  []*event // pending completion event of each node's upload
+	faultAware FaultAware
 }
 
 func (e *engine) schedule(ev *event) {
@@ -310,10 +455,140 @@ func (e *engine) schedule(ev *event) {
 	heap.Push(&e.queue, ev)
 }
 
+// scheduleNextCrash turns the plan's next Poisson arrival into an
+// engine event. Arrivals beyond MaxTime are discarded — they could
+// never take effect and must not trip the timeout check.
+func (e *engine) scheduleNextCrash() {
+	at, ok := e.cfg.Fault.NextCrash()
+	if !ok || at > e.cfg.MaxTime {
+		return
+	}
+	e.schedule(&event{at: at, kind: evCrash})
+}
+
+// applyCrash picks a victim and tears it down: the node goes dark, its
+// outgoing upload and every transfer in flight toward it are aborted,
+// and the ports and bandwidth those transfers held are restored. Peers
+// whose options changed (freed senders, freed download ports) are
+// re-woken.
+func (e *engine) applyCrash() error {
+	st := e.st
+	v := e.cfg.Fault.PickVictim(st.n,
+		func(v int) bool { return st.alive[v] },
+		func(v int) int { return st.have[v].Count() })
+	if v < 0 {
+		return nil // nobody left to kill
+	}
+	st.alive[v] = false
+	st.aliveClients--
+	if st.have[v].Full() {
+		st.complete--
+	}
+	e.parked[v] = false
+
+	var wakeSenders []int
+	var freedReceiver int = -1
+	// Abort v's outgoing transfer: the receiver's download port frees.
+	if out := e.curUpload[v]; out != nil {
+		out.cancelled = true
+		e.curUpload[v] = nil
+		e.uploading[v] = false
+		delete(st.inFlight[out.to], int32(out.block))
+		freedReceiver = out.to
+	}
+	// Abort transfers in flight toward v: each sender's port frees.
+	for _, in := range st.inFlight[v] {
+		in.cancelled = true
+		e.uploading[in.from] = false
+		e.curUpload[in.from] = nil
+		wakeSenders = append(wakeSenders, in.from)
+	}
+	clear(st.inFlight[v])
+
+	ev := fault.Event{Time: st.now, Node: int32(v), Kind: fault.Crash}
+	e.res.FaultLog = append(e.res.FaultLog, ev)
+	if delay, ok := e.cfg.Fault.Rejoins(); ok {
+		st.pendingRejoin++
+		e.schedule(&event{at: st.now + delay, kind: evRejoin, node: v})
+	}
+	if e.faultAware != nil {
+		e.faultAware.OnCrash(v, st)
+	}
+
+	// Re-wake with the state fully consistent. Freed senders first (in
+	// ascending order for determinism), then the in-neighbors of the
+	// receiver whose download port was released.
+	for _, u := range wakeSenders {
+		if err := e.tryStartUpload(u); err != nil {
+			return err
+		}
+	}
+	if freedReceiver >= 0 && st.alive[freedReceiver] {
+		if err := e.wakeInNeighbors(freedReceiver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRejoin brings a crashed node back, optionally with an empty
+// cache, and re-wakes it plus the peers that may now serve it.
+func (e *engine) applyRejoin(v int) error {
+	st := e.st
+	st.alive[v] = true
+	st.aliveClients++
+	st.pendingRejoin--
+	wiped := e.cfg.Fault.RejoinWipes()
+	if wiped {
+		st.have[v].Clear()
+		e.res.ClientCompletion[v] = 0
+	} else if st.have[v].Full() {
+		st.complete++
+	}
+	e.res.FaultLog = append(e.res.FaultLog, fault.Event{
+		Time: st.now, Node: int32(v), Kind: fault.Rejoin, Wiped: wiped,
+	})
+	if e.faultAware != nil {
+		e.faultAware.OnRejoin(v, wiped, st)
+	}
+	if err := e.tryStartUpload(v); err != nil {
+		return err
+	}
+	// Every download port at v is free again: peers parked for lack of
+	// targets may now have one.
+	return e.wakeInNeighbors(v)
+}
+
+// wakeInNeighbors re-polls the parked in-edge peers of v (or every
+// parked node on complete overlays).
+func (e *engine) wakeInNeighbors(v int) error {
+	if nbrs := e.proto.Neighbors(v); nbrs != nil {
+		for _, u := range nbrs {
+			if e.parked[u] {
+				if err := e.tryStartUpload(int(u)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for u := 0; u < e.st.n; u++ {
+		if e.parked[u] {
+			if err := e.tryStartUpload(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // tryStartUpload polls the protocol for node u if its port is free.
 func (e *engine) tryStartUpload(u int) error {
 	if e.uploading[u] {
 		return nil
+	}
+	if e.st.alive != nil && !e.st.alive[u] {
+		return nil // dead nodes neither poll nor park
 	}
 	if e.st.have[u].Count() == 0 {
 		e.parked[u] = true
@@ -329,7 +604,6 @@ func (e *engine) tryStartUpload(u int) error {
 	}
 	e.parked[u] = false
 	e.uploading[u] = true
-	e.st.inFlight[up.To][int32(up.Block)] = struct{}{}
 	rate := e.cfg.UploadRate[u]
 	down := e.cfg.DownloadRate[up.To]
 	if e.cfg.DownloadPorts > 0 {
@@ -338,10 +612,14 @@ func (e *engine) tryStartUpload(u int) error {
 	if down < rate {
 		rate = down
 	}
-	e.schedule(&event{
+	ev := &event{
 		at: e.st.now + 1/rate, kind: evComplete,
 		from: u, to: up.To, block: up.Block,
-	})
+		start: e.st.now,
+	}
+	e.st.inFlight[up.To][int32(up.Block)] = ev
+	e.curUpload[u] = ev
+	e.schedule(ev)
 	return nil
 }
 
@@ -360,6 +638,9 @@ func (e *engine) validate(u int, up Upload) error {
 	case e.st.InFlightTo(up.To, up.Block):
 		return fmt.Errorf("asim: block %d already in flight to node %d", up.Block, up.To)
 	}
+	if e.st.alive != nil && !e.st.alive[up.To] {
+		return fmt.Errorf("asim: node %d uploads to dead node %d", u, up.To)
+	}
 	if e.cfg.DownloadPorts != Unlimited && len(e.st.inFlight[up.To]) >= e.cfg.DownloadPorts {
 		return fmt.Errorf("asim: node %d has no free download port", up.To)
 	}
@@ -372,18 +653,55 @@ func (e *engine) validate(u int, up Upload) error {
 // in-neighbors (a download port at the receiver just freed). A node
 // parked for lack of interested neighbors needs no other wake-up:
 // neighbors' needs only shrink, so its answer can change only when it
-// gains a block itself — and then it is the receiver.
-func (e *engine) finishTransfer(ev *event, res *Result) error {
+// gains a block itself — and then it is the receiver. Under a fault
+// plan, the delivery may instead be sampled as lost or corrupt: the
+// ports are restored, no block lands, and the same wake-ups apply.
+func (e *engine) finishTransfer(ev *event) error {
 	st := e.st
-	if st.have[ev.to].Add(ev.block) {
-		res.Transfers++
-		if ev.to != 0 && st.have[ev.to].Full() {
-			st.complete++
-			res.ClientCompletion[ev.to] = st.now
-		}
-	}
 	delete(st.inFlight[ev.to], int32(ev.block))
 	e.uploading[ev.from] = false
+	e.curUpload[ev.from] = nil
+
+	if e.cfg.Fault != nil && e.cfg.Fault.Lossy() {
+		lost, corrupt := e.cfg.Fault.Drop()
+		if lost || corrupt {
+			if corrupt {
+				e.res.Corrupt++
+			} else {
+				e.res.Lost++
+			}
+			if e.cfg.RecordTrace {
+				e.res.Trace = append(e.res.Trace, TransferRecord{
+					Start: ev.start, End: ev.at,
+					From: int32(ev.from), To: int32(ev.to), Block: int32(ev.block),
+					Lost: true, Corrupt: corrupt,
+				})
+			}
+			if e.faultAware != nil {
+				e.faultAware.OnLoss(ev.from, ev.to, ev.block, corrupt, st)
+			}
+			if err := e.tryStartUpload(ev.from); err != nil {
+				return err
+			}
+			// The receiver's port freed and the block is no longer in
+			// flight: parked in-neighbors may now retry it.
+			return e.wakeInNeighbors(ev.to)
+		}
+	}
+
+	if st.have[ev.to].Add(ev.block) {
+		e.res.Transfers++
+		if ev.to != 0 && st.have[ev.to].Full() {
+			st.complete++
+			e.res.ClientCompletion[ev.to] = st.now
+		}
+	}
+	if e.cfg.RecordTrace {
+		e.res.Trace = append(e.res.Trace, TransferRecord{
+			Start: ev.start, End: ev.at,
+			From: int32(ev.from), To: int32(ev.to), Block: int32(ev.block),
+		})
+	}
 	e.proto.OnDeliver(ev.from, ev.to, ev.block, st)
 
 	if err := e.tryStartUpload(ev.from); err != nil {
@@ -392,22 +710,5 @@ func (e *engine) finishTransfer(ev *event, res *Result) error {
 	if err := e.tryStartUpload(ev.to); err != nil {
 		return err
 	}
-	if nbrs := e.proto.Neighbors(ev.to); nbrs != nil {
-		for _, v := range nbrs {
-			if e.parked[v] {
-				if err := e.tryStartUpload(int(v)); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	for v := 0; v < st.n; v++ {
-		if e.parked[v] {
-			if err := e.tryStartUpload(v); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return e.wakeInNeighbors(ev.to)
 }

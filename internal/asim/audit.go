@@ -1,0 +1,320 @@
+package asim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"barterdist/internal/bitset"
+	"barterdist/internal/fault"
+)
+
+// ErrAudit wraps every RunAudit failure so callers can distinguish a
+// broken recorded run from configuration errors.
+var ErrAudit = errors.New("asim: audit failed")
+
+func auditErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrAudit, fmt.Sprintf(format, args...))
+}
+
+// durEps is the relative tolerance for transfer-duration checks; the
+// engine computes End = Start + 1/rate in floating point, so replayed
+// durations can differ from 1/rate by rounding.
+const durEps = 1e-9
+
+// RunAudit replays a recorded asynchronous run and verifies every
+// engine invariant post hoc, given only the artifacts the run leaves
+// behind (Config, Trace, FaultLog, FinalHave):
+//
+//   - the serial upload port: no sender has two overlapping transfers;
+//   - download ports: no receiver exceeds DownloadPorts concurrent
+//     receives, and no block is twice in flight to the same receiver;
+//   - bandwidth: every transfer's duration is 1/min(up(u), down(v)/P);
+//   - store-and-forward: the sender held the block when the transfer
+//     started (wiped rejoins are replayed, so a block lost to a wipe
+//     must be re-acquired before it can be forwarded again);
+//   - liveness: both endpoints were alive for the whole flight — a
+//     crash mid-transfer must have aborted it, so an aborted transfer
+//     appearing in the trace is an error;
+//   - accounting: delivery, loss, and corruption counts, per-client
+//     completion times, the completion time, and the final block and
+//     liveness state all match the recorded Result.
+//
+// A Result produced by Run with RecordTrace always passes; a doctored
+// trace fails with a pinpointed ErrAudit. cfg.Fault is ignored — the
+// replay takes its adversity from res.FaultLog, so auditing never
+// consumes a fault plan.
+func RunAudit(cfg Config, res *Result) error {
+	cfg.Fault = nil
+	c, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return auditErr("nil result")
+	}
+	if c.Nodes == 1 {
+		return nil // vacuous run
+	}
+	if res.FinalHave == nil {
+		return auditErr("result has no FinalHave snapshot; run with RecordTrace")
+	}
+	if len(res.FinalHave) != c.Nodes {
+		return auditErr("FinalHave has %d entries for %d nodes", len(res.FinalHave), c.Nodes)
+	}
+
+	// Fault-log sanity: time-ordered, clients only, alternating states.
+	alive := make([]bool, c.Nodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	for i, ev := range res.FaultLog {
+		v := int(ev.Node)
+		if v <= 0 || v >= c.Nodes {
+			return auditErr("fault log: event %d targets invalid node %d", i, v)
+		}
+		if i > 0 && ev.Time < res.FaultLog[i-1].Time {
+			return auditErr("fault log: event %d goes back in time (%v after %v)",
+				i, ev.Time, res.FaultLog[i-1].Time)
+		}
+		switch ev.Kind {
+		case fault.Crash:
+			if !alive[v] {
+				return auditErr("t=%v: node %d crashes while already dead", ev.Time, v)
+			}
+			alive[v] = false
+		case fault.Rejoin:
+			if alive[v] {
+				return auditErr("t=%v: node %d rejoins while alive", ev.Time, v)
+			}
+			alive[v] = true
+		default:
+			return auditErr("fault log: unknown event kind %d", uint8(ev.Kind))
+		}
+	}
+
+	// aliveAt reports node v's liveness at time t (events at exactly t
+	// included — crash arrivals are continuous, so exact collisions with
+	// transfer boundaries do not occur in engine-produced runs).
+	aliveAt := func(v int, t float64) bool {
+		up := true
+		for _, ev := range res.FaultLog {
+			if ev.Time > t {
+				break
+			}
+			if int(ev.Node) == v {
+				up = ev.Kind == fault.Rejoin
+			}
+		}
+		return up
+	}
+	// eventDuring reports a fault event touching v strictly inside
+	// (start, end) — any such event must have aborted the transfer.
+	eventDuring := func(v int, start, end float64) bool {
+		for _, ev := range res.FaultLog {
+			if ev.Time >= end {
+				break
+			}
+			if ev.Time > start && int(ev.Node) == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Replay state. arrivedAt[v][b] is when v last acquired b (+Inf =
+	// not held); have mirrors it as a bitset for the final comparison.
+	have := make([]*bitset.Set, c.Nodes)
+	arrivedAt := make([][]float64, c.Nodes)
+	for v := range have {
+		have[v] = bitset.New(c.Blocks)
+		arrivedAt[v] = make([]float64, c.Blocks)
+		for b := range arrivedAt[v] {
+			arrivedAt[v][b] = math.Inf(1)
+		}
+	}
+	for b := 0; b < c.Blocks; b++ {
+		have[0].Add(b)
+		arrivedAt[0][b] = 0
+	}
+	completion := make([]float64, c.Nodes)
+	delivered, lost, corrupt := 0, 0, 0
+	maxTime := 0.0
+
+	logCursor := 0
+	applyEvents := func(until float64) {
+		for logCursor < len(res.FaultLog) && res.FaultLog[logCursor].Time < until {
+			ev := res.FaultLog[logCursor]
+			logCursor++
+			if ev.Kind == fault.Rejoin && ev.Wiped {
+				v := int(ev.Node)
+				have[v].Clear()
+				for b := range arrivedAt[v] {
+					arrivedAt[v][b] = math.Inf(1)
+				}
+				completion[v] = 0
+			}
+			if ev.Time > maxTime {
+				maxTime = ev.Time
+			}
+		}
+	}
+
+	type interval struct {
+		start, end float64
+		block      int32
+	}
+	bySender := make([][]interval, c.Nodes)
+	byRecv := make([][]interval, c.Nodes)
+
+	prevEnd := math.Inf(-1)
+	for i, tr := range res.Trace {
+		if tr.End < prevEnd {
+			return auditErr("trace record %d ends at %v, before its predecessor (%v)", i, tr.End, prevEnd)
+		}
+		prevEnd = tr.End
+		from, to, b := int(tr.From), int(tr.To), int(tr.Block)
+		switch {
+		case from < 0 || from >= c.Nodes || to < 0 || to >= c.Nodes:
+			return auditErr("trace record %d: nodes %d -> %d out of range", i, from, to)
+		case from == to:
+			return auditErr("trace record %d: node %d transfers to itself", i, from)
+		case b < 0 || b >= c.Blocks:
+			return auditErr("trace record %d: block %d out of range", i, b)
+		case to == 0:
+			return auditErr("trace record %d: upload to the server", i)
+		case tr.Start < 0 || tr.End <= tr.Start:
+			return auditErr("trace record %d: degenerate interval [%v, %v]", i, tr.Start, tr.End)
+		case tr.Corrupt && !tr.Lost:
+			return auditErr("trace record %d: corrupt but not marked lost", i)
+		}
+		// Bandwidth model: duration is exactly one block at the reserved
+		// port rate.
+		rate := c.UploadRate[from]
+		down := c.DownloadRate[to]
+		if c.DownloadPorts > 0 {
+			down /= float64(c.DownloadPorts)
+		}
+		if down < rate {
+			rate = down
+		}
+		want := 1 / rate
+		if d := tr.End - tr.Start; math.Abs(d-want) > durEps*math.Max(1, want) {
+			return auditErr("trace record %d: %d->%d duration %v, bandwidth model requires %v",
+				i, from, to, d, want)
+		}
+		// Liveness across the whole flight.
+		if !aliveAt(from, tr.Start) {
+			return auditErr("t=%v: dead node %d starts an upload", tr.Start, from)
+		}
+		if !aliveAt(to, tr.Start) {
+			return auditErr("t=%v: node %d uploads to dead node %d", tr.Start, from, to)
+		}
+		if eventDuring(from, tr.Start, tr.End) || eventDuring(to, tr.Start, tr.End) {
+			return auditErr("trace record %d: %d->%d survives a fault event mid-flight; the engine aborts those",
+				i, from, to)
+		}
+		// Store-and-forward at start time: the sender must have acquired
+		// the block (and not lost it to a wipe) by tr.Start.
+		applyEvents(tr.End)
+		if arrivedAt[from][b] > tr.Start {
+			return auditErr("t=%v: node %d sends block %d it did not hold at upload start", tr.Start, from, b)
+		}
+		bySender[from] = append(bySender[from], interval{tr.Start, tr.End, tr.Block})
+		byRecv[to] = append(byRecv[to], interval{tr.Start, tr.End, tr.Block})
+		if tr.End > maxTime {
+			maxTime = tr.End
+		}
+		if tr.Lost {
+			if tr.Corrupt {
+				corrupt++
+			} else {
+				lost++
+			}
+			continue
+		}
+		if !have[to].Add(b) {
+			return auditErr("t=%v: node %d delivered block %d it already holds", tr.End, to, b)
+		}
+		arrivedAt[to][b] = tr.End
+		delivered++
+		if have[to].Full() {
+			completion[to] = tr.End
+		}
+	}
+	applyEvents(math.Inf(1))
+
+	// Serial upload port: each sender's transfers must not overlap.
+	for u, ivs := range bySender {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				return auditErr("node %d uploads concurrently at t=%v (serial upload port)", u, ivs[i].start)
+			}
+		}
+	}
+	// Download ports: bounded concurrency, and a block at most once in
+	// flight to the same receiver at a time.
+	for v, ivs := range byRecv {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		var active []interval
+		for _, iv := range ivs {
+			keep := active[:0]
+			for _, a := range active {
+				if a.end > iv.start {
+					keep = append(keep, a)
+				}
+			}
+			active = keep
+			for _, a := range active {
+				if a.block == iv.block {
+					return auditErr("node %d has block %d twice in flight at t=%v", v, iv.block, iv.start)
+				}
+			}
+			active = append(active, iv)
+			if c.DownloadPorts != Unlimited && len(active) > c.DownloadPorts {
+				return auditErr("node %d exceeds %d download ports at t=%v", v, c.DownloadPorts, iv.start)
+			}
+		}
+	}
+
+	// The run must have finished under the engine's criterion: every
+	// alive client holds the whole file.
+	for v := 1; v < c.Nodes; v++ {
+		if alive[v] && !have[v].Full() {
+			return auditErr("replayed trace leaves alive client %d incomplete (%d/%d blocks)",
+				v, have[v].Count(), c.Blocks)
+		}
+	}
+	if delivered != res.Transfers {
+		return auditErr("replay counts %d deliveries, result reports %d", delivered, res.Transfers)
+	}
+	if lost != res.Lost || corrupt != res.Corrupt {
+		return auditErr("replay counts %d lost + %d corrupt, result reports %d + %d",
+			lost, corrupt, res.Lost, res.Corrupt)
+	}
+	if len(res.Trace) > 0 || len(res.FaultLog) > 0 {
+		if res.CompletionTime != maxTime {
+			return auditErr("CompletionTime %v does not match the last recorded event (%v)",
+				res.CompletionTime, maxTime)
+		}
+	}
+	for v := 0; v < c.Nodes; v++ {
+		if !have[v].Equal(res.FinalHave[v]) {
+			return auditErr("node %d final block set differs from recorded snapshot", v)
+		}
+		if v > 0 && completion[v] != res.ClientCompletion[v] {
+			return auditErr("node %d completion time: replay %v, result %v",
+				v, completion[v], res.ClientCompletion[v])
+		}
+	}
+	if res.FinalAlive != nil {
+		for v, a := range res.FinalAlive {
+			if alive[v] != a {
+				return auditErr("node %d final liveness: replay %v, result %v", v, alive[v], a)
+			}
+		}
+	}
+	return nil
+}

@@ -26,7 +26,10 @@ type AsyncRandomized struct {
 	scratch []int32
 }
 
-var _ Protocol = (*AsyncRandomized)(nil)
+var (
+	_ Protocol   = (*AsyncRandomized)(nil)
+	_ FaultAware = (*AsyncRandomized)(nil)
+)
 
 // NewAsyncRandomized returns the protocol with the given seed.
 func NewAsyncRandomized(g *graph.Graph, rarest bool, ports int, seed uint64) *AsyncRandomized {
@@ -68,6 +71,38 @@ func (a *AsyncRandomized) ensure(s *State) {
 	}
 }
 
+// recomputeFreq rebuilds the replication counts from the alive nodes'
+// holdings; crashes, wiped rejoins, and losses all invalidate the
+// incremental statistics at once, and the rebuild is cheap relative to
+// how rarely faults fire.
+func (a *AsyncRandomized) recomputeFreq(s *State) {
+	a.ensure(s)
+	for b := range a.freq {
+		a.freq[b] = 0
+	}
+	for v := 0; v < s.N(); v++ {
+		if !s.Alive(v) {
+			continue
+		}
+		for b := 0; b < s.K(); b++ {
+			if s.Has(v, b) {
+				a.freq[b]++
+			}
+		}
+	}
+}
+
+// OnCrash implements FaultAware: the victim's blocks no longer serve
+// the swarm, so rarity statistics are rebuilt over the survivors.
+func (a *AsyncRandomized) OnCrash(_ int, s *State) { a.recomputeFreq(s) }
+
+// OnRejoin implements FaultAware.
+func (a *AsyncRandomized) OnRejoin(_ int, _ bool, s *State) { a.recomputeFreq(s) }
+
+// OnLoss implements FaultAware: the block never arrived, so the count
+// OnDeliver would have added is simply never added — nothing to undo.
+func (a *AsyncRandomized) OnLoss(_, _, _ int, _ bool, _ *State) {}
+
 // NextUpload implements Protocol.
 func (a *AsyncRandomized) NextUpload(u int, s *State) (Upload, bool) {
 	a.ensure(s)
@@ -97,7 +132,7 @@ func (a *AsyncRandomized) pickTarget(u int, s *State) int {
 		j := i + a.rng.Intn(len(a.scratch)-i)
 		a.scratch[i], a.scratch[j] = a.scratch[j], a.scratch[i]
 		v := int(a.scratch[i])
-		if v == 0 {
+		if v == 0 || !s.Alive(v) {
 			continue
 		}
 		if a.DownloadPorts != Unlimited && s.InFlightCount(v) >= a.DownloadPorts {

@@ -70,7 +70,10 @@ type Protocol struct {
 	ready    bool
 }
 
-var _ asim.Protocol = (*Protocol)(nil)
+var (
+	_ asim.Protocol   = (*Protocol)(nil)
+	_ asim.FaultAware = (*Protocol)(nil)
+)
 
 // New validates the options and returns the protocol.
 func New(opts Options) (*Protocol, error) {
@@ -151,10 +154,16 @@ func (p *Protocol) OnTimer(idx int, s *asim.State) {
 	switch idx {
 	case 0:
 		for v := 0; v < s.N(); v++ {
+			if !s.Alive(v) {
+				continue // crashed peers rebuild their sets on rejoin
+			}
 			p.recomputeChokes(v, s)
 		}
 	case 1:
 		for v := 0; v < s.N(); v++ {
+			if !s.Alive(v) {
+				continue
+			}
 			p.rotateOptimistic(v, s)
 		}
 	}
@@ -170,7 +179,7 @@ func (p *Protocol) recomputeChokes(v int, s *asim.State) {
 		return
 	}
 	interested := func(w int32) bool {
-		return s.Blocks(v).AnyMissingFrom(s.Blocks(int(w)))
+		return s.Alive(int(w)) && s.Blocks(v).AnyMissingFrom(s.Blocks(int(w)))
 	}
 	p.unchoked[v] = p.unchoked[v][:0]
 	if v == 0 {
@@ -230,8 +239,8 @@ func (p *Protocol) rotateOptimistic(v int, s *asim.State) {
 			continue
 		}
 		w := int(nbrs[i])
-		if w == 0 {
-			continue // never upload to the seed
+		if w == 0 || !s.Alive(w) {
+			continue // never upload to the seed or a dead peer
 		}
 		if s.Blocks(v).AnyMissingFrom(s.Blocks(w)) || s.Blocks(v).Count() == 0 {
 			p.optimistic[v] = i
@@ -262,7 +271,7 @@ func (p *Protocol) NextUpload(u int, s *asim.State) (asim.Upload, bool) {
 			i = p.optimistic[u]
 		}
 		v := int(nbrs[i])
-		if v == 0 {
+		if v == 0 || !s.Alive(v) {
 			continue
 		}
 		if p.opts.DownloadPorts != asim.Unlimited && s.InFlightCount(v) >= p.opts.DownloadPorts {
@@ -275,6 +284,47 @@ func (p *Protocol) NextUpload(u int, s *asim.State) (asim.Upload, bool) {
 	}
 	return asim.Upload{}, false
 }
+
+// recomputeFreq rebuilds rarity statistics over the alive population.
+func (p *Protocol) recomputeFreq(s *asim.State) {
+	p.ensure(s)
+	for b := range p.freq {
+		p.freq[b] = 0
+	}
+	for v := 0; v < s.N(); v++ {
+		if !s.Alive(v) {
+			continue
+		}
+		for b := 0; b < s.K(); b++ {
+			if s.Has(v, b) {
+				p.freq[b]++
+			}
+		}
+	}
+}
+
+// OnCrash implements asim.FaultAware: drop the victim's holdings from
+// the rarity statistics. Its choke state is left in place — NextUpload
+// and the choke timers already route around dead peers — and the recv
+// credit it earned simply ages out at the next choke window.
+func (p *Protocol) OnCrash(_ int, s *asim.State) { p.recomputeFreq(s) }
+
+// OnRejoin implements asim.FaultAware.
+func (p *Protocol) OnRejoin(v int, _ bool, s *asim.State) {
+	p.recomputeFreq(s)
+	// The returning peer starts from a clean slate: everything choked
+	// except a fresh optimistic unchoke, exactly like a cold start.
+	p.unchoked[v] = p.unchoked[v][:0]
+	for i := range p.recv[v] {
+		p.recv[v][i] = 0
+	}
+	p.rotateOptimistic(v, s)
+}
+
+// OnLoss implements asim.FaultAware: the sender earns no tit-for-tat
+// credit for a block that never verified, which OnDeliver not being
+// called already guarantees.
+func (p *Protocol) OnLoss(_, _, _ int, _ bool, _ *asim.State) {}
 
 // rarestNeeded returns the globally rarest block u can give v, or -1.
 func (p *Protocol) rarestNeeded(u, v int, s *asim.State) int {

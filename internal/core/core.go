@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"barterdist/internal/analysis"
+	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
 	"barterdist/internal/randomized"
@@ -133,6 +134,14 @@ type Config struct {
 	// exceed it — e.g. credit-limited runs on under-provisioned overlays
 	// (Figure 6's "off the charts" region) — return ErrStalled.
 	MaxTicks int
+
+	// Fault, when non-nil, injects deterministic adversity (crashes,
+	// rejoins, transfer loss) into the run; see fault.Options. The
+	// deterministic pipeline schedules are automatically wrapped in
+	// schedule.SelfHeal so they survive churn; the randomized schedulers
+	// are natively fault-aware. A nil Fault reproduces the fault-free
+	// engine byte for byte.
+	Fault *fault.Options
 }
 
 // Result reports a completed run.
@@ -153,6 +162,11 @@ type Result struct {
 	// Sim carries the raw engine result (per-client completion times,
 	// per-tick upload counts, trace when recorded).
 	Sim *simulate.Result
+	// SimConfig is the exact engine configuration the run used (after
+	// Run's defaulting), so callers can replay it — e.g. through
+	// simulate.RunAudit. Its Fault field is nil: the consumed plan is
+	// not reusable, and auditing replays from Sim.FaultLog instead.
+	SimConfig simulate.Config
 }
 
 // DownloadUnlimited as Config.DownloadCap removes the download bound.
@@ -193,6 +207,22 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Fault != nil {
+		plan, err := fault.NewPlan(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Fault = plan
+		switch cfg.Algorithm {
+		case AlgoRandomized, AlgoTriangular:
+			// Natively fault-aware: they re-sample around dead peers.
+		default:
+			// Precomputed pipeline schedules desynchronize under churn;
+			// SelfHeal re-embeds the survivors (and stays out of the way
+			// on fault-free ticks).
+			sched = schedule.NewSelfHeal(sched)
+		}
+	}
 
 	simRes, err := simulate.Run(simCfg, sched)
 	if err != nil {
@@ -209,7 +239,9 @@ func Run(cfg Config) (*Result, error) {
 		Efficiency:        simRes.Efficiency(cfg.Nodes),
 		Overlay:           overlayName,
 		Sim:               simRes,
+		SimConfig:         simCfg,
 	}
+	res.SimConfig.Fault = nil // the consumed plan must not leak into replays
 	if len(simRes.Trace) > 0 {
 		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace)
 	}

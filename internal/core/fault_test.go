@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"barterdist/internal/fault"
+	"barterdist/internal/simulate"
+)
+
+// TestZeroFaultOptionsAreByteIdentical pins the fault layer's
+// pay-for-what-you-use contract at the façade: attaching an all-zero
+// fault.Options (which also routes deterministic schedules through the
+// SelfHeal wrapper) must reproduce the fault-free run exactly, trace
+// and all, for every algorithm family.
+func TestZeroFaultOptionsAreByteIdentical(t *testing.T) {
+	algos := []Config{
+		{Algorithm: AlgoPipeline},
+		{Algorithm: AlgoBinomialPipeline},
+		{Algorithm: AlgoRiffle},
+		{Algorithm: AlgoRandomized, Seed: 3},
+		{Algorithm: AlgoTriangular, Seed: 3},
+	}
+	for _, base := range algos {
+		base.Nodes, base.Blocks = 16, 8
+		base.RecordTrace = true
+		plain, err := Run(base)
+		if err != nil {
+			t.Fatalf("%s: %v", base.Algorithm, err)
+		}
+		withPlan := base
+		withPlan.Fault = &fault.Options{Seed: 1} // all rates zero
+		planned, err := Run(withPlan)
+		if err != nil {
+			t.Fatalf("%s with zero-rate plan: %v", base.Algorithm, err)
+		}
+		if plain.CompletionTime != planned.CompletionTime {
+			t.Errorf("%s: completion %d fault-free vs %d with zero-rate plan",
+				base.Algorithm, plain.CompletionTime, planned.CompletionTime)
+		}
+		if !reflect.DeepEqual(plain.Sim.Trace, planned.Sim.Trace) {
+			t.Errorf("%s: zero-rate plan perturbed the trace", base.Algorithm)
+		}
+		if len(planned.Sim.FaultLog) != 0 || planned.Sim.LostTransfers != 0 {
+			t.Errorf("%s: zero-rate plan produced fault activity", base.Algorithm)
+		}
+	}
+}
+
+// TestChurnRunsCompleteAndAudit exercises the façade's fault wiring
+// end to end for both scheduler families: the randomized algorithms
+// re-sample around dead peers, the deterministic pipelines heal via
+// schedule.SelfHeal; each surviving client must finish and the
+// recorded trace must replay through simulate.RunAudit.
+func TestChurnRunsCompleteAndAudit(t *testing.T) {
+	cases := []Config{
+		{Algorithm: AlgoRandomized, Seed: 5},
+		{Algorithm: AlgoTriangular, Seed: 5},
+		{Algorithm: AlgoBinomialPipeline},
+		{Algorithm: AlgoRiffle},
+	}
+	for i, cfg := range cases {
+		cfg.Nodes, cfg.Blocks = 20, 12
+		cfg.RecordTrace = true
+		cfg.MaxTicks = 60 * (cfg.Nodes + cfg.Blocks)
+		cfg.Fault = &fault.Options{
+			Seed:              uint64(300 + i),
+			CrashRate:         0.05,
+			MaxCrashes:        3,
+			RejoinDelay:       6,
+			RejoinLosesBlocks: true,
+			LossRate:          0.03,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Algorithm, err)
+		}
+		if len(res.Sim.FaultLog) == 0 {
+			t.Fatalf("%s: seed produced no fault events; pick a livelier seed", cfg.Algorithm)
+		}
+		for v := 1; v < cfg.Nodes; v++ {
+			if res.Sim.FinalAlive[v] && res.Sim.FinalHave[v].Count() != cfg.Blocks {
+				t.Fatalf("%s: alive client %d finished with %d/%d blocks",
+					cfg.Algorithm, v, res.Sim.FinalHave[v].Count(), cfg.Blocks)
+			}
+		}
+		if err := simulate.RunAudit(res.SimConfig, res.Sim); err != nil {
+			t.Fatalf("%s: audit: %v", cfg.Algorithm, err)
+		}
+	}
+}

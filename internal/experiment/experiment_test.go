@@ -220,3 +220,33 @@ func TestTableDCI(t *testing.T) {
 		t.Errorf("render malformed:\n%s", out)
 	}
 }
+
+func TestTableECI(t *testing.T) {
+	tbl, err := TableE(ScaleCI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := tableECIRateCount(t)
+	if len(tbl.Rows) != rates {
+		t.Fatalf("tableE has %d rows for %d churn rates", len(tbl.Rows), rates)
+	}
+	if len(tbl.Header) != 7 { // crash rate + six scheduler columns
+		t.Fatalf("tableE header has %d columns: %v", len(tbl.Header), tbl.Header)
+	}
+	// The zero-churn row is fault-free: no scheduler may stall there.
+	for i, cell := range tbl.Rows[0][1:] {
+		if strings.Contains(cell, "stall") {
+			t.Errorf("column %q stalls with zero churn", tbl.Header[i+1])
+		}
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "randomized") || !strings.Contains(out, "triangular") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func tableECIRateCount(t *testing.T) int {
+	t.Helper()
+	_, _, rates, _ := tableEParams(ScaleCI)
+	return len(rates)
+}

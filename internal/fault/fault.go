@@ -1,0 +1,317 @@
+// Package fault is the deterministic adversity layer shared by both
+// simulators: it schedules node crashes, departures and rejoins, and
+// per-transfer loss/corruption, all driven by the repository's seeded
+// RNG so that every faulty run is exactly reproducible.
+//
+// The paper's analysis (Section 2.3.4) assumes a static, reliable
+// swarm; this package supplies the missing half of the robustness
+// story. A Plan is a stream of fault decisions:
+//
+//   - crash arrivals follow a Poisson process with rate
+//     Options.CrashRate (events per tick in the synchronous engine,
+//     per unit time in the asynchronous one — the two time axes are
+//     deliberately identical, 1 tick = 1 unit);
+//   - each arrival picks a victim among the currently alive clients,
+//     either uniformly or adversarially ("kill the most useful peer",
+//     the worst case for pipeline-structured schedules);
+//   - crashed nodes optionally rejoin after Options.RejoinDelay,
+//     with or without their block cache;
+//   - every individual transfer is lost with probability
+//     Options.LossRate or corrupted (delivered bytes fail
+//     verification and are discarded) with probability
+//     Options.CorruptRate.
+//
+// The server (node 0) is immune: a dead server makes every completion
+// question vacuous, and the paper's model has no server redundancy.
+//
+// A Plan is single-use and stateful; engines call Acquire before
+// consuming it so that accidentally sharing one Plan across two runs
+// fails loudly instead of silently decorrelating the streams. Crash
+// arrivals, victim selection, and transfer fates draw from three
+// independent sub-streams of the seed, so enabling loss does not
+// perturb the crash schedule of the same seed.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"barterdist/internal/xrand"
+)
+
+// Kind labels a fault event.
+type Kind uint8
+
+// The event kinds.
+const (
+	// Crash marks a node leaving the system (cleanly or not: in-flight
+	// transfers to and from it are aborted by the engine).
+	Crash Kind = iota + 1
+	// Rejoin marks a previously crashed node coming back.
+	Rejoin
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Rejoin:
+		return "rejoin"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one applied fault, as recorded by an engine's fault log.
+// Time is the tick (synchronous engine, integral values) or the
+// continuous timestamp (asynchronous engine) at which the event took
+// effect.
+type Event struct {
+	Time float64
+	Node int32
+	Kind Kind
+	// Wiped is set on Rejoin events when the node came back empty
+	// (Options.RejoinLosesBlocks); audit replay needs it to reproduce
+	// the post-rejoin state without access to the original Options.
+	Wiped bool
+}
+
+// Victim selects the crash-victim policy.
+type Victim uint8
+
+// The victim policies.
+const (
+	// VictimUniform crashes a uniformly random alive client.
+	VictimUniform Victim = iota
+	// VictimMostUseful crashes the alive client with the highest
+	// usefulness score (ties broken toward the lowest node id) — the
+	// adversarial "kill the most-useful peer" policy. For both engines
+	// the score is the victim's current block count, which for
+	// pipeline-structured schedules is exactly the node the schedule
+	// can least afford to lose.
+	VictimMostUseful
+)
+
+// String implements fmt.Stringer.
+func (v Victim) String() string {
+	switch v {
+	case VictimUniform:
+		return "uniform"
+	case VictimMostUseful:
+		return "most-useful"
+	default:
+		return fmt.Sprintf("victim(%d)", uint8(v))
+	}
+}
+
+// Options configures a Plan. The zero value describes a fault-free
+// plan (no crashes, no loss); engines treat a nil *Plan and a
+// zero-rate Plan identically.
+type Options struct {
+	// Seed drives every fault decision.
+	Seed uint64
+	// CrashRate is the Poisson rate of crash arrivals per tick (or per
+	// unit time). 0 disables crashes.
+	CrashRate float64
+	// MaxCrashes caps the total number of crash events (0 = unbounded).
+	// Useful to keep survivor overlays connected in experiments.
+	MaxCrashes int
+	// RejoinDelay is how long a crashed node stays away before
+	// rejoining. 0 means crashed nodes never return (permanent
+	// departure); the engines then exclude them from the completion
+	// criterion.
+	RejoinDelay float64
+	// RejoinLosesBlocks makes a rejoining node come back with an empty
+	// cache (it must re-download everything), modeling a fresh peer
+	// reusing the slot. When false the node keeps the blocks it held.
+	RejoinLosesBlocks bool
+	// LossRate is the iid probability that a scheduled transfer
+	// vanishes (the block never arrives). 0 disables loss.
+	LossRate float64
+	// CorruptRate is the iid probability that a transfer arrives but
+	// fails verification and is discarded by the receiver. Effectively
+	// another loss channel, but reported separately.
+	CorruptRate float64
+	// Victim selects the crash-victim policy.
+	Victim Victim
+}
+
+func (o *Options) validate() error {
+	check := func(name string, v float64, maxExclusive bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("fault: %s = %v must be finite and >= 0", name, v)
+		}
+		if maxExclusive && v >= 1 {
+			return fmt.Errorf("fault: %s = %v must be < 1", name, v)
+		}
+		return nil
+	}
+	if err := check("CrashRate", o.CrashRate, false); err != nil {
+		return err
+	}
+	if err := check("RejoinDelay", o.RejoinDelay, false); err != nil {
+		return err
+	}
+	if err := check("LossRate", o.LossRate, true); err != nil {
+		return err
+	}
+	if err := check("CorruptRate", o.CorruptRate, true); err != nil {
+		return err
+	}
+	if o.MaxCrashes < 0 {
+		return fmt.Errorf("fault: MaxCrashes = %d must be >= 0", o.MaxCrashes)
+	}
+	switch o.Victim {
+	case VictimUniform, VictimMostUseful:
+	default:
+		return fmt.Errorf("fault: unknown victim policy %d", uint8(o.Victim))
+	}
+	return nil
+}
+
+// Plan is a seeded, single-use stream of fault decisions. Engines
+// query it in a fixed order, so a given seed always yields the same
+// adversity regardless of what the scheduler under test does with it.
+type Plan struct {
+	opts Options
+
+	arrivalRng *xrand.Rand // crash inter-arrival times
+	victimRng  *xrand.Rand // victim selection
+	lossRng    *xrand.Rand // per-transfer fates
+
+	nextCrash   float64
+	crashesLeft int // decremented per arrival; <0 means unbounded
+	acquired    bool
+}
+
+// NewPlan validates opts and returns a fresh Plan.
+func NewPlan(opts Options) (*Plan, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(opts.Seed)
+	p := &Plan{
+		opts:        opts,
+		arrivalRng:  root.Split(),
+		victimRng:   root.Split(),
+		lossRng:     root.Split(),
+		crashesLeft: opts.MaxCrashes,
+	}
+	if opts.MaxCrashes == 0 {
+		p.crashesLeft = -1
+	}
+	p.nextCrash = p.drawArrival(0)
+	return p, nil
+}
+
+// Options returns the plan's configuration.
+func (p *Plan) Options() Options { return p.opts }
+
+// Acquire marks the plan as consumed by an engine run. Reusing a plan
+// across runs is a bug (the decision streams would be continuations,
+// not reproductions), so the second Acquire fails.
+func (p *Plan) Acquire() error {
+	if p.acquired {
+		return fmt.Errorf("fault: Plan already consumed by a previous run; build one Plan per run")
+	}
+	p.acquired = true
+	return nil
+}
+
+// drawArrival returns the next Poisson arrival strictly after from, or
+// +Inf when crashes are disabled or exhausted.
+func (p *Plan) drawArrival(from float64) float64 {
+	if p.opts.CrashRate <= 0 || p.crashesLeft == 0 {
+		return math.Inf(1)
+	}
+	// Exponential inter-arrival; 1-U keeps the argument in (0, 1].
+	u := p.arrivalRng.Float64()
+	return from + -math.Log(1-u)/p.opts.CrashRate
+}
+
+// NextCrash returns the next pending crash arrival time. ok is false
+// when no further crashes will occur.
+func (p *Plan) NextCrash() (at float64, ok bool) {
+	if math.IsInf(p.nextCrash, 1) {
+		return 0, false
+	}
+	return p.nextCrash, true
+}
+
+// TakeCrash consumes the pending arrival and draws the next one.
+func (p *Plan) TakeCrash() {
+	if p.crashesLeft > 0 {
+		p.crashesLeft--
+	}
+	p.nextCrash = p.drawArrival(p.nextCrash)
+}
+
+// PickVictim selects the node to crash among clients 1..n-1 for which
+// eligible reports true. score is only consulted under
+// VictimMostUseful and may be nil otherwise. It returns -1 when no
+// client is eligible. The RNG is advanced only by the uniform policy,
+// and only when at least one client is eligible.
+func (p *Plan) PickVictim(n int, eligible func(v int) bool, score func(v int) int) int {
+	switch p.opts.Victim {
+	case VictimMostUseful:
+		best, bestScore := -1, -1
+		for v := 1; v < n; v++ {
+			if !eligible(v) {
+				continue
+			}
+			if s := score(v); s > bestScore {
+				best, bestScore = v, s
+			}
+		}
+		return best
+	default: // VictimUniform
+		count := 0
+		for v := 1; v < n; v++ {
+			if eligible(v) {
+				count++
+			}
+		}
+		if count == 0 {
+			return -1
+		}
+		target := p.victimRng.Intn(count)
+		for v := 1; v < n; v++ {
+			if !eligible(v) {
+				continue
+			}
+			if target == 0 {
+				return v
+			}
+			target--
+		}
+		return -1 // unreachable
+	}
+}
+
+// Lossy reports whether the plan can drop or corrupt transfers at all;
+// engines use it to skip per-transfer sampling (and keep the zero-rate
+// RNG stream empty) on loss-free plans.
+func (p *Plan) Lossy() bool { return p.opts.LossRate > 0 || p.opts.CorruptRate > 0 }
+
+// Drop samples one transfer's fate: lost (vanished in the network) or
+// corrupt (arrived but discarded). At most one of the two is set.
+// Engines must call it exactly once per scheduled transfer, in
+// schedule order, so the stream is reproducible.
+func (p *Plan) Drop() (lost, corrupt bool) {
+	if p.opts.LossRate > 0 {
+		lost = p.lossRng.Float64() < p.opts.LossRate
+	}
+	if !lost && p.opts.CorruptRate > 0 {
+		corrupt = p.lossRng.Float64() < p.opts.CorruptRate
+	}
+	return lost, corrupt
+}
+
+// Rejoins reports whether crashed nodes come back, and after how long.
+func (p *Plan) Rejoins() (delay float64, ok bool) {
+	return p.opts.RejoinDelay, p.opts.RejoinDelay > 0
+}
+
+// RejoinWipes reports whether rejoining nodes lose their block cache.
+func (p *Plan) RejoinWipes() bool { return p.opts.RejoinLosesBlocks }

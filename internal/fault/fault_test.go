@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroOptionsIsFaultFree(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.NextCrash(); ok {
+		t.Fatal("zero-rate plan schedules a crash")
+	}
+	if p.Lossy() {
+		t.Fatal("zero-rate plan reports itself lossy")
+	}
+	if _, ok := p.Rejoins(); ok {
+		t.Fatal("zero-rate plan schedules rejoins")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{CrashRate: -1},
+		{CrashRate: math.NaN()},
+		{CrashRate: math.Inf(1)},
+		{LossRate: 1},
+		{LossRate: -0.5},
+		{CorruptRate: 1.5},
+		{RejoinDelay: -2},
+		{MaxCrashes: -1},
+		{Victim: Victim(99)},
+	}
+	for i, o := range bad {
+		if _, err := NewPlan(o); err == nil {
+			t.Errorf("case %d: NewPlan(%+v) accepted invalid options", i, o)
+		}
+	}
+}
+
+func TestPlanIsSingleUse(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 3, CrashRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := p.Acquire(); err == nil {
+		t.Fatal("second Acquire succeeded; plans must be single-use")
+	}
+}
+
+func TestCrashArrivalsDeterministicAndPoisson(t *testing.T) {
+	draw := func() []float64 {
+		p, err := NewPlan(Options{Seed: 42, CrashRate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 50; i++ {
+			at, ok := p.NextCrash()
+			if !ok {
+				t.Fatal("unbounded plan ran out of crashes")
+			}
+			out = append(out, at)
+			p.TakeCrash()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	prev := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] <= prev {
+			t.Fatalf("arrival %d = %v not strictly increasing (prev %v)", i, a[i], prev)
+		}
+		prev = a[i]
+	}
+	// Mean inter-arrival should be near 1/rate = 2 over 50 draws.
+	mean := a[len(a)-1] / float64(len(a))
+	if mean < 1 || mean > 4 {
+		t.Fatalf("mean inter-arrival %v wildly off 1/rate = 2", mean)
+	}
+}
+
+func TestMaxCrashesCapsArrivals(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 5, CrashRate: 1, MaxCrashes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := p.NextCrash(); !ok {
+			break
+		}
+		p.TakeCrash()
+		n++
+		if n > 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("MaxCrashes=3 plan yielded %d arrivals", n)
+	}
+}
+
+func TestPickVictimMostUseful(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 1, CrashRate: 1, Victim: VictimMostUseful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := []int{99, 4, 7, 7, 2}
+	v := p.PickVictim(5,
+		func(v int) bool { return v != 3 }, // the first max-score node is ineligible
+		func(v int) int { return score[v] })
+	if v != 2 {
+		t.Fatalf("most-useful victim = %d, want 2 (highest eligible score, lowest id)", v)
+	}
+	if v := p.PickVictim(5, func(int) bool { return false }, func(v int) int { return 0 }); v != -1 {
+		t.Fatalf("no eligible clients but victim = %d", v)
+	}
+}
+
+func TestPickVictimUniformRespectsEligibility(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 7, CrashRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := 0; i < 200; i++ {
+		v := p.PickVictim(6, func(v int) bool { return v%2 == 1 }, nil)
+		if v%2 != 1 || v <= 0 || v >= 6 {
+			t.Fatalf("uniform victim %d outside the eligible set", v)
+		}
+		seen[v]++
+	}
+	for _, v := range []int{1, 3, 5} {
+		if seen[v] == 0 {
+			t.Fatalf("eligible victim %d never selected in 200 draws", v)
+		}
+	}
+}
+
+func TestDropRatesAndExclusivity(t *testing.T) {
+	p, err := NewPlan(Options{Seed: 11, LossRate: 0.3, CorruptRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost, corrupt := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l, c := p.Drop()
+		if l && c {
+			t.Fatal("a transfer cannot be both lost and corrupt")
+		}
+		if l {
+			lost++
+		}
+		if c {
+			corrupt++
+		}
+	}
+	if f := float64(lost) / n; f < 0.27 || f > 0.33 {
+		t.Fatalf("loss frequency %v far from 0.3", f)
+	}
+	// Corruption is sampled only on non-lost transfers: expect 0.7*0.2.
+	if f := float64(corrupt) / n; f < 0.11 || f > 0.17 {
+		t.Fatalf("corrupt frequency %v far from 0.14", f)
+	}
+}
+
+func TestIndependentStreams(t *testing.T) {
+	// Enabling loss must not perturb the crash schedule of the same seed.
+	a, err := NewPlan(Options{Seed: 99, CrashRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(Options{Seed: 99, CrashRate: 0.25, LossRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		at1, _ := a.NextCrash()
+		at2, _ := b.NextCrash()
+		if at1 != at2 {
+			t.Fatalf("arrival %d: %v with loss disabled vs %v enabled", i, at1, at2)
+		}
+		b.Drop() // interleave loss draws; must not touch the arrival stream
+		a.TakeCrash()
+		b.TakeCrash()
+	}
+}
+
+func TestKindAndVictimStrings(t *testing.T) {
+	if Crash.String() != "crash" || Rejoin.String() != "rejoin" {
+		t.Fatal("Kind strings changed")
+	}
+	if VictimUniform.String() != "uniform" || VictimMostUseful.String() != "most-useful" {
+		t.Fatal("Victim strings changed")
+	}
+}

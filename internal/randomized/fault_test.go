@@ -1,0 +1,111 @@
+package randomized
+
+import (
+	"testing"
+
+	"barterdist/internal/fault"
+	"barterdist/internal/graph"
+	"barterdist/internal/simulate"
+)
+
+func churnPlan(t *testing.T, o fault.Options) *fault.Plan {
+	t.Helper()
+	p, err := fault.NewPlan(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRandomizedCompletesUnderChurn drives the randomized schedulers
+// through crash/wiped-rejoin/loss churn on the complete graph. The
+// scheduler's block-frequency bookkeeping is rebuilt on fault events
+// and decremented on lost transfers, so a bookkeeping bug shows up
+// either as a stall (rarest-first chasing phantom frequencies) or as an
+// audit failure on replay.
+func TestRandomizedCompletesUnderChurn(t *testing.T) {
+	const n, k = 24, 16
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"random", Options{Seed: 8}},
+		{"rarest-first", Options{Policy: RarestFirst, Seed: 8}},
+		{"credit s=2", Options{CreditLimit: 2, Seed: 8}},
+	}
+	for i, tc := range cases {
+		sched, err := New(tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := simulate.Config{
+			Nodes: n, Blocks: k, RecordTrace: true,
+			MaxTicks: 60 * (n + k),
+			Fault: churnPlan(t, fault.Options{
+				Seed:              uint64(40 + i),
+				CrashRate:         0.12,
+				MaxCrashes:        4,
+				RejoinDelay:       5,
+				RejoinLosesBlocks: true,
+				LossRate:          0.05,
+			}),
+		}
+		res, err := simulate.Run(cfg, sched)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.FaultLog) == 0 || res.LostTransfers == 0 {
+			t.Fatalf("%s: seed produced no churn (%d events, %d lost); pick a livelier seed",
+				tc.name, len(res.FaultLog), res.LostTransfers)
+		}
+		for v := 1; v < n; v++ {
+			if res.FinalAlive[v] && res.FinalHave[v].Count() != k {
+				t.Fatalf("%s: alive client %d finished with %d/%d blocks",
+					tc.name, v, res.FinalHave[v].Count(), k)
+			}
+		}
+		cfg.Fault = nil
+		if err := simulate.RunAudit(cfg, res); err != nil {
+			t.Fatalf("%s: audit: %v", tc.name, err)
+		}
+	}
+}
+
+// TestTriangularCompletesUnderChurn repeats the churn run for the
+// triangular-barter scheduler: settlement cycles must keep working as
+// peers vanish and return wiped.
+func TestTriangularCompletesUnderChurn(t *testing.T) {
+	const n, k = 24, 16
+	sched, err := NewTriangular(TriangularOptions{Graph: graph.Complete(n), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simulate.Config{
+		Nodes: n, Blocks: k, RecordTrace: true,
+		MaxTicks: 120 * (n + k),
+		Fault: churnPlan(t, fault.Options{
+			Seed:              44,
+			CrashRate:         0.12,
+			MaxCrashes:        3,
+			RejoinDelay:       5,
+			RejoinLosesBlocks: true,
+			LossRate:          0.03,
+		}),
+	}
+	res, err := simulate.Run(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FaultLog) == 0 {
+		t.Fatal("seed produced no fault events; pick a livelier seed")
+	}
+	for v := 1; v < n; v++ {
+		if res.FinalAlive[v] && res.FinalHave[v].Count() != k {
+			t.Fatalf("alive client %d finished with %d/%d blocks", v, res.FinalHave[v].Count(), k)
+		}
+	}
+	cfg.Fault = nil
+	if err := simulate.RunAudit(cfg, res); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}

@@ -201,6 +201,23 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 			return nil, err
 		}
 	}
+	// Fault awareness. A crash or rejoin changes who holds what, so the
+	// global rarity statistics and the no-peer cache (both keyed to the
+	// old population) are rebuilt from scratch; the rebuild also bakes in
+	// any blocks that vanished in transit. On event-free ticks, losses
+	// reported by the engine undo the speculative freq increments made
+	// when the doomed transfers were scheduled. Fault-free runs take
+	// neither branch, so they consume exactly the pre-fault RNG stream.
+	if len(st.FaultEvents()) > 0 {
+		s.recomputeFreq(st)
+		for i := range s.noPeerAtCount {
+			s.noPeerAtCount[i] = -1
+		}
+	} else {
+		for _, lt := range st.LostLastTick() {
+			s.freq[lt.Block]--
+		}
+	}
 	for i := 0; i < s.n; i++ {
 		s.downUsed[i] = 0
 		s.incoming[i] = s.incoming[i][:0]
@@ -209,7 +226,7 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 	s.avail = s.avail[:0]
 	s.removedInTick = 0
 	for v := 1; v < s.n; v++ {
-		if !st.Blocks(v).Full() {
+		if st.Alive(v) && !st.Blocks(v).Full() {
 			s.availPos[v] = int32(len(s.avail))
 			s.avail = append(s.avail, int32(v))
 		}
@@ -226,6 +243,9 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 
 	s.rng.Shuffle(s.order)
 	for _, u := range s.order {
+		if !st.Alive(u) {
+			continue // crashed nodes neither offer nor receive
+		}
 		if st.CountOf(u) == 0 {
 			continue // nothing to offer yet
 		}
@@ -255,6 +275,25 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 		}
 	}
 	return dst, nil
+}
+
+// recomputeFreq rebuilds the global replication counts from the block
+// sets of the currently alive nodes. Called whenever a fault event
+// (crash, rejoin, wipe) invalidates the incremental statistics.
+func (s *Scheduler) recomputeFreq(st *simulate.State) {
+	for b := range s.freq {
+		s.freq[b] = 0
+	}
+	for v := 0; v < s.n; v++ {
+		if !st.Alive(v) {
+			continue
+		}
+		for b := 0; b < s.k; b++ {
+			if st.Has(v, b) {
+				s.freq[b]++
+			}
+		}
+	}
 }
 
 // rewire replaces the overlay with a fresh random regular graph of the
@@ -388,6 +427,9 @@ func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified
 	if v == 0 {
 		return false, false // the server needs nothing
 	}
+	if !st.Alive(v) {
+		return false, false // dead receivers are re-sampled around
+	}
 	if !s.needsSomething(st, u, v) {
 		return false, false
 	}
@@ -500,7 +542,7 @@ func (s *Scheduler) blockFreq(st *simulate.State, v, b int) int {
 	count := 0
 	if g := s.opts.Graph; g != nil {
 		for _, w := range g.Neighbors(v) {
-			if st.Has(int(w), b) {
+			if st.Alive(int(w)) && st.Has(int(w), b) {
 				count++
 			}
 		}

@@ -135,6 +135,28 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 			return nil, err
 		}
 	}
+	// Fault awareness mirrors Scheduler.Tick: rebuild rarity statistics
+	// after any crash/rejoin, undo speculative increments for transfers
+	// the engine reported lost, and never consume RNG on fault-free runs.
+	if len(st.FaultEvents()) > 0 {
+		for b := range ts.freq {
+			ts.freq[b] = 0
+		}
+		for v := 0; v < ts.n; v++ {
+			if !st.Alive(v) {
+				continue
+			}
+			for b := 0; b < ts.k; b++ {
+				if st.Has(v, b) {
+					ts.freq[b]++
+				}
+			}
+		}
+	} else {
+		for _, lt := range st.LostLastTick() {
+			ts.freq[lt.Block]--
+		}
+	}
 	for i := 0; i < ts.n; i++ {
 		ts.downUsed[i] = 0
 		ts.incoming[i] = ts.incoming[i][:0]
@@ -144,7 +166,7 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	// Phase 1: intents, in random order, reserving download capacity.
 	ts.rng.Shuffle(ts.order)
 	for _, u := range ts.order {
-		if st.CountOf(u) == 0 {
+		if !st.Alive(u) || st.CountOf(u) == 0 {
 			continue
 		}
 		v := ts.pickIntent(st, u)
@@ -308,7 +330,7 @@ func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
 		j := i + ts.rng.Intn(len(ts.scratch)-i)
 		ts.scratch[i], ts.scratch[j] = ts.scratch[j], ts.scratch[i]
 		v := int(ts.scratch[i])
-		if v == 0 {
+		if v == 0 || !st.Alive(v) {
 			continue
 		}
 		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsed[v] >= ts.opts.DownloadCap {
@@ -368,7 +390,7 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 			if ts.opts.Policy == LocalRare {
 				f = 0
 				for _, w := range ts.opts.Graph.Neighbors(v) {
-					if st.Has(int(w), b) {
+					if st.Alive(int(w)) && st.Has(int(w), b) {
 						f++
 					}
 				}

@@ -1,0 +1,190 @@
+package schedule
+
+import (
+	"fmt"
+
+	"barterdist/internal/simulate"
+)
+
+// healMode is SelfHeal's current operating regime.
+type healMode uint8
+
+const (
+	healPass healMode = iota
+	healRepair
+	healChain
+)
+
+// stallSlack pads the repair stall window beyond the 2r ticks a full
+// dimension sweep of the rebuilt hypercube needs to show progress.
+const stallSlack = 4
+
+// SelfHeal makes a deterministic schedule survive churn. The paper's
+// pipeline schedules (Binomial/Riffle, Section 2.3) are precomputed
+// against a fixed, reliable swarm; one crash or lost block desynchronizes
+// them permanently — downstream senders are asked to forward blocks that
+// never arrived. SelfHeal wraps such a schedule and escalates through
+// three regimes:
+//
+//  1. Passthrough: while no fault has ever been observed, the wrapped
+//     scheduler runs untouched (and consumes no extra state), so
+//     fault-free runs are tick-identical to the unwrapped schedule.
+//  2. Repair: on the first crash, rejoin, or lost transfer, the wrapped
+//     schedule is abandoned and a fresh BinomialPipeline is embedded
+//     over the surviving nodes (server plus currently-alive clients,
+//     Section 2.3.3's paired-hypercube assignment), with its logical
+//     clock restarted. Because BinomialPipeline derives every transfer
+//     from the live block state — each vertex forwards the highest block
+//     it actually holds — the rebuilt schedule is store-and-forward-safe
+//     from any intermediate state. Each further crash or rejoin re-embeds
+//     the survivors; losses alone never trigger a rebuild.
+//  3. Chain: the restarted pipeline is not guaranteed to finish from an
+//     arbitrary block distribution (the server vertex emits block j only
+//     once per k-tick sweep), so a stall detector watches the total
+//     block count over the alive population; if it fails to grow for
+//     2r+4 consecutive ticks, SelfHeal falls back to a daisy chain over
+//     the alive nodes in id order. The chain provably completes: the
+//     server holds every block, so the first incomplete node in the
+//     chain always has a full predecessor and receives a new block every
+//     tick it is not unlucky with loss; induction along the chain
+//     finishes every survivor. The chain is recomputed from the live
+//     state each tick, so it also self-retries dropped transfers.
+//
+// The chain sends at most one block per node per tick and each node
+// receives from exactly one predecessor, so any engine configuration
+// with UploadCap >= 1 and DownloadCap >= 1 admits it.
+type SelfHeal struct {
+	inner simulate.Scheduler
+	mode  healMode
+
+	repair *BinomialPipeline
+	t0     int // engine tick offset: repair's local tick = t - t0
+
+	window       int // stall threshold (2r + slack) for the current repair
+	stalled      int // consecutive ticks without alive-population progress
+	lastProgress int
+}
+
+var _ simulate.Scheduler = (*SelfHeal)(nil)
+
+// NewSelfHeal wraps a deterministic scheduler with the crash-repair
+// escalation described on SelfHeal.
+func NewSelfHeal(inner simulate.Scheduler) *SelfHeal {
+	return &SelfHeal{inner: inner}
+}
+
+// Mode reports the current regime ("passthrough", "repair", "chain")
+// for tests and experiment output.
+func (sh *SelfHeal) Mode() string {
+	switch sh.mode {
+	case healRepair:
+		return "repair"
+	case healChain:
+		return "chain"
+	default:
+		return "passthrough"
+	}
+}
+
+// Tick implements simulate.Scheduler.
+func (sh *SelfHeal) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+	rebuilt := false
+	switch sh.mode {
+	case healPass:
+		if len(st.FaultEvents()) == 0 && len(st.LostLastTick()) == 0 {
+			return sh.inner.Tick(t, st, dst)
+		}
+		sh.mode = healRepair
+		if err := sh.rebuild(t, st); err != nil {
+			return nil, err
+		}
+		rebuilt = true
+	case healRepair:
+		if len(st.FaultEvents()) > 0 {
+			if err := sh.rebuild(t, st); err != nil {
+				return nil, err
+			}
+			rebuilt = true
+		}
+	}
+	if sh.mode == healRepair && !rebuilt {
+		if p := sh.aliveBlocks(st); p > sh.lastProgress {
+			sh.lastProgress = p
+			sh.stalled = 0
+		} else {
+			sh.stalled++
+			if sh.stalled >= sh.window {
+				sh.mode = healChain
+				sh.repair = nil
+			}
+		}
+	}
+	switch sh.mode {
+	case healRepair:
+		if sh.repair == nil {
+			return dst, nil // only the server survives; nothing to do
+		}
+		return sh.repair.Tick(t-sh.t0, st, dst)
+	default: // healChain
+		return sh.chainTick(st, dst), nil
+	}
+}
+
+// rebuild re-embeds the surviving nodes in a fresh paired hypercube and
+// restarts the repair schedule's logical clock at the current tick.
+func (sh *SelfHeal) rebuild(t int, st *simulate.State) error {
+	alive := make([]int32, 1, st.N())
+	alive[0] = 0 // the server is immune by the fault model
+	for v := 1; v < st.N(); v++ {
+		if st.Alive(v) {
+			alive = append(alive, int32(v))
+		}
+	}
+	sh.repair = nil
+	r := 0
+	if len(alive) >= 2 {
+		blocks := make([]int32, st.K())
+		for b := range blocks {
+			blocks[b] = int32(b)
+		}
+		bp, err := NewBinomialPipelineOn(alive, blocks)
+		if err != nil {
+			return fmt.Errorf("schedule: self-heal rebuild: %w", err)
+		}
+		sh.repair = bp
+		r = bp.Dimension()
+	}
+	sh.t0 = t - 1
+	sh.window = 2*r + stallSlack
+	sh.lastProgress = sh.aliveBlocks(st)
+	sh.stalled = 0
+	return nil
+}
+
+// aliveBlocks is the stall-detector progress measure: total blocks held
+// across the alive population (the server's constant k included).
+func (sh *SelfHeal) aliveBlocks(st *simulate.State) int {
+	total := 0
+	for v := 0; v < st.N(); v++ {
+		if st.Alive(v) {
+			total += st.CountOf(v)
+		}
+	}
+	return total
+}
+
+// chainTick emits the daisy-chain fallback: alive nodes in ascending id
+// order, each sending its predecessor's lowest missing-block offer.
+func (sh *SelfHeal) chainTick(st *simulate.State, dst []simulate.Transfer) []simulate.Transfer {
+	prev := 0 // the server anchors the chain
+	for v := 1; v < st.N(); v++ {
+		if !st.Alive(v) {
+			continue
+		}
+		if b := st.Blocks(prev).FirstDiff(st.Blocks(v)); b >= 0 {
+			dst = append(dst, simulate.Transfer{From: int32(prev), To: int32(v), Block: int32(b)})
+		}
+		prev = v
+	}
+	return dst
+}

@@ -1,0 +1,141 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"barterdist/internal/fault"
+	"barterdist/internal/simulate"
+)
+
+func healPlan(t *testing.T, o fault.Options) *fault.Plan {
+	t.Helper()
+	p, err := fault.NewPlan(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSelfHealPassthroughIsTransparent pins the wrapper's zero-fault
+// contract: without fault events the wrapped schedule must reproduce
+// the bare schedule tick for tick.
+func TestSelfHealPassthroughIsTransparent(t *testing.T) {
+	const n, k = 16, 8
+	bare := func() simulate.Scheduler {
+		s, err := NewBinomialPipeline(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cfg := simulate.Config{Nodes: n, Blocks: k, RecordTrace: true}
+	plain, err := simulate.Run(cfg, bare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSelfHeal(bare())
+	wrapped, err := simulate.Run(cfg, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CompletionTime != wrapped.CompletionTime {
+		t.Fatalf("completion %d bare vs %d wrapped", plain.CompletionTime, wrapped.CompletionTime)
+	}
+	if !reflect.DeepEqual(plain.Trace, wrapped.Trace) {
+		t.Fatal("SelfHeal passthrough altered a fault-free trace")
+	}
+	if sh.Mode() != "passthrough" {
+		t.Fatalf("mode = %q after a fault-free run, want passthrough", sh.Mode())
+	}
+}
+
+// TestSelfHealCompletesUnderCrashes wraps each deterministic schedule
+// and drives it through crash + wiped-rejoin churn: every surviving
+// client must finish, and the recorded trace must replay cleanly.
+func TestSelfHealCompletesUnderCrashes(t *testing.T) {
+	const n, k = 16, 16
+	cases := []struct {
+		name  string
+		inner func() (simulate.Scheduler, error)
+	}{
+		{"pipeline", func() (simulate.Scheduler, error) { return Pipeline(), nil }},
+		{"binomial", func() (simulate.Scheduler, error) { return NewBinomialPipeline(n, k) }},
+		{"riffle", func() (simulate.Scheduler, error) { return NewRifflePipeline(n, k, true) }},
+	}
+	for i, tc := range cases {
+		inner, err := tc.inner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := simulate.Config{
+			Nodes: n, Blocks: k, RecordTrace: true,
+			MaxTicks: 40 * (n + k),
+			Fault: healPlan(t, fault.Options{
+				Seed:              uint64(31 + i),
+				CrashRate:         0.08,
+				MaxCrashes:        3,
+				RejoinDelay:       5,
+				RejoinLosesBlocks: true,
+			}),
+		}
+		res, err := simulate.Run(cfg, NewSelfHeal(inner))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.FaultLog) == 0 {
+			t.Fatalf("%s: seed produced no crashes; pick a livelier seed", tc.name)
+		}
+		for v := 1; v < n; v++ {
+			if res.FinalAlive[v] && res.FinalHave[v].Count() != k {
+				t.Fatalf("%s: alive client %d finished with %d/%d blocks",
+					tc.name, v, res.FinalHave[v].Count(), k)
+			}
+		}
+		cfg.Fault = nil
+		if err := simulate.RunAudit(cfg, res); err != nil {
+			t.Fatalf("%s: audit: %v", tc.name, err)
+		}
+	}
+}
+
+// TestSelfHealChainFallback forces the stall detector: under heavy
+// transfer loss the restarted binomial embedding keeps losing its
+// pipelined blocks, the wrapper must escalate to the chain fallback,
+// and the chain — recomputed every tick — must still finish the file.
+func TestSelfHealChainFallback(t *testing.T) {
+	const n, k = 12, 12
+	inner, err := NewBinomialPipeline(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSelfHeal(inner)
+	cfg := simulate.Config{
+		Nodes: n, Blocks: k, RecordTrace: true,
+		MaxTicks: 400 * (n + k),
+		Fault: healPlan(t, fault.Options{
+			Seed:              2,
+			CrashRate:         0.02,
+			MaxCrashes:        2,
+			RejoinDelay:       4,
+			RejoinLosesBlocks: true,
+			LossRate:          0.6,
+		}),
+	}
+	res, err := simulate.Run(cfg, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Mode() != "chain" {
+		t.Fatalf("mode = %q after heavy loss, want chain", sh.Mode())
+	}
+	for v := 1; v < n; v++ {
+		if res.FinalAlive[v] && res.FinalHave[v].Count() != k {
+			t.Fatalf("alive client %d finished with %d/%d blocks", v, res.FinalHave[v].Count(), k)
+		}
+	}
+	cfg.Fault = nil
+	if err := simulate.RunAudit(cfg, res); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}

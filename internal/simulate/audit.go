@@ -1,0 +1,209 @@
+package simulate
+
+import (
+	"errors"
+	"fmt"
+
+	"barterdist/internal/fault"
+)
+
+// ErrAudit wraps every RunAudit failure so callers can distinguish
+// "the recorded run broke an invariant" from configuration errors.
+var ErrAudit = errors.New("simulate: audit failed")
+
+func auditErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrAudit, fmt.Sprintf(format, args...))
+}
+
+// RunAudit replays a recorded run from scratch and verifies that every
+// engine invariant held and that the reported result is exactly what
+// the trace produces. It is the post-hoc counterpart of the engine's
+// online validation: given only the artifacts a run leaves behind
+// (Config, Trace, FaultLog, LostTrace, FinalHave), it re-derives the
+// whole execution and checks
+//
+//   - upload/download capacity: no node exceeds its per-tick caps;
+//   - store-and-forward: every sender held the block at the start of
+//     the tick it sent it;
+//   - liveness: no transfer touches a dead node, no node crashes twice
+//     or rejoins while alive, and the server never crashes;
+//   - accounting: useful-transfer and loss counts, per-client
+//     completion ticks, the completion time, and the final
+//     block-ownership state all match the recorded Result.
+//
+// A Result produced by Run with RecordTrace always passes; a doctored
+// trace — or one produced by a cheating scheduler through a permissive
+// engine — fails with a pinpointed ErrAudit. cfg.Fault is ignored: the
+// replay takes its adversity from res.FaultLog, so auditing never
+// consumes a fault plan.
+func RunAudit(cfg Config, res *Result) error {
+	cfg.Fault = nil
+	c, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return auditErr("nil result")
+	}
+	if c.Nodes == 1 {
+		return nil // vacuous run, nothing recorded
+	}
+	if res.FinalHave == nil {
+		return auditErr("result has no FinalHave snapshot; run with RecordTrace")
+	}
+	if len(res.FinalHave) != c.Nodes {
+		return auditErr("FinalHave has %d entries for %d nodes", len(res.FinalHave), c.Nodes)
+	}
+	if res.CompletionTime != len(res.Trace) {
+		return auditErr("CompletionTime %d does not match trace length %d",
+			res.CompletionTime, len(res.Trace))
+	}
+	if len(res.LostTrace) > len(res.Trace) {
+		return auditErr("LostTrace has %d ticks but Trace has %d", len(res.LostTrace), len(res.Trace))
+	}
+
+	st := newState(c.Nodes, c.Blocks)
+	faulty := len(res.FaultLog) > 0 || res.FinalAlive != nil
+	if faulty {
+		st.alive = make([]bool, c.Nodes)
+		for i := range st.alive {
+			st.alive[i] = true
+		}
+		st.aliveClients = c.Nodes - 1
+	}
+
+	completion := make([]int, c.Nodes)
+	useful, total, lost, corrupt := 0, 0, 0, 0
+	upUsed := make([]int, c.Nodes)
+	downUsed := make([]int, c.Nodes)
+	logCursor := 0
+
+	applyEvents := func(t int) error {
+		for logCursor < len(res.FaultLog) && res.FaultLog[logCursor].Time <= float64(t) {
+			ev := res.FaultLog[logCursor]
+			logCursor++
+			v := int(ev.Node)
+			if v <= 0 || v >= c.Nodes {
+				return auditErr("fault log: event %v targets invalid node %d", ev.Kind, v)
+			}
+			if st.alive == nil {
+				return auditErr("fault log present but result reports a fault-free run")
+			}
+			switch ev.Kind {
+			case fault.Crash:
+				if !st.alive[v] {
+					return auditErr("tick %v: node %d crashes while already dead", ev.Time, v)
+				}
+				st.alive[v] = false
+				st.aliveClients--
+				if st.have[v].Full() {
+					st.complete--
+				}
+			case fault.Rejoin:
+				if st.alive[v] {
+					return auditErr("tick %v: node %d rejoins while alive", ev.Time, v)
+				}
+				st.alive[v] = true
+				st.aliveClients++
+				if ev.Wiped {
+					st.have[v].Clear()
+					completion[v] = 0
+				} else if st.have[v].Full() {
+					st.complete++
+				}
+			default:
+				return auditErr("fault log: unknown event kind %d", uint8(ev.Kind))
+			}
+		}
+		return nil
+	}
+
+	for t := 1; t <= len(res.Trace); t++ {
+		if err := applyEvents(t); err != nil {
+			return err
+		}
+		tick := res.Trace[t-1]
+		for i := range upUsed {
+			upUsed[i] = 0
+			downUsed[i] = 0
+		}
+		for _, tr := range tick {
+			if err := validate(tr, st, c, upUsed, downUsed); err != nil {
+				return auditErr("tick %d: %v", t, err)
+			}
+		}
+		var drops []int
+		if t-1 < len(res.LostTrace) {
+			drops = res.LostTrace[t-1]
+		}
+		di := 0
+		for i, tr := range tick {
+			if di < len(drops) && drops[di] == i {
+				// Drop indices are recorded strictly ascending, so a
+				// simple cursor consumes them; any malformed index fails
+				// the exhaustion check after the loop.
+				di++
+				lost++ // corrupt/lost split is re-checked in aggregate below
+				total++
+				continue
+			}
+			if st.have[tr.To].Add(int(tr.Block)) {
+				useful++
+				if int(tr.To) != 0 && st.have[tr.To].Full() {
+					st.complete++
+					completion[tr.To] = t
+				}
+			}
+			total++
+		}
+		if di < len(drops) {
+			return auditErr("tick %d: LostTrace index %d out of range", t, drops[di])
+		}
+		st.tick = t
+	}
+	// Events that fired after the last scheduled tick (a crash that
+	// finished the run by removing the last incomplete client).
+	if err := applyEvents(len(res.Trace) + 1); err != nil {
+		return err
+	}
+	if logCursor != len(res.FaultLog) {
+		return auditErr("fault log has %d events beyond the recorded run", len(res.FaultLog)-logCursor)
+	}
+
+	// The run must actually have finished under the engine's criterion.
+	if !st.AllClientsComplete() {
+		return auditErr("replayed trace does not reach completion (%d/%d alive clients complete, %d rejoins pending)",
+			st.complete, st.AliveClients(), st.pendingRejoin)
+	}
+	if useful != res.UsefulTransfers {
+		return auditErr("replay counts %d useful transfers, result reports %d", useful, res.UsefulTransfers)
+	}
+	if total != res.TotalTransfers {
+		return auditErr("replay counts %d total transfers, result reports %d", total, res.TotalTransfers)
+	}
+	corrupt = res.CorruptTransfers
+	if lost != res.LostTransfers+corrupt {
+		return auditErr("replay counts %d dropped transfers, result reports %d lost + %d corrupt",
+			lost, res.LostTransfers, res.CorruptTransfers)
+	}
+	for v := 0; v < c.Nodes; v++ {
+		if !st.have[v].Equal(res.FinalHave[v]) {
+			return auditErr("node %d final block set differs from recorded snapshot", v)
+		}
+		if completion[v] != res.ClientCompletion[v] {
+			return auditErr("node %d completion tick: replay %d, result %d",
+				v, completion[v], res.ClientCompletion[v])
+		}
+	}
+	if res.FinalAlive != nil {
+		if st.alive == nil {
+			return auditErr("result records a liveness mask but no fault log")
+		}
+		for v, a := range res.FinalAlive {
+			if st.alive[v] != a {
+				return auditErr("node %d final liveness: replay %v, result %v", v, st.alive[v], a)
+			}
+		}
+	}
+	return nil
+}

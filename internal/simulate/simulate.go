@@ -15,13 +15,28 @@
 // rules — a scheduler bug is surfaced as an error, never silently
 // repaired — applies the transfers, and runs until every client holds the
 // whole file.
+//
+// # Fault injection
+//
+// Config.Fault attaches a fault.Plan: at the start of each tick the
+// engine applies that tick's crash and rejoin events, and each scheduled
+// transfer may be lost or corrupted in flight. Schedulers observe the
+// adversity exclusively through the State view — Alive, FaultEvents,
+// LostLastTick — and the engine enforces, on top of the usual rules, that
+// no transfer touches a dead node. With a nil Plan the engine is
+// byte-identical to the fault-free implementation: no extra allocations,
+// no RNG draws, identical results.
 package simulate
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 
 	"barterdist/internal/bitset"
+	"barterdist/internal/fault"
 )
 
 // Unlimited marks a download capacity with no bound.
@@ -32,6 +47,14 @@ type Transfer struct {
 	From  int32
 	To    int32
 	Block int32
+}
+
+// LostTransfer is a scheduled transfer the fault layer dropped: the
+// sender's bandwidth was consumed but the block never landed. Corrupt
+// distinguishes "arrived but failed verification" from "vanished".
+type LostTransfer struct {
+	Transfer
+	Corrupt bool
 }
 
 // Config describes a simulation instance.
@@ -54,32 +77,48 @@ type Config struct {
 	// proportional to the trivial pipeline bound.
 	MaxTicks int
 	// RecordTrace keeps every tick's transfer list in the result so that
-	// mechanism verifiers can audit the run. Costs memory on big runs.
+	// mechanism verifiers and RunAudit can audit the run. Costs memory
+	// on big runs.
 	RecordTrace bool
+	// Fault attaches a fault-injection plan (crashes, rejoins, transfer
+	// loss). nil runs the reliable engine unchanged. A Plan is
+	// single-use: build one per run.
+	Fault *fault.Plan
 }
 
+// normalize validates the raw configuration and applies defaults. All
+// invalid fields are reported in a single error — raw values are checked
+// before any defaulting, so a negative UploadCap can never be
+// zero-corrected into a silently inconsistent ServerUploadCap pairing.
 func (c *Config) normalize() (Config, error) {
 	cc := *c
+	var bad []string
 	if cc.Nodes < 1 {
-		return cc, fmt.Errorf("simulate: Nodes = %d, need >= 1", cc.Nodes)
+		bad = append(bad, fmt.Sprintf("Nodes = %d, need >= 1", cc.Nodes))
 	}
 	if cc.Blocks < 1 {
-		return cc, fmt.Errorf("simulate: Blocks = %d, need >= 1", cc.Blocks)
+		bad = append(bad, fmt.Sprintf("Blocks = %d, need >= 1", cc.Blocks))
+	}
+	if cc.UploadCap < 0 {
+		bad = append(bad, fmt.Sprintf("UploadCap = %d, need >= 0", cc.UploadCap))
+	}
+	if cc.ServerUploadCap < 0 {
+		bad = append(bad, fmt.Sprintf("ServerUploadCap = %d, need >= 0", cc.ServerUploadCap))
+	}
+	if cc.DownloadCap < 0 {
+		bad = append(bad, fmt.Sprintf("DownloadCap = %d, need >= 0", cc.DownloadCap))
+	}
+	if len(bad) > 0 {
+		return cc, fmt.Errorf("simulate: invalid config: %s", strings.Join(bad, "; "))
 	}
 	if cc.UploadCap == 0 {
 		cc.UploadCap = 1
 	}
-	if cc.UploadCap < 0 {
-		return cc, fmt.Errorf("simulate: UploadCap = %d, need >= 0", cc.UploadCap)
-	}
 	if cc.ServerUploadCap == 0 {
 		cc.ServerUploadCap = cc.UploadCap
 	}
-	if cc.ServerUploadCap < 0 {
-		return cc, fmt.Errorf("simulate: ServerUploadCap = %d, need >= 0", cc.ServerUploadCap)
-	}
 	if cc.DownloadCap != Unlimited && cc.DownloadCap < cc.UploadCap {
-		return cc, fmt.Errorf("simulate: DownloadCap %d < UploadCap %d", cc.DownloadCap, cc.UploadCap)
+		return cc, fmt.Errorf("simulate: invalid config: DownloadCap %d < UploadCap %d", cc.DownloadCap, cc.UploadCap)
 	}
 	if cc.MaxTicks == 0 {
 		// Pipeline needs k + n - 2; strict-barter worst cases add O(n);
@@ -94,8 +133,15 @@ func (c *Config) normalize() (Config, error) {
 type State struct {
 	n, k     int
 	have     []*bitset.Set
-	complete int // clients (not server) holding all k blocks
+	complete int // alive clients (not server) holding all k blocks
 	tick     int // last completed tick
+
+	// Fault-layer view; all nil/zero without a fault plan.
+	alive         []bool
+	aliveClients  int
+	pendingRejoin int
+	events        []fault.Event  // applied at the start of the current tick
+	lost          []LostTransfer // dropped in the previous tick
 }
 
 func newState(n, k int) *State {
@@ -131,18 +177,54 @@ func (s *State) Blocks(v int) *bitset.Set { return s.have[v] }
 // CountOf returns how many blocks node v holds.
 func (s *State) CountOf(v int) int { return s.have[v].Count() }
 
-// ClientsComplete returns the number of clients holding the entire file.
+// Alive reports whether node v is currently up. Without a fault plan
+// every node is always alive.
+func (s *State) Alive(v int) bool { return s.alive == nil || s.alive[v] }
+
+// AliveClients returns the number of clients currently up (n-1 without
+// a fault plan).
+func (s *State) AliveClients() int {
+	if s.alive == nil {
+		return s.n - 1
+	}
+	return s.aliveClients
+}
+
+// FaultEvents returns the crash/rejoin events applied at the start of
+// the current tick, in application order. Schedulers use it to
+// invalidate caches (rarity statistics, no-peer memos) and to trigger
+// repair paths. The slice is reused across ticks; treat it as read-only
+// and do not retain it.
+func (s *State) FaultEvents() []fault.Event { return s.events }
+
+// LostLastTick returns the transfers scheduled in the previous tick
+// that the fault layer dropped or corrupted — the feedback channel a
+// scheduler needs to retry and to keep its accounting honest. The slice
+// is reused across ticks; treat it as read-only and do not retain it.
+func (s *State) LostLastTick() []LostTransfer { return s.lost }
+
+// ClientsComplete returns the number of alive clients holding the
+// entire file.
 func (s *State) ClientsComplete() int { return s.complete }
 
-// AllClientsComplete reports whether dissemination has finished.
-func (s *State) AllClientsComplete() bool { return s.complete == s.n-1 }
+// AllClientsComplete reports whether dissemination has finished: every
+// client that is still part of the system holds the whole file. Under a
+// fault plan, permanently departed nodes are excluded and nodes that
+// are scheduled to rejoin still count as pending.
+func (s *State) AllClientsComplete() bool {
+	if s.alive == nil {
+		return s.complete == s.n-1
+	}
+	return s.complete == s.aliveClients && s.pendingRejoin == 0
+}
 
 // Scheduler proposes each tick's transfers.
 type Scheduler interface {
 	// Tick appends the transfers for tick t (1-based) to dst and returns
 	// the extended slice. It must only schedule blocks the sender holds
-	// in the provided state, and must respect the bandwidth caps the
-	// engine was configured with; violations abort the run with an error.
+	// in the provided state, must respect the bandwidth caps the engine
+	// was configured with, and under a fault plan must not involve dead
+	// nodes; violations abort the run with an error.
 	// Returning no transfers is legal (an idle tick).
 	Tick(t int, s *State, dst []Transfer) ([]Transfer, error)
 }
@@ -160,10 +242,12 @@ type Result struct {
 	// CompletionTime is the tick by whose end the last client completed.
 	CompletionTime int
 	// ClientCompletion[v] is the tick at which node v (client) completed;
-	// index 0 (the server) is 0.
+	// index 0 (the server) is 0. Under churn it is the most recent
+	// completion (a node that rejoined empty completes again later).
 	ClientCompletion []int
 	// TotalTransfers counts every block movement, including redundant
-	// deliveries of blocks the receiver already obtained the same tick.
+	// deliveries of blocks the receiver already obtained the same tick
+	// and transfers the fault layer dropped (bandwidth was spent).
 	TotalTransfers int
 	// UsefulTransfers counts transfers that delivered a new block.
 	UsefulTransfers int
@@ -171,6 +255,25 @@ type Result struct {
 	UploadsPerTick []int
 	// Trace holds per-tick transfer lists when Config.RecordTrace is set.
 	Trace [][]Transfer
+
+	// Fault-layer outcomes; zero without a fault plan.
+
+	// FaultLog lists the applied crash/rejoin events; Time is the tick
+	// at which each took effect (events apply at the start of a tick).
+	FaultLog []fault.Event
+	// LostTransfers counts transfers dropped in flight.
+	LostTransfers int
+	// CorruptTransfers counts transfers delivered but discarded.
+	CorruptTransfers int
+	// LostTrace[t-1] holds the indices into Trace[t-1] of the transfers
+	// that were dropped in tick t (only when RecordTrace is set).
+	LostTrace [][]int
+	// FinalHave is a snapshot of every node's final block set (only when
+	// RecordTrace is set) — the ground truth RunAudit replays against.
+	FinalHave []*bitset.Set
+	// FinalAlive is the final liveness mask (only when RecordTrace is
+	// set and a fault plan was active).
+	FinalAlive []bool
 }
 
 // Efficiency returns useful transfers divided by the upload capacity
@@ -187,7 +290,95 @@ func (r *Result) Efficiency(n int) float64 {
 // configured budget — typically a livelocked or deadlocked protocol.
 var ErrMaxTicks = errors.New("simulate: exceeded MaxTicks before completion")
 
-// Run executes the scheduler until every client holds all blocks.
+// simFaults carries the engine-side fault bookkeeping for one run.
+type simFaults struct {
+	plan    *fault.Plan
+	rejoins []fault.Event // pending rejoins, sorted by Time ascending
+	// nextLost accumulates this tick's drops; swapped into State.lost at
+	// the tick boundary so schedulers see them next tick.
+	nextLost []LostTransfer
+}
+
+// rejoinTick converts a crash applied at tick t with rejoin delay d
+// into the tick at which the node returns: the first tick boundary at
+// least d after the crash, and never the crash tick itself.
+func rejoinTick(t int, delay float64) int {
+	rt := t + int(math.Ceil(delay))
+	if rt <= t {
+		rt = t + 1
+	}
+	return rt
+}
+
+// beginTick applies every fault event scheduled for the start of tick t
+// and exposes them through the State. It returns an error only on
+// internal inconsistencies.
+func (sf *simFaults) beginTick(t int, st *State, res *Result) {
+	st.events = st.events[:0]
+	// Rejoins first: a slot freed by an old crash refills before new
+	// crashes are drawn, so a same-tick crash can hit the rejoined node.
+	for len(sf.rejoins) > 0 && sf.rejoins[0].Time <= float64(t) {
+		ev := sf.rejoins[0]
+		sf.rejoins = sf.rejoins[1:]
+		ev.Time = float64(t)
+		sf.applyRejoin(ev, st, res)
+	}
+	for {
+		at, ok := sf.plan.NextCrash()
+		if !ok || at > float64(t) {
+			break
+		}
+		sf.plan.TakeCrash()
+		v := sf.plan.PickVictim(st.n,
+			func(v int) bool { return st.alive[v] },
+			func(v int) int { return st.have[v].Count() })
+		if v < 0 {
+			continue // nobody left to kill
+		}
+		sf.applyCrash(t, v, st, res)
+	}
+}
+
+func (sf *simFaults) applyCrash(t, v int, st *State, res *Result) {
+	st.alive[v] = false
+	st.aliveClients--
+	if st.have[v].Full() {
+		st.complete--
+	}
+	ev := fault.Event{Time: float64(t), Node: int32(v), Kind: fault.Crash}
+	st.events = append(st.events, ev)
+	res.FaultLog = append(res.FaultLog, ev)
+	if delay, ok := sf.plan.Rejoins(); ok {
+		st.pendingRejoin++
+		sf.rejoins = append(sf.rejoins, fault.Event{
+			Time:  float64(rejoinTick(t, delay)),
+			Node:  int32(v),
+			Kind:  fault.Rejoin,
+			Wiped: sf.plan.RejoinWipes(),
+		})
+		sort.SliceStable(sf.rejoins, func(i, j int) bool {
+			return sf.rejoins[i].Time < sf.rejoins[j].Time
+		})
+	}
+}
+
+func (sf *simFaults) applyRejoin(ev fault.Event, st *State, res *Result) {
+	v := int(ev.Node)
+	st.alive[v] = true
+	st.aliveClients++
+	st.pendingRejoin--
+	if ev.Wiped {
+		st.have[v].Clear()
+		res.ClientCompletion[v] = 0
+	} else if st.have[v].Full() {
+		st.complete++
+	}
+	st.events = append(st.events, ev)
+	res.FaultLog = append(res.FaultLog, ev)
+}
+
+// Run executes the scheduler until every client holds all blocks (or,
+// under a fault plan, every client still part of the system does).
 func Run(cfg Config, sched Scheduler) (*Result, error) {
 	c, err := cfg.normalize()
 	if err != nil {
@@ -199,11 +390,46 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 		return res, nil // no clients: vacuously complete at t=0
 	}
 
+	var sf *simFaults
+	if c.Fault != nil {
+		if err := c.Fault.Acquire(); err != nil {
+			return nil, err
+		}
+		sf = &simFaults{plan: c.Fault}
+		st.alive = make([]bool, c.Nodes)
+		for i := range st.alive {
+			st.alive[i] = true
+		}
+		st.aliveClients = c.Nodes - 1
+	}
+
 	upUsed := make([]int, c.Nodes)
 	downUsed := make([]int, c.Nodes)
 	var buf []Transfer
 
+	finish := func(t int) *Result {
+		res.CompletionTime = t
+		if c.RecordTrace {
+			res.FinalHave = make([]*bitset.Set, c.Nodes)
+			for v := range res.FinalHave {
+				res.FinalHave[v] = st.have[v].Clone()
+			}
+			if st.alive != nil {
+				res.FinalAlive = append([]bool(nil), st.alive...)
+			}
+		}
+		return res
+	}
+
 	for t := 1; t <= c.MaxTicks; t++ {
+		if sf != nil {
+			sf.beginTick(t, st, res)
+			// A crash can finish the run by removing the last incomplete
+			// client; the state is then that of the end of tick t-1.
+			if st.AllClientsComplete() {
+				return finish(t - 1), nil
+			}
+		}
 		buf = buf[:0]
 		buf, err = sched.Tick(t, st, buf)
 		if err != nil {
@@ -220,8 +446,28 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 				return nil, fmt.Errorf("simulate: tick %d: %w", t, err)
 			}
 		}
+		var lostIdx []int
+		if sf != nil {
+			sf.nextLost = sf.nextLost[:0]
+		}
 		// Apply simultaneously.
-		for _, tr := range buf {
+		for i, tr := range buf {
+			if sf != nil && sf.plan.Lossy() {
+				lost, corrupt := sf.plan.Drop()
+				if lost || corrupt {
+					sf.nextLost = append(sf.nextLost, LostTransfer{Transfer: tr, Corrupt: corrupt})
+					if corrupt {
+						res.CorruptTransfers++
+					} else {
+						res.LostTransfers++
+					}
+					if c.RecordTrace {
+						lostIdx = append(lostIdx, i)
+					}
+					res.TotalTransfers++ // the upload slot was spent
+					continue
+				}
+			}
 			if st.have[tr.To].Add(int(tr.Block)) {
 				res.UsefulTransfers++
 				if int(tr.To) != 0 && st.have[tr.To].Full() {
@@ -236,11 +482,17 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 			tick := make([]Transfer, len(buf))
 			copy(tick, buf)
 			res.Trace = append(res.Trace, tick)
+			if sf != nil {
+				res.LostTrace = append(res.LostTrace, lostIdx)
+			}
+		}
+		if sf != nil {
+			// Expose this tick's drops to the scheduler next tick.
+			st.lost, sf.nextLost = sf.nextLost, st.lost
 		}
 		st.tick = t
 		if st.AllClientsComplete() {
-			res.CompletionTime = t
-			return res, nil
+			return finish(t), nil
 		}
 	}
 	return nil, fmt.Errorf("%w (MaxTicks=%d, clients complete: %d/%d)",
@@ -258,6 +510,14 @@ func validate(tr Transfer, st *State, c Config, upUsed, downUsed []int) error {
 		return fmt.Errorf("node %d transfers to itself", from)
 	case b < 0 || b >= st.k:
 		return fmt.Errorf("block %d out of range", b)
+	}
+	if st.alive != nil {
+		if !st.alive[from] {
+			return fmt.Errorf("dead node %d cannot upload", from)
+		}
+		if !st.alive[to] {
+			return fmt.Errorf("dead node %d cannot download", to)
+		}
 	}
 	if !st.have[from].Has(b) {
 		return fmt.Errorf("store-and-forward violation: node %d does not hold block %d", from, b)
