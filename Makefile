@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race figures clean
+.PHONY: check build vet fmt lint test race figures clean
 
-## check: the full pre-PR gate — vet, formatting, build, race-enabled tests
-check: vet fmt build race
+## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
+check: vet fmt lint build race
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# gofmt -l lists unformatted files; any output fails the gate.
+# gofmt -s -l lists unformatted (or unsimplified) files; any output
+# fails the gate.
 fmt:
-	@out="$$(gofmt -l .)"; \
+	@out="$$(gofmt -s -l .)"; \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
+
+## lint: the project's determinism & invariant analyzers (cmd/cdlint).
+## Fails on any finding; see DESIGN.md for the rules and the
+## //lint:<rule> suppression syntax.
+lint:
+	$(GO) run ./cmd/cdlint ./...
 
 test:
 	$(GO) test ./...

@@ -86,4 +86,7 @@ const DownloadUnlimited = core.DownloadUnlimited
 var ErrStalled = core.ErrStalled
 
 // Run executes one configured dissemination and returns its metrics.
+// It is a pure forwarder: core.Run validates the configuration.
+//
+//lint:novalidate audited forwarder — core.Run calls cfg.Validate
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }

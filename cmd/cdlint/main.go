@@ -1,0 +1,157 @@
+// Command cdlint runs the project's determinism and invariant
+// analyzers (internal/lint) across the module and reports findings as
+//
+//	file:line:col: [rule] message
+//
+// exiting non-zero when any rule fires. It is part of the pre-PR gate:
+// `make check` (and CI) fail on any new finding.
+//
+// Usage:
+//
+//	cdlint [-rules r1,r2] [-json] [-skip path1,path2] [./...]
+//
+// Flags:
+//
+//	-rules   comma-separated rule names to run (default: all)
+//	-list    print the available rules and exit
+//	-json    emit findings as a JSON array instead of text
+//	-skip    comma-separated path prefixes (relative to the module
+//	         root) whose findings are suppressed
+//
+// The package pattern argument is accepted for familiarity; cdlint
+// always analyzes the whole module containing the working directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"barterdist/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("cdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	skip := fs.String("skip", "", "comma-separated module-relative path prefixes to suppress")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.AllAnalyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	findings := lint.RunAnalyzers(loader.Fset, pkgs, analyzers)
+	findings = applySkips(findings, root, *skip)
+
+	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cdlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// applySkips drops findings under any of the comma-separated
+// module-relative path prefixes.
+func applySkips(findings []lint.Finding, root, skip string) []lint.Finding {
+	var prefixes []string
+	for _, p := range strings.Split(skip, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			prefixes = append(prefixes, filepath.ToSlash(p))
+		}
+	}
+	if len(prefixes) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.File)
+		if err != nil {
+			rel = f.File
+		}
+		rel = filepath.ToSlash(rel)
+		skipIt := false
+		for _, p := range prefixes {
+			p = strings.TrimSuffix(p, "/")
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				skipIt = true
+				break
+			}
+		}
+		if !skipIt {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("cdlint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

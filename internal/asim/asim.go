@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
@@ -71,46 +72,61 @@ type Config struct {
 	Fault *fault.Plan
 }
 
-func (c *Config) normalize() (Config, error) {
-	cc := *c
-	if cc.Nodes < 1 {
-		return cc, fmt.Errorf("asim: Nodes = %d, need >= 1", cc.Nodes)
+// Validate checks the raw configuration without mutating it. nil rate
+// slices are valid — withDefaults fills them with all-ones (which
+// trivially pass the per-entry checks).
+func (c *Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("asim: Nodes = %d, need >= 1", c.Nodes)
 	}
-	if cc.Blocks < 1 {
-		return cc, fmt.Errorf("asim: Blocks = %d, need >= 1", cc.Blocks)
+	if c.Blocks < 1 {
+		return fmt.Errorf("asim: Blocks = %d, need >= 1", c.Blocks)
 	}
-	if cc.UploadRate == nil {
-		cc.UploadRate = make([]float64, cc.Nodes)
-		for i := range cc.UploadRate {
-			cc.UploadRate[i] = 1
+	if c.UploadRate != nil {
+		if len(c.UploadRate) != c.Nodes {
+			return fmt.Errorf("asim: UploadRate has %d entries for %d nodes", len(c.UploadRate), c.Nodes)
+		}
+		for v, r := range c.UploadRate {
+			if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("asim: UploadRate[%d] = %v must be positive and finite", v, r)
+			}
 		}
 	}
-	if len(cc.UploadRate) != cc.Nodes {
-		return cc, fmt.Errorf("asim: UploadRate has %d entries for %d nodes", len(cc.UploadRate), cc.Nodes)
-	}
-	for v, r := range cc.UploadRate {
-		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
-			return cc, fmt.Errorf("asim: UploadRate[%d] = %v must be positive and finite", v, r)
+	if c.DownloadRate != nil {
+		if len(c.DownloadRate) != c.Nodes {
+			return fmt.Errorf("asim: DownloadRate has %d entries for %d nodes", len(c.DownloadRate), c.Nodes)
+		}
+		for v, r := range c.DownloadRate {
+			if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("asim: DownloadRate[%d] = %v must be positive and finite", v, r)
+			}
 		}
 	}
-	if cc.DownloadRate == nil {
-		cc.DownloadRate = append([]float64(nil), cc.UploadRate...)
+	if c.DownloadPorts < 0 {
+		return fmt.Errorf("asim: DownloadPorts = %d, need >= 0", c.DownloadPorts)
 	}
-	if len(cc.DownloadRate) != cc.Nodes {
-		return cc, fmt.Errorf("asim: DownloadRate has %d entries for %d nodes", len(cc.DownloadRate), cc.Nodes)
+	if c.MaxTime < 0 || math.IsNaN(c.MaxTime) || math.IsInf(c.MaxTime, 0) {
+		return fmt.Errorf("asim: MaxTime = %v must be finite and >= 0", c.MaxTime)
 	}
-	for v, r := range cc.DownloadRate {
-		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
-			return cc, fmt.Errorf("asim: DownloadRate[%d] = %v must be positive and finite", v, r)
+	return nil
+}
+
+// withDefaults returns a copy with zero fields replaced by the
+// documented defaults. The configuration must already be valid.
+func (c Config) withDefaults() Config {
+	if c.UploadRate == nil {
+		c.UploadRate = make([]float64, c.Nodes)
+		for i := range c.UploadRate {
+			c.UploadRate[i] = 1
 		}
 	}
-	if cc.DownloadPorts < 0 {
-		return cc, fmt.Errorf("asim: DownloadPorts = %d, need >= 0", cc.DownloadPorts)
+	if c.DownloadRate == nil {
+		c.DownloadRate = append([]float64(nil), c.UploadRate...)
 	}
-	if cc.MaxTime == 0 {
-		cc.MaxTime = 100 * float64(cc.Blocks+cc.Nodes)
+	if c.MaxTime == 0 {
+		c.MaxTime = 100 * float64(c.Blocks+c.Nodes)
 	}
-	return cc, nil
+	return c
 }
 
 // State exposes read-only ownership and progress to protocols.
@@ -308,10 +324,10 @@ func (q *eventQueue) Pop() any {
 
 // Run executes the protocol to completion.
 func Run(cfg Config, p Protocol) (*Result, error) {
-	c, err := cfg.normalize()
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	c := cfg.withDefaults()
 	st := &State{
 		n:        c.Nodes,
 		k:        c.Blocks,
@@ -496,13 +512,17 @@ func (e *engine) applyCrash() error {
 		delete(st.inFlight[out.to], int32(out.block))
 		freedReceiver = out.to
 	}
-	// Abort transfers in flight toward v: each sender's port frees.
-	for _, in := range st.inFlight[v] {
+	// Abort transfers in flight toward v: each sender's port frees. The
+	// per-sender mutations are independent (a sender has at most one
+	// upload in flight), and wakeSenders is sorted below before any
+	// order-sensitive use, so map order cannot leak into the trace.
+	for _, in := range st.inFlight[v] { //lint:ordered wakeSenders sorted before use
 		in.cancelled = true
 		e.uploading[in.from] = false
 		e.curUpload[in.from] = nil
 		wakeSenders = append(wakeSenders, in.from)
 	}
+	sort.Ints(wakeSenders)
 	clear(st.inFlight[v])
 
 	ev := fault.Event{Time: st.now, Node: int32(v), Kind: fault.Crash}

@@ -75,25 +75,35 @@ var (
 	_ asim.FaultAware = (*Protocol)(nil)
 )
 
+// Validate checks the options without mutating them. Zero values with
+// documented defaults (UnchokeSlots, ChokeInterval, OptimisticInterval)
+// are accepted.
+func (o *Options) Validate() error {
+	if o.Graph == nil {
+		return fmt.Errorf("bt: a peer graph is required")
+	}
+	if o.UnchokeSlots < 0 {
+		return fmt.Errorf("bt: UnchokeSlots = %d, need >= 1", o.UnchokeSlots)
+	}
+	if o.ChokeInterval < 0 || o.OptimisticInterval < 0 {
+		return fmt.Errorf("bt: intervals must be positive")
+	}
+	return nil
+}
+
 // New validates the options and returns the protocol.
 func New(opts Options) (*Protocol, error) {
-	if opts.Graph == nil {
-		return nil, fmt.Errorf("bt: a peer graph is required")
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.UnchokeSlots == 0 {
 		opts.UnchokeSlots = 3
-	}
-	if opts.UnchokeSlots < 1 {
-		return nil, fmt.Errorf("bt: UnchokeSlots = %d, need >= 1", opts.UnchokeSlots)
 	}
 	if opts.ChokeInterval == 0 {
 		opts.ChokeInterval = 10
 	}
 	if opts.OptimisticInterval == 0 {
 		opts.OptimisticInterval = 30
-	}
-	if opts.ChokeInterval <= 0 || opts.OptimisticInterval <= 0 {
-		return nil, fmt.Errorf("bt: intervals must be positive")
 	}
 	return &Protocol{opts: opts, rng: xrand.New(opts.Seed)}, nil
 }

@@ -177,20 +177,29 @@ const DownloadUnlimited = -1
 // points).
 var ErrStalled = errors.New("core: run did not complete within MaxTicks")
 
+// Validate checks the raw configuration without mutating it. Zero
+// fields with documented defaults (Algorithm, DownloadCap, …) are
+// accepted; Run applies the defaults after validation.
+func (c *Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: Nodes = %d, need >= 2", c.Nodes)
+	}
+	if c.Blocks < 1 {
+		return fmt.Errorf("core: Blocks = %d, need >= 1", c.Blocks)
+	}
+	if c.DownloadCap < 0 && c.DownloadCap != DownloadUnlimited {
+		return fmt.Errorf("core: DownloadCap = %d is invalid", c.DownloadCap)
+	}
+	return nil
+}
+
 // Run executes one configured dissemination and returns its metrics.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Nodes < 2 {
-		return nil, fmt.Errorf("core: Nodes = %d, need >= 2", cfg.Nodes)
-	}
-	if cfg.Blocks < 1 {
-		return nil, fmt.Errorf("core: Blocks = %d, need >= 1", cfg.Blocks)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = AlgoBinomialPipeline
-	}
-
-	if cfg.DownloadCap < 0 && cfg.DownloadCap != DownloadUnlimited {
-		return nil, fmt.Errorf("core: DownloadCap = %d is invalid", cfg.DownloadCap)
 	}
 	simCfg := simulate.Config{
 		Nodes:       cfg.Nodes,

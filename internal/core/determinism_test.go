@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"barterdist/internal/fault"
+)
+
+// fingerprint serializes everything observable about a run — the full
+// transfer trace, the fault log, completion data, and the credit
+// metrics — into one string, so two runs can be compared byte for
+// byte.
+func fingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completion=%d optimal=%d strict=%d eff=%.17g mincredit=%d overlay=%q\n",
+		res.CompletionTime, res.OptimalTime, res.StrictBarterBound,
+		res.Efficiency, res.MinimalCreditLimit, res.Overlay)
+	sim := res.Sim
+	fmt.Fprintf(&b, "clients=%v lost=%d corrupt=%d useful=%d total=%d\n",
+		sim.ClientCompletion, sim.LostTransfers, sim.CorruptTransfers,
+		sim.UsefulTransfers, sim.TotalTransfers)
+	for t, tick := range sim.Trace {
+		fmt.Fprintf(&b, "t%d:", t)
+		for _, tr := range tick {
+			fmt.Fprintf(&b, " %d->%d#%d", tr.From, tr.To, tr.Block)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ev := range sim.FaultLog {
+		fmt.Fprintf(&b, "fault t=%.17g node=%d kind=%d\n", ev.Time, ev.Node, ev.Kind)
+	}
+	return b.String()
+}
+
+// TestCrossEngineDeterminism is the dynamic twin of cmd/cdlint's
+// static rules: a seeded randomized, triangular, and fault-injected
+// deterministic scenario each run twice must produce byte-identical
+// traces. If a map-order or wall-clock dependency sneaks past the
+// linter (e.g. through a //lint:ordered annotation that was wrong),
+// this test catches it at runtime.
+func TestCrossEngineDeterminism(t *testing.T) {
+	faultOpts := &fault.Options{
+		Seed:              77,
+		CrashRate:         0.08,
+		MaxCrashes:        3,
+		RejoinDelay:       4,
+		RejoinLosesBlocks: true,
+		LossRate:          0.05,
+		Victim:            fault.VictimUniform,
+	}
+	scenarios := map[string]Config{
+		"randomized+overlay+fault": {
+			Nodes: 24, Blocks: 12,
+			Algorithm: AlgoRandomized,
+			Overlay:   OverlayRandomRegular,
+			Degree:    6,
+			Seed:      42,
+			Fault:     faultOpts,
+		},
+		"triangular+fault": {
+			Nodes: 20, Blocks: 10,
+			Algorithm:   AlgoTriangular,
+			Overlay:     OverlayRandomRegular,
+			Degree:      6,
+			CycleLimit:  3,
+			CreditLimit: 2,
+			Seed:        7,
+			Fault:       faultOpts,
+		},
+		"binomial-pipeline+selfheal": {
+			Nodes: 18, Blocks: 9,
+			Algorithm: AlgoBinomialPipeline,
+			Seed:      5,
+			Fault:     faultOpts,
+		},
+	}
+	for name, cfg := range scenarios {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cfg.RecordTrace = true
+			run := func() string {
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				return fingerprint(res)
+			}
+			first, second := run(), run()
+			if first != second {
+				t.Fatalf("two seeded runs diverged:\n--- first ---\n%s\n--- second ---\n%s",
+					head(first, 30), head(second, 30))
+			}
+		})
+	}
+}
+
+// head returns at most n lines of s, for readable failure output.
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+		lines = append(lines, "…")
+	}
+	return strings.Join(lines, "\n")
+}

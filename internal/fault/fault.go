@@ -137,7 +137,9 @@ type Options struct {
 	Victim Victim
 }
 
-func (o *Options) validate() error {
+// Validate checks the options without mutating them; every rate must
+// be finite and the probabilities must lie in [0, 1).
+func (o *Options) Validate() error {
 	check := func(name string, v float64, maxExclusive bool) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return fmt.Errorf("fault: %s = %v must be finite and >= 0", name, v)
@@ -187,7 +189,7 @@ type Plan struct {
 
 // NewPlan validates opts and returns a fresh Plan.
 func NewPlan(opts Options) (*Plan, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	root := xrand.New(opts.Seed)

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ConfigValidationAnalyzer enforces the configuration-validation
+// invariant: every exported constructor or Run-style entry point that
+// takes a Config/Options value must route it through the type's
+// exported Validate method before use. This keeps "invalid config is
+// rejected with a full error, never silently defaulted" true at every
+// public entry point, not just the ones with tests.
+//
+// A parameter counts when its (possibly pointer) named type is called
+// Config or Options, or ends in Config/Options (e.g.
+// TriangularOptions) and its underlying type is a struct. Two findings
+// are possible: the type lacks a Validate method entirely, or the
+// entry point never calls it. Pure forwarders that delegate validation
+// may carry an audited //lint:novalidate suppression.
+func ConfigValidationAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "config-validation",
+		Doc:  "exported entry points taking a Config/Options must call its Validate",
+		Run:  runConfigValidation,
+	}
+}
+
+func runConfigValidation(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkConfigParams(p, fn)
+		}
+	}
+}
+
+func checkConfigParams(p *Pass, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		named := configNamedType(p, field.Type)
+		if named == nil {
+			continue
+		}
+		if !hasValidateMethod(named) {
+			p.Reportf(fn.Pos(), "novalidate",
+				"%s takes %s which has no exported Validate method; add one so entry points can reject invalid configuration",
+				fn.Name.Name, named.Obj().Name())
+			continue
+		}
+		if !callsValidateOn(p, fn.Body, named) {
+			p.Reportf(fn.Pos(), "novalidate",
+				"%s never calls %s.Validate; validate the configuration before use (or annotate an audited forwarder with //lint:novalidate)",
+				fn.Name.Name, named.Obj().Name())
+		}
+	}
+}
+
+// configNamedType returns the named struct type of a Config/Options
+// parameter, or nil when the field is not one.
+func configNamedType(p *Pass, typeExpr ast.Expr) *types.Named {
+	tv, ok := p.Info.Types[typeExpr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	name := named.Obj().Name()
+	if name != "Config" && name != "Options" &&
+		!strings.HasSuffix(name, "Config") && !strings.HasSuffix(name, "Options") {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// hasValidateMethod reports whether the type (or its pointer) exports a
+// Validate method.
+func hasValidateMethod(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Validate" && ms.At(i).Obj().Exported() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsValidateOn reports whether the body contains a call to the
+// Validate method of the given named type — on the parameter itself or
+// on any copy of it (cc := *c; cc.Validate() also counts).
+func callsValidateOn(p *Pass, body *ast.BlockStmt, named *types.Named) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Validate" {
+			return true
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		recv := selection.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if recvNamed, ok := recv.(*types.Named); ok && recvNamed.Obj() == named.Obj() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ignoredErrAllowlist names callees whose error results are documented
+// to be always nil; discarding them with _ is conventional. Keys are
+// types.Func.FullName() strings.
+var ignoredErrAllowlist = map[string]bool{
+	// strings.Builder and bytes.Buffer writes never fail.
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+// IgnoredErrorsAnalyzer flags assignments that silently discard an
+// error value into the blank identifier in non-test code, outside a
+// small allowlist of callees whose errors are documented nil. An
+// engine that drops an error can mask a broken invariant and corrupt a
+// run without failing it; handle the error or annotate an audited
+// discard with //lint:ignoreerr.
+func IgnoredErrorsAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ignored-errors",
+		Doc:  "no error values discarded into _ outside the audited allowlist",
+		Run:  runIgnoredErrors,
+	}
+}
+
+func runIgnoredErrors(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkErrorDiscard(p, assign)
+			return true
+		})
+	}
+}
+
+func checkErrorDiscard(p *Pass, assign *ast.AssignStmt) {
+	// Case 1: one call on the right with multiple results:
+	//   a, _ := f()   /   _, b = f()
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || allowlistedCall(p, call) {
+			return
+		}
+		tuple, ok := p.Info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if !isBlank(lhs) || i >= tuple.Len() {
+				continue
+			}
+			if isErrorType(tuple.At(i).Type()) {
+				p.Reportf(assign.Pos(), "ignoreerr",
+					"error result of %s discarded into _; handle it or annotate an audited discard with //lint:ignoreerr",
+					exprString(call.Fun))
+			}
+		}
+		return
+	}
+	// Case 2: positionally matched assignments: _ = f()
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		rhs := ast.Unparen(assign.Rhs[i])
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || allowlistedCall(p, call) {
+			continue
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			p.Reportf(assign.Pos(), "ignoreerr",
+				"error result of %s discarded into _; handle it or annotate an audited discard with //lint:ignoreerr",
+				exprString(call.Fun))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// allowlistedCall reports whether the call's callee is on the audited
+// always-nil-error allowlist.
+func allowlistedCall(p *Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(p, call.Fun)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return ignoredErrAllowlist[fn.FullName()]
+}

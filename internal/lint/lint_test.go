@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot is the repository root relative to this package.
+const moduleRoot = "../.."
+
+// loadFixture type-checks one testdata package under the given import
+// path (which lets a fixture masquerade as a scoped engine package)
+// and runs a single analyzer over it.
+func loadFixture(t *testing.T, a *Analyzer, fixture, asPath string) (*Loader, *Package, []Finding) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", fixture, err)
+	}
+	findings := RunAnalyzers(loader.Fset, []*Package{pkg}, []*Analyzer{a})
+	return loader, pkg, findings
+}
+
+// wantComment is one "// want \"substring\"" expectation.
+type wantComment struct {
+	line int
+	want string
+}
+
+// parseWants extracts the fixture's expectations.
+func parseWants(fset *token.FileSet, files []*ast.File) []wantComment {
+	var wants []wantComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, `want "`)
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len(`want "`):]
+				j := strings.Index(rest, `"`)
+				if j < 0 {
+					continue
+				}
+				wants = append(wants, wantComment{
+					line: fset.Position(c.Pos()).Line,
+					want: rest[:j],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture asserts the analyzer fires exactly where the fixture's
+// want comments say, and nowhere else.
+func checkFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
+	t.Helper()
+	loader, pkg, findings := loadFixture(t, a, fixture, asPath)
+	wants := parseWants(loader.Fset, pkg.Files)
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		ok := false
+		for i, f := range findings {
+			if !matched[i] && f.Line == w.line && strings.Contains(f.Msg, w.want) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: expected finding at line %d containing %q; findings: %v",
+				fixture, w.line, w.want, findings)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding %s", fixture, f)
+		}
+	}
+}
+
+func TestRNGDisciplineFixtures(t *testing.T) {
+	a := RNGDisciplineAnalyzer()
+	checkFixture(t, a, "rngbad", "fixture/rngbad")
+	checkFixture(t, a, "rnggood", "fixture/rnggood")
+}
+
+func TestRNGDisciplineExemptsXrandItself(t *testing.T) {
+	// internal/xrand is the one package allowed to own the generator.
+	_, _, findings := loadFixture(t, RNGDisciplineAnalyzer(), "rngbad", "fixture/internal/xrand")
+	if len(findings) != 0 {
+		t.Fatalf("xrand package should be exempt, got %v", findings)
+	}
+}
+
+func TestNoWallClockFixtures(t *testing.T) {
+	a := NoWallClockAnalyzer()
+	// In scope: the violations fire.
+	checkFixture(t, a, "wallclock", "fixture/internal/simulate/wallclock")
+	// In scope: pure durations stay silent.
+	checkFixture(t, a, "wallclockgood", "fixture/internal/asim/wallclockgood")
+	// Out of scope: the same violating code is silent.
+	_, _, findings := loadFixture(t, a, "wallclock", "fixture/internal/report/wallclock")
+	if len(findings) != 0 {
+		t.Fatalf("out-of-scope package should be silent, got %v", findings)
+	}
+}
+
+func TestMapIterationFixtures(t *testing.T) {
+	a := MapIterationAnalyzer()
+	checkFixture(t, a, "maporder", "fixture/internal/schedule/maporder")
+	// Out of scope: silent.
+	_, _, findings := loadFixture(t, a, "maporder", "fixture/internal/report/maporder")
+	if len(findings) != 0 {
+		t.Fatalf("out-of-scope package should be silent, got %v", findings)
+	}
+}
+
+func TestIgnoredErrorsFixtures(t *testing.T) {
+	checkFixture(t, IgnoredErrorsAnalyzer(), "ignorederr", "fixture/ignorederr")
+}
+
+func TestConfigValidationFixtures(t *testing.T) {
+	a := ConfigValidationAnalyzer()
+	checkFixture(t, a, "configbad", "fixture/configbad")
+	checkFixture(t, a, "configgood", "fixture/configgood")
+}
+
+func TestSelectRules(t *testing.T) {
+	all, err := Select("")
+	if err != nil {
+		t.Fatalf("Select(all): %v", err)
+	}
+	if len(all) < 5 {
+		t.Fatalf("expected at least 5 analyzers, got %d", len(all))
+	}
+	two, err := Select("rng-discipline, map-iteration")
+	if err != nil {
+		t.Fatalf("Select(two): %v", err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("expected 2 analyzers, got %d", len(two))
+	}
+	if _, err := Select("no-such-rule"); err == nil {
+		t.Fatal("expected error for unknown rule")
+	}
+}
+
+// TestModuleIsClean is the meta-gate: the repository's own tree must
+// carry zero findings, so the pre-PR gate stays green. A deliberate
+// violation anywhere (e.g. a math/rand import in a scheduler) makes
+// this test — and `make check` — fail.
+func TestModuleIsClean(t *testing.T) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loader found only %d packages; module walker is broken", len(pkgs))
+	}
+	findings := RunAnalyzers(loader.Fset, pkgs, AllAnalyzers())
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}

@@ -1,0 +1,255 @@
+// Package lint is a stdlib-only static-analysis framework for the
+// barterdist module. It hosts project-specific determinism and
+// invariant analyzers (see rules.go and friends) and a tiny module
+// loader built on go/parser + go/types + go/importer, so the pre-PR
+// gate needs no dependency on golang.org/x/tools.
+//
+// The analyses exist to protect the repository's core claim: every
+// figure and table is regenerated from fixed seeds, and two runs with
+// the same seed must produce byte-identical traces. The rules make the
+// preconditions of that claim machine-checked — all randomness flows
+// through internal/xrand, simulated time never reads the wall clock,
+// and no scheduler hot path iterates a Go map in its randomized order.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked, non-test package of the module.
+type Package struct {
+	// Path is the import path ("barterdist/internal/simulate").
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries identifier resolution for the files.
+	Info *types.Info
+}
+
+// Loader discovers and type-checks the packages of a single module
+// without golang.org/x/tools. Intra-module imports are resolved
+// recursively from source; standard-library imports go through the
+// shared go/importer source importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+
+	pkgs    map[string]*Package // by import path, fully loaded
+	loading map[string]bool     // cycle guard
+}
+
+// stdImporter is shared across loaders because type-checking the
+// standard library from source is the expensive part; the importer
+// caches each std package after the first import.
+var (
+	stdOnce     sync.Once
+	stdImp      types.Importer
+	stdImpFset  *token.FileSet
+	stdImpMutex sync.Mutex
+)
+
+func sharedStdImporter() (types.Importer, *token.FileSet) {
+	stdOnce.Do(func() {
+		stdImpFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdImpFset, "source", nil)
+	})
+	return stdImp, stdImpFset
+}
+
+// NewLoader returns a loader rooted at moduleRoot, whose go.mod names
+// the module path.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module root: %w", err)
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	std, fset := sharedStdImporter()
+	return &Loader{
+		Fset:       fset,
+		moduleRoot: abs,
+		modulePath: modPath,
+		std:        std,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// ModulePath reports the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll walks the module tree and loads every non-test package,
+// skipping testdata, hidden directories, and directories without Go
+// files. Packages are returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.moduleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isLintableGoFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLintableGoFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() &&
+		strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. The path may differ from the directory's natural
+// module path; fixture tests use this to load a testdata package as if
+// it lived at a rule's scoped location.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !isLintableGoFile(e) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths are loaded
+// from source recursively; everything else is delegated to the shared
+// standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	stdImpMutex.Lock()
+	defer stdImpMutex.Unlock()
+	return l.std.Import(path)
+}

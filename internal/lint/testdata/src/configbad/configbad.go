@@ -1,0 +1,32 @@
+// Package configbad violates the config-validation rule both ways.
+package configbad
+
+import "errors"
+
+// Config has no Validate method at all.
+type Config struct {
+	Nodes int
+}
+
+// Run uses the config without any way to validate it.
+func Run(cfg Config) int { // want "takes Config which has no exported Validate method"
+	return cfg.Nodes * 2
+}
+
+// Options has a Validate method…
+type Options struct {
+	Limit int
+}
+
+// Validate rejects bad options.
+func (o Options) Validate() error {
+	if o.Limit < 0 {
+		return errors.New("negative limit")
+	}
+	return nil
+}
+
+// New forgets to call it.
+func New(opts Options) int { // want "never calls Options.Validate"
+	return opts.Limit + 1
+}

@@ -1,0 +1,52 @@
+// Package configgood conforms to the config-validation rule.
+package configgood
+
+import "errors"
+
+// Config is validated configuration.
+type Config struct {
+	Nodes int
+}
+
+// Validate rejects impossible topologies.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return errors.New("need at least one node")
+	}
+	return nil
+}
+
+// Run validates before use.
+func Run(cfg Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return cfg.Nodes * 2, nil
+}
+
+// RunCopy validates a defaulted copy — also accepted.
+func RunCopy(cfg *Config) (int, error) {
+	cc := *cfg
+	if cc.Nodes == 0 {
+		cc.Nodes = 1
+	}
+	if err := cc.Validate(); err != nil {
+		return 0, err
+	}
+	return cc.Nodes, nil
+}
+
+// Forward is a pure forwarder; Run validates.
+//
+//lint:novalidate audited forwarder
+func Forward(cfg Config) (int, error) {
+	return Run(cfg)
+}
+
+// internalRun is unexported — out of the rule's scope.
+func internalRun(cfg Config) int {
+	return cfg.Nodes
+}
+
+// Sum takes no config.
+func Sum(a, b int) int { return a + b + internalRun(Config{Nodes: 1}) }

@@ -1,0 +1,44 @@
+// Package ignorederr exercises the ignored-errors rule.
+package ignorederr
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Drop discards the error of a single-result call.
+func Drop(path string) {
+	_ = os.Remove(path) // want "error result of os.Remove discarded"
+}
+
+// DropTuple discards the error position of a multi-result call.
+func DropTuple(s string) int {
+	n, _ := strconv.Atoi(s) // want "error result of strconv.Atoi discarded"
+	return n
+}
+
+// Allowlisted discards a strings.Builder write error, which is
+// documented to be always nil.
+func Allowlisted(b *strings.Builder) {
+	_, _ = b.WriteString("ok")
+}
+
+// Suppressed carries an audited annotation.
+func Suppressed(path string) {
+	_ = os.Remove(path) //lint:ignoreerr best-effort cleanup
+}
+
+// CommaOK is a map read, not an error — never flagged.
+func CommaOK(m map[string]int, k string) int {
+	v, _ := m[k]
+	return v
+}
+
+// Handled does the right thing.
+func Handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

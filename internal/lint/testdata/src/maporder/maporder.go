@@ -1,0 +1,74 @@
+// Package maporder exercises the map-iteration rule (loaded under a
+// scoped scheduler import path by the tests).
+package maporder
+
+import "sort"
+
+// Pick leaks map order into a decision — the canonical violation.
+func Pick(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "iteration over map m has randomized order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Mean accumulates floats, whose addition is order-dependent under
+// rounding — not accepted without annotation.
+func Mean(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "iteration over map m has randomized order"
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Effectful calls a function per entry — order could matter.
+func Effectful(m map[int]int, f func(int)) {
+	for k := range m { // want "iteration over map m has randomized order"
+		f(k)
+	}
+}
+
+// Count is a commutative integer aggregation — provably
+// order-insensitive, accepted without annotation.
+func Count(m map[int]int, threshold int) int {
+	n := 0
+	for _, v := range m {
+		if v >= threshold {
+			n++
+		} else if v < 0 {
+			n += 2
+		}
+	}
+	return n
+}
+
+// Mask or-folds flags — commutative, accepted.
+func Mask(m map[string]uint64) uint64 {
+	var bits uint64
+	for _, v := range m {
+		bits |= v
+	}
+	return bits
+}
+
+// SortedKeys collects then sorts; the collection loop itself is
+// order-sensitive in isolation, so it carries an audited suppression.
+func SortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Slices ranges over a slice — never flagged.
+func Slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package rngbad violates the rng-discipline rule three ways: it
+// imports math/rand and crypto/rand, and it seeds an xrand generator
+// from the wall clock.
+package rngbad
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand forbidden"
+	"math/rand"         // want "import of math/rand forbidden"
+	"time"
+
+	"barterdist/internal/xrand"
+)
+
+// Roll draws from the forbidden sources.
+func Roll() int {
+	buf := make([]byte, 1)
+	if _, err := crand.Read(buf); err != nil {
+		return 0
+	}
+	return rand.Intn(6) + int(buf[0])
+}
+
+// NewGen seeds from the wall clock, defeating reproducibility.
+func NewGen() *xrand.Rand {
+	return xrand.New(uint64(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

@@ -1,0 +1,21 @@
+// Package rnggood conforms to the rng-discipline rule: all randomness
+// flows through internal/xrand with explicit seeds.
+package rnggood
+
+import "barterdist/internal/xrand"
+
+// Settings carries an explicit seed.
+type Settings struct {
+	Seed uint64
+}
+
+// NewGen seeds from configuration — reproducible.
+func NewGen(s Settings) *xrand.Rand {
+	return xrand.New(s.Seed)
+}
+
+// Derive splits a child stream; deriving seeds from other xrand draws
+// is fine because the root is explicit.
+func Derive(r *xrand.Rand) *xrand.Rand {
+	return xrand.New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}

@@ -1,0 +1,25 @@
+// Package wallclock exercises the no-wallclock rule. Loaded under a
+// scoped import path (internal/simulate/...) the flagged lines fire;
+// loaded under a neutral path the package is silent, which the tests
+// use to prove the rule is scoped.
+package wallclock
+
+import "time"
+
+// TickBudget uses a Duration constant — pure value, always allowed.
+const TickBudget = 50 * time.Millisecond
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now forbidden"
+}
+
+// Elapsed measures real time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since forbidden"
+}
+
+// Poll spins a real-time ticker.
+func Poll() *time.Ticker {
+	return time.NewTicker(TickBudget) // want "time.NewTicker forbidden"
+}

@@ -1,0 +1,13 @@
+// Package wallclockgood uses only pure time values — allowed even in
+// scoped engine packages.
+package wallclockgood
+
+import "time"
+
+// Window is a pure duration constant.
+const Window = 3 * time.Second
+
+// Scale converts simulated ticks to a nominal duration for reporting.
+func Scale(ticks int) time.Duration {
+	return time.Duration(ticks) * Window
+}

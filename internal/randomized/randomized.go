@@ -121,34 +121,43 @@ type Scheduler struct {
 
 var _ simulate.Scheduler = (*Scheduler)(nil)
 
+// Validate checks the options without mutating them. A zero Policy is
+// accepted (it defaults to Random).
+func (o *Options) Validate() error {
+	switch o.Policy {
+	case 0, Random, RarestFirst, LocalRare:
+	default:
+		return fmt.Errorf("randomized: unknown policy %d", int(o.Policy))
+	}
+	if o.CreditLimit < 0 {
+		return fmt.Errorf("randomized: negative credit limit %d", o.CreditLimit)
+	}
+	if o.RewireEvery < 0 {
+		return fmt.Errorf("randomized: negative rewire interval %d", o.RewireEvery)
+	}
+	if o.RewireEvery > 0 {
+		if o.Graph == nil {
+			return fmt.Errorf("randomized: rewiring requires an explicit overlay graph")
+		}
+		d := o.Graph.Degree(0)
+		for v := 1; v < o.Graph.N(); v++ {
+			if o.Graph.Degree(v) != d {
+				return fmt.Errorf("randomized: rewiring requires a regular graph (degree mismatch at node %d)", v)
+			}
+		}
+	}
+	return nil
+}
+
 // New returns a randomized scheduler. The overlay graph, if given, must
 // have as many vertices as the simulation has nodes — this is checked on
 // the first tick.
 func New(opts Options) (*Scheduler, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Policy == 0 {
 		opts.Policy = Random
-	}
-	switch opts.Policy {
-	case Random, RarestFirst, LocalRare:
-	default:
-		return nil, fmt.Errorf("randomized: unknown policy %d", int(opts.Policy))
-	}
-	if opts.CreditLimit < 0 {
-		return nil, fmt.Errorf("randomized: negative credit limit %d", opts.CreditLimit)
-	}
-	if opts.RewireEvery < 0 {
-		return nil, fmt.Errorf("randomized: negative rewire interval %d", opts.RewireEvery)
-	}
-	if opts.RewireEvery > 0 {
-		if opts.Graph == nil {
-			return nil, fmt.Errorf("randomized: rewiring requires an explicit overlay graph")
-		}
-		d := opts.Graph.Degree(0)
-		for v := 1; v < opts.Graph.N(); v++ {
-			if opts.Graph.Degree(v) != d {
-				return nil, fmt.Errorf("randomized: rewiring requires a regular graph (degree mismatch at node %d)", v)
-			}
-		}
 	}
 	s := &Scheduler{opts: opts, rng: xrand.New(opts.Seed)}
 	if opts.CreditLimit > 0 {

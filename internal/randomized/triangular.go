@@ -2,6 +2,7 @@ package randomized
 
 import (
 	"fmt"
+	"sort"
 
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
@@ -71,27 +72,36 @@ type TriangularScheduler struct {
 
 var _ simulate.Scheduler = (*TriangularScheduler)(nil)
 
+// Validate checks the options without mutating them. Zero values with
+// documented defaults (Policy, CreditLimit, CycleLimit) are accepted.
+func (o *TriangularOptions) Validate() error {
+	if o.Graph == nil {
+		return fmt.Errorf("randomized: triangular barter requires an overlay graph")
+	}
+	switch o.Policy {
+	case 0, Random, RarestFirst, LocalRare:
+	default:
+		return fmt.Errorf("randomized: unknown policy %d", int(o.Policy))
+	}
+	if o.CycleLimit != 0 && o.CycleLimit < 2 {
+		return fmt.Errorf("randomized: cycle limit %d must be >= 2", o.CycleLimit)
+	}
+	return nil
+}
+
 // NewTriangular returns a triangular-barter scheduler.
 func NewTriangular(opts TriangularOptions) (*TriangularScheduler, error) {
-	if opts.Graph == nil {
-		return nil, fmt.Errorf("randomized: triangular barter requires an overlay graph")
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Policy == 0 {
 		opts.Policy = Random
-	}
-	switch opts.Policy {
-	case Random, RarestFirst, LocalRare:
-	default:
-		return nil, fmt.Errorf("randomized: unknown policy %d", int(opts.Policy))
 	}
 	if opts.CreditLimit == 0 {
 		opts.CreditLimit = 1
 	}
 	if opts.CycleLimit == 0 {
 		opts.CycleLimit = 3
-	}
-	if opts.CycleLimit < 2 {
-		return nil, fmt.Errorf("randomized: cycle limit %d must be >= 2", opts.CycleLimit)
 	}
 	ledger, err := mechanism.NewLedger(opts.CreditLimit)
 	if err != nil {
@@ -252,9 +262,15 @@ func (ts *TriangularScheduler) settleLedger(tick []simulate.Transfer) {
 		}
 		return false
 	}
+	// Cancellation must not depend on Go's randomized map order: when
+	// cycles share edges, the visit order decides which ones settle and
+	// the leftover debt reaches the ledger — and through the credit
+	// limit, future transfer selection. Iterate keys in sorted order.
+	keys := sortedPairKeys(remaining)
 	// Cancel 2-cycles.
-	for key, c := range remaining {
+	for _, key := range keys {
 		u, v := key[0], key[1]
+		c := remaining[key]
 		for c > 0 && remaining[[2]int32{v, u}] > 0 {
 			remaining[key]--
 			remaining[[2]int32{v, u}]--
@@ -263,7 +279,7 @@ func (ts *TriangularScheduler) settleLedger(tick []simulate.Transfer) {
 	}
 	// Cancel 3-cycles (only when allowed).
 	if ts.opts.CycleLimit >= 3 {
-		for key := range remaining {
+		for _, key := range keys {
 			u, v := key[0], key[1]
 			if remaining[key] == 0 {
 				continue
@@ -280,11 +296,27 @@ func (ts *TriangularScheduler) settleLedger(tick []simulate.Transfer) {
 			}
 		}
 	}
-	for key, c := range remaining {
-		for i := 0; i < c; i++ {
+	for _, key := range keys {
+		for i := 0; i < remaining[key]; i++ {
 			ts.ledger.Record(key[0], key[1])
 		}
 	}
+}
+
+// sortedPairKeys returns m's keys in lexicographic order so that
+// settlement iteration is independent of map order.
+func sortedPairKeys(m map[[2]int32]int) [][2]int32 {
+	keys := make([][2]int32, 0, len(m))
+	for key := range m { //lint:ordered keys are sorted below
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }
 
 // findCycle follows held intents from u; if it returns to u within

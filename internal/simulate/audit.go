@@ -38,10 +38,10 @@ func auditErr(format string, args ...any) error {
 // consumes a fault plan.
 func RunAudit(cfg Config, res *Result) error {
 	cfg.Fault = nil
-	c, err := cfg.normalize()
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	c := cfg.withDefaults()
 	if res == nil {
 		return auditErr("nil result")
 	}

@@ -86,46 +86,57 @@ type Config struct {
 	Fault *fault.Plan
 }
 
-// normalize validates the raw configuration and applies defaults. All
+// Validate checks the raw configuration without mutating it. All
 // invalid fields are reported in a single error — raw values are checked
 // before any defaulting, so a negative UploadCap can never be
 // zero-corrected into a silently inconsistent ServerUploadCap pairing.
-func (c *Config) normalize() (Config, error) {
-	cc := *c
+// Cross-field constraints are checked against the effective
+// (post-default) values so that Validate agrees with what Run will use.
+func (c *Config) Validate() error {
 	var bad []string
-	if cc.Nodes < 1 {
-		bad = append(bad, fmt.Sprintf("Nodes = %d, need >= 1", cc.Nodes))
+	if c.Nodes < 1 {
+		bad = append(bad, fmt.Sprintf("Nodes = %d, need >= 1", c.Nodes))
 	}
-	if cc.Blocks < 1 {
-		bad = append(bad, fmt.Sprintf("Blocks = %d, need >= 1", cc.Blocks))
+	if c.Blocks < 1 {
+		bad = append(bad, fmt.Sprintf("Blocks = %d, need >= 1", c.Blocks))
 	}
-	if cc.UploadCap < 0 {
-		bad = append(bad, fmt.Sprintf("UploadCap = %d, need >= 0", cc.UploadCap))
+	if c.UploadCap < 0 {
+		bad = append(bad, fmt.Sprintf("UploadCap = %d, need >= 0", c.UploadCap))
 	}
-	if cc.ServerUploadCap < 0 {
-		bad = append(bad, fmt.Sprintf("ServerUploadCap = %d, need >= 0", cc.ServerUploadCap))
+	if c.ServerUploadCap < 0 {
+		bad = append(bad, fmt.Sprintf("ServerUploadCap = %d, need >= 0", c.ServerUploadCap))
 	}
-	if cc.DownloadCap < 0 {
-		bad = append(bad, fmt.Sprintf("DownloadCap = %d, need >= 0", cc.DownloadCap))
+	if c.DownloadCap < 0 {
+		bad = append(bad, fmt.Sprintf("DownloadCap = %d, need >= 0", c.DownloadCap))
 	}
 	if len(bad) > 0 {
-		return cc, fmt.Errorf("simulate: invalid config: %s", strings.Join(bad, "; "))
+		return fmt.Errorf("simulate: invalid config: %s", strings.Join(bad, "; "))
 	}
-	if cc.UploadCap == 0 {
-		cc.UploadCap = 1
+	effUpload := c.UploadCap
+	if effUpload == 0 {
+		effUpload = 1
 	}
-	if cc.ServerUploadCap == 0 {
-		cc.ServerUploadCap = cc.UploadCap
+	if c.DownloadCap != Unlimited && c.DownloadCap < effUpload {
+		return fmt.Errorf("simulate: invalid config: DownloadCap %d < UploadCap %d", c.DownloadCap, effUpload)
 	}
-	if cc.DownloadCap != Unlimited && cc.DownloadCap < cc.UploadCap {
-		return cc, fmt.Errorf("simulate: invalid config: DownloadCap %d < UploadCap %d", cc.DownloadCap, cc.UploadCap)
+	return nil
+}
+
+// withDefaults returns a copy with zero fields replaced by the
+// documented defaults. The configuration must already be valid.
+func (c Config) withDefaults() Config {
+	if c.UploadCap == 0 {
+		c.UploadCap = 1
 	}
-	if cc.MaxTicks == 0 {
+	if c.ServerUploadCap == 0 {
+		c.ServerUploadCap = c.UploadCap
+	}
+	if c.MaxTicks == 0 {
 		// Pipeline needs k + n - 2; strict-barter worst cases add O(n);
 		// leave ample slack for deliberately bad schedulers under test.
-		cc.MaxTicks = 20*(cc.Blocks+cc.Nodes) + 1000
+		c.MaxTicks = 20*(c.Blocks+c.Nodes) + 1000
 	}
-	return cc, nil
+	return c
 }
 
 // State is the global block-ownership state exposed read-only to
@@ -380,10 +391,10 @@ func (sf *simFaults) applyRejoin(ev fault.Event, st *State, res *Result) {
 // Run executes the scheduler until every client holds all blocks (or,
 // under a fault plan, every client still part of the system does).
 func Run(cfg Config, sched Scheduler) (*Result, error) {
-	c, err := cfg.normalize()
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	c := cfg.withDefaults()
 	st := newState(c.Nodes, c.Blocks)
 	res := &Result{ClientCompletion: make([]int, c.Nodes)}
 	if c.Nodes == 1 {
@@ -406,6 +417,7 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	upUsed := make([]int, c.Nodes)
 	downUsed := make([]int, c.Nodes)
 	var buf []Transfer
+	var err error
 
 	finish := func(t int) *Result {
 		res.CompletionTime = t
