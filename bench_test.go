@@ -10,12 +10,17 @@ import (
 
 	"barterdist"
 	"barterdist/internal/experiment"
+	"barterdist/internal/fault"
 )
 
-func benchFigure(b *testing.B, gen func(experiment.Scale, experiment.Progress) (*experiment.Figure, error)) {
+// Benchmarks run the generators with Workers: 1 so that ns/op measures
+// the sequential cost of the work itself, comparable across machines
+// with different core counts; the parallel runner's speedup is reported
+// separately by cmd/cdbench and the paperfigs wall-clock table.
+func benchFigure(b *testing.B, gen func(experiment.Scale, experiment.Options) (*experiment.Figure, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		fig, err := gen(experiment.ScaleCI, nil)
+		fig, err := gen(experiment.ScaleCI, experiment.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -25,10 +30,10 @@ func benchFigure(b *testing.B, gen func(experiment.Scale, experiment.Progress) (
 	}
 }
 
-func benchTable(b *testing.B, gen func(experiment.Scale, experiment.Progress) (*experiment.Table, error)) {
+func benchTable(b *testing.B, gen func(experiment.Scale, experiment.Options) (*experiment.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tbl, err := gen(experiment.ScaleCI, nil)
+		tbl, err := gen(experiment.ScaleCI, experiment.Options{Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,6 +136,30 @@ func BenchmarkAblation_RarestFirstOverhead(b *testing.B) {
 		if _, err := barterdist.Run(barterdist.Config{
 			Nodes: 256, Blocks: 256, Algorithm: barterdist.AlgoRandomized,
 			Policy: barterdist.PolicyRarestFirst, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_RarestFirstChurn measures a faulty Rarest-First run:
+// frequent crash/rejoin events force the scheduler to repair its global
+// rarity statistics, so this is the benchmark that exposes the cost of
+// the (formerly O(n·k) per event) frequency maintenance.
+func BenchmarkAblation_RarestFirstChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := barterdist.Run(barterdist.Config{
+			Nodes: 256, Blocks: 256, Algorithm: barterdist.AlgoRandomized,
+			Policy: barterdist.PolicyRarestFirst, Seed: uint64(i),
+			MaxTicks: 8000,
+			Fault: &fault.Options{
+				Seed:              uint64(1000 + i),
+				CrashRate:         0.4,
+				MaxCrashes:        4096,
+				RejoinDelay:       4,
+				RejoinLosesBlocks: false,
+				LossRate:          0.02,
+			},
 		}); err != nil {
 			b.Fatal(err)
 		}

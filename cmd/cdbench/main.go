@@ -1,0 +1,234 @@
+// Command cdbench runs the repository benchmark suite and writes a
+// machine-readable BENCH_<date>.json snapshot: ns/op, B/op, and
+// allocs/op per benchmark, plus the speedup against the most recent
+// committed snapshot. `make bench` is the canonical invocation; the
+// committed snapshots give every perf-affecting PR a before/after
+// record that review (and future sessions) can diff without rerunning
+// anything.
+//
+// Usage:
+//
+//	cdbench [-bench regex] [-benchtime d] [-out BENCH_2006-01-02.json] [-baseline path]
+//
+// The baseline defaults to the lexicographically newest BENCH_*.json in
+// the repository root other than the output file; -baseline "" skips
+// the comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// report is the on-disk schema. Fields are stable: downstream tooling
+// keys on Schema == "barterdist-bench/v1".
+type report struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	BenchArgs  []string `json:"bench_args"`
+	Baseline   string   `json:"baseline,omitempty"`
+	Results    []result `json:"results"`
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsBaseline is baseline_ns / ns for the same benchmark
+	// name; 0 when no baseline entry exists.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "passed to go test -benchtime when non-empty")
+		out       = flag.String("out", "", "output path (default BENCH_<today>.json in the repo root)")
+		baseline  = flag.String("baseline", "auto", `baseline snapshot: "auto" picks the newest BENCH_*.json, "" disables`)
+	)
+	flag.Parse()
+
+	outPath := *out
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "."}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	fmt.Fprintf(os.Stderr, "cdbench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdbench: benchmark run failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	results, err := parseBenchOutput(string(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdbench:", err)
+		os.Exit(1)
+	}
+
+	basePath := *baseline
+	if basePath == "auto" {
+		basePath = newestSnapshot(".", outPath)
+	}
+	if basePath != "" {
+		base, err := loadSnapshot(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: baseline %s: %v\n", basePath, err)
+			os.Exit(1)
+		}
+		applyBaseline(results, base)
+	}
+
+	rep := report{
+		Schema:     "barterdist-bench/v1",
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BenchArgs:  args,
+		Baseline:   basePath,
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cdbench:", err)
+		os.Exit(1)
+	}
+	printSummary(os.Stdout, results, basePath)
+	fmt.Fprintf(os.Stderr, "cdbench: wrote %s (%d benchmarks)\n", outPath, len(results))
+}
+
+// parseBenchOutput extracts one result per "Benchmark..." line of `go
+// test -bench -benchmem` output. The trailing -N GOMAXPROCS suffix is
+// stripped so names are stable across machines.
+func parseBenchOutput(out string) ([]result, error) {
+	var results []result
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseBenchLine(line)
+		if !ok {
+			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output")
+	}
+	return results, nil
+}
+
+// parseBenchLine parses a single benchmark result line, e.g.
+//
+//	BenchmarkFig3_TvsN-8   508   4736680 ns/op   63010 B/op   1017 allocs/op
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	// name iters ns "ns/op" [bytes "B/op" allocs "allocs/op"]
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, NsPerOp: ns}
+	rest := fields[4:]
+	for len(rest) >= 2 {
+		v, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch rest[1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+		rest = rest[2:]
+	}
+	return r, true
+}
+
+// newestSnapshot returns the lexicographically greatest BENCH_*.json in
+// dir other than exclude (the date format makes lexicographic ==
+// chronological), or "".
+func newestSnapshot(dir, exclude string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Base(matches[i]) != filepath.Base(exclude) {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func loadSnapshot(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, err
+	}
+	base := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	return base, nil
+}
+
+func applyBaseline(results []result, base map[string]float64) {
+	for i := range results {
+		if b, ok := base[results[i].Name]; ok && results[i].NsPerOp > 0 {
+			results[i].SpeedupVsBaseline = b / results[i].NsPerOp
+		}
+	}
+}
+
+func printSummary(w *os.File, results []result, basePath string) {
+	width := 0
+	for _, r := range results {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%-*s  %14.0f ns/op  %8d allocs/op", width, r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SpeedupVsBaseline > 0 {
+			fmt.Fprintf(w, "  %5.2fx vs %s", r.SpeedupVsBaseline, filepath.Base(basePath))
+		}
+		fmt.Fprintln(w)
+	}
+}

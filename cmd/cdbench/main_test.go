@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkFig3_TvsN-8 \t 508\t   4736680 ns/op\t   63010 B/op\t    1017 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkFig3_TvsN" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.NsPerOp != 4736680 || r.BytesPerOp != 63010 || r.AllocsPerOp != 1017 {
+		t.Errorf("parsed %+v", r)
+	}
+	// No -N suffix (GOMAXPROCS=1) and no -benchmem columns.
+	r, ok = parseBenchLine("BenchmarkX 100 250.5 ns/op")
+	if !ok || r.Name != "BenchmarkX" || r.NsPerOp != 250.5 {
+		t.Errorf("minimal line: ok=%v r=%+v", ok, r)
+	}
+	// Name with an embedded dash that is not a GOMAXPROCS suffix.
+	r, ok = parseBenchLine("BenchmarkA-b 10 5 ns/op")
+	if !ok || r.Name != "BenchmarkA-b" {
+		t.Errorf("dash name: ok=%v r=%+v", ok, r)
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken 12 nonsense"); ok {
+		t.Error("malformed line should not parse")
+	}
+}
+
+func TestParseBenchOutputAndBaseline(t *testing.T) {
+	out := `goos: linux
+BenchmarkA-8 	 100	 2000 ns/op	 64 B/op	 2 allocs/op
+BenchmarkB-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+PASS
+`
+	results, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	applyBaseline(results, map[string]float64{"BenchmarkA": 4000})
+	if results[0].SpeedupVsBaseline != 2 {
+		t.Errorf("speedup = %v, want 2", results[0].SpeedupVsBaseline)
+	}
+	if results[1].SpeedupVsBaseline != 0 {
+		t.Errorf("missing baseline entry must leave speedup 0, got %v", results[1].SpeedupVsBaseline)
+	}
+	if _, err := parseBenchOutput("PASS\n"); err == nil {
+		t.Error("empty benchmark output should error")
+	}
+}
+
+func TestNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-01-01.json", "BENCH_2026-03-01.json", "BENCH_2026-02-01.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := newestSnapshot(dir, "BENCH_2026-03-15.json")
+	if filepath.Base(got) != "BENCH_2026-03-01.json" {
+		t.Errorf("newest = %q", got)
+	}
+	// The output file itself must never be its own baseline.
+	got = newestSnapshot(dir, "BENCH_2026-03-01.json")
+	if filepath.Base(got) != "BENCH_2026-02-01.json" {
+		t.Errorf("newest excluding self = %q", got)
+	}
+	if newestSnapshot(t.TempDir(), "x.json") != "" {
+		t.Error("empty dir should yield no baseline")
+	}
+}

@@ -1,5 +1,9 @@
-// Command cdsim runs a single content-distribution simulation and prints
-// its metrics, optionally with a full transfer trace.
+// Command cdsim runs a content-distribution simulation and prints its
+// metrics, optionally with a full transfer trace. With -reps > 1 it
+// runs that many independent replicates (seeds derived from -seed by
+// the golden-ratio stride, the same scheme the experiment suite uses)
+// on a worker pool and reports aggregate statistics; the output is
+// identical for any -workers value.
 //
 // Examples:
 //
@@ -7,6 +11,7 @@
 //	cdsim -n 1000 -k 1000 -algo randomized -overlay random-regular -degree 25 -seed 7
 //	cdsim -n 9 -k 16 -algo riffle -verify strict
 //	cdsim -n 8 -k 3 -algo binomial-pipeline -trace      # Figure 1/2 style trace
+//	cdsim -n 256 -k 256 -algo randomized -reps 16 -workers 4
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"os"
 
 	"barterdist"
+	"barterdist/internal/analysis"
+	"barterdist/internal/parallel"
 )
 
 func main() {
@@ -36,6 +43,8 @@ func main() {
 		verify  = flag.String("verify", "", "audit trace against mechanism: strict | credit | triangular")
 		trace   = flag.Bool("trace", false, "print the full transfer trace")
 		maxT    = flag.Int("maxticks", 0, "tick budget (0 = generous default)")
+		reps    = flag.Int("reps", 1, "independent replicates with derived seeds (> 1 prints aggregate stats)")
+		workers = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS); output identical for any value >= 1")
 	)
 	flag.Parse()
 
@@ -66,6 +75,18 @@ func main() {
 		cfg.DownloadCap = *down
 	case *down < 0:
 		cfg.DownloadCap = barterdist.DownloadUnlimited
+	}
+
+	if *reps > 1 {
+		if *trace {
+			fmt.Fprintln(os.Stderr, "cdsim: -trace requires -reps 1 (a trace is one run's transcript)")
+			os.Exit(2)
+		}
+		if err := runReplicates(cfg, *reps, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	res, err := barterdist.Run(cfg)
@@ -106,6 +127,60 @@ func main() {
 			fmt.Println()
 		}
 	}
+}
+
+// runReplicates fans reps seeded copies of cfg out over the worker
+// pool (replicate r runs with seed cfg.Seed + r*parallel.SeedStride)
+// and prints per-replicate completion times plus aggregate statistics.
+// Stalled replicates are reported at the tick budget when one is set,
+// mirroring the experiment suite's "off the charts" convention.
+func runReplicates(cfg barterdist.Config, reps, workers int) error {
+	type outcome struct {
+		ticks   float64
+		stalled bool
+	}
+	outs, err := parallel.Map(parallel.Workers(workers), reps, func(r int) (outcome, error) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)*parallel.SeedStride
+		res, err := barterdist.Run(c)
+		switch {
+		case err == nil:
+			return outcome{ticks: float64(res.CompletionTime)}, nil
+		case errors.Is(err, barterdist.ErrStalled) && c.MaxTicks > 0:
+			return outcome{ticks: float64(c.MaxTicks), stalled: true}, nil
+		default:
+			return outcome{}, fmt.Errorf("replicate %d (seed %d): %w", r, c.Seed, err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	times := make([]float64, reps)
+	stalled := 0
+	for r, o := range outs {
+		times[r] = o.ticks
+		if o.stalled {
+			stalled++
+		}
+	}
+	sum, err := analysis.Summarize(times)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm:            %s\n", cfg.Algorithm)
+	fmt.Printf("nodes (n):            %d\n", cfg.Nodes)
+	fmt.Printf("blocks (k):           %d\n", cfg.Blocks)
+	fmt.Printf("replicates:           %d (base seed %d, golden-ratio stride)\n", reps, cfg.Seed)
+	fmt.Printf("mean completion:      %.2f ticks (95%% CI ±%.2f)\n", sum.Mean, sum.CI95)
+	if stalled > 0 {
+		fmt.Printf("stalled:              %d of %d (counted at the %d-tick budget)\n", stalled, reps, cfg.MaxTicks)
+	}
+	fmt.Printf("per-replicate ticks: ")
+	for _, t := range times {
+		fmt.Printf(" %.0f", t)
+	}
+	fmt.Println()
+	return nil
 }
 
 func parsePolicy(s string) (barterdist.Policy, error) {

@@ -23,12 +23,12 @@ import (
 
 type artifact struct {
 	id  string
-	run func(experiment.Scale, experiment.Progress) (render, csv string, err error)
+	run func(experiment.Scale, experiment.Options) (render, csv string, err error)
 }
 
-func figureArtifact(gen func(experiment.Scale, experiment.Progress) (*experiment.Figure, error)) func(experiment.Scale, experiment.Progress) (string, string, error) {
-	return func(sc experiment.Scale, prog experiment.Progress) (string, string, error) {
-		fig, err := gen(sc, prog)
+func figureArtifact(gen func(experiment.Scale, experiment.Options) (*experiment.Figure, error)) func(experiment.Scale, experiment.Options) (string, string, error) {
+	return func(sc experiment.Scale, opt experiment.Options) (string, string, error) {
+		fig, err := gen(sc, opt)
 		if err != nil {
 			return "", "", err
 		}
@@ -36,9 +36,9 @@ func figureArtifact(gen func(experiment.Scale, experiment.Progress) (*experiment
 	}
 }
 
-func tableArtifact(gen func(experiment.Scale, experiment.Progress) (*experiment.Table, error)) func(experiment.Scale, experiment.Progress) (string, string, error) {
-	return func(sc experiment.Scale, prog experiment.Progress) (string, string, error) {
-		tbl, err := gen(sc, prog)
+func tableArtifact(gen func(experiment.Scale, experiment.Options) (*experiment.Table, error)) func(experiment.Scale, experiment.Options) (string, string, error) {
+	return func(sc experiment.Scale, opt experiment.Options) (string, string, error) {
+		tbl, err := gen(sc, opt)
 		if err != nil {
 			return "", "", err
 		}
@@ -50,6 +50,7 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "experiment scale: ci, medium, or full (paper parameters)")
 	onlyFlag := flag.String("only", "", "comma-separated subset, e.g. fig3,tableC (default: everything)")
 	outFlag := flag.String("out", "results", "output directory for CSV and text renderings")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); output is byte-identical for any value >= 1")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
+	opt := experiment.Options{Progress: prog, Workers: *workers}
 
 	exitCode := 0
 	for _, a := range artifacts {
@@ -98,7 +100,7 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "== %s (scale=%s) ==\n", a.id, scale)
-		render, csv, err := a.run(scale, prog)
+		render, csv, err := a.run(scale, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", a.id, err)
 			exitCode = 1

@@ -192,6 +192,32 @@ func (s *Set) IterDiff(o *Set, fn func(i int) bool) {
 	}
 }
 
+// Words exposes the set's backing words, least-significant block first.
+// Callers must treat the slice as read-only: writing through it bypasses
+// the cached population count. It exists for word-at-a-time consumers
+// (rarity accounting, fingerprints) that would otherwise pay one Has
+// bounds check per bit.
+func (s *Set) Words() []uint64 { return s.words }
+
+// AccumulateCounts adds delta to counts[i] for every set bit i. It is
+// the word-parallel workhorse behind rarest-first frequency
+// maintenance: a crash subtracts exactly the victim's holdings
+// (delta = -1), a rejoin adds them back (delta = +1), and a full
+// recount is one AccumulateCounts per alive node instead of n·k Has
+// calls. counts must have at least Cap() entries.
+func (s *Set) AccumulateCounts(counts []int, delta int) {
+	if len(counts) < s.n {
+		panic("bitset: AccumulateCounts slice shorter than capacity")
+	}
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			counts[base+bits.TrailingZeros64(w)] += delta
+			w &= w - 1
+		}
+	}
+}
+
 // Iter calls fn for each set bit in ascending order until fn returns false.
 func (s *Set) Iter(fn func(i int) bool) {
 	for wi, w := range s.words {

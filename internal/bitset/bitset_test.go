@@ -371,6 +371,92 @@ func TestQuickDiffAlgebra(t *testing.T) {
 	}
 }
 
+func TestWords(t *testing.T) {
+	s := New(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	w := s.Words()
+	if len(w) != 3 {
+		t.Fatalf("Words len = %d, want 3", len(w))
+	}
+	if w[0] != 1 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("Words = %x", w)
+	}
+}
+
+func TestAccumulateCounts(t *testing.T) {
+	s := New(200) // spans four words, last partial
+	for _, i := range []int{0, 63, 64, 100, 199} {
+		s.Add(i)
+	}
+	counts := make([]int, 200)
+	s.AccumulateCounts(counts, 1)
+	s.AccumulateCounts(counts, 2)
+	for i := range counts {
+		want := 0
+		if s.Has(i) {
+			want = 3
+		}
+		if counts[i] != want {
+			t.Fatalf("counts[%d] = %d, want %d", i, counts[i], want)
+		}
+	}
+	// Subtracting the same set restores zero everywhere — the crash/
+	// rejoin inverse the rarest-first scheduler relies on.
+	s.AccumulateCounts(counts, -3)
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("counts[%d] = %d after inverse, want 0", i, c)
+		}
+	}
+}
+
+func TestAccumulateCountsMatchesHas(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				s.Add(i)
+			}
+		}
+		counts := make([]int, n)
+		s.AccumulateCounts(counts, 1)
+		for i := 0; i < n; i++ {
+			want := 0
+			if s.Has(i) {
+				want = 1
+			}
+			if counts[i] != want {
+				t.Fatalf("n=%d: counts[%d] = %d, want %d", n, i, counts[i], want)
+			}
+		}
+	}
+}
+
+func TestAccumulateCountsShortSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short counts slice")
+		}
+	}()
+	New(100).AccumulateCounts(make([]int, 50), 1)
+}
+
+func BenchmarkAccumulateCounts(b *testing.B) {
+	s := New(2048)
+	for i := 0; i < 2048; i += 2 {
+		s.Add(i)
+	}
+	counts := make([]int, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AccumulateCounts(counts, 1)
+	}
+}
+
 func BenchmarkAnyMissingFrom(b *testing.B) {
 	a, o := New(1024), New(1024)
 	for i := 0; i < 1024; i += 2 {

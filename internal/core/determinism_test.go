@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"barterdist/internal/fault"
+	"barterdist/internal/parallel"
 )
 
 // fingerprint serializes everything observable about a run — the full
@@ -93,6 +94,55 @@ func TestCrossEngineDeterminism(t *testing.T) {
 					head(first, 30), head(second, 30))
 			}
 		})
+	}
+}
+
+// TestParallelRunnerDeterminism extends the cross-engine determinism
+// guarantee to the worker pool: a batch of seeded runs fanned out over
+// parallel.Map at several pool widths must collect fingerprints that
+// are byte-identical to the sequential (workers=1) pass. This is the
+// dynamic contract behind the experiment package's Workers knob — each
+// replicate's seed is pre-derived with parallel.SeedStride, so worker
+// scheduling can never leak into a trace.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	const batch = 12
+	cfgFor := func(i int) Config {
+		cfg := Config{
+			Nodes: 16 + i, Blocks: 8,
+			Algorithm: AlgoRandomized, DownloadCap: 1,
+			RecordTrace: true,
+			Seed:        1000 + uint64(i)*parallel.SeedStride,
+		}
+		if i%3 == 1 {
+			cfg.Fault = &fault.Options{
+				Seed: 77 + uint64(i), CrashRate: 0.08, MaxCrashes: 2,
+				RejoinDelay: 4, LossRate: 0.05,
+			}
+		}
+		return cfg
+	}
+	run := func(workers int) []string {
+		prints, err := parallel.Map(workers, batch, func(i int) (string, error) {
+			res, err := Run(cfgFor(i))
+			if err != nil {
+				return "", err
+			}
+			return fingerprint(res), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return prints
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d run %d diverged from sequential:\n--- sequential ---\n%s\n--- workers=%d ---\n%s",
+					w, i, head(want[i], 20), w, head(got[i], 20))
+			}
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"barterdist/internal/analysis"
 	"barterdist/internal/core"
 	"barterdist/internal/fault"
+	"barterdist/internal/parallel"
 	"barterdist/internal/randomized"
 	"barterdist/internal/simulate"
 )
@@ -44,8 +45,14 @@ const churnLoss = 0.02
 //     schedule.SelfHeal (survivor re-embedding with chain fallback).
 //
 // Every completed run is recorded and replayed through
-// simulate.RunAudit; an invariant violation fails the experiment.
-func TableE(sc Scale, prog Progress) (*Table, error) {
+// simulate.RunAudit; an invariant violation fails the experiment. The
+// (rate, column, replicate) grid — including the audit replays — fans
+// out over the worker pool; cells aggregate sequentially, so the table
+// is identical for any Workers value.
+func TableE(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	n, k, rates, reps := tableEParams(sc)
 	maxTicks := 8*(n+k) + 200
 	type column struct {
@@ -77,39 +84,62 @@ func TableE(sc Scale, prog Progress) (*Table, error) {
 			"expected: unconstrained randomized degrades gracefully; barter-constrained runs stall hardest",
 		},
 	}
-	for _, rate := range rates {
-		prog.log("tableE: crash rate %g", rate)
+	prog := opt.Progress.Serialized()
+	type outcome struct {
+		stalled bool
+		ticks   float64
+	}
+	// Flat job index: ((rate, col), rep), matching the sequential
+	// aggregation below.
+	perRate := len(cols) * reps
+	outs, err := parallel.Map(opt.workers(), len(rates)*perRate, func(j int) (outcome, error) {
+		rate := rates[j/perRate]
+		ci := (j % perRate) / reps
+		rep := j % reps
+		if ci == 0 && rep == 0 {
+			prog.log("tableE: crash rate %g", rate)
+		}
+		cfg := cols[ci].cfg
+		cfg.Nodes, cfg.Blocks = n, k
+		cfg.Seed = uint64(4000 + 100*ci + rep)
+		cfg.RecordTrace = true
+		cfg.MaxTicks = maxTicks
+		if rate > 0 {
+			cfg.Fault = &fault.Options{
+				Seed:              uint64(7000 + 100*ci + rep),
+				CrashRate:         rate,
+				MaxCrashes:        n / 4,
+				RejoinDelay:       10,
+				RejoinLosesBlocks: true,
+				LossRate:          churnLoss,
+			}
+		}
+		res, err := core.Run(cfg)
+		if errors.Is(err, core.ErrStalled) {
+			return outcome{stalled: true}, nil
+		}
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, err)
+		}
+		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+			return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, aerr)
+		}
+		return outcome{ticks: float64(res.CompletionTime)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
 		row := []string{fmt.Sprintf("%g", rate)}
-		for ci, col := range cols {
+		for ci := range cols {
 			sum, done, stalls := 0.0, 0, 0
 			for rep := 0; rep < reps; rep++ {
-				cfg := col.cfg
-				cfg.Nodes, cfg.Blocks = n, k
-				cfg.Seed = uint64(4000 + 100*ci + rep)
-				cfg.RecordTrace = true
-				cfg.MaxTicks = maxTicks
-				if rate > 0 {
-					cfg.Fault = &fault.Options{
-						Seed:              uint64(7000 + 100*ci + rep),
-						CrashRate:         rate,
-						MaxCrashes:        n / 4,
-						RejoinDelay:       10,
-						RejoinLosesBlocks: true,
-						LossRate:          churnLoss,
-					}
-				}
-				res, err := core.Run(cfg)
-				if errors.Is(err, core.ErrStalled) {
+				o := outs[ri*perRate+ci*reps+rep]
+				if o.stalled {
 					stalls++
 					continue
 				}
-				if err != nil {
-					return nil, fmt.Errorf("tableE %s rate=%g: %w", col.label, rate, err)
-				}
-				if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
-					return nil, fmt.Errorf("tableE %s rate=%g: %w", col.label, rate, aerr)
-				}
-				sum += float64(res.CompletionTime)
+				sum += o.ticks
 				done++
 			}
 			switch {

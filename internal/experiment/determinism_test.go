@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// generatorsCI lists every figure and table generator, each rendered to
+// the exact bytes paperfigs would write to disk (CSV + ASCII render).
+func generatorsCI() []struct {
+	name string
+	emit func(Options) (string, error)
+} {
+	figure := func(gen func(Scale, Options) (*Figure, error)) func(Options) (string, error) {
+		return func(opt Options) (string, error) {
+			fig, err := gen(ScaleCI, opt)
+			if err != nil {
+				return "", err
+			}
+			return fig.CSV() + fig.Render(72, 16), nil
+		}
+	}
+	table := func(gen func(Scale, Options) (*Table, error)) func(Options) (string, error) {
+		return func(opt Options) (string, error) {
+			tbl, err := gen(ScaleCI, opt)
+			if err != nil {
+				return "", err
+			}
+			return tbl.CSV() + tbl.Render(), nil
+		}
+	}
+	return []struct {
+		name string
+		emit func(Options) (string, error)
+	}{
+		{"tableA", table(TableA)},
+		{"fig3", figure(Fig3)},
+		{"fig4", figure(Fig4)},
+		{"tableB", table(TableB)},
+		{"fig5", figure(Fig5)},
+		{"fig6", figure(Fig6)},
+		{"fig7", figure(Fig7)},
+		{"tableC", table(TableC)},
+		{"tableD", table(TableD)},
+		{"tableE", table(TableE)},
+	}
+}
+
+// TestGeneratorsByteEqualAcrossWorkerCounts pins the experiment
+// package's central concurrency guarantee: every figure and table
+// generator emits byte-identical output for any worker-pool width.
+// Seeds are pre-derived per replicate and aggregation is sequential in
+// submission order, so only scheduling — never data — may vary.
+func TestGeneratorsByteEqualAcrossWorkerCounts(t *testing.T) {
+	for _, g := range generatorsCI() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			want, err := g.emit(Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := g.emit(Options{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got != want {
+					t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						w, want, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestProgressSerializedUnderConcurrency hammers a deliberately
+// unsynchronized Progress callback from an 8-worker run. The generators
+// route all calls through Progress.Serialized, so under -race this test
+// proves the documented contract: the callback itself never needs a
+// lock.
+func TestProgressSerializedUnderConcurrency(t *testing.T) {
+	var lines []string // intentionally unsynchronized: Serialized must exclude
+	prog := Progress(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	if _, err := TableE(ScaleCI, Options{Progress: prog, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("progress callback never invoked")
+	}
+}
+
+// TestProgressSerializedNil pins nil-safety: a nil Progress stays nil
+// through Serialized and logging through it is a no-op.
+func TestProgressSerializedNil(t *testing.T) {
+	var p Progress
+	s := p.Serialized()
+	if s != nil {
+		t.Error("Serialized(nil) should stay nil")
+	}
+	s.log("must not panic %d", 1)
+}

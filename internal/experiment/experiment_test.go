@@ -25,7 +25,7 @@ func TestParseScale(t *testing.T) {
 }
 
 func TestFig3CI(t *testing.T) {
-	fig, err := Fig3(ScaleCI, nil)
+	fig, err := Fig3(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestFig3CI(t *testing.T) {
 }
 
 func TestFig4CIShapeLinearInK(t *testing.T) {
-	fig, err := Fig4(ScaleCI, nil)
+	fig, err := Fig4(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFig4CIShapeLinearInK(t *testing.T) {
 }
 
 func TestFig5CIDegreeEffect(t *testing.T) {
-	fig, err := Fig5(ScaleCI, nil)
+	fig, err := Fig5(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestFig5CIDegreeEffect(t *testing.T) {
 }
 
 func TestFig6CICreditCliff(t *testing.T) {
-	fig, err := Fig6(ScaleCI, nil)
+	fig, err := Fig6(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +106,11 @@ func TestFig6CICreditCliff(t *testing.T) {
 }
 
 func TestFig7CIRarestBeatsRandomAtLowDegree(t *testing.T) {
-	f6, err := Fig6(ScaleCI, nil)
+	f6, err := Fig6(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f7, err := Fig7(ScaleCI, nil)
+	f7, err := Fig7(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestFig7CIRarestBeatsRandomAtLowDegree(t *testing.T) {
 }
 
 func TestTableACI(t *testing.T) {
-	tbl, err := TableA(ScaleCI, nil)
+	tbl, err := TableA(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestTableACI(t *testing.T) {
 }
 
 func TestTableBCI(t *testing.T) {
-	tbl, err := TableB(ScaleCI, nil)
+	tbl, err := TableB(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestTableBCI(t *testing.T) {
 }
 
 func TestTableCCI(t *testing.T) {
-	tbl, err := TableC(ScaleCI, nil)
+	tbl, err := TableC(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,11 +192,23 @@ func TestProgressCallback(t *testing.T) {
 	prog := Progress(func(format string, args ...any) {
 		lines = append(lines, strings.TrimSpace(format))
 	})
-	if _, err := TableA(ScaleCI, prog); err != nil {
+	if _, err := TableA(ScaleCI, Options{Progress: prog}); err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) == 0 {
 		t.Error("progress callback never invoked")
+	}
+}
+
+func TestOptionsValidateRejectsNegativeWorkers(t *testing.T) {
+	if err := (Options{Workers: -1}).Validate(); err == nil {
+		t.Fatal("Options{Workers: -1}.Validate() = nil, want error")
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero Options must validate: %v", err)
+	}
+	if _, err := Fig3(ScaleCI, Options{Workers: -3}); err == nil {
+		t.Fatal("Fig3 must reject negative Workers")
 	}
 }
 
@@ -208,7 +220,7 @@ func TestFigureRenderEmpty(t *testing.T) {
 }
 
 func TestTableDCI(t *testing.T) {
-	tbl, err := TableD(ScaleCI, nil)
+	tbl, err := TableD(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +234,7 @@ func TestTableDCI(t *testing.T) {
 }
 
 func TestTableECI(t *testing.T) {
-	tbl, err := TableE(ScaleCI, nil)
+	tbl, err := TableE(ScaleCI, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,8 @@
 package experiment
 
 import (
-	"errors"
 	"fmt"
+	"sync"
 
 	"barterdist/internal/analysis"
 	"barterdist/internal/core"
@@ -19,30 +19,20 @@ func (p Progress) log(format string, args ...any) {
 	}
 }
 
-// replicate runs reps copies of the config (varying the seed), treating
-// stalls (core.ErrStalled) as runs pinned at the tick budget, exactly as
-// the paper plots "off the charts" points.
-func replicate(cfg core.Config, reps int, baseSeed uint64) (Point, error) {
-	var times []float64
-	stalled := 0
-	for rep := 0; rep < reps; rep++ {
-		cfg.Seed = baseSeed + uint64(rep)*0x9e3779b97f4a7c15
-		res, err := core.Run(cfg)
-		switch {
-		case err == nil:
-			times = append(times, float64(res.CompletionTime))
-		case errors.Is(err, core.ErrStalled):
-			stalled++
-			times = append(times, float64(cfg.MaxTicks))
-		default:
-			return Point{}, err
-		}
+// Serialized wraps p so that calls from concurrent workers are
+// mutually excluded; the underlying callback therefore never runs
+// twice at once and needs no locking of its own. A nil receiver stays
+// nil (logging remains a no-op), so Serialized is always safe to call.
+func (p Progress) Serialized() Progress {
+	if p == nil {
+		return nil
 	}
-	sum, err := analysis.Summarize(times)
-	if err != nil {
-		return Point{}, err
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		p(format, args...)
 	}
-	return Point{Mean: sum.Mean, CI95: sum.CI95, Reps: reps, Stalled: stalled}, nil
 }
 
 // fig3Params returns (k, node counts, reps-for-n) for the scale.
@@ -67,7 +57,10 @@ func fig3Params(sc Scale) (int, []int, func(n int) int) {
 // cooperative algorithm on the complete graph as a function of n, with k
 // fixed. The paper reports T growing roughly linearly in log n, staying
 // within a few percent of k - 1 + log2 n.
-func Fig3(sc Scale, prog Progress) (*Figure, error) {
+func Fig3(sc Scale, opt Options) (*Figure, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	k, ns, reps := fig3Params(sc)
 	fig := &Figure{
 		ID:     "fig3",
@@ -76,18 +69,26 @@ func Fig3(sc Scale, prog Progress) (*Figure, error) {
 		YLabel: "mean completion time (ticks)",
 		XLog:   true,
 	}
+	specs := make([]runSpec, len(ns))
+	for i, n := range ns {
+		specs[i] = runSpec{
+			tag: fmt.Sprintf("fig3: n=%d k=%d", n, k),
+			cfg: core.Config{
+				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
+			},
+			reps: reps(n),
+			seed: uint64(3000 + n),
+		}
+	}
+	pts, err := runPoints(opt, specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
 	measured := Series{Name: "randomized"}
 	optimal := Series{Name: "optimal k-1+ceil(log2 n)"}
-	for _, n := range ns {
-		prog.log("fig3: n=%d k=%d", n, k)
-		pt, err := replicate(core.Config{
-			Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
-		}, reps(n), uint64(3000+n))
-		if err != nil {
-			return nil, fmt.Errorf("fig3 n=%d: %w", n, err)
-		}
-		pt.X = float64(n)
-		measured.Points = append(measured.Points, pt)
+	for i, n := range ns {
+		pts[i].X = float64(n)
+		measured.Points = append(measured.Points, pts[i])
 		optimal.Points = append(optimal.Points, Point{
 			X: float64(n), Mean: float64(analysis.CooperativeLowerBound(n, k)), Reps: 1,
 		})
@@ -111,7 +112,10 @@ func fig4Params(sc Scale) (int, []int, int) {
 
 // Fig4 reproduces Figure 4: T vs k with n fixed (log-log in the paper);
 // T must grow linearly in k.
-func Fig4(sc Scale, prog Progress) (*Figure, error) {
+func Fig4(sc Scale, opt Options) (*Figure, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	n, ks, reps := fig4Params(sc)
 	fig := &Figure{
 		ID:     "fig4",
@@ -120,18 +124,26 @@ func Fig4(sc Scale, prog Progress) (*Figure, error) {
 		YLabel: "mean completion time (ticks)",
 		XLog:   true,
 	}
+	specs := make([]runSpec, len(ks))
+	for i, k := range ks {
+		specs[i] = runSpec{
+			tag: fmt.Sprintf("fig4: n=%d k=%d", n, k),
+			cfg: core.Config{
+				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
+			},
+			reps: reps,
+			seed: uint64(4000 + k),
+		}
+	}
+	pts, err := runPoints(opt, specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
 	measured := Series{Name: "randomized"}
 	optimal := Series{Name: "optimal k-1+ceil(log2 n)"}
-	for _, k := range ks {
-		prog.log("fig4: n=%d k=%d", n, k)
-		pt, err := replicate(core.Config{
-			Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
-		}, reps, uint64(4000+k))
-		if err != nil {
-			return nil, fmt.Errorf("fig4 k=%d: %w", k, err)
-		}
-		pt.X = float64(k)
-		measured.Points = append(measured.Points, pt)
+	for i, k := range ks {
+		pts[i].X = float64(k)
+		measured.Points = append(measured.Points, pts[i])
 		optimal.Points = append(optimal.Points, Point{
 			X: float64(k), Mean: float64(analysis.CooperativeLowerBound(n, k)), Reps: 1,
 		})
@@ -158,7 +170,10 @@ func fig5Params(sc Scale) (n int, ks []int, degrees []int, reps int) {
 // a steep drop converging by degree ~25 for n = 1000, independent of k,
 // and that a hypercube overlay (degree ~log2 n) matches the complete
 // graph.
-func Fig5(sc Scale, prog Progress) (*Figure, error) {
+func Fig5(sc Scale, opt Options) (*Figure, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	n, ks, degrees, reps := fig5Params(sc)
 	fig := &Figure{
 		ID:     "fig5",
@@ -166,38 +181,51 @@ func Fig5(sc Scale, prog Progress) (*Figure, error) {
 		XLabel: "overlay graph degree",
 		YLabel: "mean completion time (ticks)",
 	}
+	// Specs per k: the degree sweep followed by the hypercube point.
+	var specs []runSpec
+	for _, k := range ks {
+		for _, d := range degrees {
+			specs = append(specs, runSpec{
+				tag: fmt.Sprintf("fig5: k=%d degree=%d", k, d),
+				cfg: core.Config{
+					Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
+					Overlay: core.OverlayRandomRegular, Degree: d, DownloadCap: 1,
+					MaxTicks: stallBudget(n, k),
+				},
+				reps: reps,
+				seed: uint64(5000 + k*131 + d),
+			})
+		}
+		specs = append(specs, runSpec{
+			tag: fmt.Sprintf("fig5: k=%d hypercube overlay", k),
+			cfg: core.Config{
+				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
+				Overlay: core.OverlayHypercube, DownloadCap: 1,
+				MaxTicks: stallBudget(n, k),
+			},
+			reps: reps,
+			seed: uint64(5500 + k),
+		})
+	}
+	pts, err := runPoints(opt, specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	i := 0
 	for _, k := range ks {
 		series := Series{Name: fmt.Sprintf("k=%d random-regular", k)}
 		for _, d := range degrees {
-			prog.log("fig5: k=%d degree=%d", k, d)
-			pt, err := replicate(core.Config{
-				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
-				Overlay: core.OverlayRandomRegular, Degree: d, DownloadCap: 1,
-				MaxTicks: stallBudget(n, k),
-			}, reps, uint64(5000+k*131+d))
-			if err != nil {
-				return nil, fmt.Errorf("fig5 k=%d d=%d: %w", k, d, err)
-			}
-			pt.X = float64(d)
-			series.Points = append(series.Points, pt)
+			pts[i].X = float64(d)
+			series.Points = append(series.Points, pts[i])
+			i++
 		}
 		fig.Series = append(fig.Series, series)
-
-		// Hypercube comparison point at degree ≈ log2 n.
-		prog.log("fig5: k=%d hypercube overlay", k)
-		pt, err := replicate(core.Config{
-			Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
-			Overlay: core.OverlayHypercube, DownloadCap: 1,
-			MaxTicks: stallBudget(n, k),
-		}, reps, uint64(5500+k))
-		if err != nil {
-			return nil, fmt.Errorf("fig5 hypercube k=%d: %w", k, err)
-		}
-		pt.X = float64(analysis.CeilLog2(n))
+		pts[i].X = float64(analysis.CeilLog2(n))
 		fig.Series = append(fig.Series, Series{
 			Name:   fmt.Sprintf("k=%d hypercube overlay", k),
-			Points: []Point{pt},
+			Points: []Point{pts[i]},
 		})
+		i++
 	}
 	fig.Notes = append(fig.Notes,
 		"paper: T converges to near-optimal once degree ~ 25 (n=1000); hypercube overlay matches the complete graph")
@@ -239,7 +267,7 @@ func creditFigParams(sc Scale, policy randomized.Policy) (n, k int, s1Degrees []
 // creditFigure is the shared implementation of Figures 6 and 7: the
 // credit-limited randomized algorithm on random regular overlays, with
 // an s=1 curve and a constant s·d curve.
-func creditFigure(id string, policy randomized.Policy, sc Scale, prog Progress) (*Figure, error) {
+func creditFigure(id string, policy randomized.Policy, sc Scale, opt Options) (*Figure, error) {
 	n, k, s1Degrees, sdDegrees, sdProduct, reps := creditFigParams(sc, policy)
 	fig := &Figure{
 		ID: id,
@@ -249,38 +277,44 @@ func creditFigure(id string, policy randomized.Policy, sc Scale, prog Progress) 
 		YLabel: "mean completion time (ticks)",
 	}
 	budget := stallBudget(n, k)
-	run := func(d, credit int, seed uint64) (Point, error) {
-		pt, err := replicate(core.Config{
-			Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
-			Overlay: core.OverlayRandomRegular, Degree: d,
-			Policy: policy, CreditLimit: credit,
-			DownloadCap: 1, MaxTicks: budget,
-		}, reps, seed)
-		pt.X = float64(d)
-		return pt, err
-	}
-
-	s1 := Series{Name: "s=1"}
-	for _, d := range s1Degrees {
-		prog.log("%s: s=1 degree=%d", id, d)
-		pt, err := run(d, 1, uint64(6000+d))
-		if err != nil {
-			return nil, fmt.Errorf("%s s=1 d=%d: %w", id, d, err)
+	spec := func(tag string, d, credit int, seed uint64) runSpec {
+		return runSpec{
+			tag: tag,
+			cfg: core.Config{
+				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized,
+				Overlay: core.OverlayRandomRegular, Degree: d,
+				Policy: policy, CreditLimit: credit,
+				DownloadCap: 1, MaxTicks: budget,
+			},
+			reps: reps,
+			seed: seed,
 		}
-		s1.Points = append(s1.Points, pt)
 	}
-	sd := Series{Name: fmt.Sprintf("s*d=%d", sdProduct)}
+	var specs []runSpec
+	for _, d := range s1Degrees {
+		specs = append(specs, spec(fmt.Sprintf("%s: s=1 degree=%d", id, d), d, 1, uint64(6000+d)))
+	}
 	for _, d := range sdDegrees {
 		credit := sdProduct / d
 		if credit < 1 {
 			credit = 1
 		}
-		prog.log("%s: s=%d degree=%d", id, credit, d)
-		pt, err := run(d, credit, uint64(6600+d))
-		if err != nil {
-			return nil, fmt.Errorf("%s s*d d=%d: %w", id, d, err)
-		}
-		sd.Points = append(sd.Points, pt)
+		specs = append(specs, spec(fmt.Sprintf("%s: s=%d degree=%d", id, credit, d), d, credit, uint64(6600+d)))
+	}
+	pts, err := runPoints(opt, specs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	s1 := Series{Name: "s=1"}
+	for i, d := range s1Degrees {
+		pts[i].X = float64(d)
+		s1.Points = append(s1.Points, pts[i])
+	}
+	sd := Series{Name: fmt.Sprintf("s*d=%d", sdProduct)}
+	for i, d := range sdDegrees {
+		p := pts[len(s1Degrees)+i]
+		p.X = float64(d)
+		sd.Points = append(sd.Points, p)
 	}
 	fig.Series = []Series{s1, sd}
 	fig.Notes = append(fig.Notes,
@@ -291,11 +325,14 @@ func creditFigure(id string, policy randomized.Policy, sc Scale, prog Progress) 
 
 // Fig6 reproduces Figure 6: credit-limited barter with Random block
 // selection. The paper reports a sharp performance cliff below degree
-// ~80 for n = k = 1000, s = 1, and shows that raising the per-pair
+// ~80 for n = 1000, s = 1, and shows that raising the per-pair
 // credit on a sparse graph (constant s·d) does not substitute for
 // degree.
-func Fig6(sc Scale, prog Progress) (*Figure, error) {
-	fig, err := creditFigure("fig6", randomized.Random, sc, prog)
+func Fig6(sc Scale, opt Options) (*Figure, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	fig, err := creditFigure("fig6", randomized.Random, sc, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -306,8 +343,11 @@ func Fig6(sc Scale, prog Progress) (*Figure, error) {
 // Fig7 reproduces Figure 7: the same experiment under Rarest-First block
 // selection; the paper reports the degree threshold dropping roughly
 // fourfold, to about 20.
-func Fig7(sc Scale, prog Progress) (*Figure, error) {
-	fig, err := creditFigure("fig7", randomized.RarestFirst, sc, prog)
+func Fig7(sc Scale, opt Options) (*Figure, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	fig, err := creditFigure("fig7", randomized.RarestFirst, sc, opt)
 	if err != nil {
 		return nil, err
 	}

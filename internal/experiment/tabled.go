@@ -7,6 +7,7 @@ import (
 	"barterdist/internal/asim"
 	"barterdist/internal/bt"
 	"barterdist/internal/graph"
+	"barterdist/internal/parallel"
 	"barterdist/internal/xrand"
 )
 
@@ -29,8 +30,13 @@ func tableDParams(sc Scale) (sizes []struct{ n, k, d int }, reps int) {
 // than the optimal time". Each row compares the optimal bound, the
 // unconstrained asynchronous randomized algorithm, and the
 // BitTorrent-style protocol (tit-for-tat choking + optimistic unchoke +
-// Rarest-First) on the same peer graph.
-func TableD(sc Scale, prog Progress) (*Table, error) {
+// Rarest-First) on the same peer graph. The (row, replicate) grid fans
+// out over the worker pool; the two protocols of one replicate share a
+// seed and a peer graph and therefore stay on one worker.
+func TableD(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	sizes, reps := tableDParams(sc)
 	tbl := &Table{
 		ID:    "tableD",
@@ -43,41 +49,51 @@ func TableD(sc Scale, prog Progress) (*Table, error) {
 			"both protocols run on the same peer graph with unit rates and one download port",
 		},
 	}
-	for _, sz := range sizes {
-		prog.log("tableD: n=%d k=%d d=%d", sz.n, sz.k, sz.d)
+	prog := opt.Progress.Serialized()
+	type outcome struct{ bt, free float64 }
+	outs, err := parallel.Map(opt.workers(), len(sizes)*reps, func(j int) (outcome, error) {
+		sz, rep := sizes[j/reps], j%reps
+		if rep == 0 {
+			prog.log("tableD: n=%d k=%d d=%d", sz.n, sz.k, sz.d)
+		}
+		seed := uint64(9000 + sz.n*31 + rep)
+		g, err := graph.RandomRegular(sz.n, sz.d, xrand.New(seed))
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableD: %w", err)
+		}
+		proto, err := bt.New(bt.Options{Graph: g, DownloadPorts: 1, Seed: seed})
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableD: %w", err)
+		}
+		btRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, proto)
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableD bittorrent n=%d k=%d: %w", sz.n, sz.k, err)
+		}
+		free := asim.NewAsyncRandomized(g, true, 1, seed)
+		freeRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, free)
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableD randomized n=%d k=%d: %w", sz.n, sz.k, err)
+		}
+		return outcome{bt: btRes.CompletionTime, free: freeRes.CompletionTime}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sz := range sizes {
 		var btSum, freeSum float64
 		for rep := 0; rep < reps; rep++ {
-			seed := uint64(9000 + sz.n*31 + rep)
-			g, err := graph.RandomRegular(sz.n, sz.d, xrand.New(seed))
-			if err != nil {
-				return nil, fmt.Errorf("tableD: %w", err)
-			}
-			proto, err := bt.New(bt.Options{Graph: g, DownloadPorts: 1, Seed: seed})
-			if err != nil {
-				return nil, fmt.Errorf("tableD: %w", err)
-			}
-			btRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, proto)
-			if err != nil {
-				return nil, fmt.Errorf("tableD bittorrent n=%d k=%d: %w", sz.n, sz.k, err)
-			}
-			btSum += btRes.CompletionTime
-
-			free := asim.NewAsyncRandomized(g, true, 1, seed)
-			freeRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, free)
-			if err != nil {
-				return nil, fmt.Errorf("tableD randomized n=%d k=%d: %w", sz.n, sz.k, err)
-			}
-			freeSum += freeRes.CompletionTime
+			btSum += outs[si*reps+rep].bt
+			freeSum += outs[si*reps+rep].free
 		}
 		btMean := btSum / float64(reps)
 		freeMean := freeSum / float64(reps)
-		opt := float64(analysis.CooperativeLowerBound(sz.n, sz.k))
+		lb := float64(analysis.CooperativeLowerBound(sz.n, sz.k))
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprint(sz.n), fmt.Sprint(sz.k), fmt.Sprint(sz.d),
-			fmt.Sprintf("%.0f", opt),
-			fmt.Sprintf("%.1f (+%.0f%%)", freeMean, 100*(freeMean-opt)/opt),
-			fmt.Sprintf("%.1f (+%.0f%%)", btMean, 100*(btMean-opt)/opt),
-			fmt.Sprintf("%.0f%%", 100*(btMean-opt)/opt),
+			fmt.Sprintf("%.0f", lb),
+			fmt.Sprintf("%.1f (+%.0f%%)", freeMean, 100*(freeMean-lb)/lb),
+			fmt.Sprintf("%.1f (+%.0f%%)", btMean, 100*(btMean-lb)/lb),
+			fmt.Sprintf("%.0f%%", 100*(btMean-lb)/lb),
 		})
 	}
 	return tbl, nil

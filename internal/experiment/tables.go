@@ -6,6 +6,7 @@ import (
 
 	"barterdist/internal/analysis"
 	"barterdist/internal/core"
+	"barterdist/internal/parallel"
 )
 
 func tableAParams(sc Scale) []struct{ n, k int } {
@@ -23,8 +24,13 @@ func tableAParams(sc Scale) []struct{ n, k int } {
 
 // TableA reproduces Section 2.2's comparison of the simple algorithms
 // against the Theorem 1 lower bound: every row's simulated completion
-// time comes from an actual engine run, next to the closed form.
-func TableA(sc Scale, prog Progress) (*Table, error) {
+// time comes from an actual engine run, next to the closed form. The
+// (row, algorithm) grid fans out over the worker pool; rows are
+// assembled sequentially, so the table is identical for any Workers.
+func TableA(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	tbl := &Table{
 		ID:    "tableA",
 		Title: "Baseline completion times vs the cooperative lower bound (simulated)",
@@ -38,20 +44,31 @@ func TableA(sc Scale, prog Progress) (*Table, error) {
 	algos := []core.Algorithm{
 		core.AlgoPipeline, core.AlgoMulticastTree, core.AlgoBinomialTree, core.AlgoBinomialPipeline,
 	}
-	for _, p := range tableAParams(sc) {
-		prog.log("tableA: n=%d k=%d", p.n, p.k)
+	params := tableAParams(sc)
+	prog := opt.Progress.Serialized()
+	cells, err := parallel.Map(opt.workers(), len(params)*len(algos), func(j int) (int, error) {
+		p, algo := params[j/len(algos)], algos[j%len(algos)]
+		if j%len(algos) == 0 {
+			prog.log("tableA: n=%d k=%d", p.n, p.k)
+		}
+		res, err := core.Run(core.Config{
+			Nodes: p.n, Blocks: p.k, Algorithm: algo, TreeArity: 3,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("tableA %s n=%d k=%d: %w", algo, p.n, p.k, err)
+		}
+		return res.CompletionTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range params {
 		row := []string{
 			fmt.Sprint(p.n), fmt.Sprint(p.k),
 			fmt.Sprint(analysis.CooperativeLowerBound(p.n, p.k)),
 		}
-		for _, algo := range algos {
-			res, err := core.Run(core.Config{
-				Nodes: p.n, Blocks: p.k, Algorithm: algo, TreeArity: 3,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("tableA %s n=%d k=%d: %w", algo, p.n, p.k, err)
-			}
-			row = append(row, fmt.Sprint(res.CompletionTime))
+		for ai := range algos {
+			row = append(row, fmt.Sprint(cells[pi*len(algos)+ai]))
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
@@ -72,19 +89,34 @@ func tableBParams(sc Scale) (ns, ks []int, reps int) {
 // TableB reproduces the least-squares analysis of Section 2.4.4: fit
 // T ≈ a·k + b·log2(n) + c over a matrix of randomized-algorithm runs and
 // compare against the paper's quoted coefficients (1.01, 2.5, -2.2).
-func TableB(sc Scale, prog Progress) (*Table, error) {
+func TableB(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	ns, ks, reps := tableBParams(sc)
-	var obs []analysis.FitObservation
+	var specs []runSpec
 	for _, n := range ns {
 		for _, k := range ks {
-			prog.log("tableB: n=%d k=%d", n, k)
-			pt, err := replicate(core.Config{
-				Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
-			}, reps, uint64(8000+n*7+k))
-			if err != nil {
-				return nil, fmt.Errorf("tableB n=%d k=%d: %w", n, k, err)
-			}
-			obs = append(obs, analysis.FitObservation{N: n, K: k, T: pt.Mean})
+			specs = append(specs, runSpec{
+				tag: fmt.Sprintf("tableB: n=%d k=%d", n, k),
+				cfg: core.Config{
+					Nodes: n, Blocks: k, Algorithm: core.AlgoRandomized, DownloadCap: 1,
+				},
+				reps: reps,
+				seed: uint64(8000 + n*7 + k),
+			})
+		}
+	}
+	pts, err := runPoints(opt, specs)
+	if err != nil {
+		return nil, fmt.Errorf("tableB: %w", err)
+	}
+	var obs []analysis.FitObservation
+	i := 0
+	for _, n := range ns {
+		for _, k := range ks {
+			obs = append(obs, analysis.FitObservation{N: n, K: k, T: pts[i].Mean})
+			i++
 		}
 	}
 	fit, err := analysis.FitLinear2(obs)
@@ -128,8 +160,12 @@ func tableCParams(sc Scale) []struct{ n, k int } {
 // optimum (Binomial Pipeline, simulated), the strict-barter Riffle
 // Pipeline (simulated and audited against the strict-barter verifier),
 // and the two lower bounds. The "price" column is the extra time strict
-// barter costs over the cooperative optimum.
-func TableC(sc Scale, prog Progress) (*Table, error) {
+// barter costs over the cooperative optimum. Rows run concurrently;
+// each row's pair of simulations stays on one worker.
+func TableC(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	tbl := &Table{
 		ID:    "tableC",
 		Title: "The price of barter: cooperative vs strict-barter completion times",
@@ -141,7 +177,10 @@ func TableC(sc Scale, prog Progress) (*Table, error) {
 			"credit-limited barter closes the gap: the hypercube run obeys s=1 for n,k powers of two (see mechanism tests)",
 		},
 	}
-	for _, p := range tableCParams(sc) {
+	params := tableCParams(sc)
+	prog := opt.Progress.Serialized()
+	rows, err := parallel.Map(opt.workers(), len(params), func(i int) ([]string, error) {
+		p := params[i]
 		prog.log("tableC: n=%d k=%d", p.n, p.k)
 		coop, err := core.Run(core.Config{Nodes: p.n, Blocks: p.k, Algorithm: core.AlgoBinomialPipeline})
 		if err != nil {
@@ -157,7 +196,7 @@ func TableC(sc Scale, prog Progress) (*Table, error) {
 			}
 			audit = err.Error() // verification failure: report it in the table
 		}
-		tbl.Rows = append(tbl.Rows, []string{
+		return []string{
 			fmt.Sprint(p.n), fmt.Sprint(p.k),
 			fmt.Sprint(analysis.CooperativeLowerBound(p.n, p.k)),
 			fmt.Sprint(coop.CompletionTime),
@@ -165,7 +204,11 @@ func TableC(sc Scale, prog Progress) (*Table, error) {
 			fmt.Sprint(riffle.CompletionTime),
 			fmt.Sprint(riffle.CompletionTime - coop.CompletionTime),
 			audit,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	tbl.Rows = rows
 	return tbl, nil
 }

@@ -94,6 +94,9 @@ func TestRNGDisciplineFixtures(t *testing.T) {
 	a := RNGDisciplineAnalyzer()
 	checkFixture(t, a, "rngbad", "fixture/rngbad")
 	checkFixture(t, a, "rnggood", "fixture/rnggood")
+	// Per-worker seed derivation (base + i*stride, one stream per
+	// replicate) is the parallel runner's pattern and must stay clean.
+	checkFixture(t, a, "rngworkers", "fixture/rngworkers")
 }
 
 func TestRNGDisciplineExemptsXrandItself(t *testing.T) {

@@ -25,6 +25,13 @@ var forbiddenRandImports = map[string]string{
 //     explicit, reproducible expression: seeds derived from the wall
 //     clock (any call into package time) are rejected.
 //
+// Per-worker seed derivation is explicitly in bounds: the parallel
+// experiment runner seeds each replicate with base + i*SeedStride and
+// hands every worker its own xrand stream. That passes rule 2 because
+// the seed is a pure function of explicit configuration (base, i) — it
+// does not depend on scheduling, worker identity, or the clock. The
+// rngworkers fixture pins this pattern as accepted.
+//
 // Suppress a finding with //lint:rng on the offending line when a
 // deliberate exception has been audited.
 func RNGDisciplineAnalyzer() *Analyzer {

@@ -1,0 +1,31 @@
+// Package rngworkers conforms to the rng-discipline rule while fanning
+// replicates out over a worker pool: every worker derives its own
+// xrand stream from an explicit base seed plus a per-replicate stride,
+// so results are reproducible for any worker count. This mirrors the
+// internal/parallel + internal/experiment pattern.
+package rngworkers
+
+import "barterdist/internal/xrand"
+
+// SeedStride separates per-replicate streams (golden-ratio odd
+// constant, same as parallel.SeedStride).
+const SeedStride = 0x9e3779b97f4a7c15
+
+// Replicate runs one seeded replicate.
+func Replicate(seed uint64) uint64 {
+	r := xrand.New(seed)
+	return r.Uint64()
+}
+
+// FanOut derives one independent stream per replicate from the explicit
+// base seed. The derivation depends only on (base, i), never on which
+// worker picks the job up — that is what keeps the fan-out
+// deterministic, and why rng-discipline accepts it: the root seed is
+// still explicit configuration.
+func FanOut(base uint64, reps int) []uint64 {
+	out := make([]uint64, reps)
+	for i := range out {
+		out[i] = Replicate(base + uint64(i)*SeedStride)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"barterdist/internal/xrand"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-3) != Workers(0) {
+		t.Fatalf("negative request should match the default")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		n := 137
+		counts := make([]int32, n)
+		if err := ForEach(w, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachErrorIsLowestIndex pins the deterministic error contract:
+// the same error surfaces no matter how many workers raced.
+func TestForEachErrorIsLowestIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i%10 == 3 { // fails at 3, 13, 23, ...
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	}
+	want := "task 3 failed"
+	for _, w := range []int{1, 2, 8, 64} {
+		err := ForEach(w, 100, boom)
+		if err == nil || err.Error() != want {
+			t.Fatalf("workers=%d: err = %v, want %q", w, err, want)
+		}
+	}
+}
+
+// TestForEachRunsAllDespiteError: a failure must not skip later tasks,
+// otherwise partial results would depend on scheduling.
+func TestForEachRunsAllDespiteError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var ran atomic.Int32
+		sentinel := errors.New("x")
+		_ = ForEach(w, 50, func(i int) error {
+			ran.Add(1)
+			if i == 0 {
+				return sentinel
+			}
+			return nil
+		})
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 tasks after error", w, got)
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the heart of the package's
+// contract: per-index seed derivation plus index-slot collection must
+// produce byte-identical results for any worker count.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 64
+	run := func(workers int) []uint64 {
+		out, err := Map(workers, n, func(i int) (uint64, error) {
+			// Each task owns a private stream derived from its index.
+			rng := xrand.New(42 + uint64(i)*SeedStride)
+			var acc uint64
+			for j := 0; j < 100; j++ {
+				acc ^= rng.Uint64()
+			}
+			return acc, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, 32} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d diverged: %x != %x", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPartialResultsOnError(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("five")
+		}
+		return i * i, nil
+	})
+	if err == nil || err.Error() != "five" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != 10 || out[9] != 81 || out[5] != 0 {
+		t.Fatalf("partial results wrong: %v", out)
+	}
+}

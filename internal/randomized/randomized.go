@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"barterdist/internal/bitset"
+	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
 	"barterdist/internal/simulate"
@@ -106,6 +107,12 @@ type Scheduler struct {
 	availPos      []int32 // availPos[v] = index of v in avail, -1 if absent
 	removedInTick int     // saturated receivers dropped this tick
 	scratch       []int32 // candidate shuffling buffer (general graphs)
+	// localPeers is the tick-start snapshot of avail used by the
+	// LocalRare policy on the complete graph: rarity must be estimated
+	// over every alive incomplete client, not over the shrinking avail
+	// list, or the estimate would depend on which receivers happened to
+	// saturate earlier in the same tick.
+	localPeers []int32
 	// commonBlocks is the intersection of every incomplete client's
 	// block set at the start of the tick (complete-graph mode). An
 	// uploader whose holdings are a subset of commonBlocks has nothing
@@ -189,7 +196,11 @@ func (s *Scheduler) setup(st *simulate.State) error {
 	}
 	s.downUsed = make([]int, s.n)
 	s.incoming = make([][]int32, s.n)
+	s.avail = make([]int32, 0, s.n)
 	s.availPos = make([]int32, s.n)
+	if s.opts.Policy == LocalRare && s.opts.Graph == nil {
+		s.localPeers = make([]int32, 0, s.n)
+	}
 	s.noPeerAtCount = make([]int, s.n)
 	for i := range s.noPeerAtCount {
 		s.noPeerAtCount[i] = -1
@@ -210,45 +221,7 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 			return nil, err
 		}
 	}
-	// Fault awareness. A crash or rejoin changes who holds what, so the
-	// global rarity statistics and the no-peer cache (both keyed to the
-	// old population) are rebuilt from scratch; the rebuild also bakes in
-	// any blocks that vanished in transit. On event-free ticks, losses
-	// reported by the engine undo the speculative freq increments made
-	// when the doomed transfers were scheduled. Fault-free runs take
-	// neither branch, so they consume exactly the pre-fault RNG stream.
-	if len(st.FaultEvents()) > 0 {
-		s.recomputeFreq(st)
-		for i := range s.noPeerAtCount {
-			s.noPeerAtCount[i] = -1
-		}
-	} else {
-		for _, lt := range st.LostLastTick() {
-			s.freq[lt.Block]--
-		}
-	}
-	for i := 0; i < s.n; i++ {
-		s.downUsed[i] = 0
-		s.incoming[i] = s.incoming[i][:0]
-		s.availPos[i] = -1
-	}
-	s.avail = s.avail[:0]
-	s.removedInTick = 0
-	for v := 1; v < s.n; v++ {
-		if st.Alive(v) && !st.Blocks(v).Full() {
-			s.availPos[v] = int32(len(s.avail))
-			s.avail = append(s.avail, int32(v))
-		}
-	}
-	if s.opts.Graph == nil {
-		if s.commonBlocks == nil {
-			s.commonBlocks = bitset.New(s.k)
-		}
-		s.commonBlocks.Fill()
-		for _, v := range s.avail {
-			s.commonBlocks.AndWith(st.Blocks(int(v)))
-		}
-	}
+	s.beginTick(st)
 
 	s.rng.Shuffle(s.order)
 	for _, u := range s.order {
@@ -286,9 +259,71 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 	return dst, nil
 }
 
+// beginTick folds the previous tick's outcomes into the incremental
+// statistics and rebuilds the per-tick candidate structures.
+//
+// Fault awareness is fully incremental: losses reported by the engine
+// undo the speculative freq increments made when the doomed transfers
+// were scheduled, a crash subtracts exactly the victim's holdings from
+// the rarity counts, and a rejoin adds them back (a wiped rejoiner
+// contributes nothing — the engine already cleared its set, and its
+// pre-wipe holdings were subtracted at crash time, which is why the
+// delta form agrees with a from-scratch recount; TestIncrementalFreq*
+// pins the equivalence against recomputeFreq). Fault events still
+// flush the no-peer cache, which is keyed to the old population.
+// Fault-free runs see empty event and loss lists, take no branch, and
+// consume exactly the pre-fault RNG stream.
+func (s *Scheduler) beginTick(st *simulate.State) {
+	for _, lt := range st.LostLastTick() {
+		s.freq[lt.Block]--
+	}
+	if evs := st.FaultEvents(); len(evs) > 0 {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case fault.Crash:
+				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, -1)
+			case fault.Rejoin:
+				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, 1)
+			}
+		}
+		for i := range s.noPeerAtCount {
+			s.noPeerAtCount[i] = -1
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		s.downUsed[i] = 0
+		s.incoming[i] = s.incoming[i][:0]
+		s.availPos[i] = -1
+	}
+	s.avail = s.avail[:0]
+	s.removedInTick = 0
+	for v := 1; v < s.n; v++ {
+		if st.Alive(v) && !st.Blocks(v).Full() {
+			s.availPos[v] = int32(len(s.avail))
+			s.avail = append(s.avail, int32(v))
+		}
+	}
+	if s.opts.Graph == nil {
+		if s.commonBlocks == nil {
+			s.commonBlocks = bitset.New(s.k)
+		}
+		s.commonBlocks.Fill()
+		for _, v := range s.avail {
+			s.commonBlocks.AndWith(st.Blocks(int(v)))
+		}
+		if s.opts.Policy == LocalRare {
+			// Snapshot before any mid-tick saturation removals.
+			s.localPeers = append(s.localPeers[:0], s.avail...)
+		}
+	}
+}
+
 // recomputeFreq rebuilds the global replication counts from the block
-// sets of the currently alive nodes. Called whenever a fault event
-// (crash, rejoin, wipe) invalidates the incremental statistics.
+// sets of the currently alive nodes, one word-parallel
+// AccumulateCounts per node. The hot path no longer calls it —
+// beginTick maintains freq incrementally across crashes, rejoins, and
+// in-flight losses — but it remains the oracle the incremental
+// accounting is verified against in tests.
 func (s *Scheduler) recomputeFreq(st *simulate.State) {
 	for b := range s.freq {
 		s.freq[b] = 0
@@ -297,11 +332,7 @@ func (s *Scheduler) recomputeFreq(st *simulate.State) {
 		if !st.Alive(v) {
 			continue
 		}
-		for b := 0; b < s.k; b++ {
-			if st.Has(v, b) {
-				s.freq[b]++
-			}
-		}
+		st.Blocks(v).AccumulateCounts(s.freq, 1)
 	}
 }
 
@@ -546,8 +577,15 @@ func (s *Scheduler) blockFreq(st *simulate.State, v, b int) int {
 	if s.opts.Policy == RarestFirst {
 		return s.freq[b]
 	}
-	// LocalRare: count holders among v's neighbors (or a sample of the
-	// incomplete list on the complete graph).
+	// LocalRare: count holders among v's alive neighbors. On the
+	// complete graph the neighborhood estimate is taken over the
+	// tick-start snapshot of alive incomplete clients (localPeers) —
+	// counting over the live avail list would silently drop peers that
+	// saturated their download capacity earlier in the same tick,
+	// making the rarity estimate depend on intra-tick upload order.
+	// Complete nodes and the server hold every block, so leaving them
+	// out only shifts every count by the same constant and never
+	// changes which block is rarest.
 	count := 0
 	if g := s.opts.Graph; g != nil {
 		for _, w := range g.Neighbors(v) {
@@ -557,7 +595,7 @@ func (s *Scheduler) blockFreq(st *simulate.State, v, b int) int {
 		}
 		return count
 	}
-	for _, w := range s.avail {
+	for _, w := range s.localPeers {
 		if st.Has(int(w), b) {
 			count++
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
 	"barterdist/internal/simulate"
@@ -68,6 +69,7 @@ type TriangularScheduler struct {
 	incoming [][]int32
 	scratch  []int32
 	intent   []int32 // intent[u] = chosen receiver, -1 if none
+	approved []bool  // per-tick settlement scratch, reused across ticks
 }
 
 var _ simulate.Scheduler = (*TriangularScheduler)(nil)
@@ -134,6 +136,7 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 	ts.downUsed = make([]int, ts.n)
 	ts.incoming = make([][]int32, ts.n)
 	ts.intent = make([]int32, ts.n)
+	ts.approved = make([]bool, ts.n)
 	ts.init = true
 	return nil
 }
@@ -145,26 +148,22 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 			return nil, err
 		}
 	}
-	// Fault awareness mirrors Scheduler.Tick: rebuild rarity statistics
-	// after any crash/rejoin, undo speculative increments for transfers
-	// the engine reported lost, and never consume RNG on fault-free runs.
-	if len(st.FaultEvents()) > 0 {
-		for b := range ts.freq {
-			ts.freq[b] = 0
-		}
-		for v := 0; v < ts.n; v++ {
-			if !st.Alive(v) {
-				continue
-			}
-			for b := 0; b < ts.k; b++ {
-				if st.Has(v, b) {
-					ts.freq[b]++
-				}
-			}
-		}
-	} else {
-		for _, lt := range st.LostLastTick() {
-			ts.freq[lt.Block]--
+	// Fault awareness mirrors Scheduler.beginTick: rarity statistics
+	// are maintained incrementally — engine-reported losses undo the
+	// speculative increments for transfers that never landed, a crash
+	// subtracts the victim's holdings word-parallel, and a rejoin adds
+	// them back (zero for wiped rejoiners, whose pre-wipe holdings were
+	// subtracted at crash time). Fault-free runs take no branch and
+	// never consume RNG.
+	for _, lt := range st.LostLastTick() {
+		ts.freq[lt.Block]--
+	}
+	for _, ev := range st.FaultEvents() {
+		switch ev.Kind {
+		case fault.Crash:
+			st.Blocks(int(ev.Node)).AccumulateCounts(ts.freq, -1)
+		case fault.Rejoin:
+			st.Blocks(int(ev.Node)).AccumulateCounts(ts.freq, 1)
 		}
 	}
 	for i := 0; i < ts.n; i++ {
@@ -189,7 +188,10 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 
 	// Phase 2a: approve what credit allows (server intents are exempt
 	// and always approved).
-	approved := make([]bool, ts.n)
+	approved := ts.approved
+	for i := range approved {
+		approved[i] = false
+	}
 	held := 0
 	for u := 0; u < ts.n; u++ {
 		v := ts.intent[u]
