@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race figures bench clean
+.PHONY: check build vet fmt lint test race figures tablef bench clean
 
 ## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
 check: vet fmt lint build race
@@ -37,6 +37,12 @@ race:
 ## figures: regenerate the evaluation artifacts at medium scale
 figures:
 	$(GO) run ./cmd/paperfigs -scale medium -out results
+
+## tablef: the "protection of barter" adversary experiment alone
+## (honest completion & stall rate vs adversary fraction, barter
+## off/on, both engines; see EXPERIMENTS.md Table F)
+tablef:
+	$(GO) run ./cmd/paperfigs -scale medium -only tableF -out results
 
 ## bench: run the benchmark suite and write a BENCH_<date>.json
 ## snapshot (ns/op, B/op, allocs/op, speedup vs the newest committed

@@ -6,9 +6,15 @@
 // record that review (and future sessions) can diff without rerunning
 // anything.
 //
+// The suite is executed -reps times (default 5) and each benchmark
+// reports its per-repetition MEDIAN, which shrugs off the one-off
+// scheduling hiccups that poison a mean on shared CI machines. The
+// snapshot schema is "barterdist-bench/v2", which adds the `reps`
+// field; v1 snapshots (single run) remain readable as baselines.
+//
 // Usage:
 //
-//	cdbench [-bench regex] [-benchtime d] [-out BENCH_2006-01-02.json] [-baseline path]
+//	cdbench [-bench regex] [-benchtime d] [-reps n] [-out BENCH_2006-01-02.json] [-baseline path]
 //
 // The baseline defaults to the lexicographically newest BENCH_*.json in
 // the repository root other than the output file; -baseline "" skips
@@ -29,16 +35,23 @@ import (
 	"time"
 )
 
+// benchSchema identifies the on-disk format. v2 added the Reps field
+// and switched per-benchmark numbers from a single run to the median
+// over Reps runs; v1 snapshots stay readable as baselines.
+const benchSchema = "barterdist-bench/v2"
+
 // report is the on-disk schema. Fields are stable: downstream tooling
-// keys on Schema == "barterdist-bench/v1".
+// keys on Schema.
 type report struct {
 	Schema     string   `json:"schema"`
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
 	GoMaxProcs int      `json:"gomaxprocs"`
 	BenchArgs  []string `json:"bench_args"`
-	Baseline   string   `json:"baseline,omitempty"`
-	Results    []result `json:"results"`
+	// Reps is how many times the suite ran; each result is the median.
+	Reps     int      `json:"reps"`
+	Baseline string   `json:"baseline,omitempty"`
+	Results  []result `json:"results"`
 }
 
 type result struct {
@@ -55,10 +68,15 @@ func main() {
 	var (
 		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime when non-empty")
+		reps      = flag.Int("reps", 5, "suite repetitions; reported numbers are per-benchmark medians")
 		out       = flag.String("out", "", "output path (default BENCH_<today>.json in the repo root)")
 		baseline  = flag.String("baseline", "auto", `baseline snapshot: "auto" picks the newest BENCH_*.json, "" disables`)
 	)
 	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "cdbench: -reps %d must be >= 1\n", *reps)
+		os.Exit(2)
+	}
 
 	outPath := *out
 	if outPath == "" {
@@ -68,19 +86,24 @@ func main() {
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
-	fmt.Fprintf(os.Stderr, "cdbench: go %s\n", strings.Join(args, " "))
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cdbench: benchmark run failed: %v\n%s", err, raw)
-		os.Exit(1)
+	var runs [][]result
+	for r := 0; r < *reps; r++ {
+		fmt.Fprintf(os.Stderr, "cdbench: rep %d/%d: go %s\n", r+1, *reps, strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: benchmark run failed: %v\n%s", err, raw)
+			os.Exit(1)
+		}
+		results, err := parseBenchOutput(string(raw))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdbench:", err)
+			os.Exit(1)
+		}
+		runs = append(runs, results)
 	}
-	results, err := parseBenchOutput(string(raw))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdbench:", err)
-		os.Exit(1)
-	}
+	results := medianResults(runs)
 
 	basePath := *baseline
 	if basePath == "auto" {
@@ -96,11 +119,12 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     "barterdist-bench/v1",
+		Schema:     benchSchema,
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		BenchArgs:  args,
+		Reps:       *reps,
 		Baseline:   basePath,
 		Results:    results,
 	}
@@ -116,6 +140,43 @@ func main() {
 	}
 	printSummary(os.Stdout, results, basePath)
 	fmt.Fprintf(os.Stderr, "cdbench: wrote %s (%d benchmarks)\n", outPath, len(results))
+}
+
+// medianResults folds the per-repetition result lists into one list in
+// first-appearance order, taking each benchmark's median ns/op, B/op,
+// and allocs/op independently. With an even sample count the lower
+// median is used, so every reported number is one that was actually
+// measured.
+func medianResults(runs [][]result) []result {
+	var order []string
+	samples := make(map[string][]result)
+	for _, run := range runs {
+		for _, r := range run {
+			if _, seen := samples[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			samples[r.Name] = append(samples[r.Name], r)
+		}
+	}
+	median := func(name string) result {
+		s := samples[name]
+		ns := make([]float64, len(s))
+		bytes := make([]int64, len(s))
+		allocs := make([]int64, len(s))
+		for i, r := range s {
+			ns[i], bytes[i], allocs[i] = r.NsPerOp, r.BytesPerOp, r.AllocsPerOp
+		}
+		sort.Float64s(ns)
+		sort.Slice(bytes, func(i, j int) bool { return bytes[i] < bytes[j] })
+		sort.Slice(allocs, func(i, j int) bool { return allocs[i] < allocs[j] })
+		mid := (len(s) - 1) / 2
+		return result{Name: name, NsPerOp: ns[mid], BytesPerOp: bytes[mid], AllocsPerOp: allocs[mid]}
+	}
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		out = append(out, median(name))
+	}
+	return out
 }
 
 // parseBenchOutput extracts one result per "Benchmark..." line of `go

@@ -57,6 +57,35 @@ PASS
 	}
 }
 
+func TestMedianResults(t *testing.T) {
+	runs := [][]result{
+		{{Name: "BenchmarkA", NsPerOp: 300, BytesPerOp: 64, AllocsPerOp: 2}, {Name: "BenchmarkB", NsPerOp: 10}},
+		{{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 80, AllocsPerOp: 2}, {Name: "BenchmarkB", NsPerOp: 30}},
+		{{Name: "BenchmarkA", NsPerOp: 200, BytesPerOp: 72, AllocsPerOp: 2}, {Name: "BenchmarkB", NsPerOp: 20}},
+	}
+	out := medianResults(runs)
+	if len(out) != 2 || out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Fatalf("order/len wrong: %+v", out)
+	}
+	if out[0].NsPerOp != 200 || out[0].BytesPerOp != 72 || out[0].AllocsPerOp != 2 {
+		t.Errorf("BenchmarkA median = %+v", out[0])
+	}
+	if out[1].NsPerOp != 20 {
+		t.Errorf("BenchmarkB median ns = %v, want 20", out[1].NsPerOp)
+	}
+	// Even sample count: the lower median (an actually measured value).
+	out = medianResults(runs[:2])
+	if out[0].NsPerOp != 100 {
+		t.Errorf("even-count lower median = %v, want 100", out[0].NsPerOp)
+	}
+	// A benchmark present in only some runs still aggregates.
+	runs[2] = append(runs[2], result{Name: "BenchmarkC", NsPerOp: 7})
+	out = medianResults(runs)
+	if len(out) != 3 || out[2].Name != "BenchmarkC" || out[2].NsPerOp != 7 {
+		t.Errorf("partial benchmark: %+v", out)
+	}
+}
+
 func TestNewestSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2026-01-01.json", "BENCH_2026-03-01.json", "BENCH_2026-02-01.json"} {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"barterdist"
+	"barterdist/internal/adversary"
 	"barterdist/internal/analysis"
 	"barterdist/internal/parallel"
 )
@@ -45,6 +46,7 @@ func main() {
 		maxT    = flag.Int("maxticks", 0, "tick budget (0 = generous default)")
 		reps    = flag.Int("reps", 1, "independent replicates with derived seeds (> 1 prints aggregate stats)")
 		workers = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS); output identical for any value >= 1")
+		adv     = flag.String("adversary", "", "adversary mix, e.g. 'freerider=0.2,corrupter=0.1,seed=9' (keys: freerider, throttler, falseadv, corrupter, defector, seed, period, claimrate, corruptrate); completion then means every honest client completed")
 	)
 	flag.Parse()
 
@@ -75,6 +77,14 @@ func main() {
 		cfg.DownloadCap = *down
 	case *down < 0:
 		cfg.DownloadCap = barterdist.DownloadUnlimited
+	}
+	if *adv != "" {
+		opts, err := adversary.ParseSpec(*adv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Adversary = &opts
 	}
 
 	if *reps > 1 {
@@ -110,6 +120,30 @@ func main() {
 	fmt.Printf("strict-barter bound:  %d ticks (Theorem 2)\n", res.StrictBarterBound)
 	fmt.Printf("upload efficiency:    %.3f\n", res.Efficiency)
 	fmt.Printf("useful transfers:     %d (total %d)\n", res.Sim.UsefulTransfers, res.Sim.TotalTransfers)
+	if res.Sim.Strategies != nil {
+		dishonest := 0
+		counts := make(map[adversary.Strategy]int)
+		for v, st := range res.Sim.Strategies {
+			if v > 0 && st != adversary.Honest {
+				dishonest++
+				counts[st]++
+			}
+		}
+		fmt.Printf("adversarial clients:  %d of %d", dishonest, cfg.Nodes-1)
+		sep := " ("
+		for _, st := range []adversary.Strategy{adversary.FreeRider, adversary.Throttler, adversary.FalseAdvertiser, adversary.Corrupter, adversary.Defector} {
+			if counts[st] > 0 {
+				fmt.Printf("%s%d %s", sep, counts[st], st)
+				sep = ", "
+			}
+		}
+		if sep == ", " {
+			fmt.Print(")")
+		}
+		fmt.Println()
+		fmt.Printf("honest stall rate:    %.1f%% (refused %d, stalled %d, corrupt %d)\n",
+			100*res.Sim.HonestStallRate(), res.Sim.AdvRefused, res.Sim.AdvStalled, res.Sim.AdvCorrupt)
+	}
 	if *trace {
 		fmt.Printf("min credit limit:     %d\n", res.MinimalCreditLimit)
 	}

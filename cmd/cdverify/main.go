@@ -15,12 +15,17 @@
 // Every recorded trace is additionally replayed through
 // simulate.RunAudit, which re-derives the whole execution and checks
 // the engine invariants (capacity, store-and-forward, liveness,
-// accounting) post hoc; a final churn section repeats the audit under
-// fault injection (crashes, rejoins, transfer loss).
+// accounting) post hoc; a churn section repeats the audit under fault
+// injection (crashes, rejoins, transfer loss), and an adversary
+// section checks the "protection of barter": with the Table F mix of
+// free-riders, liars, and corrupters, every run must replay cleanly,
+// every strategy must behave as declared (mechanism.AuditAdversary),
+// and under credit-limited barter the free-riders must starve
+// (mechanism.VerifyStarvation) — while without barter they leech.
 //
 // Usage:
 //
-//	cdverify [-nmax 64] [-kset 4,8,11,16] [-churn=false]
+//	cdverify [-nmax 64] [-kset 4,8,11,16] [-churn=false] [-adversary=false]
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/core"
 	"barterdist/internal/fault"
 	"barterdist/internal/mechanism"
@@ -40,6 +46,7 @@ func main() {
 	nmax := flag.Int("nmax", 33, "largest node count to audit (starts at 4)")
 	kset := flag.String("kset", "4,8,11,16", "comma-separated block counts")
 	churn := flag.Bool("churn", true, "also audit fault-injected runs")
+	adv := flag.Bool("adversary", true, "also audit adversarial runs (free-riders, liars, corrupters)")
 	flag.Parse()
 
 	ks, err := parseInts(*kset)
@@ -61,6 +68,9 @@ func main() {
 	}
 	if *churn {
 		failures += auditChurn()
+	}
+	if *adv {
+		failures += auditAdversaries()
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d audits violated expectations\n", failures)
@@ -112,6 +122,77 @@ func auditChurn() int {
 		}
 		fmt.Printf("%-24s %-12g %-12g %-12d %-8s\n",
 			sc.label, sc.crash, sc.loss, res.CompletionTime, verdict)
+	}
+	return bad
+}
+
+// auditAdversaries runs the Table F adversary mix against the
+// randomized scheduler with and without barter and checks the
+// "protection of barter" end to end: every run replays cleanly through
+// simulate.RunAudit, every strategy behaved as declared
+// (mechanism.AuditAdversary), and the starvation bound holds exactly
+// when a credit mechanism is on — free-riders leech without barter and
+// starve with it.
+func auditAdversaries() int {
+	fmt.Println()
+	fmt.Printf("adversary audits (20%% free-riders, 10%% false-advertisers, 10%% corrupters)\n")
+	fmt.Printf("%-24s %-12s %-14s %-12s %-8s\n", "scheduler", "completion", "honest stall", "starvation", "replay")
+	fmt.Println(strings.Repeat("-", 76))
+	bad := 0
+	mix := adversary.Options{
+		FreeRiderFrac:       0.2,
+		FalseAdvertiserFrac: 0.1,
+		CorrupterFrac:       0.1,
+	}
+	scenarios := []struct {
+		label      string
+		algo       core.Algorithm
+		credit     int
+		wantStarve bool // must the s=1 starvation bound hold?
+	}{
+		{"randomized (no barter)", core.AlgoRandomized, 0, false},
+		{"randomized credit s=1", core.AlgoRandomized, 1, true},
+		{"triangular s=1", core.AlgoTriangular, 1, true},
+	}
+	for i, sc := range scenarios {
+		m := mix
+		m.Seed = uint64(2000 + i)
+		res, err := core.Run(core.Config{
+			Nodes: 32, Blocks: 16, Algorithm: sc.algo, CreditLimit: sc.credit,
+			Seed: 11, RecordTrace: true, Adversary: &m,
+		})
+		if err != nil {
+			fmt.Printf("%-24s run failed: %v\n", sc.label, err)
+			bad++
+			continue
+		}
+		replay := "PASS"
+		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+			replay = "FAIL"
+			fmt.Printf("    EXPECTATION VIOLATED: trace replay: %v\n", aerr)
+			bad++
+		}
+		if aerr := mechanism.AuditAdversary(res.Sim, 0); aerr != nil {
+			replay = "FAIL"
+			fmt.Printf("    EXPECTATION VIOLATED: behavior audit: %v\n", aerr)
+			bad++
+		}
+		starveErr := mechanism.VerifyStarvation(res.Sim, 1)
+		starve := "starved"
+		if starveErr != nil {
+			starve = "leeches"
+		}
+		if sc.wantStarve && starveErr != nil {
+			fmt.Printf("    EXPECTATION VIOLATED: barter failed to starve free-riders: %v\n", starveErr)
+			bad++
+		}
+		if !sc.wantStarve && starveErr == nil {
+			fmt.Printf("    EXPECTATION VIOLATED: free-riders starved without barter (protection unmeasurable)\n")
+			bad++
+		}
+		fmt.Printf("%-24s %-12d %-14s %-12s %-8s\n",
+			sc.label, res.CompletionTime,
+			fmt.Sprintf("%.1f%%", 100*res.Sim.HonestStallRate()), starve, replay)
 	}
 	return bad
 }

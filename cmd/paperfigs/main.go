@@ -71,6 +71,7 @@ func main() {
 		{"tableC", tableArtifact(experiment.TableC)},
 		{"tableD", tableArtifact(experiment.TableD)},
 		{"tableE", tableArtifact(experiment.TableE)},
+		{"tableF", tableArtifact(experiment.TableF)},
 	}
 
 	selected := map[string]bool{}

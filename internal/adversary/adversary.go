@@ -1,0 +1,437 @@
+// Package adversary is the deterministic misbehavior layer shared by
+// both simulators: where package fault models fail-stop adversity
+// (crashes, churn, a lossy network), this package models *strategic*
+// adversity — peers that participate in the protocol but deviate from
+// it for their own benefit. It supplies the missing half of the
+// paper's robustness argument: the whole point of barter (Section 3)
+// is that an honest swarm should not be exploitable by selfish peers,
+// so the repository needs peers that actually try.
+//
+// A Plan assigns one Strategy to each client (node 0, the server, is
+// always honest — a malicious server makes every completion question
+// vacuous) and then answers the engines' per-transfer questions:
+//
+//   - FreeRider downloads but never uploads (every requested upload is
+//     silently refused);
+//   - Throttler uploads at most one block per ThrottlePeriod ticks and
+//     refuses in between;
+//   - FalseAdvertiser claims blocks it does not hold: with probability
+//     FalseClaimRate an upload it agreed to never materializes and the
+//     requester's slot is wasted for the tick;
+//   - Corrupter serves garbage: with probability CorruptRate the bytes
+//     it uploads fail verification at the receiver and are discarded
+//     (the receiver still paid the tick);
+//   - Defector behaves honestly until it holds the whole file, then
+//     leaves the upload market for good (a wiped rejoin does not bring
+//     it back — it already got what it came for).
+//
+// A Plan is seeded, single-use, and composable with a fault.Plan: the
+// strategy assignment and the behavior draws come from independent
+// sub-streams of the seed, and engines consult the adversary before
+// the fault layer (a block a free-rider never sent cannot also be lost
+// in the network), so enabling one layer never perturbs the other's
+// decision stream.
+//
+// The defense side lives next door: Guard is the per-node
+// peer-scoring/quarantine table the randomized schedulers use to back
+// off from peers that stall or serve garbage, and the barter ledgers
+// (package mechanism) are the first-class economic defense — under
+// strict or credit-limited barter a pure free-rider provably starves,
+// which mechanism.VerifyStarvation checks on recorded traces.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"barterdist/internal/xrand"
+)
+
+// Strategy labels a node's behavior.
+type Strategy uint8
+
+// The strategies. Honest is the zero value.
+const (
+	Honest Strategy = iota
+	FreeRider
+	Throttler
+	FalseAdvertiser
+	Corrupter
+	Defector
+)
+
+// strategies lists every adversarial strategy in assignment order; the
+// order is part of the determinism contract (a seed always carves the
+// shuffled client list into the same segments).
+var strategies = []Strategy{FreeRider, Throttler, FalseAdvertiser, Corrupter, Defector}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Honest:
+		return "honest"
+	case FreeRider:
+		return "free-rider"
+	case Throttler:
+		return "throttler"
+	case FalseAdvertiser:
+		return "false-advertiser"
+	case Corrupter:
+		return "corrupter"
+	case Defector:
+		return "defector"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Fate is the adversary layer's verdict on one requested transfer.
+type Fate uint8
+
+// The fates. Deliver is the zero value: the transfer proceeds and the
+// fault layer (if any) gets its usual say.
+const (
+	Deliver Fate = iota
+	// Refused: the sender silently never sent (free-rider, defector
+	// after completion, throttler outside its window). The receiver's
+	// download slot was reserved and is wasted for the tick.
+	Refused
+	// Stalled: a false-advertiser claimed a block it does not hold; the
+	// transfer never materializes and the receiver's slot is wasted.
+	Stalled
+	// Garbage: the bytes arrived but fail verification at the receiver
+	// and are discarded — block verification at delivery is the first
+	// defense, so a corrupt block never enters a node's cache.
+	Garbage
+)
+
+// String implements fmt.Stringer.
+func (f Fate) String() string {
+	switch f {
+	case Deliver:
+		return "deliver"
+	case Refused:
+		return "refused"
+	case Stalled:
+		return "stalled"
+	case Garbage:
+		return "garbage"
+	default:
+		return fmt.Sprintf("fate(%d)", uint8(f))
+	}
+}
+
+// Options configures a Plan. The zero value assigns no adversaries;
+// engines treat a nil *Plan and an empty Plan identically.
+type Options struct {
+	// Seed drives the strategy assignment and every behavior draw.
+	Seed uint64
+	// FreeRiderFrac is the fraction of clients assigned FreeRider.
+	FreeRiderFrac float64
+	// ThrottlerFrac is the fraction assigned Throttler.
+	ThrottlerFrac float64
+	// FalseAdvertiserFrac is the fraction assigned FalseAdvertiser.
+	FalseAdvertiserFrac float64
+	// CorrupterFrac is the fraction assigned Corrupter.
+	CorrupterFrac float64
+	// DefectorFrac is the fraction assigned Defector.
+	DefectorFrac float64
+	// ThrottlePeriod is the minimum spacing, in ticks (or time units),
+	// between a throttler's uploads. 0 selects the default of 4.
+	ThrottlePeriod float64
+	// FalseClaimRate is the probability a false-advertiser's agreed
+	// upload stalls. 0 selects the default of 0.5.
+	FalseClaimRate float64
+	// CorruptRate is the probability a corrupter's upload fails
+	// verification. 0 selects the default of 0.5.
+	CorruptRate float64
+}
+
+// Validate checks the options without mutating them: every fraction
+// and probability must lie in [0, 1], their sum must not exceed 1, and
+// the throttle period must be finite and non-negative.
+func (o *Options) Validate() error {
+	frac := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("adversary: %s = %v must be in [0, 1]", name, v)
+		}
+		return nil
+	}
+	if err := frac("FreeRiderFrac", o.FreeRiderFrac); err != nil {
+		return err
+	}
+	if err := frac("ThrottlerFrac", o.ThrottlerFrac); err != nil {
+		return err
+	}
+	if err := frac("FalseAdvertiserFrac", o.FalseAdvertiserFrac); err != nil {
+		return err
+	}
+	if err := frac("CorrupterFrac", o.CorrupterFrac); err != nil {
+		return err
+	}
+	if err := frac("DefectorFrac", o.DefectorFrac); err != nil {
+		return err
+	}
+	if sum := o.FreeRiderFrac + o.ThrottlerFrac + o.FalseAdvertiserFrac + o.CorrupterFrac + o.DefectorFrac; sum > 1 {
+		return fmt.Errorf("adversary: strategy fractions sum to %v, must be <= 1", sum)
+	}
+	if err := frac("FalseClaimRate", o.FalseClaimRate); err != nil {
+		return err
+	}
+	if err := frac("CorruptRate", o.CorruptRate); err != nil {
+		return err
+	}
+	if math.IsNaN(o.ThrottlePeriod) || math.IsInf(o.ThrottlePeriod, 0) || o.ThrottlePeriod < 0 {
+		return fmt.Errorf("adversary: ThrottlePeriod = %v must be finite and >= 0", o.ThrottlePeriod)
+	}
+	return nil
+}
+
+// The documented defaults applied by withDefaults when the
+// corresponding Options field is zero. Exported so post-hoc auditors
+// (mechanism.AuditAdversary) can reconstruct the effective
+// configuration from a zero-valued field.
+const (
+	// DefaultThrottlePeriod is the default minimum spacing between a
+	// throttler's uploads, in ticks.
+	DefaultThrottlePeriod = 4.0
+	// DefaultFalseClaimRate is the default false-advertiser stall
+	// probability.
+	DefaultFalseClaimRate = 0.5
+	// DefaultCorruptRate is the default corrupter garbling probability.
+	DefaultCorruptRate = 0.5
+)
+
+// withDefaults returns a copy with zero fields replaced by the
+// documented defaults. The options must already be valid.
+func (o Options) withDefaults() Options {
+	if o.ThrottlePeriod == 0 {
+		o.ThrottlePeriod = DefaultThrottlePeriod
+	}
+	if o.FalseClaimRate == 0 {
+		o.FalseClaimRate = DefaultFalseClaimRate
+	}
+	if o.CorruptRate == 0 {
+		o.CorruptRate = DefaultCorruptRate
+	}
+	return o
+}
+
+// fracOf returns the configured fraction for one strategy.
+func (o *Options) fracOf(s Strategy) float64 {
+	switch s {
+	case FreeRider:
+		return o.FreeRiderFrac
+	case Throttler:
+		return o.ThrottlerFrac
+	case FalseAdvertiser:
+		return o.FalseAdvertiserFrac
+	case Corrupter:
+		return o.CorrupterFrac
+	case Defector:
+		return o.DefectorFrac
+	default:
+		return 0
+	}
+}
+
+// Plan is a seeded, single-use stream of behavior decisions for one
+// run. Engines query it in a fixed order (apply order in the
+// synchronous engine, event order in the asynchronous one), so a given
+// seed always yields the same misbehavior regardless of the scheduler
+// under test.
+type Plan struct {
+	opts     Options // post-default
+	n        int
+	strategy []Strategy
+	count    int // adversarial clients
+
+	behaviorRng *xrand.Rand // false-advertiser / corrupter draws
+
+	defected []bool    // Defector latch: set once complete, never cleared
+	nextOpen []float64 // Throttler: earliest time the next upload may start
+
+	acquired bool
+}
+
+// NewPlan validates opts, assigns strategies over the n-node
+// population (clients 1..n-1; node 0 stays honest), and returns a
+// fresh Plan. The assignment shuffles the client list with a dedicated
+// sub-stream of the seed and carves it into contiguous segments, one
+// per strategy, of round(frac·(n-1)) nodes each. At least one honest
+// client must remain — a swarm of nothing but adversaries has no
+// completion question left to ask.
+func NewPlan(n int, opts Options) (*Plan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: n = %d, need >= 2 (a server and at least one client)", n)
+	}
+	o := opts.withDefaults()
+	root := xrand.New(o.Seed)
+	assignRng := root.Split()
+	behaviorRng := root.Split()
+
+	clients := make([]int, n-1)
+	for i := range clients {
+		clients[i] = i + 1
+	}
+	assignRng.Shuffle(clients)
+
+	p := &Plan{
+		opts:        o,
+		n:           n,
+		strategy:    make([]Strategy, n),
+		behaviorRng: behaviorRng,
+		defected:    make([]bool, n),
+		nextOpen:    make([]float64, n),
+	}
+	next := 0
+	for _, s := range strategies {
+		cnt := int(math.Round(o.fracOf(s) * float64(n-1)))
+		for i := 0; i < cnt && next < len(clients); i++ {
+			p.strategy[clients[next]] = s
+			next++
+		}
+	}
+	p.count = next
+	if p.count >= n-1 && p.count > 0 {
+		return nil, fmt.Errorf("adversary: all %d clients assigned adversarial strategies; at least one honest client is required", n-1)
+	}
+	return p, nil
+}
+
+// Options returns the plan's post-default configuration.
+func (p *Plan) Options() Options { return p.opts }
+
+// Acquire marks the plan as consumed by an engine run. Reusing a plan
+// across runs is a bug (the behavior stream would be a continuation,
+// not a reproduction), so the second Acquire fails.
+func (p *Plan) Acquire() error {
+	if p.acquired {
+		return fmt.Errorf("adversary: Plan already consumed by a previous run; build one Plan per run")
+	}
+	p.acquired = true
+	return nil
+}
+
+// N returns the node count the plan was built for.
+func (p *Plan) N() int { return p.n }
+
+// Count returns the number of adversarial clients.
+func (p *Plan) Count() int { return p.count }
+
+// Strategy returns node v's assigned strategy (Honest for the server
+// and every unassigned client).
+func (p *Plan) Strategy(v int) Strategy { return p.strategy[v] }
+
+// Strategies returns a copy of the full assignment, indexed by node
+// id — the snapshot engines record into results so post-hoc audits can
+// replay without the (single-use) plan.
+func (p *Plan) Strategies() []Strategy {
+	return append([]Strategy(nil), p.strategy...)
+}
+
+// Honest reports whether node v plays by the protocol.
+func (p *Plan) Honest(v int) bool { return p.strategy[v] == Honest }
+
+// Of returns the nodes assigned strategy s, in ascending id order.
+func (p *Plan) Of(s Strategy) []int32 {
+	var out []int32
+	for v, sv := range p.strategy {
+		if sv == s && s != Honest || sv == Honest && s == Honest && v > 0 {
+			out = append(out, int32(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ThrottlePeriod returns the post-default throttle spacing.
+func (p *Plan) ThrottlePeriod() float64 { return p.opts.ThrottlePeriod }
+
+// Refuses reports whether node u would refuse to start an upload at
+// time now: free-riders always, defectors once complete, throttlers
+// while their window is closed. It is a pure query — no RNG is drawn
+// and no state changes — so schedulers may call it freely when
+// modeling a node's own decision not to offer (a node knows its own
+// strategy; what it does not know is anyone else's).
+func (p *Plan) Refuses(u int, now float64) bool {
+	switch p.strategy[u] {
+	case FreeRider:
+		return true
+	case Defector:
+		return p.defected[u]
+	case Throttler:
+		return now < p.nextOpen[u]
+	default:
+		return false
+	}
+}
+
+// RetryAt returns the earliest time a currently refusing node u may
+// upload again: the throttler's window opening, or +Inf for refusals
+// that never lift (free-riders, completed defectors). It is only
+// meaningful while Refuses(u, now) is true.
+func (p *Plan) RetryAt(u int) float64 {
+	switch p.strategy[u] {
+	case Throttler:
+		return p.nextOpen[u]
+	default:
+		return math.Inf(1)
+	}
+}
+
+// NoteUpload records that node u started an upload at time now; a
+// throttler's window closes for ThrottlePeriod. Engines call it once
+// per transfer that was not refused.
+func (p *Plan) NoteUpload(u int, now float64) {
+	if p.strategy[u] == Throttler {
+		p.nextOpen[u] = now + p.opts.ThrottlePeriod
+	}
+}
+
+// NoteComplete records that node v holds the whole file; a defector
+// latches and refuses every subsequent upload, even across a wiped
+// rejoin (it left — the slot's next occupant just happens to share its
+// id).
+func (p *Plan) NoteComplete(v int) {
+	if p.strategy[v] == Defector {
+		p.defected[v] = true
+	}
+}
+
+// DeliveryFate samples the in-flight fate of a non-refused transfer
+// from sender u: a false-advertiser's upload stalls with probability
+// FalseClaimRate, a corrupter's fails verification with probability
+// CorruptRate, and everyone else's delivers. Engines must call it
+// exactly once per non-refused transfer, in a deterministic order
+// (apply order / delivery-event order), so the behavior stream is
+// reproducible. Honest senders never draw from the stream.
+func (p *Plan) DeliveryFate(u int) Fate {
+	switch p.strategy[u] {
+	case FalseAdvertiser:
+		if p.behaviorRng.Float64() < p.opts.FalseClaimRate {
+			return Stalled
+		}
+	case Corrupter:
+		if p.behaviorRng.Float64() < p.opts.CorruptRate {
+			return Garbage
+		}
+	}
+	return Deliver
+}
+
+// TransferFate is the synchronous engine's one-call verdict for a
+// scheduled transfer from u at tick now: refusal first (free-rider,
+// defector, closed throttle window), then the throttle bookkeeping and
+// the in-flight behavior draw.
+func (p *Plan) TransferFate(u int, now float64) Fate {
+	if p.Refuses(u, now) {
+		return Refused
+	}
+	p.NoteUpload(u, now)
+	return p.DeliveryFate(u)
+}

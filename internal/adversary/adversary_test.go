@@ -1,0 +1,243 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPlan(t *testing.T, n int, o Options) *Plan {
+	t.Helper()
+	p, err := NewPlan(n, o)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	return p
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{FreeRiderFrac: -0.1},
+		{CorrupterFrac: 1.5},
+		{FreeRiderFrac: 0.6, CorrupterFrac: 0.6},
+		{FalseClaimRate: 2},
+		{CorruptRate: math.NaN()},
+		{ThrottlePeriod: math.Inf(1)},
+		{ThrottlePeriod: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, o)
+		}
+	}
+	good := Options{FreeRiderFrac: 0.25, CorrupterFrac: 0.25, Seed: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestNewPlanAssignment(t *testing.T) {
+	p := mustPlan(t, 21, Options{Seed: 9, FreeRiderFrac: 0.25, CorrupterFrac: 0.25})
+	// 20 clients, round(0.25*20)=5 each.
+	if got := len(p.Of(FreeRider)); got != 5 {
+		t.Errorf("free-riders = %d, want 5", got)
+	}
+	if got := len(p.Of(Corrupter)); got != 5 {
+		t.Errorf("corrupters = %d, want 5", got)
+	}
+	if got := len(p.Of(Honest)); got != 10 {
+		t.Errorf("honest clients = %d, want 10", got)
+	}
+	if p.Count() != 10 {
+		t.Errorf("Count = %d, want 10", p.Count())
+	}
+	if !p.Honest(0) {
+		t.Error("server must stay honest")
+	}
+	for _, v := range p.Of(Honest) {
+		if v == 0 {
+			t.Error("Of(Honest) must exclude the server")
+		}
+	}
+	// Determinism: same seed, same assignment.
+	q := mustPlan(t, 21, Options{Seed: 9, FreeRiderFrac: 0.25, CorrupterFrac: 0.25})
+	for v := 0; v < 21; v++ {
+		if p.Strategy(v) != q.Strategy(v) {
+			t.Fatalf("node %d: %v vs %v across identical seeds", v, p.Strategy(v), q.Strategy(v))
+		}
+	}
+	// Different seed must (for this size) move at least one node.
+	r := mustPlan(t, 21, Options{Seed: 10, FreeRiderFrac: 0.25, CorrupterFrac: 0.25})
+	same := true
+	for v := 0; v < 21; v++ {
+		if p.Strategy(v) != r.Strategy(v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 9 and 10 produced identical assignments (suspicious)")
+	}
+}
+
+func TestNewPlanRejectsAllAdversarial(t *testing.T) {
+	if _, err := NewPlan(5, Options{FreeRiderFrac: 1}); err == nil {
+		t.Fatal("expected error when every client is adversarial")
+	}
+	if _, err := NewPlan(1, Options{}); err == nil {
+		t.Fatal("expected error for n=1")
+	}
+}
+
+func TestAcquireSingleUse(t *testing.T) {
+	p := mustPlan(t, 4, Options{FreeRiderFrac: 0.3})
+	if err := p.Acquire(); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := p.Acquire(); err == nil {
+		t.Fatal("second Acquire must fail")
+	}
+}
+
+func TestFreeRiderAndDefector(t *testing.T) {
+	p := mustPlan(t, 9, Options{Seed: 1, FreeRiderFrac: 0.25, DefectorFrac: 0.25})
+	fr := p.Of(FreeRider)
+	df := p.Of(Defector)
+	if len(fr) != 2 || len(df) != 2 {
+		t.Fatalf("assignment: %d free-riders, %d defectors, want 2+2", len(fr), len(df))
+	}
+	u := int(fr[0])
+	if !p.Refuses(u, 0) || p.TransferFate(u, 0) != Refused {
+		t.Error("free-rider must always refuse")
+	}
+	d := int(df[0])
+	if p.Refuses(d, 0) {
+		t.Error("defector must behave before completion")
+	}
+	p.NoteComplete(d)
+	if !p.Refuses(d, 5) {
+		t.Error("defector must refuse after completion")
+	}
+	if !math.IsInf(p.RetryAt(d), 1) {
+		t.Error("defector refusal never lifts")
+	}
+	// Wiped rejoin does not reset the latch (NoteComplete has no inverse).
+	if !p.Refuses(d, 100) {
+		t.Error("defection must persist")
+	}
+}
+
+func TestThrottlerWindow(t *testing.T) {
+	p := mustPlan(t, 5, Options{Seed: 2, ThrottlerFrac: 0.5, ThrottlePeriod: 3})
+	th := p.Of(Throttler)
+	if len(th) != 2 {
+		t.Fatalf("throttlers = %d, want 2", len(th))
+	}
+	u := int(th[0])
+	if f := p.TransferFate(u, 10); f != Deliver {
+		t.Fatalf("first upload fate = %v, want deliver", f)
+	}
+	if !p.Refuses(u, 11) || !p.Refuses(u, 12.9) {
+		t.Error("window must stay closed for ThrottlePeriod")
+	}
+	if got := p.RetryAt(u); got != 13 {
+		t.Errorf("RetryAt = %v, want 13", got)
+	}
+	if p.Refuses(u, 13) {
+		t.Error("window must reopen at nextOpen")
+	}
+}
+
+func TestDeliveryFateRates(t *testing.T) {
+	p := mustPlan(t, 4, Options{Seed: 3, CorrupterFrac: 0.34, FalseAdvertiserFrac: 0.34, CorruptRate: 1, FalseClaimRate: 1})
+	c := int(p.Of(Corrupter)[0])
+	fa := int(p.Of(FalseAdvertiser)[0])
+	for i := 0; i < 8; i++ {
+		if f := p.DeliveryFate(c); f != Garbage {
+			t.Fatalf("corrupter with rate 1 delivered %v", f)
+		}
+		if f := p.DeliveryFate(fa); f != Stalled {
+			t.Fatalf("false-advertiser with rate 1 delivered %v", f)
+		}
+	}
+	// Honest senders never draw: interleaving honest queries must not
+	// perturb the adversary stream.
+	q := mustPlan(t, 4, Options{Seed: 3, CorrupterFrac: 0.34, FalseAdvertiserFrac: 0.34, CorruptRate: 0.5, FalseClaimRate: 0.5})
+	r := mustPlan(t, 4, Options{Seed: 3, CorrupterFrac: 0.34, FalseAdvertiserFrac: 0.34, CorruptRate: 0.5, FalseClaimRate: 0.5})
+	hc := int(q.Of(Honest)[0])
+	var a, b []Fate
+	for i := 0; i < 32; i++ {
+		q.DeliveryFate(hc) // interleaved honest no-ops
+		a = append(a, q.DeliveryFate(int(q.Of(Corrupter)[0])))
+		b = append(b, r.DeliveryFate(int(r.Of(Corrupter)[0])))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: honest interleaving perturbed the stream (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuarantineBackoffAndBan(t *testing.T) {
+	g, err := NewGuard(GuardOptions{BackoffBase: 2, BanThreshold: 3, ParolePeriod: 20})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	if g.Blocked(1, 2, 0) {
+		t.Error("fresh table must not block")
+	}
+	g.Strike(1, 2, 0) // strike 1: backoff 2
+	if !g.Blocked(1, 2, 1.9) || g.Blocked(1, 2, 2) {
+		t.Error("strike 1 backoff window wrong")
+	}
+	if g.Blocked(3, 2, 1) {
+		t.Error("scores are per-victim: node 3 never struck node 2")
+	}
+	g.Strike(1, 2, 2) // strike 2: backoff 4
+	if !g.Blocked(1, 2, 5.9) || g.Blocked(1, 2, 6) {
+		t.Error("strike 2 backoff window wrong")
+	}
+	g.Strike(1, 2, 6) // strike 3 = threshold: full parole period
+	if !g.Blocked(1, 2, 25.9) || g.Blocked(1, 2, 26) {
+		t.Error("ban must last ParolePeriod")
+	}
+	g.Strike(1, 2, 26) // post-parole strike: re-ban immediately
+	if !g.Blocked(1, 2, 45.9) {
+		t.Error("post-parole strike must re-ban for a full period")
+	}
+	if g.Strikes(1, 2) != 4 {
+		t.Errorf("strikes = %d, want 4", g.Strikes(1, 2))
+	}
+}
+
+func TestQuarantineBackoffCap(t *testing.T) {
+	g, err := NewGuard(GuardOptions{BackoffBase: 4, BanThreshold: 100, ParolePeriod: 10})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Strike(2, 7, 0)
+	}
+	if !g.Blocked(2, 7, 9.9) || g.Blocked(2, 7, 10) {
+		t.Error("backoff must cap at ParolePeriod")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	o, err := ParseSpec("freerider=0.2, corrupter=0.1,seed=77,period=6,claimrate=0.4,corruptrate=0.9,falseadv=0.05,throttler=0.1,defector=0.05")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	want := Options{
+		Seed: 77, FreeRiderFrac: 0.2, ThrottlerFrac: 0.1,
+		FalseAdvertiserFrac: 0.05, CorrupterFrac: 0.1, DefectorFrac: 0.05,
+		ThrottlePeriod: 6, FalseClaimRate: 0.4, CorruptRate: 0.9,
+	}
+	if o != want {
+		t.Errorf("ParseSpec = %+v, want %+v", o, want)
+	}
+	for _, bad := range []string{"", "freerider", "freerider=x", "nope=0.1", "seed=-1", "freerider=0.9,corrupter=0.9"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+}

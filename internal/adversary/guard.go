@@ -1,0 +1,116 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+)
+
+// GuardOptions tunes the peer-scoring/quarantine table. The zero value
+// selects the documented defaults.
+type GuardOptions struct {
+	// BackoffBase is the first-strike backoff, in ticks (or time
+	// units); each further strike doubles it up to ParolePeriod.
+	// 0 selects the default of 4.
+	BackoffBase float64
+	// BanThreshold is the strike count at which a peer is banned:
+	// instead of a doubling backoff it is quarantined for a full
+	// ParolePeriod, then paroled (one chance to behave; the next
+	// strike re-bans immediately). 0 selects the default of 6.
+	BanThreshold int
+	// ParolePeriod is both the backoff cap and the ban length.
+	// 0 selects the default of 64.
+	ParolePeriod float64
+}
+
+// Validate checks the options without mutating them.
+func (o *GuardOptions) Validate() error {
+	if math.IsNaN(o.BackoffBase) || math.IsInf(o.BackoffBase, 0) || o.BackoffBase < 0 {
+		return fmt.Errorf("adversary: BackoffBase = %v must be finite and >= 0", o.BackoffBase)
+	}
+	if o.BanThreshold < 0 {
+		return fmt.Errorf("adversary: BanThreshold = %d must be >= 0", o.BanThreshold)
+	}
+	if math.IsNaN(o.ParolePeriod) || math.IsInf(o.ParolePeriod, 0) || o.ParolePeriod < 0 {
+		return fmt.Errorf("adversary: ParolePeriod = %v must be finite and >= 0", o.ParolePeriod)
+	}
+	return nil
+}
+
+func (o GuardOptions) withDefaults() GuardOptions {
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 4
+	}
+	if o.BanThreshold == 0 {
+		o.BanThreshold = 6
+	}
+	if o.ParolePeriod == 0 {
+		o.ParolePeriod = 64
+	}
+	return o
+}
+
+// guardCell is one (victim, offender) scoring entry.
+type guardCell struct {
+	strikes      int
+	blockedUntil float64
+}
+
+// Guard is the defense-side peer-scoring/quarantine table: each node
+// keeps an exponential-backoff score for every peer that has stalled
+// it or served it garbage, and stops requesting from peers past the
+// ban threshold until parole. The table is purely local knowledge —
+// node v only ever records what happened to v — so it composes with
+// any scheduler without leaking global information.
+//
+// Access is by key lookup only (never map iteration), so the table
+// adds no iteration-order hazard to the determinism contract.
+type Guard struct {
+	opts  GuardOptions // post-default
+	cells map[uint64]guardCell
+}
+
+// NewGuard validates opts and returns an empty table.
+func NewGuard(opts GuardOptions) (*Guard, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Guard{opts: opts.withDefaults(), cells: make(map[uint64]guardCell)}, nil
+}
+
+// guardKey packs a (victim, offender) pair into one map key.
+func guardKey(victim, offender int) uint64 {
+	return uint64(uint32(victim))<<32 | uint64(uint32(offender))
+}
+
+// Strike records at time now that offender stalled victim or served
+// it garbage. Backoff doubles per strike from BackoffBase, capped at
+// ParolePeriod; at or past BanThreshold strikes the offender is
+// quarantined for a full ParolePeriod (parole: when it expires the
+// peer may be tried again, and the next strike re-bans immediately).
+func (g *Guard) Strike(victim, offender int, now float64) {
+	k := guardKey(victim, offender)
+	c := g.cells[k]
+	c.strikes++
+	backoff := g.opts.ParolePeriod
+	if c.strikes < g.opts.BanThreshold {
+		b := g.opts.BackoffBase * math.Pow(2, float64(c.strikes-1))
+		if b < backoff {
+			backoff = b
+		}
+	}
+	c.blockedUntil = now + backoff
+	g.cells[k] = c
+}
+
+// Blocked reports whether victim should decline to deal with offender
+// at time now. It is a pure lookup.
+func (g *Guard) Blocked(victim, offender int, now float64) bool {
+	c, ok := g.cells[guardKey(victim, offender)]
+	return ok && now < c.blockedUntil
+}
+
+// Strikes returns the accumulated strike count victim holds against
+// offender (0 if none).
+func (g *Guard) Strikes(victim, offender int) int {
+	return g.cells[guardKey(victim, offender)].strikes
+}

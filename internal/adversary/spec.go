@@ -1,0 +1,73 @@
+package adversary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a command-line adversary specification of the form
+//
+//	freerider=0.2,corrupter=0.1,seed=7,period=4
+//
+// into Options. Recognized keys (all optional, comma-separated, order
+// irrelevant): freerider, throttler, falseadv, corrupter, defector
+// (strategy fractions in [0,1]); seed (uint64); period (throttle
+// spacing); claimrate, corruptrate (behavior probabilities). The
+// returned options are validated; an empty spec is an error — pass no
+// flag at all to disable the layer.
+func ParseSpec(spec string) (Options, error) {
+	var o Options
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return o, fmt.Errorf("adversary: empty spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return o, fmt.Errorf("adversary: spec entry %q is not key=value", part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if key == "seed" {
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return o, fmt.Errorf("adversary: bad seed %q: %v", val, err)
+			}
+			o.Seed = seed
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return o, fmt.Errorf("adversary: bad value %q for %s: %v", val, key, err)
+		}
+		switch key {
+		case "freerider", "free-rider":
+			o.FreeRiderFrac = f
+		case "throttler":
+			o.ThrottlerFrac = f
+		case "falseadv", "false-advertiser":
+			o.FalseAdvertiserFrac = f
+		case "corrupter":
+			o.CorrupterFrac = f
+		case "defector":
+			o.DefectorFrac = f
+		case "period":
+			o.ThrottlePeriod = f
+		case "claimrate":
+			o.FalseClaimRate = f
+		case "corruptrate":
+			o.CorruptRate = f
+		default:
+			return o, fmt.Errorf("adversary: unknown spec key %q", key)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
+	return o, nil
+}

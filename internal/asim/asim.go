@@ -30,6 +30,20 @@
 // liveness through State.Alive and, if they implement FaultAware,
 // receive OnCrash/OnRejoin/OnLoss callbacks. With a nil Plan the engine
 // is byte-identical to the fault-free implementation.
+//
+// # Adversarial behavior
+//
+// Config.Adversary attaches an adversary.Plan. Refusals happen at
+// upload start: a node whose strategy refuses (free-rider, completed
+// defector, throttler in a closed window) is parked without polling
+// the protocol — a node knows its own strategy — and a throttler is
+// re-woken when its window reopens. In-flight misbehavior happens at
+// delivery: a false-advertiser's transfer stalls and a corrupter's
+// fails block verification, in both cases wasting the receiver's
+// download port for the transfer's duration. Protocols observe the
+// drops through AdversaryAware; completion switches to the honest-only
+// criterion. With a nil Plan the engine is byte-identical to the
+// compliant implementation.
 package asim
 
 import (
@@ -39,6 +53,7 @@ import (
 	"math"
 	"sort"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
 )
@@ -70,6 +85,11 @@ type Config struct {
 	// loss). nil runs the reliable engine unchanged. A Plan is
 	// single-use: build one per run.
 	Fault *fault.Plan
+	// Adversary attaches a behavior-injection plan (free-riders,
+	// throttlers, false-advertisers, corrupters, defectors). nil runs
+	// the compliant engine unchanged. Like Fault, a Plan is single-use
+	// and composes with it: the adversary rules on each delivery first.
+	Adversary *adversary.Plan
 }
 
 // Validate checks the raw configuration without mutating it. nil rate
@@ -141,6 +161,13 @@ type State struct {
 	alive         []bool
 	aliveClients  int
 	pendingRejoin int
+
+	// Adversary-layer view; nil/zero without an adversary plan.
+	honest              []bool
+	honestClients       int
+	completeHonest      int
+	aliveHonest         int
+	pendingRejoinHonest int
 }
 
 // N returns the node count.
@@ -180,10 +207,26 @@ func (s *State) AliveClients() int {
 	return s.aliveClients
 }
 
+// Adversarial reports whether an adversary plan is active — the cue
+// for defensive protocols to build their quarantine tables.
+func (s *State) Adversarial() bool { return s.honest != nil }
+
+// Honest reports whether node v plays by the protocol. Without an
+// adversary plan every node is honest.
+func (s *State) Honest(v int) bool { return s.honest == nil || s.honest[v] }
+
 // AllClientsComplete reports completion: every client still part of the
 // system holds the whole file (permanently departed nodes are excluded;
-// nodes scheduled to rejoin count as pending).
+// nodes scheduled to rejoin count as pending). Under an adversary plan
+// only *honest* clients count — a free-rider that starves under barter
+// must not hold the swarm hostage.
 func (s *State) AllClientsComplete() bool {
+	if s.honest != nil {
+		if s.alive == nil {
+			return s.completeHonest == s.honestClients
+		}
+		return s.completeHonest == s.aliveHonest && s.pendingRejoinHonest == 0
+	}
 	if s.alive == nil {
 		return s.complete == s.n-1
 	}
@@ -236,14 +279,30 @@ type FaultAware interface {
 	OnLoss(from, to, block int, corrupt bool, s *State)
 }
 
+// AdversaryAware is optionally implemented by protocols that want to
+// observe adversary-faulted deliveries — typically to score and
+// quarantine the offending sender.
+type AdversaryAware interface {
+	// OnAdversaryDrop is called when sender from's strategy denied the
+	// delivery of block to node to: corrupt reports garbage that failed
+	// verification (a corrupter), false a transfer that stalled (a
+	// false-advertiser). The receiver's download port was held for the
+	// whole transfer either way.
+	OnAdversaryDrop(from, to, block int, corrupt bool, s *State)
+}
+
 // TransferRecord is one transfer as recorded by Config.RecordTrace.
 type TransferRecord struct {
 	Start, End      float64
 	From, To, Block int32
 	// Lost marks a transfer dropped at delivery time; Corrupt
-	// additionally marks it as delivered-but-discarded.
-	Lost    bool
-	Corrupt bool
+	// additionally marks it as delivered-but-discarded. Adversary marks
+	// the sender's strategy — not the network — as the cause (Corrupt
+	// then distinguishes a corrupter's garbage from a
+	// false-advertiser's stall).
+	Lost      bool
+	Corrupt   bool
+	Adversary bool
 }
 
 // Result reports a finished asynchronous run.
@@ -271,6 +330,31 @@ type Result struct {
 	FinalHave []*bitset.Set
 	// FinalAlive is the final liveness mask (RecordTrace + fault plan).
 	FinalAlive []bool
+
+	// Adversary-layer outcomes; zero without an adversary plan.
+
+	// Strategies records each node's assigned strategy (index = node
+	// id); nil for compliant runs.
+	Strategies []adversary.Strategy
+	// AdvStalled counts transfers a false-advertiser claimed but never
+	// delivered; AdvCorrupt counts a corrupter's transfers that failed
+	// block verification and were discarded. (Refusals happen at upload
+	// start in this engine and consume no bandwidth, so they have no
+	// counter here.)
+	AdvStalled, AdvCorrupt int
+	// HonestUseful counts deliveries to honest clients; HonestWasted
+	// counts honest clients' download-port time slots wasted by
+	// adversary-faulted transfers.
+	HonestUseful, HonestWasted int
+}
+
+// HonestStallRate returns the fraction of honest clients' spent
+// download slots that an adversary wasted (0 for compliant runs).
+func (r *Result) HonestStallRate() float64 {
+	if r.HonestUseful+r.HonestWasted == 0 {
+		return 0
+	}
+	return float64(r.HonestWasted) / float64(r.HonestUseful+r.HonestWasted)
 }
 
 // ErrMaxTime is returned when the protocol fails to complete in time.
@@ -281,8 +365,9 @@ type eventKind int
 const (
 	evComplete eventKind = iota + 1 // a transfer finished
 	evTimer
-	evCrash  // a fault-plan crash arrival
-	evRejoin // a crashed node returns
+	evCrash   // a fault-plan crash arrival
+	evRejoin  // a crashed node returns
+	evAdvWake // a throttler's upload window reopens
 )
 
 type event struct {
@@ -298,7 +383,7 @@ type event struct {
 	// evTimer field.
 	timer int
 
-	// evRejoin field.
+	// evRejoin / evAdvWake field.
 	node int
 }
 
@@ -366,6 +451,24 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		}
 		st.aliveClients = c.Nodes - 1
 	}
+	if c.Adversary != nil {
+		if c.Adversary.N() != c.Nodes {
+			return nil, fmt.Errorf("asim: adversary plan built for %d nodes, config has %d", c.Adversary.N(), c.Nodes)
+		}
+		if err := c.Adversary.Acquire(); err != nil {
+			return nil, err
+		}
+		eng.adv = c.Adversary
+		eng.advAware, _ = p.(AdversaryAware)
+		eng.advWakePending = make([]bool, c.Nodes)
+		st.honest = make([]bool, c.Nodes)
+		for v := range st.honest {
+			st.honest[v] = c.Adversary.Honest(v)
+		}
+		st.honestClients = c.Nodes - 1 - c.Adversary.Count()
+		st.aliveHonest = st.honestClients
+		res.Strategies = c.Adversary.Strategies()
+	}
 	heap.Init(&eng.queue)
 	for i, period := range p.Wakeups() {
 		if period <= 0 {
@@ -403,6 +506,10 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 			continue
 		}
 		if ev.at > c.MaxTime {
+			if st.honest != nil {
+				return nil, fmt.Errorf("%w (t=%.2f, honest clients complete: %d/%d)",
+					ErrMaxTime, ev.at, st.completeHonest, st.honestClients)
+			}
 			return nil, fmt.Errorf("%w (t=%.2f, clients complete: %d/%d)",
 				ErrMaxTime, ev.at, st.complete, c.Nodes-1)
 		}
@@ -445,7 +552,16 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 			if st.AllClientsComplete() {
 				return finish(), nil
 			}
+		case evAdvWake:
+			eng.advWakePending[ev.node] = false
+			if err := eng.tryStartUpload(ev.node); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if st.honest != nil {
+		return nil, fmt.Errorf("%w (event queue drained, honest clients complete: %d/%d)",
+			ErrMaxTime, st.completeHonest, st.honestClients)
 	}
 	return nil, fmt.Errorf("%w (event queue drained, clients complete: %d/%d)",
 		ErrMaxTime, st.complete, c.Nodes-1)
@@ -463,6 +579,10 @@ type engine struct {
 	parked     []bool   // NextUpload returned false; awaiting a wake event
 	curUpload  []*event // pending completion event of each node's upload
 	faultAware FaultAware
+
+	adv            *adversary.Plan
+	advAware       AdversaryAware
+	advWakePending []bool // an evAdvWake is already queued for this node
 }
 
 func (e *engine) schedule(ev *event) {
@@ -500,6 +620,12 @@ func (e *engine) applyCrash() error {
 	if st.have[v].Full() {
 		st.complete--
 	}
+	if st.honest != nil && st.honest[v] {
+		st.aliveHonest--
+		if st.have[v].Full() {
+			st.completeHonest--
+		}
+	}
 	e.parked[v] = false
 
 	var wakeSenders []int
@@ -529,6 +655,9 @@ func (e *engine) applyCrash() error {
 	e.res.FaultLog = append(e.res.FaultLog, ev)
 	if delay, ok := e.cfg.Fault.Rejoins(); ok {
 		st.pendingRejoin++
+		if st.honest != nil && st.honest[v] {
+			st.pendingRejoinHonest++
+		}
 		e.schedule(&event{at: st.now + delay, kind: evRejoin, node: v})
 	}
 	if e.faultAware != nil {
@@ -558,12 +687,19 @@ func (e *engine) applyRejoin(v int) error {
 	st.alive[v] = true
 	st.aliveClients++
 	st.pendingRejoin--
+	if st.honest != nil && st.honest[v] {
+		st.aliveHonest++
+		st.pendingRejoinHonest--
+	}
 	wiped := e.cfg.Fault.RejoinWipes()
 	if wiped {
 		st.have[v].Clear()
 		e.res.ClientCompletion[v] = 0
 	} else if st.have[v].Full() {
 		st.complete++
+		if st.honest != nil && st.honest[v] {
+			st.completeHonest++
+		}
 	}
 	e.res.FaultLog = append(e.res.FaultLog, fault.Event{
 		Time: st.now, Node: int32(v), Kind: fault.Rejoin, Wiped: wiped,
@@ -614,6 +750,17 @@ func (e *engine) tryStartUpload(u int) error {
 		e.parked[u] = true
 		return nil
 	}
+	if e.adv != nil && e.adv.Refuses(u, e.st.now) {
+		// The node's own strategy declines to upload; the protocol is
+		// not even polled. A throttler is re-woken when its window
+		// reopens; free-riders and completed defectors park for good.
+		e.parked[u] = true
+		if at := e.adv.RetryAt(u); !math.IsInf(at, 1) && !e.advWakePending[u] {
+			e.advWakePending[u] = true
+			e.schedule(&event{at: at, kind: evAdvWake, node: u})
+		}
+		return nil
+	}
 	up, ok := e.proto.NextUpload(u, e.st)
 	if !ok {
 		e.parked[u] = true
@@ -621,6 +768,9 @@ func (e *engine) tryStartUpload(u int) error {
 	}
 	if err := e.validate(u, up); err != nil {
 		return err
+	}
+	if e.adv != nil {
+		e.adv.NoteUpload(u, e.st.now)
 	}
 	e.parked[u] = false
 	e.uploading[u] = true
@@ -682,6 +832,39 @@ func (e *engine) finishTransfer(ev *event) error {
 	e.uploading[ev.from] = false
 	e.curUpload[ev.from] = nil
 
+	if e.adv != nil {
+		// The sender's strategy rules first: a block that stalled or
+		// failed verification was never delivered, so the fault layer
+		// has nothing left to drop.
+		if fate := e.adv.DeliveryFate(ev.from); fate != adversary.Deliver {
+			corrupt := fate == adversary.Garbage
+			if corrupt {
+				e.res.AdvCorrupt++
+			} else {
+				e.res.AdvStalled++
+			}
+			if st.honest[ev.to] {
+				e.res.HonestWasted++
+			}
+			if e.cfg.RecordTrace {
+				e.res.Trace = append(e.res.Trace, TransferRecord{
+					Start: ev.start, End: ev.at,
+					From: int32(ev.from), To: int32(ev.to), Block: int32(ev.block),
+					Lost: true, Corrupt: corrupt, Adversary: true,
+				})
+			}
+			if e.advAware != nil {
+				e.advAware.OnAdversaryDrop(ev.from, ev.to, ev.block, corrupt, st)
+			}
+			if err := e.tryStartUpload(ev.from); err != nil {
+				return err
+			}
+			// The receiver's port freed and the block is no longer in
+			// flight: parked in-neighbors may now retry it.
+			return e.wakeInNeighbors(ev.to)
+		}
+	}
+
 	if e.cfg.Fault != nil && e.cfg.Fault.Lossy() {
 		lost, corrupt := e.cfg.Fault.Drop()
 		if lost || corrupt {
@@ -711,9 +894,18 @@ func (e *engine) finishTransfer(ev *event) error {
 
 	if st.have[ev.to].Add(ev.block) {
 		e.res.Transfers++
+		if e.adv != nil && st.honest[ev.to] {
+			e.res.HonestUseful++
+		}
 		if ev.to != 0 && st.have[ev.to].Full() {
 			st.complete++
 			e.res.ClientCompletion[ev.to] = st.now
+			if st.honest != nil && st.honest[ev.to] {
+				st.completeHonest++
+			}
+			if e.adv != nil {
+				e.adv.NoteComplete(ev.to)
+			}
 		}
 	}
 	if e.cfg.RecordTrace {

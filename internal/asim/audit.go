@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
 )
@@ -42,11 +43,15 @@ const durEps = 1e-9
 //     liveness state all match the recorded Result.
 //
 // A Result produced by Run with RecordTrace always passes; a doctored
-// trace fails with a pinpointed ErrAudit. cfg.Fault is ignored — the
-// replay takes its adversity from res.FaultLog, so auditing never
-// consumes a fault plan.
+// trace fails with a pinpointed ErrAudit. cfg.Fault and cfg.Adversary
+// are ignored — the replay takes its adversity from res.FaultLog and
+// res.Strategies, so auditing never consumes a (single-use) plan. For
+// adversarial runs the drop causes are re-counted per kind and the
+// honest-only completion criterion and honest stall accounting are
+// re-derived from the trace.
 func RunAudit(cfg Config, res *Result) error {
 	cfg.Fault = nil
+	cfg.Adversary = nil
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -62,6 +67,20 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 	if len(res.FinalHave) != c.Nodes {
 		return auditErr("FinalHave has %d entries for %d nodes", len(res.FinalHave), c.Nodes)
+	}
+	adversarial := res.Strategies != nil
+	var honest []bool
+	if adversarial {
+		if len(res.Strategies) != c.Nodes {
+			return auditErr("Strategies has %d entries for %d nodes", len(res.Strategies), c.Nodes)
+		}
+		if res.Strategies[0] != adversary.Honest {
+			return auditErr("node 0 (the server) is recorded as %v; it must stay honest", res.Strategies[0])
+		}
+		honest = make([]bool, c.Nodes)
+		for v, sg := range res.Strategies {
+			honest[v] = sg == adversary.Honest
+		}
 	}
 
 	// Fault-log sanity: time-ordered, clients only, alternating states.
@@ -140,6 +159,8 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 	completion := make([]float64, c.Nodes)
 	delivered, lost, corrupt := 0, 0, 0
+	advStalled, advGarbage := 0, 0
+	honestUseful, honestWasted := 0, 0
 	maxTime := 0.0
 
 	logCursor := 0
@@ -188,6 +209,12 @@ func RunAudit(cfg Config, res *Result) error {
 			return auditErr("trace record %d: degenerate interval [%v, %v]", i, tr.Start, tr.End)
 		case tr.Corrupt && !tr.Lost:
 			return auditErr("trace record %d: corrupt but not marked lost", i)
+		case tr.Adversary && !tr.Lost:
+			return auditErr("trace record %d: adversary-faulted but not marked lost", i)
+		case tr.Adversary && !adversarial:
+			return auditErr("trace record %d: adversary-faulted transfer in a run without strategies", i)
+		case tr.Adversary && honest[tr.From]:
+			return auditErr("trace record %d: honest node %d recorded as misbehaving", i, tr.From)
 		}
 		// Bandwidth model: duration is exactly one block at the reserved
 		// port rate.
@@ -227,7 +254,16 @@ func RunAudit(cfg Config, res *Result) error {
 			maxTime = tr.End
 		}
 		if tr.Lost {
-			if tr.Corrupt {
+			if tr.Adversary {
+				if tr.Corrupt {
+					advGarbage++
+				} else {
+					advStalled++
+				}
+				if honest[to] {
+					honestWasted++
+				}
+			} else if tr.Corrupt {
 				corrupt++
 			} else {
 				lost++
@@ -239,6 +275,9 @@ func RunAudit(cfg Config, res *Result) error {
 		}
 		arrivedAt[to][b] = tr.End
 		delivered++
+		if adversarial && honest[to] {
+			honestUseful++
+		}
 		if have[to].Full() {
 			completion[to] = tr.End
 		}
@@ -280,8 +319,12 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 
 	// The run must have finished under the engine's criterion: every
-	// alive client holds the whole file.
+	// alive client — every alive *honest* client under an adversary
+	// plan — holds the whole file.
 	for v := 1; v < c.Nodes; v++ {
+		if adversarial && !honest[v] {
+			continue
+		}
 		if alive[v] && !have[v].Full() {
 			return auditErr("replayed trace leaves alive client %d incomplete (%d/%d blocks)",
 				v, have[v].Count(), c.Blocks)
@@ -293,6 +336,14 @@ func RunAudit(cfg Config, res *Result) error {
 	if lost != res.Lost || corrupt != res.Corrupt {
 		return auditErr("replay counts %d lost + %d corrupt, result reports %d + %d",
 			lost, corrupt, res.Lost, res.Corrupt)
+	}
+	if advStalled != res.AdvStalled || advGarbage != res.AdvCorrupt {
+		return auditErr("replay counts %d stalled + %d garbage adversary drops, result reports %d + %d",
+			advStalled, advGarbage, res.AdvStalled, res.AdvCorrupt)
+	}
+	if adversarial && (honestUseful != res.HonestUseful || honestWasted != res.HonestWasted) {
+		return auditErr("replay counts %d honest-useful / %d honest-wasted, result reports %d / %d",
+			honestUseful, honestWasted, res.HonestUseful, res.HonestWasted)
 	}
 	if len(res.Trace) > 0 || len(res.FaultLog) > 0 {
 		if res.CompletionTime != maxTime {

@@ -3,6 +3,7 @@ package asim
 import (
 	"fmt"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/graph"
 	"barterdist/internal/xrand"
 )
@@ -24,11 +25,18 @@ type AsyncRandomized struct {
 	rng     *xrand.Rand
 	freq    []int
 	scratch []int32
+	// guard is the per-receiver quarantine table, created lazily when
+	// the simulation reports an adversary plan (nil and zero-overhead
+	// otherwise). Receivers that caught a peer stalling or garbling
+	// transfers refuse further uploads from it for an exponentially
+	// growing cool-down, mirroring the sync schedulers' defense.
+	guard *adversary.Guard
 }
 
 var (
-	_ Protocol   = (*AsyncRandomized)(nil)
-	_ FaultAware = (*AsyncRandomized)(nil)
+	_ Protocol       = (*AsyncRandomized)(nil)
+	_ FaultAware     = (*AsyncRandomized)(nil)
+	_ AdversaryAware = (*AsyncRandomized)(nil)
 )
 
 // NewAsyncRandomized returns the protocol with the given seed.
@@ -69,6 +77,11 @@ func (a *AsyncRandomized) ensure(s *State) {
 			a.freq[b] = 1
 		}
 	}
+	if a.guard == nil && s.Adversarial() {
+		if g, err := adversary.NewGuard(adversary.GuardOptions{}); err == nil {
+			a.guard = g
+		}
+	}
 }
 
 // recomputeFreq rebuilds the replication counts from the alive nodes'
@@ -101,7 +114,26 @@ func (a *AsyncRandomized) OnRejoin(_ int, _ bool, s *State) { a.recomputeFreq(s)
 
 // OnLoss implements FaultAware: the block never arrived, so the count
 // OnDeliver would have added is simply never added — nothing to undo.
-func (a *AsyncRandomized) OnLoss(_, _, _ int, _ bool, _ *State) {}
+// A corrupt loss is evidence against the sender, so the receiver's
+// quarantine table is struck even when the corruption came from the
+// fault layer rather than a deliberate adversary — the receiver cannot
+// tell the difference, and treating them alike keeps the defense
+// strategy-free.
+func (a *AsyncRandomized) OnLoss(from, to, _ int, corrupt bool, s *State) {
+	if corrupt && a.guard != nil {
+		a.guard.Strike(to, from, s.Now())
+	}
+}
+
+// OnAdversaryDrop implements AdversaryAware: the sender's strategy
+// stalled or garbled the transfer, so the receiver quarantines it.
+// Rarity statistics need no undo — OnDeliver never counted the block.
+func (a *AsyncRandomized) OnAdversaryDrop(from, to, _ int, _ bool, s *State) {
+	a.ensure(s)
+	if a.guard != nil {
+		a.guard.Strike(to, from, s.Now())
+	}
+}
 
 // NextUpload implements Protocol.
 func (a *AsyncRandomized) NextUpload(u int, s *State) (Upload, bool) {
@@ -136,6 +168,9 @@ func (a *AsyncRandomized) pickTarget(u int, s *State) int {
 			continue
 		}
 		if a.DownloadPorts != Unlimited && s.InFlightCount(v) >= a.DownloadPorts {
+			continue
+		}
+		if a.guard != nil && a.guard.Blocked(v, u, s.Now()) {
 			continue
 		}
 		if a.usefulFor(u, v, s) {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/analysis"
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
@@ -142,6 +143,16 @@ type Config struct {
 	// are natively fault-aware. A nil Fault reproduces the fault-free
 	// engine byte for byte.
 	Fault *fault.Options
+
+	// Adversary, when non-nil, assigns misbehaving strategies to a
+	// deterministic subset of clients — free-riders, throttlers,
+	// false-advertisers, corrupters, and defectors; see
+	// adversary.Options. Completion then means every HONEST client
+	// completed, the randomized schedulers quarantine detected
+	// misbehavers, and Verify audits only the transfers the adversary
+	// actually released. Composes with Fault. A nil Adversary
+	// reproduces the compliant engine byte for byte.
+	Adversary *adversary.Options
 }
 
 // Result reports a completed run.
@@ -233,6 +244,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	if cfg.Adversary != nil {
+		plan, err := adversary.NewPlan(cfg.Nodes, *cfg.Adversary)
+		if err != nil {
+			return nil, err
+		}
+		simCfg.Adversary = plan
+	}
+
 	simRes, err := simulate.Run(simCfg, sched)
 	if err != nil {
 		if errors.Is(err, simulate.ErrMaxTicks) {
@@ -250,7 +269,8 @@ func Run(cfg Config) (*Result, error) {
 		Sim:               simRes,
 		SimConfig:         simCfg,
 	}
-	res.SimConfig.Fault = nil // the consumed plan must not leak into replays
+	res.SimConfig.Fault = nil     // the consumed plan must not leak into replays
+	res.SimConfig.Adversary = nil // ditto: audits replay from Sim.Strategies
 	if len(simRes.Trace) > 0 {
 		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace)
 	}
@@ -384,16 +404,56 @@ func verify(cfg Config, simRes *simulate.Result) error {
 	if limit == 0 {
 		limit = 1
 	}
+	trace := releasedTrace(simRes)
 	switch cfg.Verify {
 	case MechanismNone:
 		return nil
 	case MechanismStrict:
-		return mechanism.VerifyStrictBarter(simRes.Trace)
+		return mechanism.VerifyStrictBarter(trace)
 	case MechanismCredit:
-		return mechanism.VerifyCreditLimited(simRes.Trace, limit)
+		return mechanism.VerifyCreditLimited(trace, limit)
 	case MechanismTriangular:
-		return mechanism.VerifyTriangular(simRes.Trace, limit)
+		return mechanism.VerifyTriangular(trace, limit)
 	default:
 		return fmt.Errorf("core: unknown mechanism %q", cfg.Verify)
 	}
+}
+
+// releasedTrace returns the trace the mechanism verifiers should see.
+// For compliant runs that is the scheduled trace unchanged — fault
+// drops stay in (a block lost in the network still consumed the
+// sender's credit, matching the live ledger). For adversarial runs,
+// transfers the sender's own strategy refused, stalled, or garbled are
+// filtered out: they were never released (or were clawed back by the
+// schedulers' ledgers), so charging them would read the adversary's
+// sabotage as the mechanism's failure.
+func releasedTrace(simRes *simulate.Result) [][]simulate.Transfer {
+	if simRes.Strategies == nil || len(simRes.LostKindTrace) == 0 {
+		return simRes.Trace
+	}
+	out := make([][]simulate.Transfer, len(simRes.Trace))
+	for ti, tick := range simRes.Trace {
+		if ti >= len(simRes.LostTrace) || len(simRes.LostTrace[ti]) == 0 {
+			out[ti] = tick
+			continue
+		}
+		advDropped := make(map[int]bool)
+		for j, idx := range simRes.LostTrace[ti] {
+			if j < len(simRes.LostKindTrace[ti]) && simRes.LostKindTrace[ti][j] >= simulate.LostKindRefused {
+				advDropped[idx] = true
+			}
+		}
+		if len(advDropped) == 0 {
+			out[ti] = tick
+			continue
+		}
+		kept := make([]simulate.Transfer, 0, len(tick)-len(advDropped))
+		for i, tr := range tick {
+			if !advDropped[i] {
+				kept = append(kept, tr)
+			}
+		}
+		out[ti] = kept
+	}
+	return out
 }

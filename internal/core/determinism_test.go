@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/fault"
 	"barterdist/internal/parallel"
 )
@@ -32,6 +33,21 @@ func fingerprint(res *Result) string {
 	for _, ev := range sim.FaultLog {
 		fmt.Fprintf(&b, "fault t=%.17g node=%d kind=%d\n", ev.Time, ev.Node, ev.Kind)
 	}
+	for t, lost := range sim.LostTrace {
+		if len(lost) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "lost t%d:%v", t, lost)
+		if t < len(sim.LostKindTrace) {
+			fmt.Fprintf(&b, " kinds=%v", sim.LostKindTrace[t])
+		}
+		b.WriteByte('\n')
+	}
+	if sim.Strategies != nil {
+		fmt.Fprintf(&b, "strategies=%v refused=%d stalled=%d advcorrupt=%d huseful=%d hwasted=%d\n",
+			sim.Strategies, sim.AdvRefused, sim.AdvStalled, sim.AdvCorrupt,
+			sim.HonestUseful, sim.HonestWasted)
+	}
 	return b.String()
 }
 
@@ -50,6 +66,14 @@ func TestCrossEngineDeterminism(t *testing.T) {
 		RejoinLosesBlocks: true,
 		LossRate:          0.05,
 		Victim:            fault.VictimUniform,
+	}
+	advOpts := &adversary.Options{
+		Seed:                99,
+		FreeRiderFrac:       0.15,
+		ThrottlerFrac:       0.1,
+		FalseAdvertiserFrac: 0.1,
+		CorrupterFrac:       0.1,
+		DefectorFrac:        0.05,
 	}
 	scenarios := map[string]Config{
 		"randomized+overlay+fault": {
@@ -75,6 +99,27 @@ func TestCrossEngineDeterminism(t *testing.T) {
 			Algorithm: AlgoBinomialPipeline,
 			Seed:      5,
 			Fault:     faultOpts,
+		},
+		// Mixed fault + adversary: the quarantine tables, strike
+		// backoffs, and credit clawbacks must all be replayable — a
+		// wall-clock or map-order dependency in any of them would
+		// diverge here.
+		"randomized+credit+adversary+fault": {
+			Nodes: 24, Blocks: 12,
+			Algorithm:   AlgoRandomized,
+			CreditLimit: 1,
+			Seed:        13,
+			Fault:       faultOpts,
+			Adversary:   advOpts,
+		},
+		"triangular+adversary+fault": {
+			Nodes: 20, Blocks: 10,
+			Algorithm:   AlgoTriangular,
+			CycleLimit:  3,
+			CreditLimit: 1,
+			Seed:        17,
+			Fault:       faultOpts,
+			Adversary:   advOpts,
 		},
 	}
 	for name, cfg := range scenarios {
@@ -117,6 +162,16 @@ func TestParallelRunnerDeterminism(t *testing.T) {
 			cfg.Fault = &fault.Options{
 				Seed: 77 + uint64(i), CrashRate: 0.08, MaxCrashes: 2,
 				RejoinDelay: 4, LossRate: 0.05,
+			}
+		}
+		if i%3 == 2 {
+			// Adversarial replicates: quarantine bookkeeping must be as
+			// schedulable-anywhere as the clean runs.
+			cfg.CreditLimit = 1
+			cfg.Adversary = &adversary.Options{
+				Seed:          99 + uint64(i),
+				FreeRiderFrac: 0.2,
+				CorrupterFrac: 0.1,
 			}
 		}
 		return cfg

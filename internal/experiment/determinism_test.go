@@ -43,6 +43,7 @@ func generatorsCI() []struct {
 		{"tableC", table(TableC)},
 		{"tableD", table(TableD)},
 		{"tableE", table(TableE)},
+		{"tableF", table(TableF)},
 	}
 }
 

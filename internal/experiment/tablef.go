@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/analysis"
+	"barterdist/internal/asim"
+	"barterdist/internal/core"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/parallel"
+	"barterdist/internal/simulate"
+)
+
+func tableFParams(sc Scale) (n, k int, fracs []float64, reps int) {
+	switch sc {
+	case ScaleFull:
+		return 128, 128, []float64{0, 0.1, 0.2, 0.3, 0.5}, 4
+	case ScaleMedium:
+		return 64, 64, []float64{0, 0.125, 0.25, 0.5}, 3
+	default:
+		return 32, 32, []float64{0, 0.25, 0.5}, 2
+	}
+}
+
+// tableFMix turns an adversary fraction into the standard Table F
+// strategy mix: 40% free-riders, 20% false-advertisers, 20% corrupters,
+// 10% throttlers, 10% defectors of the adversarial population.
+func tableFMix(frac float64, seed uint64) *adversary.Options {
+	if frac == 0 {
+		return nil
+	}
+	return &adversary.Options{
+		Seed:                seed,
+		FreeRiderFrac:       0.4 * frac,
+		FalseAdvertiserFrac: 0.2 * frac,
+		CorrupterFrac:       0.2 * frac,
+		ThrottlerFrac:       0.1 * frac,
+		DefectorFrac:        0.1 * frac,
+	}
+}
+
+// TableF is the "protection of barter" experiment: honest-client
+// completion time and honest stall rate versus the fraction of
+// adversarial clients (the Table F mix of free-riders, liars, and
+// corrupters), with the barter mechanism off and on, on both engines:
+//
+//   - barter off (sync): the cooperative randomized algorithm — honest
+//     clients fund the adversaries, so completion should degrade
+//     roughly linearly with the adversarial fraction;
+//   - credit s=1 (sync): credit-limited barter — a free-rider can
+//     extract at most one block per client peer, so honest completion
+//     should stay near-flat;
+//   - triangular (sync): triangular barter, same protection with the
+//     extra cycle liquidity;
+//   - barter off (async): the asynchronous randomized protocol, whose
+//     only defense is the receiver-side quarantine table.
+//
+// Every cell is "mean completion T / mean honest stall rate". Every
+// completed run is replayed through its engine's RunAudit; adversarial
+// sync runs additionally pass mechanism.AuditAdversary (strategies
+// behaved as declared), and barter-on runs must satisfy
+// mechanism.VerifyStarvation — the paper's protection claim as an
+// executable assertion. The (frac, column, replicate) grid fans out
+// over the worker pool with pre-derived seeds and aggregates
+// sequentially, so the table is byte-identical for any Workers value.
+func TableF(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n, k, fracs, reps := tableFParams(sc)
+	maxTicks := 16*(n+k) + 400
+	cols := []string{"barter off (sync)", "credit s=1 (sync)", "triangular (sync)", "barter off (async)"}
+	tbl := &Table{
+		ID:    "tableF",
+		Title: fmt.Sprintf("Protection of barter: honest completion vs adversary fraction (n=%d, k=%d, optimal %d)", n, k, analysis.CooperativeLowerBound(n, k)),
+		Header: append([]string{"adversary frac"}, func() []string {
+			labels := make([]string, len(cols))
+			copy(labels, cols)
+			return labels
+		}()...),
+		Notes: []string{
+			"mix: 40% free-riders, 20% false-advertisers, 20% corrupters, 10% throttlers, 10% defectors",
+			fmt.Sprintf("cells are mean honest completion / mean honest stall rate over %d seeds; 'stall' = exceeded the tick budget", reps),
+			"every run is replayed through RunAudit; adversarial sync runs also pass AuditAdversary",
+			"barter-on cells must satisfy mechanism.VerifyStarvation (free-riders extract <= s per peer)",
+			"expected: barter off degrades ~linearly with the adversary fraction; barter on stays near-flat",
+		},
+	}
+	prog := opt.Progress.Serialized()
+	type outcome struct {
+		stalled bool
+		ticks   float64
+		stall   float64 // honest stall rate
+	}
+	runSync := func(ci int, frac float64, rep int) (outcome, error) {
+		cfg := core.Config{
+			Nodes: n, Blocks: k,
+			Algorithm:   core.AlgoRandomized,
+			Seed:        uint64(11000 + 100*ci + rep),
+			RecordTrace: true,
+			MaxTicks:    maxTicks,
+			Adversary:   tableFMix(frac, uint64(13000+100*ci+rep)),
+		}
+		switch ci {
+		case 1:
+			cfg.CreditLimit = 1
+		case 2:
+			cfg.Algorithm = core.AlgoTriangular
+		}
+		res, err := core.Run(cfg)
+		if errors.Is(err, core.ErrStalled) {
+			return outcome{stalled: true}, nil
+		}
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, err)
+		}
+		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, aerr)
+		}
+		if frac > 0 {
+			if aerr := mechanism.AuditAdversary(res.Sim, 0); aerr != nil {
+				return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, aerr)
+			}
+			if ci == 1 || ci == 2 {
+				if serr := mechanism.VerifyStarvation(res.Sim, 1); serr != nil {
+					return outcome{}, fmt.Errorf("tableF %s frac=%g: barter protection failed: %w", cols[ci], frac, serr)
+				}
+			}
+		}
+		return outcome{ticks: float64(res.CompletionTime), stall: res.Sim.HonestStallRate()}, nil
+	}
+	runAsync := func(frac float64, rep int) (outcome, error) {
+		const ci = 3
+		seed := uint64(11000 + 100*ci + rep)
+		cfg := asim.Config{
+			Nodes: n, Blocks: k,
+			DownloadPorts: 1,
+			RecordTrace:   true,
+			MaxTime:       float64(maxTicks),
+		}
+		if mix := tableFMix(frac, uint64(13000+100*ci+rep)); mix != nil {
+			plan, err := adversary.NewPlan(n, *mix)
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, err)
+			}
+			cfg.Adversary = plan
+		}
+		proto := asim.NewAsyncRandomized(nil, false, 1, seed)
+		res, err := asim.Run(cfg, proto)
+		if errors.Is(err, asim.ErrMaxTime) {
+			return outcome{stalled: true}, nil
+		}
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, err)
+		}
+		auditCfg := cfg
+		auditCfg.Fault, auditCfg.Adversary = nil, nil // consumed plans must not leak
+		if aerr := asim.RunAudit(auditCfg, res); aerr != nil {
+			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, aerr)
+		}
+		return outcome{ticks: res.CompletionTime, stall: res.HonestStallRate()}, nil
+	}
+	// Flat job index: ((frac, col), rep), matching the sequential
+	// aggregation below.
+	perFrac := len(cols) * reps
+	outs, err := parallel.Map(opt.workers(), len(fracs)*perFrac, func(j int) (outcome, error) {
+		frac := fracs[j/perFrac]
+		ci := (j % perFrac) / reps
+		rep := j % reps
+		if ci == 0 && rep == 0 {
+			prog.log("tableF: adversary fraction %g", frac)
+		}
+		if ci == 3 {
+			return runAsync(frac, rep)
+		}
+		return runSync(ci, frac, rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, frac := range fracs {
+		row := []string{fmt.Sprintf("%g", frac)}
+		for ci := range cols {
+			tickSum, stallRateSum, done, stalls := 0.0, 0.0, 0, 0
+			for rep := 0; rep < reps; rep++ {
+				o := outs[fi*perFrac+ci*reps+rep]
+				if o.stalled {
+					stalls++
+					continue
+				}
+				tickSum += o.ticks
+				stallRateSum += o.stall
+				done++
+			}
+			switch {
+			case done == 0:
+				row = append(row, "stall")
+			case stalls > 0:
+				row = append(row, fmt.Sprintf("%.1f / %.1f%% (%d stall)",
+					tickSum/float64(done), 100*stallRateSum/float64(done), stalls))
+			default:
+				row = append(row, fmt.Sprintf("%.1f / %.1f%%",
+					tickSum/float64(done), 100*stallRateSum/float64(done)))
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableFByteEqualAcrossWorkerCounts is the acceptance criterion
+// for the adversary experiment, stated directly: the Table F CSV is
+// byte-identical for worker counts 1, 2, and 8. generatorsCI covers
+// tableF too, but this focused test names the contract and is what
+// the CI adversary smoke job (-run TableF) exercises under -race.
+func TestTableFByteEqualAcrossWorkerCounts(t *testing.T) {
+	emit := func(workers int) string {
+		tbl, err := TableF(ScaleCI, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.CSV()
+	}
+	want := emit(1)
+	for _, w := range []int{2, 8} {
+		if got := emit(w); got != want {
+			t.Errorf("workers=%d CSV differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
+// TestTableFShape pins the experiment's structure at CI scale: the
+// sweep starts at the adversary-free baseline and every row carries
+// all four engine/mechanism cells, none empty. (The qualitative
+// content — audits, starvation, quarantine — is enforced inside the
+// generator itself, which fails on any violation.)
+func TestTableFShape(t *testing.T) {
+	tbl, err := TableF(ScaleCI, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 5 {
+		t.Fatalf("columns = %d, want 5 (frac + 4 cells): %v", len(tbl.Header), tbl.Header)
+	}
+	if len(tbl.Rows) == 0 || tbl.Rows[0][0] != "0" {
+		t.Fatalf("first row must be the adversary-free baseline: %v", tbl.Rows)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Header))
+		}
+		for j, cell := range row[1:] {
+			if strings.TrimSpace(cell) == "" {
+				t.Errorf("row %d col %d is empty", i, j+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package fault_test
+
+// Regression tests for the loss-vs-crash double-count hazard: a
+// transfer that is in flight when its receiver (or sender) crashes is
+// ABORTED by the crash — it must not additionally roll the fault
+// layer's loss dice, appear in the trace as lost, or inflate the
+// loss counters. "Counted exactly once" concretely means:
+//
+//   - LostTransfers + CorruptTransfers equals the number of
+//     loss-marked trace entries (every drop appears exactly once);
+//   - no recorded transfer spans a crash of one of its endpoints
+//     (the crash abort wins; the loss sample never fires for it);
+//   - RunAudit's independent replay re-derives the same counters.
+//
+// Both engines are pinned. The external test package avoids an import
+// cycle: fault is imported by both engines.
+
+import (
+	"testing"
+
+	"barterdist/internal/asim"
+	"barterdist/internal/core"
+	"barterdist/internal/fault"
+	"barterdist/internal/simulate"
+)
+
+func TestSyncLossAndCrashCountedOnce(t *testing.T) {
+	res, err := core.Run(core.Config{
+		Nodes: 24, Blocks: 16,
+		Algorithm:   core.AlgoRandomized,
+		Seed:        9,
+		RecordTrace: true,
+		MaxTicks:    4000,
+		Fault: &fault.Options{
+			Seed:              77,
+			CrashRate:         0.05,
+			MaxCrashes:        5,
+			RejoinDelay:       5,
+			RejoinLosesBlocks: true,
+			LossRate:          0.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := res.Sim
+	crashes := 0
+	for _, ev := range sim.FaultLog {
+		if ev.Kind == fault.Crash {
+			crashes++
+		}
+	}
+	if crashes == 0 || sim.LostTransfers == 0 {
+		t.Fatalf("scenario must exercise both channels: crashes=%d lost=%d", crashes, sim.LostTransfers)
+	}
+	marked := 0
+	for _, tick := range sim.LostTrace {
+		marked += len(tick)
+	}
+	if marked != sim.LostTransfers+sim.CorruptTransfers {
+		t.Errorf("loss-marked trace entries = %d, counters say %d+%d — a drop was counted twice or not at all",
+			marked, sim.LostTransfers, sim.CorruptTransfers)
+	}
+	if aerr := simulate.RunAudit(res.SimConfig, sim); aerr != nil {
+		t.Errorf("audit replay: %v", aerr)
+	}
+}
+
+func TestAsyncLossAndCrashCountedOnce(t *testing.T) {
+	plan, err := fault.NewPlan(fault.Options{
+		Seed:              77,
+		CrashRate:         0.05,
+		MaxCrashes:        5,
+		RejoinDelay:       5,
+		RejoinLosesBlocks: true,
+		LossRate:          0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := asim.Config{
+		Nodes: 24, Blocks: 16,
+		DownloadPorts: 1,
+		RecordTrace:   true,
+		Fault:         plan,
+	}
+	res, err := asim.Run(cfg, asim.NewAsyncRandomized(nil, false, 1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type crash struct {
+		at   float64
+		node int32
+	}
+	var crashes []crash
+	for _, ev := range res.FaultLog {
+		if ev.Kind == fault.Crash {
+			crashes = append(crashes, crash{ev.Time, ev.Node})
+		}
+	}
+	if len(crashes) == 0 || res.Lost == 0 {
+		t.Fatalf("scenario must exercise both channels: crashes=%d lost=%d", len(crashes), res.Lost)
+	}
+
+	// Every drop appears exactly once in the trace.
+	marked := 0
+	for _, tr := range res.Trace {
+		if tr.Lost {
+			marked++
+		}
+	}
+	if marked != res.Lost+res.Corrupt {
+		t.Errorf("loss-marked trace records = %d, counters say %d+%d — a drop was counted twice or not at all",
+			marked, res.Lost, res.Corrupt)
+	}
+
+	// No recorded transfer (delivered OR lost) may span a crash of one
+	// of its endpoints: the crash aborts the transfer before the loss
+	// sample could ever fire, so such a record would be a double count.
+	for _, tr := range res.Trace {
+		for _, c := range crashes {
+			if (c.node == tr.To || c.node == tr.From) && tr.Start < c.at && c.at < tr.End {
+				t.Errorf("transfer %d->%d:B%d [%g,%g] spans crash of node %d at %g — it should have been aborted, not sampled for loss",
+					tr.From, tr.To, tr.Block, tr.Start, tr.End, c.node, c.at)
+			}
+		}
+	}
+
+	// The independent replay re-derives the same execution.
+	auditCfg := cfg
+	auditCfg.Fault = nil // the consumed plan must not leak; replay uses FaultLog
+	if aerr := asim.RunAudit(auditCfg, res); aerr != nil {
+		t.Errorf("audit replay: %v", aerr)
+	}
+}

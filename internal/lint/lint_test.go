@@ -65,7 +65,23 @@ func parseWants(fset *token.FileSet, files []*ast.File) []wantComment {
 // want comments say, and nowhere else.
 func checkFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
 	t.Helper()
-	loader, pkg, findings := loadFixture(t, a, fixture, asPath)
+	checkFixtureAll(t, []*Analyzer{a}, fixture, asPath)
+}
+
+// checkFixtureAll is checkFixture over several analyzers at once, for
+// fixtures whose want comments span more than one rule.
+func checkFixtureAll(t *testing.T, as []*Analyzer, fixture, asPath string) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", fixture, err)
+	}
+	findings := RunAnalyzers(loader.Fset, []*Package{pkg}, as)
 	wants := parseWants(loader.Fset, pkg.Files)
 
 	matched := make([]bool, len(findings))
@@ -127,6 +143,23 @@ func TestMapIterationFixtures(t *testing.T) {
 	_, _, findings := loadFixture(t, a, "maporder", "fixture/internal/report/maporder")
 	if len(findings) != 0 {
 		t.Fatalf("out-of-scope package should be silent, got %v", findings)
+	}
+}
+
+func TestAdversaryScopeFixture(t *testing.T) {
+	// internal/adversary is inside BOTH determinism scopes: strike
+	// tables are maps keyed by peer pair, and quarantine expiry tempts
+	// a wall-clock read instead of simulated time. The advbehavior
+	// fixture carries violations of each rule, so both analyzers run
+	// together and every want line must fire under the adversary path.
+	as := []*Analyzer{NoWallClockAnalyzer(), MapIterationAnalyzer()}
+	checkFixtureAll(t, as, "advbehavior", "fixture/internal/adversary/advbehavior")
+	// Out of scope: the same violating code is silent for both rules.
+	for _, a := range as {
+		_, _, findings := loadFixture(t, a, "advbehavior", "fixture/internal/report/advbehavior")
+		if len(findings) != 0 {
+			t.Fatalf("out-of-scope package should be silent for %s, got %v", a.Name, findings)
+		}
 	}
 }
 

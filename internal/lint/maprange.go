@@ -17,6 +17,7 @@ var mapIterScope = []string{
 	"internal/simulate",
 	"internal/asim",
 	"internal/fault",
+	"internal/adversary",
 }
 
 // MapIterationAnalyzer flags `for ... range m` over a map in scheduler

@@ -1,0 +1,77 @@
+// Package advbehavior exercises both scoped determinism rules on
+// adversary-shaped code. Loaded under the adversary import path
+// (fixture/internal/adversary/advbehavior) the flagged lines fire;
+// loaded under a neutral path the package is silent, which the tests
+// use to prove internal/adversary is inside both scopes.
+//
+// The hazards here are the exact ones a quarantine/strategy layer
+// invites: strike tables are maps keyed by peer pair, and "when did
+// this offender last act" tempts a wall-clock read instead of
+// simulated time.
+package advbehavior
+
+import (
+	"sort"
+	"time"
+)
+
+// ParoleWindow is a Duration constant — a pure value, always allowed
+// even in scope.
+const ParoleWindow = 64 * time.Millisecond
+
+// strike is one quarantine entry: strike count and when the block
+// expires, in *simulated* time.
+type strike struct {
+	count int
+	until float64
+}
+
+// StampStrike records a strike against the wall clock instead of the
+// engine's simulated now — the canonical nondeterminism bug this rule
+// exists to catch (two replays disagree on every expiry).
+func StampStrike(s *strike) {
+	s.until = float64(time.Now().UnixNano()) // want "time.Now forbidden"
+	s.count++
+}
+
+// Expired measures a parole window in real time.
+func Expired(t0 time.Time) bool {
+	return time.Since(t0) > ParoleWindow // want "time.Since forbidden"
+}
+
+// WorstOffender leaks map order into a decision: under a tie the
+// returned offender depends on Go's randomized iteration, so two runs
+// quarantine different peers.
+func WorstOffender(table map[uint64]*strike) uint64 {
+	var worst uint64
+	best := -1
+	for key, s := range table { // want "iteration over map table has randomized order"
+		if s.count > best {
+			best, worst = s.count, key
+		}
+	}
+	return worst
+}
+
+// Strikes is a commutative integer aggregation — provably
+// order-insensitive, accepted without annotation.
+func Strikes(table map[uint64]*strike) int {
+	n := 0
+	for _, s := range table {
+		n += s.count
+	}
+	return n
+}
+
+// SortedOffenders collects keys then sorts; the collection loop is
+// order-sensitive in isolation, so it carries an audited suppression —
+// the pattern a real quarantine sweep must use before order can reach
+// a trace.
+func SortedOffenders(table map[uint64]*strike) []uint64 {
+	keys := make([]uint64, 0, len(table))
+	for key := range table { //lint:ordered keys are sorted below
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

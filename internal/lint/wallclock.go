@@ -16,6 +16,7 @@ var wallClockScope = []string{
 	"internal/randomized",
 	"internal/bt",
 	"internal/fault",
+	"internal/adversary",
 }
 
 // wallClockFuncs are the package time entry points that observe or

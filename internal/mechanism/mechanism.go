@@ -85,6 +85,23 @@ func (l *Ledger) Record(u, v int32) {
 	}
 }
 
+// Unrecord reverses a Record for a transfer from u to v that never
+// actually delivered — the clawback schedulers apply when the
+// adversary layer reports a sender's block as withheld or garbled, so
+// misbehavior cannot farm barter credit. Server transfers are ignored,
+// mirroring Record.
+func (l *Ledger) Unrecord(u, v int32) {
+	if u == 0 || v == 0 {
+		return
+	}
+	key, swapped := pairKey(u, v)
+	if swapped {
+		l.net[key]++
+	} else {
+		l.net[key]--
+	}
+}
+
 // MaxAbsNet returns the largest absolute pairwise net balance seen so
 // far — the smallest credit limit under which the recorded history would
 // have been feasible.

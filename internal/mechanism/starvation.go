@@ -1,0 +1,180 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/simulate"
+)
+
+// This file holds the post-hoc auditors for adversarial runs — the
+// executable form of the paper's "protection of barter" argument: a
+// client that contributes nothing can extract almost nothing, because
+// every client-to-client transfer is collateralized by the credit
+// limit. The auditors replay a recorded simulate.Result (Trace +
+// LostTrace + Strategies) without needing the consumed adversary plan.
+
+// delivered reports, per tick, which Trace indices actually delivered —
+// i.e. were not dropped by the fault or adversary layer. lost may be
+// nil (loss-free run).
+func droppedSet(lost [][]int, tick int) map[int]bool {
+	if tick >= len(lost) || len(lost[tick]) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(lost[tick]))
+	for _, idx := range lost[tick] {
+		m[idx] = true
+	}
+	return m
+}
+
+// VerifyStarvation checks the starvation guarantee on an adversarial
+// trace run under credit-limited (or triangular) barter with limit s:
+// a free-rider never uploads, so it can never settle credit — the net
+// number of blocks DELIVERED to it by any single client peer must stay
+// within s for the whole run. Transfers that were scheduled but dropped
+// (by the fault layer or by the sender's own strategy) consumed no
+// credit at the free-rider and do not count.
+//
+// The server (node 0) is exempt, as everywhere in the paper: barter
+// does not protect the server's altruism, only the clients'.
+//
+// It needs res.Trace (Config.RecordTrace) and res.Strategies (an
+// adversary plan); it returns an error describing the first offending
+// pair, or nil when every free-rider was properly starved.
+func VerifyStarvation(res *simulate.Result, s int) error {
+	if s < 1 {
+		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
+	}
+	if res.Strategies == nil {
+		return fmt.Errorf("mechanism: VerifyStarvation requires an adversarial run (Result.Strategies is nil)")
+	}
+	if len(res.Trace) == 0 && res.CompletionTime > 0 {
+		return fmt.Errorf("mechanism: VerifyStarvation requires a recorded trace (set RecordTrace)")
+	}
+	freeRider := make([]bool, len(res.Strategies))
+	any := false
+	for v, st := range res.Strategies {
+		if st == adversary.FreeRider {
+			freeRider[v] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil // nothing to starve
+	}
+	// net[pair(u,v)] counts blocks delivered u -> v minus v -> u, for
+	// pairs with a free-rider endpoint only.
+	net := make(map[uint64]int)
+	for ti, tick := range res.Trace {
+		drop := droppedSet(res.LostTrace, ti)
+		for i, tr := range tick {
+			if drop[i] || tr.From == 0 || tr.To == 0 {
+				continue
+			}
+			if !freeRider[tr.From] && !freeRider[tr.To] {
+				continue
+			}
+			key, swapped := pairKey(tr.From, tr.To)
+			if swapped {
+				net[key]--
+			} else {
+				net[key]++
+			}
+		}
+		for key, n := range net {
+			if n > s || -n > s {
+				u, v := int32(key>>32), int32(uint32(key))
+				if n < 0 {
+					u, v = v, u
+					n = -n
+				}
+				return &Violation{
+					Tick: ti + 1, From: u, To: v,
+					Reason: fmt.Sprintf("free-rider %d received %d net blocks from client %d, above credit limit %d — barter failed to starve it", v, n, s, u),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AuditAdversary replays a recorded adversarial run and checks that
+// every declared strategy behaved as declared — the Result's own word
+// against its trace:
+//
+//   - a free-rider client never DELIVERS a block (every scheduled
+//     transfer it sends must have been refused by its own strategy);
+//   - a defector never delivers after the tick on which it completed
+//     (defection latches at completion; within the completing tick
+//     transfers are simultaneous and still count as honest);
+//   - a throttler's upload attempts (delivered, stalled, or garbled —
+//     anything its window admitted) are spaced at least period ticks
+//     apart.
+//
+// period is the throttle spacing in ticks; period <= 0 selects the
+// adversary package default. It needs res.Trace and, when losses
+// occurred, res.LostTrace/res.LostKindTrace.
+func AuditAdversary(res *simulate.Result, period float64) error {
+	if res.Strategies == nil {
+		return fmt.Errorf("mechanism: AuditAdversary requires an adversarial run (Result.Strategies is nil)")
+	}
+	if len(res.Trace) == 0 && res.CompletionTime > 0 {
+		return fmt.Errorf("mechanism: AuditAdversary requires a recorded trace (set RecordTrace)")
+	}
+	if period <= 0 {
+		period = adversary.DefaultThrottlePeriod
+	}
+	n := len(res.Strategies)
+	lastAttempt := make([]int, n) // per-throttler tick of last admitted upload; 0 = none
+	for ti, tick := range res.Trace {
+		// kindAt[i] = LostKind of dropped transfer i this tick.
+		var kindAt map[int]uint8
+		if ti < len(res.LostTrace) && len(res.LostTrace[ti]) > 0 {
+			kindAt = make(map[int]uint8, len(res.LostTrace[ti]))
+			for j, idx := range res.LostTrace[ti] {
+				var kind uint8
+				if ti < len(res.LostKindTrace) && j < len(res.LostKindTrace[ti]) {
+					kind = res.LostKindTrace[ti][j]
+				}
+				kindAt[idx] = kind
+			}
+		}
+		for i, tr := range tick {
+			if tr.From == 0 || int(tr.From) >= n {
+				continue
+			}
+			kind, dropped := kindAt[i]
+			refused := dropped && kind == simulate.LostKindRefused
+			switch res.Strategies[tr.From] {
+			case adversary.FreeRider:
+				if !refused {
+					return &Violation{
+						Tick: ti + 1, From: tr.From, To: tr.To,
+						Reason: "free-rider sent a block (its strategy must refuse every upload)",
+					}
+				}
+			case adversary.Defector:
+				done := res.ClientCompletion[tr.From]
+				if done > 0 && ti+1 > done && !refused {
+					return &Violation{
+						Tick: ti + 1, From: tr.From, To: tr.To,
+						Reason: fmt.Sprintf("defector uploaded after completing at tick %d", done),
+					}
+				}
+			case adversary.Throttler:
+				if refused {
+					continue
+				}
+				if last := lastAttempt[tr.From]; last > 0 && float64(ti+1-last) < period {
+					return &Violation{
+						Tick: ti + 1, From: tr.From, To: tr.To,
+						Reason: fmt.Sprintf("throttler uploaded %d tick(s) after its previous upload at tick %d (period %g)", ti+1-last, last, period),
+					}
+				}
+				lastAttempt[tr.From] = ti + 1
+			}
+		}
+	}
+	return nil
+}

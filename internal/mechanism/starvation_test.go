@@ -1,0 +1,151 @@
+package mechanism_test
+
+// External test package: the end-to-end starvation tests drive the
+// randomized scheduler, which itself imports mechanism.
+
+import (
+	"strings"
+	"testing"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/randomized"
+	"barterdist/internal/simulate"
+)
+
+func adversarialRun(t *testing.T, creditLimit int, seed uint64) *simulate.Result {
+	t.Helper()
+	plan, err := adversary.NewPlan(32, adversary.Options{
+		Seed:          seed,
+		FreeRiderFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := randomized.New(randomized.Options{
+		CreditLimit: creditLimit,
+		DownloadCap: 1,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(simulate.Config{
+		Nodes:       32,
+		Blocks:      16,
+		DownloadCap: 1,
+		RecordTrace: true,
+		Adversary:   plan,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// With credit-limited barter on, free-riders are provably starved: no
+// client peer delivers them more than s net blocks, and the behavior
+// audit confirms every strategy acted as declared.
+func TestVerifyStarvationBarterOn(t *testing.T) {
+	res := adversarialRun(t, 1, 42)
+	if err := mechanism.VerifyStarvation(res, 1); err != nil {
+		t.Fatalf("barter-on run failed starvation check: %v", err)
+	}
+	if err := mechanism.AuditAdversary(res, 0); err != nil {
+		t.Fatalf("behavior audit failed: %v", err)
+	}
+}
+
+// With barter off (cooperative mode) the same free-rider mix leeches
+// freely: some client delivers a free-rider more than s = 1 blocks, so
+// the starvation check must flag it — the measurable "protection of
+// barter".
+func TestVerifyStarvationBarterOff(t *testing.T) {
+	res := adversarialRun(t, 0, 42)
+	err := mechanism.VerifyStarvation(res, 1)
+	if err == nil {
+		t.Fatal("cooperative run unexpectedly satisfied the starvation bound; barter protection would be unmeasurable")
+	}
+	if !strings.Contains(err.Error(), "free-rider") {
+		t.Fatalf("unexpected violation text: %v", err)
+	}
+	// The behavior audit still passes: free-riders refused every upload
+	// regardless of mechanism.
+	if err := mechanism.AuditAdversary(res, 0); err != nil {
+		t.Fatalf("behavior audit failed: %v", err)
+	}
+}
+
+func TestVerifyStarvationDetectsLeak(t *testing.T) {
+	res := &simulate.Result{
+		Strategies: []adversary.Strategy{
+			adversary.Honest, adversary.Honest, adversary.FreeRider,
+		},
+		Trace: [][]simulate.Transfer{
+			{{From: 1, To: 2, Block: 0}},
+			{{From: 1, To: 2, Block: 1}},
+		},
+	}
+	err := mechanism.VerifyStarvation(res, 1)
+	if err == nil {
+		t.Fatal("expected a starvation violation")
+	}
+	v, ok := err.(*mechanism.Violation)
+	if !ok || v.Tick != 2 || v.From != 1 || v.To != 2 {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+	// The same trace with the second delivery dropped in flight stays
+	// within the bound: dropped transfers never reached the free-rider.
+	res.LostTrace = [][]int{nil, {0}}
+	res.LostKindTrace = [][]uint8{nil, {simulate.LostKindFault}}
+	if err := mechanism.VerifyStarvation(res, 1); err != nil {
+		t.Fatalf("dropped delivery should not count: %v", err)
+	}
+}
+
+func TestAuditAdversaryDetectsMisbehavior(t *testing.T) {
+	base := func() *simulate.Result {
+		return &simulate.Result{
+			Strategies: []adversary.Strategy{
+				adversary.Honest, adversary.FreeRider, adversary.Honest,
+				adversary.Throttler, adversary.Defector,
+			},
+			ClientCompletion: []int{0, 0, 0, 0, 1},
+		}
+	}
+
+	// A free-rider whose upload actually delivered.
+	res := base()
+	res.Trace = [][]simulate.Transfer{{{From: 1, To: 2, Block: 0}}}
+	if err := mechanism.AuditAdversary(res, 0); err == nil {
+		t.Fatal("expected a free-rider violation")
+	}
+	// The same transfer marked refused is fine.
+	res.LostTrace = [][]int{{0}}
+	res.LostKindTrace = [][]uint8{{simulate.LostKindRefused}}
+	if err := mechanism.AuditAdversary(res, 0); err != nil {
+		t.Fatalf("refused free-rider upload should pass: %v", err)
+	}
+
+	// A throttler uploading twice within its period.
+	res = base()
+	res.Trace = [][]simulate.Transfer{
+		{{From: 3, To: 2, Block: 0}},
+		{{From: 3, To: 2, Block: 1}},
+	}
+	if err := mechanism.AuditAdversary(res, 4); err == nil {
+		t.Fatal("expected a throttler violation")
+	}
+	if err := mechanism.AuditAdversary(res, 1); err != nil {
+		t.Fatalf("period 1 admits back-to-back uploads: %v", err)
+	}
+
+	// A defector uploading after its completion tick.
+	res = base()
+	res.Trace = [][]simulate.Transfer{
+		{}, {{From: 4, To: 2, Block: 0}},
+	}
+	if err := mechanism.AuditAdversary(res, 0); err == nil {
+		t.Fatal("expected a defector violation")
+	}
+}

@@ -25,6 +25,7 @@ package randomized
 import (
 	"fmt"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
@@ -91,6 +92,12 @@ type Scheduler struct {
 	opts   Options
 	rng    *xrand.Rand
 	ledger *mechanism.Ledger // nil in cooperative mode
+	// guard is the peer-scoring/quarantine table, created lazily when
+	// the simulation reports an active adversary plan: each receiver
+	// backs off exponentially from senders that stalled it or served it
+	// garbage, bans them past a strike threshold, and paroles them
+	// periodically. nil in adversary-free runs — zero overhead.
+	guard *adversary.Guard
 
 	n, k int
 	init bool
@@ -205,6 +212,13 @@ func (s *Scheduler) setup(st *simulate.State) error {
 	for i := range s.noPeerAtCount {
 		s.noPeerAtCount[i] = -1
 	}
+	if st.Adversarial() {
+		guard, err := adversary.NewGuard(adversary.GuardOptions{})
+		if err != nil {
+			return err
+		}
+		s.guard = guard
+	}
 	s.init = true
 	return nil
 }
@@ -227,6 +241,9 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 	for _, u := range s.order {
 		if !st.Alive(u) {
 			continue // crashed nodes neither offer nor receive
+		}
+		if st.Refuses(u) {
+			continue // u's own strategy declines to upload this tick
 		}
 		if st.CountOf(u) == 0 {
 			continue // nothing to offer yet
@@ -274,8 +291,22 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 // Fault-free runs see empty event and loss lists, take no branch, and
 // consume exactly the pre-fault RNG stream.
 func (s *Scheduler) beginTick(st *simulate.State) {
+	now := float64(st.Tick() + 1) // the tick about to be scheduled
 	for _, lt := range st.LostLastTick() {
 		s.freq[lt.Block]--
+		if s.guard != nil && (lt.Adversary || lt.Corrupt) {
+			// The receiver scores the sender that stalled it or served
+			// it garbage; network losses without verification failure
+			// are not attributable to the sender and draw no strike.
+			s.guard.Strike(int(lt.To), int(lt.From), now)
+		}
+		if s.ledger != nil && lt.Adversary {
+			// Claw back the credit speculatively recorded at schedule
+			// time: a block the sender's strategy withheld or garbled
+			// earns nothing — otherwise a corrupter could farm barter
+			// credit with garbage.
+			s.ledger.Unrecord(lt.From, lt.To)
+		}
 	}
 	if evs := st.FaultEvents(); len(evs) > 0 {
 		for _, ev := range evs {
@@ -477,6 +508,11 @@ func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified
 		return true, false
 	}
 	if s.ledger != nil && !s.ledger.CanSend(int32(u), int32(v)) {
+		return true, false
+	}
+	if s.guard != nil && s.guard.Blocked(v, u, float64(st.Tick()+1)) {
+		// v has quarantined u after stalls or garbage: still interested
+		// in the content, but not from this sender right now.
 		return true, false
 	}
 	return true, true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
@@ -59,6 +60,13 @@ type TriangularScheduler struct {
 	opts   TriangularOptions
 	rng    *xrand.Rand
 	ledger *mechanism.Ledger
+	// guard mirrors Scheduler.guard: a per-receiver quarantine table
+	// created lazily when the simulation reports an adversary plan.
+	// Credit clawback is deliberately NOT applied here — a dropped
+	// transfer may have settled as part of a 2- or 3-cycle, in which
+	// case it consumed no credit and there is nothing per-transfer to
+	// claw back; the quarantine table is the triangular defense.
+	guard *adversary.Guard
 
 	n, k int
 	init bool
@@ -137,6 +145,13 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 	ts.incoming = make([][]int32, ts.n)
 	ts.intent = make([]int32, ts.n)
 	ts.approved = make([]bool, ts.n)
+	if st.Adversarial() {
+		guard, err := adversary.NewGuard(adversary.GuardOptions{})
+		if err != nil {
+			return err
+		}
+		ts.guard = guard
+	}
 	ts.init = true
 	return nil
 }
@@ -157,6 +172,9 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	// never consume RNG.
 	for _, lt := range st.LostLastTick() {
 		ts.freq[lt.Block]--
+		if ts.guard != nil && (lt.Adversary || lt.Corrupt) {
+			ts.guard.Strike(int(lt.To), int(lt.From), float64(st.Tick()+1))
+		}
 	}
 	for _, ev := range st.FaultEvents() {
 		switch ev.Kind {
@@ -176,6 +194,9 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	ts.rng.Shuffle(ts.order)
 	for _, u := range ts.order {
 		if !st.Alive(u) || st.CountOf(u) == 0 {
+			continue
+		}
+		if st.Refuses(u) {
 			continue
 		}
 		v := ts.pickIntent(st, u)
@@ -371,6 +392,9 @@ func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
 			continue
 		}
 		if !ts.needs(st, u, v) {
+			continue
+		}
+		if ts.guard != nil && ts.guard.Blocked(v, u, float64(st.Tick()+1)) {
 			continue
 		}
 		if ts.ledger.CanSend(int32(u), int32(v)) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/fault"
 )
 
@@ -33,11 +34,15 @@ func auditErr(format string, args ...any) error {
 //
 // A Result produced by Run with RecordTrace always passes; a doctored
 // trace — or one produced by a cheating scheduler through a permissive
-// engine — fails with a pinpointed ErrAudit. cfg.Fault is ignored: the
-// replay takes its adversity from res.FaultLog, so auditing never
-// consumes a fault plan.
+// engine — fails with a pinpointed ErrAudit. cfg.Fault and
+// cfg.Adversary are ignored: the replay takes its adversity from
+// res.FaultLog and res.Strategies/res.LostKindTrace, so auditing never
+// consumes a (single-use) plan. For adversarial runs the drop causes
+// are re-counted per kind and the honest-only completion criterion and
+// honest stall accounting are re-derived from the trace.
 func RunAudit(cfg Config, res *Result) error {
 	cfg.Fault = nil
+	cfg.Adversary = nil
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -71,9 +76,32 @@ func RunAudit(cfg Config, res *Result) error {
 		}
 		st.aliveClients = c.Nodes - 1
 	}
+	adversarial := res.Strategies != nil
+	if adversarial {
+		if len(res.Strategies) != c.Nodes {
+			return auditErr("Strategies has %d entries for %d nodes", len(res.Strategies), c.Nodes)
+		}
+		if res.Strategies[0] != adversary.Honest {
+			return auditErr("node 0 (the server) is recorded as %v; it must stay honest", res.Strategies[0])
+		}
+		st.honest = make([]bool, c.Nodes)
+		for v, sg := range res.Strategies {
+			st.honest[v] = sg == adversary.Honest
+			if v > 0 && st.honest[v] {
+				st.honestClients++
+			}
+		}
+		st.aliveHonest = st.honestClients
+		if len(res.LostKindTrace) != len(res.LostTrace) {
+			return auditErr("LostKindTrace has %d ticks but LostTrace has %d",
+				len(res.LostKindTrace), len(res.LostTrace))
+		}
+	}
 
 	completion := make([]int, c.Nodes)
 	useful, total, lost, corrupt := 0, 0, 0, 0
+	honestUseful, honestWasted := 0, 0
+	kindCount := make([]int, 5) // indexed by LostKind*
 	upUsed := make([]int, c.Nodes)
 	downUsed := make([]int, c.Nodes)
 	logCursor := 0
@@ -99,17 +127,29 @@ func RunAudit(cfg Config, res *Result) error {
 				if st.have[v].Full() {
 					st.complete--
 				}
+				if st.honest != nil && st.honest[v] {
+					st.aliveHonest--
+					if st.have[v].Full() {
+						st.completeHonest--
+					}
+				}
 			case fault.Rejoin:
 				if st.alive[v] {
 					return auditErr("tick %v: node %d rejoins while alive", ev.Time, v)
 				}
 				st.alive[v] = true
 				st.aliveClients++
+				if st.honest != nil && st.honest[v] {
+					st.aliveHonest++
+				}
 				if ev.Wiped {
 					st.have[v].Clear()
 					completion[v] = 0
 				} else if st.have[v].Full() {
 					st.complete++
+					if st.honest != nil && st.honest[v] {
+						st.completeHonest++
+					}
 				}
 			default:
 				return auditErr("fault log: unknown event kind %d", uint8(ev.Kind))
@@ -133,8 +173,15 @@ func RunAudit(cfg Config, res *Result) error {
 			}
 		}
 		var drops []int
+		var kinds []uint8
 		if t-1 < len(res.LostTrace) {
 			drops = res.LostTrace[t-1]
+			if adversarial {
+				kinds = res.LostKindTrace[t-1]
+				if len(kinds) != len(drops) {
+					return auditErr("tick %d: %d drop kinds for %d drops", t, len(kinds), len(drops))
+				}
+			}
 		}
 		di := 0
 		for i, tr := range tick {
@@ -142,6 +189,16 @@ func RunAudit(cfg Config, res *Result) error {
 				// Drop indices are recorded strictly ascending, so a
 				// simple cursor consumes them; any malformed index fails
 				// the exhaustion check after the loop.
+				if adversarial {
+					k := kinds[di]
+					if int(k) >= len(kindCount) {
+						return auditErr("tick %d: unknown drop kind %d", t, k)
+					}
+					kindCount[k]++
+					if k != LostKindFault && k != LostKindFaultCorrupt && st.honest[tr.To] {
+						honestWasted++
+					}
+				}
 				di++
 				lost++ // corrupt/lost split is re-checked in aggregate below
 				total++
@@ -149,9 +206,15 @@ func RunAudit(cfg Config, res *Result) error {
 			}
 			if st.have[tr.To].Add(int(tr.Block)) {
 				useful++
+				if adversarial && st.honest[tr.To] {
+					honestUseful++
+				}
 				if int(tr.To) != 0 && st.have[tr.To].Full() {
 					st.complete++
 					completion[tr.To] = t
+					if st.honest != nil && st.honest[tr.To] {
+						st.completeHonest++
+					}
 				}
 			}
 			total++
@@ -172,6 +235,10 @@ func RunAudit(cfg Config, res *Result) error {
 
 	// The run must actually have finished under the engine's criterion.
 	if !st.AllClientsComplete() {
+		if adversarial {
+			return auditErr("replayed trace does not reach honest completion (%d/%d honest clients complete)",
+				st.completeHonest, st.honestClients)
+		}
 		return auditErr("replayed trace does not reach completion (%d/%d alive clients complete, %d rejoins pending)",
 			st.complete, st.AliveClients(), st.pendingRejoin)
 	}
@@ -182,7 +249,23 @@ func RunAudit(cfg Config, res *Result) error {
 		return auditErr("replay counts %d total transfers, result reports %d", total, res.TotalTransfers)
 	}
 	corrupt = res.CorruptTransfers
-	if lost != res.LostTransfers+corrupt {
+	if adversarial {
+		if kindCount[LostKindFault] != res.LostTransfers || kindCount[LostKindFaultCorrupt] != corrupt {
+			return auditErr("replay counts %d lost + %d corrupt fault drops, result reports %d + %d",
+				kindCount[LostKindFault], kindCount[LostKindFaultCorrupt], res.LostTransfers, corrupt)
+		}
+		if kindCount[LostKindRefused] != res.AdvRefused ||
+			kindCount[LostKindStalled] != res.AdvStalled ||
+			kindCount[LostKindGarbage] != res.AdvCorrupt {
+			return auditErr("replay counts %d refused / %d stalled / %d garbage adversary drops, result reports %d / %d / %d",
+				kindCount[LostKindRefused], kindCount[LostKindStalled], kindCount[LostKindGarbage],
+				res.AdvRefused, res.AdvStalled, res.AdvCorrupt)
+		}
+		if honestUseful != res.HonestUseful || honestWasted != res.HonestWasted {
+			return auditErr("replay counts %d honest-useful / %d honest-wasted, result reports %d / %d",
+				honestUseful, honestWasted, res.HonestUseful, res.HonestWasted)
+		}
+	} else if lost != res.LostTransfers+corrupt {
 		return auditErr("replay counts %d dropped transfers, result reports %d lost + %d corrupt",
 			lost, res.LostTransfers, res.CorruptTransfers)
 	}

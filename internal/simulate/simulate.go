@@ -26,6 +26,21 @@
 // no transfer touches a dead node. With a nil Plan the engine is
 // byte-identical to the fault-free implementation: no extra allocations,
 // no RNG draws, identical results.
+//
+// # Adversarial behavior
+//
+// Config.Adversary attaches an adversary.Plan: each scheduled transfer
+// is first put to the sender's strategy (free-riders refuse,
+// false-advertisers stall, corrupters serve garbage that fails
+// verification at the receiver), and only transfers the adversary lets
+// through reach the fault layer — a block that was never sent cannot
+// also be lost in the network. Adversary-faulted transfers surface to
+// schedulers through the same LostLastTick channel as fault losses,
+// with LostTransfer.Adversary set, and completion switches to the
+// honest-only criterion: the run ends when every *honest* client holds
+// the file (a free-rider that starves under barter must not hold the
+// swarm hostage). With a nil Plan the engine is byte-identical to the
+// adversary-free implementation.
 package simulate
 
 import (
@@ -35,6 +50,7 @@ import (
 	"sort"
 	"strings"
 
+	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
 )
@@ -49,13 +65,36 @@ type Transfer struct {
 	Block int32
 }
 
-// LostTransfer is a scheduled transfer the fault layer dropped: the
-// sender's bandwidth was consumed but the block never landed. Corrupt
-// distinguishes "arrived but failed verification" from "vanished".
+// LostTransfer is a scheduled transfer that never delivered a block:
+// dropped by the fault layer or denied by the sender's adversarial
+// strategy. Corrupt distinguishes "arrived but failed verification"
+// (a fault-layer corruption or a corrupter's garbage — block
+// verification at delivery discards both) from "vanished"; Adversary
+// marks the sender's strategy, not the network, as the cause. Either
+// way the receiver's download slot was wasted for the tick.
 type LostTransfer struct {
 	Transfer
-	Corrupt bool
+	Corrupt   bool
+	Adversary bool
 }
+
+// Lost-transfer kinds recorded per drop in Result.LostKindTrace when
+// an adversary plan is active.
+const (
+	// LostKindFault: vanished in the network (fault layer).
+	LostKindFault uint8 = iota
+	// LostKindFaultCorrupt: corrupted in the network, discarded at
+	// verification.
+	LostKindFaultCorrupt
+	// LostKindRefused: the sender silently refused (free-rider,
+	// completed defector, throttler outside its window).
+	LostKindRefused
+	// LostKindStalled: a false-advertiser's claimed block never
+	// materialized.
+	LostKindStalled
+	// LostKindGarbage: a corrupter's bytes failed verification.
+	LostKindGarbage
+)
 
 // Config describes a simulation instance.
 type Config struct {
@@ -84,6 +123,11 @@ type Config struct {
 	// loss). nil runs the reliable engine unchanged. A Plan is
 	// single-use: build one per run.
 	Fault *fault.Plan
+	// Adversary attaches a behavior-injection plan (free-riders,
+	// throttlers, false-advertisers, corrupters, defectors). nil runs
+	// the compliant engine unchanged. Like Fault, a Plan is single-use
+	// and composes with it: the adversary rules on each transfer first.
+	Adversary *adversary.Plan
 }
 
 // Validate checks the raw configuration without mutating it. All
@@ -153,6 +197,14 @@ type State struct {
 	pendingRejoin int
 	events        []fault.Event  // applied at the start of the current tick
 	lost          []LostTransfer // dropped in the previous tick
+
+	// Adversary-layer view; all nil/zero without an adversary plan.
+	adv                 *adversary.Plan // engine runs only; nil in audit replays
+	honest              []bool          // honest[v]: node v plays by the protocol
+	honestClients       int             // honest clients (server excluded)
+	completeHonest      int             // alive honest clients holding all k blocks
+	aliveHonest         int             // honest clients currently up
+	pendingRejoinHonest int             // honest clients scheduled to rejoin
 }
 
 func newState(n, k int) *State {
@@ -218,11 +270,45 @@ func (s *State) LostLastTick() []LostTransfer { return s.lost }
 // entire file.
 func (s *State) ClientsComplete() int { return s.complete }
 
+// Adversarial reports whether an adversary plan is active — the cue
+// for defensive schedulers to build their quarantine tables.
+func (s *State) Adversarial() bool { return s.honest != nil }
+
+// Honest reports whether node v plays by the protocol. Without an
+// adversary plan every node is honest.
+func (s *State) Honest(v int) bool { return s.honest == nil || s.honest[v] }
+
+// HonestClientsComplete returns the number of alive honest clients
+// holding the entire file (equal to ClientsComplete without an
+// adversary plan).
+func (s *State) HonestClientsComplete() int {
+	if s.honest == nil {
+		return s.complete
+	}
+	return s.completeHonest
+}
+
+// Refuses reports whether node u's own strategy refuses uploads in the
+// current tick. A node knows its *own* strategy — schedulers may use
+// this to model a misbehaving node declining to offer, but learn other
+// nodes' strategies only through observed stalls and garbage.
+func (s *State) Refuses(u int) bool {
+	return s.adv != nil && s.adv.Refuses(u, float64(s.tick+1))
+}
+
 // AllClientsComplete reports whether dissemination has finished: every
 // client that is still part of the system holds the whole file. Under a
 // fault plan, permanently departed nodes are excluded and nodes that
-// are scheduled to rejoin still count as pending.
+// are scheduled to rejoin still count as pending. Under an adversary
+// plan only *honest* clients count — a free-rider that starves under
+// barter must not hold the swarm hostage.
 func (s *State) AllClientsComplete() bool {
+	if s.honest != nil {
+		if s.alive == nil {
+			return s.completeHonest == s.honestClients
+		}
+		return s.completeHonest == s.aliveHonest && s.pendingRejoinHonest == 0
+	}
 	if s.alive == nil {
 		return s.complete == s.n-1
 	}
@@ -285,6 +371,42 @@ type Result struct {
 	// FinalAlive is the final liveness mask (only when RecordTrace is
 	// set and a fault plan was active).
 	FinalAlive []bool
+
+	// Adversary-layer outcomes; zero without an adversary plan.
+
+	// Strategies records each node's assigned strategy (index = node id)
+	// whenever an adversary plan was active — the artifact the post-hoc
+	// audits (RunAudit, mechanism.AuditAdversary, VerifyStarvation)
+	// replay against. nil for compliant runs.
+	Strategies []adversary.Strategy
+	// AdvRefused counts transfers the sender's strategy silently
+	// refused (free-rider, completed defector, closed throttle window).
+	AdvRefused int
+	// AdvStalled counts transfers a false-advertiser claimed but never
+	// sent.
+	AdvStalled int
+	// AdvCorrupt counts transfers a corrupter served that failed block
+	// verification at the receiver and were discarded.
+	AdvCorrupt int
+	// HonestUseful counts useful deliveries to honest clients.
+	HonestUseful int
+	// HonestWasted counts honest clients' download slots wasted by
+	// adversary-faulted transfers; HonestWasted/(HonestUseful+
+	// HonestWasted) is Table F's honest stall rate.
+	HonestWasted int
+	// LostKindTrace parallels LostTrace (same shape) with each drop's
+	// LostKind* cause, recorded only when an adversary plan was active
+	// and RecordTrace was set.
+	LostKindTrace [][]uint8
+}
+
+// HonestStallRate returns the fraction of honest clients' spent
+// download slots that an adversary wasted (0 for compliant runs).
+func (r *Result) HonestStallRate() float64 {
+	if r.HonestUseful+r.HonestWasted == 0 {
+		return 0
+	}
+	return float64(r.HonestWasted) / float64(r.HonestUseful+r.HonestWasted)
 }
 
 // Efficiency returns useful transfers divided by the upload capacity
@@ -305,9 +427,6 @@ var ErrMaxTicks = errors.New("simulate: exceeded MaxTicks before completion")
 type simFaults struct {
 	plan    *fault.Plan
 	rejoins []fault.Event // pending rejoins, sorted by Time ascending
-	// nextLost accumulates this tick's drops; swapped into State.lost at
-	// the tick boundary so schedulers see them next tick.
-	nextLost []LostTransfer
 }
 
 // rejoinTick converts a crash applied at tick t with rejoin delay d
@@ -356,11 +475,20 @@ func (sf *simFaults) applyCrash(t, v int, st *State, res *Result) {
 	if st.have[v].Full() {
 		st.complete--
 	}
+	if st.honest != nil && st.honest[v] {
+		st.aliveHonest--
+		if st.have[v].Full() {
+			st.completeHonest--
+		}
+	}
 	ev := fault.Event{Time: float64(t), Node: int32(v), Kind: fault.Crash}
 	st.events = append(st.events, ev)
 	res.FaultLog = append(res.FaultLog, ev)
 	if delay, ok := sf.plan.Rejoins(); ok {
 		st.pendingRejoin++
+		if st.honest != nil && st.honest[v] {
+			st.pendingRejoinHonest++
+		}
 		sf.rejoins = append(sf.rejoins, fault.Event{
 			Time:  float64(rejoinTick(t, delay)),
 			Node:  int32(v),
@@ -378,11 +506,18 @@ func (sf *simFaults) applyRejoin(ev fault.Event, st *State, res *Result) {
 	st.alive[v] = true
 	st.aliveClients++
 	st.pendingRejoin--
+	if st.honest != nil && st.honest[v] {
+		st.aliveHonest++
+		st.pendingRejoinHonest--
+	}
 	if ev.Wiped {
 		st.have[v].Clear()
 		res.ClientCompletion[v] = 0
 	} else if st.have[v].Full() {
 		st.complete++
+		if st.honest != nil && st.honest[v] {
+			st.completeHonest++
+		}
 	}
 	st.events = append(st.events, ev)
 	res.FaultLog = append(res.FaultLog, ev)
@@ -413,10 +548,29 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 		}
 		st.aliveClients = c.Nodes - 1
 	}
+	adv := c.Adversary
+	if adv != nil {
+		if adv.N() != c.Nodes {
+			return nil, fmt.Errorf("simulate: adversary plan built for %d nodes, config has %d", adv.N(), c.Nodes)
+		}
+		if err := adv.Acquire(); err != nil {
+			return nil, err
+		}
+		st.adv = adv
+		st.honest = make([]bool, c.Nodes)
+		for v := range st.honest {
+			st.honest[v] = adv.Honest(v)
+		}
+		st.honestClients = c.Nodes - 1 - adv.Count()
+		st.aliveHonest = st.honestClients
+		res.Strategies = adv.Strategies()
+	}
 
 	upUsed := make([]int, c.Nodes)
 	downUsed := make([]int, c.Nodes)
 	var buf []Transfer
+	var nextLost []LostTransfer // this tick's drops; swapped into st.lost at the boundary
+	var completedNow []int32    // clients that completed this tick (defector latch)
 	var err error
 
 	finish := func(t int) *Result {
@@ -459,15 +613,47 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 			}
 		}
 		var lostIdx []int
-		if sf != nil {
-			sf.nextLost = sf.nextLost[:0]
-		}
-		// Apply simultaneously.
+		var lostKinds []uint8
+		nextLost = nextLost[:0]
+		completedNow = completedNow[:0]
+		// Apply simultaneously. The adversary rules on each transfer
+		// first (apply order is the deterministic draw order); only
+		// transfers it lets through reach the fault layer.
 		for i, tr := range buf {
+			if adv != nil {
+				if fate := adv.TransferFate(int(tr.From), float64(t)); fate != adversary.Deliver {
+					nextLost = append(nextLost, LostTransfer{
+						Transfer:  tr,
+						Corrupt:   fate == adversary.Garbage,
+						Adversary: true,
+					})
+					var kind uint8
+					switch fate {
+					case adversary.Refused:
+						res.AdvRefused++
+						kind = LostKindRefused
+					case adversary.Stalled:
+						res.AdvStalled++
+						kind = LostKindStalled
+					default:
+						res.AdvCorrupt++
+						kind = LostKindGarbage
+					}
+					if st.honest[tr.To] {
+						res.HonestWasted++
+					}
+					if c.RecordTrace {
+						lostIdx = append(lostIdx, i)
+						lostKinds = append(lostKinds, kind)
+					}
+					res.TotalTransfers++ // the receiver's slot was spent
+					continue
+				}
+			}
 			if sf != nil && sf.plan.Lossy() {
 				lost, corrupt := sf.plan.Drop()
 				if lost || corrupt {
-					sf.nextLost = append(sf.nextLost, LostTransfer{Transfer: tr, Corrupt: corrupt})
+					nextLost = append(nextLost, LostTransfer{Transfer: tr, Corrupt: corrupt})
 					if corrupt {
 						res.CorruptTransfers++
 					} else {
@@ -475,6 +661,13 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 					}
 					if c.RecordTrace {
 						lostIdx = append(lostIdx, i)
+						if adv != nil {
+							if corrupt {
+								lostKinds = append(lostKinds, LostKindFaultCorrupt)
+							} else {
+								lostKinds = append(lostKinds, LostKindFault)
+							}
+						}
 					}
 					res.TotalTransfers++ // the upload slot was spent
 					continue
@@ -482,30 +675,55 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 			}
 			if st.have[tr.To].Add(int(tr.Block)) {
 				res.UsefulTransfers++
+				if adv != nil && st.honest[tr.To] {
+					res.HonestUseful++
+				}
 				if int(tr.To) != 0 && st.have[tr.To].Full() {
 					st.complete++
 					res.ClientCompletion[tr.To] = t
+					if st.honest != nil && st.honest[tr.To] {
+						st.completeHonest++
+					}
+					if adv != nil {
+						completedNow = append(completedNow, tr.To)
+					}
 				}
 			}
 			res.TotalTransfers++
+		}
+		if adv != nil {
+			// Latch defectors only after the whole tick has landed:
+			// blocks arrive simultaneously at the boundary, so a
+			// defector's own tick-t uploads were sent before it knew it
+			// was done.
+			for _, v := range completedNow {
+				adv.NoteComplete(int(v))
+			}
 		}
 		res.UploadsPerTick = append(res.UploadsPerTick, len(buf))
 		if c.RecordTrace {
 			tick := make([]Transfer, len(buf))
 			copy(tick, buf)
 			res.Trace = append(res.Trace, tick)
-			if sf != nil {
+			if sf != nil || adv != nil {
 				res.LostTrace = append(res.LostTrace, lostIdx)
 			}
+			if adv != nil {
+				res.LostKindTrace = append(res.LostKindTrace, lostKinds)
+			}
 		}
-		if sf != nil {
+		if sf != nil || adv != nil {
 			// Expose this tick's drops to the scheduler next tick.
-			st.lost, sf.nextLost = sf.nextLost, st.lost
+			st.lost, nextLost = nextLost, st.lost
 		}
 		st.tick = t
 		if st.AllClientsComplete() {
 			return finish(t), nil
 		}
+	}
+	if st.honest != nil {
+		return nil, fmt.Errorf("%w (MaxTicks=%d, honest clients complete: %d/%d)",
+			ErrMaxTicks, c.MaxTicks, st.completeHonest, st.honestClients)
 	}
 	return nil, fmt.Errorf("%w (MaxTicks=%d, clients complete: %d/%d)",
 		ErrMaxTicks, c.MaxTicks, st.complete, c.Nodes-1)
