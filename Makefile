@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race figures tablef bench clean
+.PHONY: check build vet fmt lint test race figures tablef scale bench clean
 
 ## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
 check: vet fmt lint build race
@@ -31,8 +31,12 @@ lint:
 test:
 	$(GO) test ./...
 
+## race: race-enabled tests with -short, which skips only the n=20k
+## large-swarm smoke (52s plain, minutes under race). CI's dedicated
+## `scale` job runs that smoke under -race with a saturated pool;
+## locally, `go test ./...` (the tier-1 sweep) still runs it plain.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 ## figures: regenerate the evaluation artifacts at medium scale
 figures:
@@ -43,6 +47,12 @@ figures:
 ## off/on, both engines; see EXPERIMENTS.md Table F)
 tablef:
 	$(GO) run ./cmd/paperfigs -scale medium -only tableF -out results
+
+## scale: the large-n scale-out capstone at full size — T vs n for
+## n in {1k, 10k, 100k}, k=64, randomized + credit s=1, tracing on
+## (single process; see EXPERIMENTS.md for peak-RSS / ns-per-tick)
+scale:
+	$(GO) run ./cmd/paperfigs -scale full -only tableScale -out results
 
 ## bench: run the benchmark suite and write a BENCH_<date>.json
 ## snapshot (ns/op, B/op, allocs/op, speedup vs the newest committed

@@ -15,10 +15,19 @@
 // Usage:
 //
 //	cdbench [-bench regex] [-benchtime d] [-reps n] [-out BENCH_2006-01-02.json] [-baseline path]
+//	cdbench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] ...
+//	cdbench -compare old.json new.json
 //
 // The baseline defaults to the lexicographically newest BENCH_*.json in
 // the repository root other than the output file; -baseline "" skips
 // the comparison.
+//
+// -cpuprofile/-memprofile are forwarded to the underlying `go test`
+// invocation on the FINAL repetition only, so profile collection never
+// perturbs the reps that feed the medians. -compare skips running
+// anything and prints a per-benchmark delta table (ns/op, B/op,
+// allocs/op) between two committed snapshots; both v1 and v2 schemas
+// are accepted on either side.
 package main
 
 import (
@@ -49,8 +58,12 @@ type report struct {
 	GoMaxProcs int      `json:"gomaxprocs"`
 	BenchArgs  []string `json:"bench_args"`
 	// Reps is how many times the suite ran; each result is the median.
-	Reps     int      `json:"reps"`
-	Baseline string   `json:"baseline,omitempty"`
+	Reps     int    `json:"reps"`
+	Baseline string `json:"baseline,omitempty"`
+	// Warnings flags conditions that make the numbers suspect (noisy
+	// host, degenerate medians); tooling should surface them next to any
+	// delta computed from this snapshot.
+	Warnings []string `json:"warnings,omitempty"`
 	Results  []result `json:"results"`
 }
 
@@ -66,13 +79,27 @@ type result struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "", "passed to go test -benchtime when non-empty")
-		reps      = flag.Int("reps", 5, "suite repetitions; reported numbers are per-benchmark medians")
-		out       = flag.String("out", "", "output path (default BENCH_<today>.json in the repo root)")
-		baseline  = flag.String("baseline", "auto", `baseline snapshot: "auto" picks the newest BENCH_*.json, "" disables`)
+		bench      = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "", "passed to go test -benchtime when non-empty")
+		reps       = flag.Int("reps", 5, "suite repetitions; reported numbers are per-benchmark medians")
+		out        = flag.String("out", "", "output path (default BENCH_<today>.json in the repo root)")
+		baseline   = flag.String("baseline", "auto", `baseline snapshot: "auto" picks the newest BENCH_*.json, "" disables`)
+		cpuprofile = flag.String("cpuprofile", "", "forward -cpuprofile to go test on the final repetition")
+		memprofile = flag.String("memprofile", "", "forward -memprofile to go test on the final repetition")
+		compare    = flag.Bool("compare", false, "compare two snapshots: cdbench -compare old.json new.json")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "cdbench: -compare needs exactly two snapshot paths: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "cdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "cdbench: -reps %d must be >= 1\n", *reps)
 		os.Exit(2)
@@ -88,8 +115,19 @@ func main() {
 	}
 	var runs [][]result
 	for r := 0; r < *reps; r++ {
-		fmt.Fprintf(os.Stderr, "cdbench: rep %d/%d: go %s\n", r+1, *reps, strings.Join(args, " "))
-		cmd := exec.Command("go", args...)
+		repArgs := args
+		if r == *reps-1 {
+			// Profiles come from the final repetition only, so profile
+			// collection can never perturb the reps feeding the medians.
+			if *cpuprofile != "" {
+				repArgs = append(repArgs, "-cpuprofile", *cpuprofile)
+			}
+			if *memprofile != "" {
+				repArgs = append(repArgs, "-memprofile", *memprofile)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cdbench: rep %d/%d: go %s\n", r+1, *reps, strings.Join(repArgs, " "))
+		cmd := exec.Command("go", repArgs...)
 		cmd.Stderr = os.Stderr
 		raw, err := cmd.Output()
 		if err != nil {
@@ -104,6 +142,7 @@ func main() {
 		runs = append(runs, results)
 	}
 	results := medianResults(runs)
+	warnings := hostWarnings(runs, *reps)
 
 	basePath := *baseline
 	if basePath == "auto" {
@@ -126,7 +165,11 @@ func main() {
 		BenchArgs:  args,
 		Reps:       *reps,
 		Baseline:   basePath,
+		Warnings:   warnings,
 		Results:    results,
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "cdbench: warning: %s\n", w)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -140,6 +183,135 @@ func main() {
 	}
 	printSummary(os.Stdout, results, basePath)
 	fmt.Fprintf(os.Stderr, "cdbench: wrote %s (%d benchmarks)\n", outPath, len(results))
+}
+
+// hostWarnings inspects the per-repetition samples for signs that the
+// host was noisy while the suite ran. The heuristic is rep-to-rep
+// spread: a dedicated machine keeps the same benchmark within a few
+// percent across repetitions, so any benchmark whose fastest and
+// slowest rep differ by more than 25% earns the snapshot a warning.
+// reps == 1 is always flagged — a single sample has no median.
+func hostWarnings(runs [][]result, reps int) []string {
+	var warnings []string
+	if reps < 2 {
+		warnings = append(warnings, "reps=1: single-sample snapshot, medians are degenerate; prefer -reps >= 3")
+	}
+	const spreadLimit = 1.25
+	worstName, worstSpread := "", 0.0
+	samples := make(map[string][]float64)
+	var order []string
+	for _, run := range runs {
+		for _, r := range run {
+			if _, seen := samples[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			samples[r.Name] = append(samples[r.Name], r.NsPerOp)
+		}
+	}
+	for _, name := range order {
+		ns := samples[name]
+		if len(ns) < 2 {
+			continue
+		}
+		lo, hi := ns[0], ns[0]
+		for _, v := range ns[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo > 0 && hi/lo > worstSpread {
+			worstName, worstSpread = name, hi/lo
+		}
+	}
+	if worstSpread > spreadLimit {
+		warnings = append(warnings,
+			fmt.Sprintf("noisy host: %s varied %.0f%% between repetitions; treat deltas below that spread as noise",
+				worstName, (worstSpread-1)*100))
+	}
+	return warnings
+}
+
+// compareSnapshots prints a per-benchmark delta table between two
+// snapshots. Both v1 (single-run) and v2 (median) schemas are accepted;
+// the table keys on benchmark name and follows the new snapshot's
+// order, with old-only benchmarks appended at the end.
+func compareSnapshots(w *os.File, oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return fmt.Errorf("old snapshot %s: %w", oldPath, err)
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return fmt.Errorf("new snapshot %s: %w", newPath, err)
+	}
+	oldBy := make(map[string]result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	width := len("benchmark")
+	for _, r := range newRep.Results {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	for _, r := range oldRep.Results {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	fmt.Fprintf(w, "%s (%s) -> %s (%s)\n", filepath.Base(oldPath), oldRep.Schema, filepath.Base(newPath), newRep.Schema)
+	for _, rep := range []*report{oldRep, newRep} {
+		for _, warn := range rep.Warnings {
+			fmt.Fprintf(w, "  warning: %s\n", warn)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %28s  %26s  %22s\n", width, "benchmark", "ns/op", "B/op", "allocs/op")
+	delta := func(old, new float64) string {
+		if old == 0 {
+			return "      n/a"
+		}
+		return fmt.Sprintf("%+8.1f%%", (new-old)/old*100)
+	}
+	seen := make(map[string]bool, len(newRep.Results))
+	for _, n := range newRep.Results {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-*s  %17.0f (new)\n", width, n.Name, n.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "%-*s  %8.0f->%-8.0f %s  %7d->%-7d %s  %5d->%-5d %s\n",
+			width, n.Name,
+			o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			o.BytesPerOp, n.BytesPerOp, delta(float64(o.BytesPerOp), float64(n.BytesPerOp)),
+			o.AllocsPerOp, n.AllocsPerOp, delta(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
+	}
+	for _, o := range oldRep.Results {
+		if !seen[o.Name] {
+			fmt.Fprintf(w, "%-*s  %17.0f (removed)\n", width, o.Name, o.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// loadReport reads a full snapshot. Schema v1 lacks reps/warnings;
+// json's zero values cover it, so v1 and v2 load identically.
+func loadReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(rep.Schema, "barterdist-bench/") {
+		return nil, fmt.Errorf("unrecognized snapshot schema %q", rep.Schema)
+	}
+	return &rep, nil
 }
 
 // medianResults folds the per-repetition result lists into one list in

@@ -153,9 +153,11 @@ func main() {
 
 	if *trace {
 		fmt.Println("\ntrace (tick: sender->receiver blocks):")
-		for ti, tick := range res.Sim.Trace {
-			fmt.Printf("  t=%-3d", ti+1)
-			for _, tr := range tick {
+		cur := res.Sim.Trace.Cursor()
+		for cur.NextTick() {
+			fmt.Printf("  t=%-3d", cur.Tick())
+			for cur.Next() {
+				tr := cur.Transfer()
 				fmt.Printf("  %d->%d:B%d", tr.From, tr.To, tr.Block)
 			}
 			fmt.Println()

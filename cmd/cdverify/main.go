@@ -213,13 +213,13 @@ func auditRow(n, k int, label string, algo core.Algorithm) int {
 		return 1
 	}
 	strict := "no"
-	if mechanism.VerifyStrictBarter(res.Sim.Trace) == nil {
+	if mechanism.VerifyStrictBarter(res.Sim.Trace.Cursor()) == nil {
 		strict = "YES"
 	}
 	minCredit := res.MinimalCreditLimit
 	tri := "no"
 	for s := 1; s <= 4; s++ {
-		if mechanism.VerifyTriangular(res.Sim.Trace, s) == nil {
+		if mechanism.VerifyTriangular(res.Sim.Trace.Cursor(), s) == nil {
 			tri = fmt.Sprintf("s=%d", s)
 			break
 		}

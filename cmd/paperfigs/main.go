@@ -72,6 +72,7 @@ func main() {
 		{"tableD", tableArtifact(experiment.TableD)},
 		{"tableE", tableArtifact(experiment.TableE)},
 		{"tableF", tableArtifact(experiment.TableF)},
+		{"tableScale", tableArtifact(experiment.TableScale)},
 	}
 
 	selected := map[string]bool{}

@@ -1,0 +1,41 @@
+package asim
+
+import "testing"
+
+// TestEventAllocationsDoNotScaleWithRunLength pins the event free-list:
+// in the asynchronous engine every completed or cancelled event returns
+// to the pool, so a run's allocation count is dominated by setup
+// (states, protocol scratch, the trace's pre-sized append) — NOT by the
+// number of events processed. Quadrupling the block count roughly
+// quadruples the event count; if allocations grow with it, the pool has
+// regressed into per-event churn.
+//
+// The trace stays ON (the expensive configuration): its slice is
+// pre-sized to (n-1)·k records, so recording adds O(1) allocations,
+// not O(events).
+func TestEventAllocationsDoNotScaleWithRunLength(t *testing.T) {
+	const n = 96
+	allocsFor := func(k int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			cfg := Config{Nodes: n, Blocks: k, DownloadPorts: 1, RecordTrace: true}
+			res, err := Run(cfg, NewAsyncRandomized(nil, false, 1, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Trace) < (n-1)*k {
+				t.Fatalf("k=%d: trace has %d records, want >= %d", k, len(res.Trace), (n-1)*k)
+			}
+		})
+	}
+	small := allocsFor(16) // ~1.5k deliveries
+	large := allocsFor(64) // ~6k deliveries, 4x the events
+	if small == 0 {
+		t.Fatalf("implausible zero-allocation run; measurement is broken")
+	}
+	// Setup is O(n + k); going 16 -> 64 blocks adds O(k) setup but must
+	// not add O(events). Allow 2x headroom over the small run for the
+	// larger per-node block sets and trace columns.
+	if large > 2*small {
+		t.Fatalf("allocations scale with events: k=16 -> %.0f allocs, k=64 -> %.0f (want < 2x)", small, large)
+	}
+}

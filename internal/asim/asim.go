@@ -430,6 +430,12 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 	if c.Nodes == 1 {
 		return res, nil
 	}
+	if c.RecordTrace {
+		// A full run delivers exactly (n-1)*k useful blocks; reserving
+		// that floor up front keeps steady-state recording out of the
+		// append-growth path.
+		res.Trace = make([]TransferRecord, 0, (c.Nodes-1)*c.Blocks)
+	}
 
 	eng := &engine{
 		cfg:       c,
@@ -474,7 +480,9 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		if period <= 0 {
 			return nil, fmt.Errorf("asim: timer %d period %v must be positive", i, period)
 		}
-		eng.schedule(&event{at: period, kind: evTimer, timer: i})
+		tev := eng.newEvent()
+		tev.at, tev.kind, tev.timer = period, evTimer, i
+		eng.schedule(tev)
 	}
 	if c.Fault != nil {
 		eng.scheduleNextCrash()
@@ -503,6 +511,9 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 	for eng.queue.Len() > 0 {
 		ev := heap.Pop(&eng.queue).(*event)
 		if ev.cancelled {
+			// Aborted by a crash; its inFlight/curUpload references were
+			// cleared at cancellation time.
+			eng.release(ev)
 			continue
 		}
 		if ev.at > c.MaxTime {
@@ -534,7 +545,9 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 				}
 			}
 			period := p.Wakeups()[ev.timer]
-			eng.schedule(&event{at: st.now + period, kind: evTimer, timer: ev.timer})
+			tev := eng.newEvent()
+			tev.at, tev.kind, tev.timer = st.now+period, evTimer, ev.timer
+			eng.schedule(tev)
 		case evCrash:
 			c.Fault.TakeCrash()
 			if err := eng.applyCrash(); err != nil {
@@ -558,6 +571,8 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Fully handled; nothing retains the event past this point.
+		eng.release(ev)
 	}
 	if st.honest != nil {
 		return nil, fmt.Errorf("%w (event queue drained, honest clients complete: %d/%d)",
@@ -583,7 +598,30 @@ type engine struct {
 	adv            *adversary.Plan
 	advAware       AdversaryAware
 	advWakePending []bool // an evAdvWake is already queued for this node
+
+	// free recycles popped events: the loop pops, handles, and releases
+	// each event, so the steady state churns a fixed working set instead
+	// of allocating one event per transfer.
+	free []*event
 }
+
+// newEvent returns a zeroed event, reusing a released one when
+// available.
+func (e *engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{}
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a popped, fully handled event to the free list. The
+// caller must ensure no queue, inFlight, or curUpload reference
+// remains.
+func (e *engine) release(ev *event) { e.free = append(e.free, ev) }
 
 func (e *engine) schedule(ev *event) {
 	e.seq++
@@ -599,7 +637,9 @@ func (e *engine) scheduleNextCrash() {
 	if !ok || at > e.cfg.MaxTime {
 		return
 	}
-	e.schedule(&event{at: at, kind: evCrash})
+	ev := e.newEvent()
+	ev.at, ev.kind = at, evCrash
+	e.schedule(ev)
 }
 
 // applyCrash picks a victim and tears it down: the node goes dark, its
@@ -658,7 +698,9 @@ func (e *engine) applyCrash() error {
 		if st.honest != nil && st.honest[v] {
 			st.pendingRejoinHonest++
 		}
-		e.schedule(&event{at: st.now + delay, kind: evRejoin, node: v})
+		rev := e.newEvent()
+		rev.at, rev.kind, rev.node = st.now+delay, evRejoin, v
+		e.schedule(rev)
 	}
 	if e.faultAware != nil {
 		e.faultAware.OnCrash(v, st)
@@ -757,7 +799,9 @@ func (e *engine) tryStartUpload(u int) error {
 		e.parked[u] = true
 		if at := e.adv.RetryAt(u); !math.IsInf(at, 1) && !e.advWakePending[u] {
 			e.advWakePending[u] = true
-			e.schedule(&event{at: at, kind: evAdvWake, node: u})
+			wev := e.newEvent()
+			wev.at, wev.kind, wev.node = at, evAdvWake, u
+			e.schedule(wev)
 		}
 		return nil
 	}
@@ -782,11 +826,10 @@ func (e *engine) tryStartUpload(u int) error {
 	if down < rate {
 		rate = down
 	}
-	ev := &event{
-		at: e.st.now + 1/rate, kind: evComplete,
-		from: u, to: up.To, block: up.Block,
-		start: e.st.now,
-	}
+	ev := e.newEvent()
+	ev.at, ev.kind = e.st.now+1/rate, evComplete
+	ev.from, ev.to, ev.block = u, up.To, up.Block
+	ev.start = e.st.now
 	e.st.inFlight[up.To][int32(up.Block)] = ev
 	e.curUpload[u] = ev
 	e.schedule(ev)

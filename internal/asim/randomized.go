@@ -94,13 +94,8 @@ func (a *AsyncRandomized) recomputeFreq(s *State) {
 		a.freq[b] = 0
 	}
 	for v := 0; v < s.N(); v++ {
-		if !s.Alive(v) {
-			continue
-		}
-		for b := 0; b < s.K(); b++ {
-			if s.Has(v, b) {
-				a.freq[b]++
-			}
+		if s.Alive(v) {
+			s.Blocks(v).AccumulateCounts(a.freq, 1)
 		}
 	}
 }
@@ -183,6 +178,12 @@ func (a *AsyncRandomized) pickTarget(u int, s *State) int {
 // usefulFor reports whether u holds a block v needs that is not already
 // in flight to v.
 func (a *AsyncRandomized) usefulFor(u, v int, s *State) bool {
+	if s.InFlightCount(v) == 0 {
+		// Nothing in flight: v is interested iff u holds any block v
+		// lacks, which the word-level witness search answers without a
+		// callback per block.
+		return s.Blocks(v).FirstMissingIn(s.Blocks(u)) >= 0
+	}
 	need := false
 	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
 		if s.InFlightTo(v, b) {
@@ -195,9 +196,19 @@ func (a *AsyncRandomized) usefulFor(u, v int, s *State) bool {
 }
 
 func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
+	bu, bv := s.Blocks(u), s.Blocks(v)
+	// offered enumerates the blocks u can give v, ascending; a complete
+	// sender offers exactly v's complement (see Scheduler.pickBlock).
+	offered := func(fn func(b int) bool) {
+		if bu.Full() {
+			bv.IterateMissing(fn)
+		} else {
+			bu.IterDiff(bv, fn)
+		}
+	}
 	if a.RarestFirst {
 		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
-		s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+		offered(func(b int) bool {
 			if s.InFlightTo(v, b) {
 				return true
 			}
@@ -215,7 +226,7 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 		return best
 	}
 	count := 0
-	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+	offered(func(b int) bool {
 		if !s.InFlightTo(v, b) {
 			count++
 		}
@@ -226,7 +237,7 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 	}
 	target := a.rng.Intn(count)
 	chosen := -1
-	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+	offered(func(b int) bool {
 		if s.InFlightTo(v, b) {
 			return true
 		}

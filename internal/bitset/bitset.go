@@ -192,6 +192,47 @@ func (s *Set) IterDiff(o *Set, fn func(i int) bool) {
 	}
 }
 
+// IterateMissing calls fn for each bit in [0, Cap()) NOT in s, in
+// ascending order, until fn returns false. It scans word complements
+// (one AndNot + trailing-zeros chain per 64 blocks, no per-block loop),
+// so asking a nearly complete receiver "which blocks are you still
+// missing?" costs O(n/64) plus one callback per genuinely absent block.
+// It is also IterDiff specialized to a full left-hand set: a seed (or
+// any complete node) offers exactly the receiver's complement.
+func (s *Set) IterateMissing(fn func(i int) bool) {
+	last := len(s.words) - 1
+	for wi, w := range s.words {
+		d := ^w
+		if wi == last {
+			if tail := uint(s.n % wordBits); tail != 0 {
+				d &= (1 << tail) - 1
+			}
+		}
+		for d != 0 {
+			b := bits.TrailingZeros64(d)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			d &= d - 1
+		}
+	}
+}
+
+// FirstMissingIn returns the smallest i that o holds and s lacks — the
+// first block the holder of s could obtain from the holder of o — or -1
+// when o offers nothing new. It is AnyMissingFrom read from the
+// receiver's side, but returns the witness block, and short-circuits on
+// the first non-zero word.
+func (s *Set) FirstMissingIn(o *Set) int {
+	s.sameCap(o)
+	for wi, ow := range o.words {
+		if d := ow &^ s.words[wi]; d != 0 {
+			return wi*wordBits + bits.TrailingZeros64(d)
+		}
+	}
+	return -1
+}
+
 // Words exposes the set's backing words, least-significant block first.
 // Callers must treat the slice as read-only: writing through it bypasses
 // the cached population count. It exists for word-at-a-time consumers

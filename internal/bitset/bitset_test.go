@@ -483,3 +483,87 @@ func BenchmarkIterDiff(b *testing.B) {
 		a.IterDiff(o, func(int) bool { n++; return true })
 	}
 }
+
+// TestIterateMissingOracle checks the word-level complement scan
+// against a naive per-bit loop on random sets across capacities that
+// exercise word boundaries and the final-word tail mask.
+func TestIterateMissingOracle(t *testing.T) {
+	r := xrand.New(7)
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 200} {
+		for trial := 0; trial < 20; trial++ {
+			s := New(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(3) != 0 {
+					s.Add(i)
+				}
+			}
+			var got, want []int
+			s.IterateMissing(func(i int) bool {
+				got = append(got, i)
+				return true
+			})
+			for i := 0; i < n; i++ {
+				if !s.Has(i) {
+					want = append(want, i)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d trial=%d: IterateMissing=%v, oracle=%v", n, trial, got, want)
+			}
+			// Early-stop contract: returning false after the first hit
+			// must visit exactly one bit.
+			if len(want) > 0 {
+				visits := 0
+				s.IterateMissing(func(i int) bool {
+					visits++
+					if i != want[0] {
+						t.Fatalf("n=%d: first missing bit %d, want %d", n, i, want[0])
+					}
+					return false
+				})
+				if visits != 1 {
+					t.Fatalf("n=%d: early stop visited %d bits", n, visits)
+				}
+			}
+			// A full set is missing nothing — the tail mask must keep the
+			// phantom bits beyond Cap() invisible.
+			s.Fill()
+			s.IterateMissing(func(i int) bool {
+				t.Fatalf("n=%d: full set reports missing bit %d", n, i)
+				return false
+			})
+		}
+	}
+}
+
+// TestFirstMissingInOracle checks the word-level witness search against
+// a naive scan, plus its agreement with AnyMissingFrom.
+func TestFirstMissingInOracle(t *testing.T) {
+	r := xrand.New(8)
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 200} {
+		for trial := 0; trial < 20; trial++ {
+			s, o := New(n), New(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(2) == 0 {
+					s.Add(i)
+				}
+				if r.Intn(2) == 0 {
+					o.Add(i)
+				}
+			}
+			want := -1
+			for i := 0; i < n; i++ {
+				if o.Has(i) && !s.Has(i) {
+					want = i
+					break
+				}
+			}
+			if got := s.FirstMissingIn(o); got != want {
+				t.Fatalf("n=%d trial=%d: FirstMissingIn=%d, oracle=%d", n, trial, got, want)
+			}
+			if (s.FirstMissingIn(o) >= 0) != o.AnyMissingFrom(s) {
+				t.Fatalf("n=%d trial=%d: FirstMissingIn disagrees with AnyMissingFrom", n, trial)
+			}
+		}
+	}
+}

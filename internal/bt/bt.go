@@ -302,13 +302,8 @@ func (p *Protocol) recomputeFreq(s *asim.State) {
 		p.freq[b] = 0
 	}
 	for v := 0; v < s.N(); v++ {
-		if !s.Alive(v) {
-			continue
-		}
-		for b := 0; b < s.K(); b++ {
-			if s.Has(v, b) {
-				p.freq[b]++
-			}
+		if s.Alive(v) {
+			s.Blocks(v).AccumulateCounts(p.freq, 1)
 		}
 	}
 }
@@ -338,8 +333,18 @@ func (p *Protocol) OnLoss(_, _, _ int, _ bool, _ *asim.State) {}
 
 // rarestNeeded returns the globally rarest block u can give v, or -1.
 func (p *Protocol) rarestNeeded(u, v int, s *asim.State) int {
+	bu, bv := s.Blocks(u), s.Blocks(v)
+	// A seeder offers exactly v's complement; IterateMissing scans it
+	// word-at-a-time without touching the seeder's words.
+	offered := func(fn func(b int) bool) {
+		if bu.Full() {
+			bv.IterateMissing(fn)
+		} else {
+			bu.IterDiff(bv, fn)
+		}
+	}
 	best, bestFreq, ties := -1, int(^uint(0)>>1), 0
-	s.Blocks(u).IterDiff(s.Blocks(v), func(b int) bool {
+	offered(func(b int) bool {
 		if s.InFlightTo(v, b) {
 			return true
 		}

@@ -20,6 +20,7 @@ import (
 	"barterdist/internal/randomized"
 	"barterdist/internal/schedule"
 	"barterdist/internal/simulate"
+	"barterdist/internal/trace"
 	"barterdist/internal/xrand"
 )
 
@@ -271,8 +272,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.SimConfig.Fault = nil     // the consumed plan must not leak into replays
 	res.SimConfig.Adversary = nil // ditto: audits replay from Sim.Strategies
-	if len(simRes.Trace) > 0 {
-		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace)
+	if simRes.Trace != nil && simRes.Trace.Len() > 0 {
+		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace.Cursor())
 	}
 	if err := verify(cfg, simRes); err != nil {
 		return res, err
@@ -399,61 +400,34 @@ func buildOverlay(cfg *Config) (*graph.Graph, string, error) {
 	}
 }
 
+// verify audits the recorded trace against the configured mechanism.
+// The verifiers see the *released* view of the columnar trace: for
+// compliant runs that is the scheduled trace unchanged — fault drops
+// stay in (a block lost in the network still consumed the sender's
+// credit, matching the live ledger) — while for adversarial runs,
+// transfers the sender's own strategy refused, stalled, or garbled
+// are skipped by the cursor: they were never released (or were clawed
+// back by the schedulers' ledgers), so charging them would read the
+// adversary's sabotage as the mechanism's failure.
 func verify(cfg Config, simRes *simulate.Result) error {
 	limit := cfg.CreditLimit
 	if limit == 0 {
 		limit = 1
 	}
-	trace := releasedTrace(simRes)
-	switch cfg.Verify {
-	case MechanismNone:
+	if cfg.Verify == MechanismNone {
 		return nil
+	}
+	if simRes.Trace == nil {
+		simRes.Trace = trace.New(false) // nothing recorded: vacuously compliant
+	}
+	switch cfg.Verify {
 	case MechanismStrict:
-		return mechanism.VerifyStrictBarter(trace)
+		return mechanism.VerifyStrictBarter(simRes.Trace.ReleasedCursor())
 	case MechanismCredit:
-		return mechanism.VerifyCreditLimited(trace, limit)
+		return mechanism.VerifyCreditLimited(simRes.Trace.ReleasedCursor(), limit)
 	case MechanismTriangular:
-		return mechanism.VerifyTriangular(trace, limit)
+		return mechanism.VerifyTriangular(simRes.Trace.ReleasedCursor(), limit)
 	default:
 		return fmt.Errorf("core: unknown mechanism %q", cfg.Verify)
 	}
-}
-
-// releasedTrace returns the trace the mechanism verifiers should see.
-// For compliant runs that is the scheduled trace unchanged — fault
-// drops stay in (a block lost in the network still consumed the
-// sender's credit, matching the live ledger). For adversarial runs,
-// transfers the sender's own strategy refused, stalled, or garbled are
-// filtered out: they were never released (or were clawed back by the
-// schedulers' ledgers), so charging them would read the adversary's
-// sabotage as the mechanism's failure.
-func releasedTrace(simRes *simulate.Result) [][]simulate.Transfer {
-	if simRes.Strategies == nil || len(simRes.LostKindTrace) == 0 {
-		return simRes.Trace
-	}
-	out := make([][]simulate.Transfer, len(simRes.Trace))
-	for ti, tick := range simRes.Trace {
-		if ti >= len(simRes.LostTrace) || len(simRes.LostTrace[ti]) == 0 {
-			out[ti] = tick
-			continue
-		}
-		advDropped := make(map[int]bool)
-		for j, idx := range simRes.LostTrace[ti] {
-			if j < len(simRes.LostKindTrace[ti]) && simRes.LostKindTrace[ti][j] >= simulate.LostKindRefused {
-				advDropped[idx] = true
-			}
-		}
-		if len(advDropped) == 0 {
-			out[ti] = tick
-			continue
-		}
-		kept := make([]simulate.Transfer, 0, len(tick)-len(advDropped))
-		for i, tr := range tick {
-			if !advDropped[i] {
-				kept = append(kept, tr)
-			}
-		}
-		out[ti] = kept
-	}
-	return out
 }

@@ -23,9 +23,11 @@ func fingerprint(res *Result) string {
 	fmt.Fprintf(&b, "clients=%v lost=%d corrupt=%d useful=%d total=%d\n",
 		sim.ClientCompletion, sim.LostTransfers, sim.CorruptTransfers,
 		sim.UsefulTransfers, sim.TotalTransfers)
-	for t, tick := range sim.Trace {
-		fmt.Fprintf(&b, "t%d:", t)
-		for _, tr := range tick {
+	cur := sim.Trace.Cursor()
+	for cur.NextTick() {
+		fmt.Fprintf(&b, "t%d:", cur.Tick()-1)
+		for cur.Next() {
+			tr := cur.Transfer()
 			fmt.Fprintf(&b, " %d->%d#%d", tr.From, tr.To, tr.Block)
 		}
 		b.WriteByte('\n')
@@ -33,13 +35,16 @@ func fingerprint(res *Result) string {
 	for _, ev := range sim.FaultLog {
 		fmt.Fprintf(&b, "fault t=%.17g node=%d kind=%d\n", ev.Time, ev.Node, ev.Kind)
 	}
-	for t, lost := range sim.LostTrace {
-		if len(lost) == 0 {
+	var lostIdx []int32
+	var lostKinds []uint8
+	for t := 0; t < sim.Trace.Ticks(); t++ {
+		lostIdx, lostKinds = sim.Trace.AppendTickDrops(t, lostIdx[:0], lostKinds[:0])
+		if len(lostIdx) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "lost t%d:%v", t, lost)
-		if t < len(sim.LostKindTrace) {
-			fmt.Fprintf(&b, " kinds=%v", sim.LostKindTrace[t])
+		fmt.Fprintf(&b, "lost t%d:%v", t, lostIdx)
+		if sim.Trace.Kinded() {
+			fmt.Fprintf(&b, " kinds=%v", lostKinds)
 		}
 		b.WriteByte('\n')
 	}
@@ -197,6 +202,77 @@ func TestParallelRunnerDeterminism(t *testing.T) {
 				t.Fatalf("workers=%d run %d diverged from sequential:\n--- sequential ---\n%s\n--- workers=%d ---\n%s",
 					w, i, head(want[i], 20), w, head(got[i], 20))
 			}
+		}
+	}
+}
+
+// TestColumnarMatchesNestedRepresentation pins the columnar trace to
+// the historical nested [][]Transfer shape: the streaming-cursor
+// fingerprint must equal one computed from Materialize/MaterializeDrops
+// (byte for byte), so the storage change can never leak into any
+// consumer that fingerprints, audits, or verifies a trace.
+func TestColumnarMatchesNestedRepresentation(t *testing.T) {
+	cfgs := []Config{
+		{Nodes: 24, Blocks: 12, Algorithm: AlgoRandomized, Seed: 42,
+			Fault: &fault.Options{Seed: 77, CrashRate: 0.08, MaxCrashes: 3, RejoinDelay: 4, LossRate: 0.05}},
+		{Nodes: 24, Blocks: 12, Algorithm: AlgoRandomized, CreditLimit: 1, Seed: 13,
+			Adversary: &adversary.Options{Seed: 99, FreeRiderFrac: 0.2, CorrupterFrac: 0.1}},
+		{Nodes: 16, Blocks: 8, Algorithm: AlgoBinomialPipeline, Seed: 2},
+	}
+	for i, cfg := range cfgs {
+		cfg.RecordTrace = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		sim := res.Sim
+		var b strings.Builder
+		for ti, tick := range sim.Trace.Materialize() {
+			fmt.Fprintf(&b, "t%d:", ti)
+			for _, tr := range tick {
+				fmt.Fprintf(&b, " %d->%d#%d", tr.From, tr.To, tr.Block)
+			}
+			b.WriteByte('\n')
+		}
+		drops, kinds := sim.Trace.MaterializeDrops()
+		for ti, lost := range drops {
+			if len(lost) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "lost t%d:%v", ti, lost)
+			if kinds != nil {
+				fmt.Fprintf(&b, " kinds=%v", kinds[ti])
+			}
+			b.WriteByte('\n')
+		}
+		nested := b.String()
+
+		b.Reset()
+		cur := sim.Trace.Cursor()
+		for cur.NextTick() {
+			fmt.Fprintf(&b, "t%d:", cur.Tick()-1)
+			for cur.Next() {
+				tr := cur.Transfer()
+				fmt.Fprintf(&b, " %d->%d#%d", tr.From, tr.To, tr.Block)
+			}
+			b.WriteByte('\n')
+		}
+		var li []int32
+		var lk []uint8
+		for ti := 0; ti < sim.Trace.Ticks(); ti++ {
+			li, lk = sim.Trace.AppendTickDrops(ti, li[:0], lk[:0])
+			if len(li) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "lost t%d:%v", ti, li)
+			if sim.Trace.Kinded() {
+				fmt.Fprintf(&b, " kinds=%v", lk)
+			}
+			b.WriteByte('\n')
+		}
+		if got := b.String(); got != nested {
+			t.Fatalf("cfg %d: cursor view diverges from materialized view:\n--- nested ---\n%s\n--- cursor ---\n%s",
+				i, head(nested, 20), head(got, 20))
 		}
 	}
 }

@@ -53,10 +53,7 @@ func TestSyncLossAndCrashCountedOnce(t *testing.T) {
 	if crashes == 0 || sim.LostTransfers == 0 {
 		t.Fatalf("scenario must exercise both channels: crashes=%d lost=%d", crashes, sim.LostTransfers)
 	}
-	marked := 0
-	for _, tick := range sim.LostTrace {
-		marked += len(tick)
-	}
+	marked := sim.Trace.Drops()
 	if marked != sim.LostTransfers+sim.CorruptTransfers {
 		t.Errorf("loss-marked trace entries = %d, counters say %d+%d — a drop was counted twice or not at all",
 			marked, sim.LostTransfers, sim.CorruptTransfers)

@@ -283,12 +283,19 @@ func RandomRegular(n, d int, rng *xrand.Rand) (*Graph, error) {
 	}
 	const maxAttempts = 200
 	stubs := make([]int, n*d)
+	// Arena shared by every attempt: deg[v] neighbors of v live at
+	// nbr[v*d : v*d+deg[v]]. Rejection sampling discards the vast
+	// majority of matchings, so per-attempt map allocation used to
+	// dominate the constructor's allocations; the flat arena costs one
+	// memclr per attempt instead.
+	deg := make([]int32, n)
+	nbr := make([]int32, n*d)
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		for i := range stubs {
 			stubs[i] = i / d
 		}
 		rng.Shuffle(stubs)
-		if g, ok := tryPairing(n, stubs, name); ok {
+		if g, ok := tryPairing(n, d, stubs, deg, nbr, name); ok {
 			return g, nil
 		}
 	}
@@ -298,27 +305,43 @@ func RandomRegular(n, d int, rng *xrand.Rand) (*Graph, error) {
 }
 
 // tryPairing matches consecutive stubs; fails on self-loops/multi-edges.
-func tryPairing(n int, stubs []int, name string) (*Graph, bool) {
-	seen := make(map[[2]int32]struct{}, len(stubs)/2)
+// deg and nbr are the caller's reusable adjacency arena (len n and n*d);
+// duplicate detection is a linear scan over one endpoint's current
+// neighbors, which for the degrees where the pairing model is viable is
+// faster than any hashing and allocates nothing on the (overwhelmingly
+// common) failure path.
+func tryPairing(n, d int, stubs []int, deg, nbr []int32, name string) (*Graph, bool) {
+	for i := range deg {
+		deg[i] = 0
+	}
 	for i := 0; i < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
 		if u == v {
 			return nil, false
 		}
-		a, b := int32(u), int32(v)
-		if a > b {
-			a, b = b, a
+		// Adjacency is symmetric, so scanning the sparser endpoint's
+		// list decides duplicates just as well.
+		su, sv := u, v
+		if deg[sv] < deg[su] {
+			su, sv = sv, su
 		}
-		key := [2]int32{a, b}
-		if _, dup := seen[key]; dup {
-			return nil, false
+		row := nbr[su*d : su*d+int(deg[su])]
+		for _, w := range row {
+			if w == int32(sv) {
+				return nil, false
+			}
 		}
-		seen[key] = struct{}{}
+		nbr[u*d+int(deg[u])] = int32(v)
+		deg[u]++
+		nbr[v*d+int(deg[v])] = int32(u)
+		deg[v]++
 	}
+	// Success: snapshot the arena into the graph's own backing array.
+	backing := make([]int32, n*d)
+	copy(backing, nbr)
 	adj := make([][]int32, n)
-	for e := range seen {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+	for v := 0; v < n; v++ {
+		adj[v] = backing[v*d : v*d+int(deg[v])]
 	}
 	sortAdj(adj)
 	return &Graph{adj: adj, name: name}, true

@@ -18,6 +18,10 @@ var mapIterScope = []string{
 	"internal/asim",
 	"internal/fault",
 	"internal/adversary",
+	// The columnar trace records in append order and replays by index;
+	// a map-ordered write path would scramble the on-disk/in-memory
+	// record order across runs.
+	"internal/trace",
 }
 
 // MapIterationAnalyzer flags `for ... range m` over a map in scheduler

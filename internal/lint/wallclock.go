@@ -17,6 +17,10 @@ var wallClockScope = []string{
 	"internal/bt",
 	"internal/fault",
 	"internal/adversary",
+	// The columnar trace log is engine-adjacent: it is written from
+	// inside the tick loop and replayed by audits, so a wall-clock read
+	// there would be just as nondeterministic as in the engines.
+	"internal/trace",
 }
 
 // wallClockFuncs are the package time entry points that observe or

@@ -23,7 +23,7 @@ package mechanism
 import (
 	"fmt"
 
-	"barterdist/internal/simulate"
+	"barterdist/internal/trace"
 )
 
 // Ledger tracks pairwise net transfers between clients under a credit
@@ -134,11 +134,17 @@ func (v *Violation) Error() string {
 // trace is matched by a simultaneous reverse transfer between the same
 // two clients (Section 3.1's simultaneous exchange requirement). Server
 // transfers are exempt. It returns nil if the trace complies.
-func VerifyStrictBarter(trace [][]simulate.Transfer) error {
-	for ti, tick := range trace {
-		// reverse[u<<32|v] counts transfers u -> v this tick.
+//
+// All verifiers in this package consume a streaming trace.Cursor; the
+// caller chooses the view (Log.Cursor for the raw schedule,
+// Log.ReleasedCursor to exclude transfers an adversarial sender never
+// released).
+func VerifyStrictBarter(cur *trace.Cursor) error {
+	for cur.NextTick() {
+		// fwd[u<<32|v] counts transfers u -> v this tick.
 		fwd := make(map[uint64]int)
-		for _, tr := range tick {
+		for cur.Next() {
+			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
@@ -149,7 +155,7 @@ func VerifyStrictBarter(trace [][]simulate.Transfer) error {
 			rev := fwd[uint64(uint32(v))<<32|uint64(uint32(u))]
 			if rev != cnt {
 				return &Violation{
-					Tick: ti + 1, From: u, To: v,
+					Tick: cur.Tick(), From: u, To: v,
 					Reason: fmt.Sprintf("%d transfer(s) forward but %d in return (strict barter requires a simultaneous exchange)", cnt, rev),
 				}
 			}
@@ -162,13 +168,14 @@ func VerifyStrictBarter(trace [][]simulate.Transfer) error {
 // transfer between every ordered client pair is at most s. Within a tick
 // transfers are simultaneous, so an exchange nets to zero regardless of
 // ordering. It returns nil if the trace complies.
-func VerifyCreditLimited(trace [][]simulate.Transfer, s int) error {
+func VerifyCreditLimited(cur *trace.Cursor, s int) error {
 	if s < 1 {
 		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
 	}
 	net := make(map[uint64]int)
-	for ti, tick := range trace {
-		for _, tr := range tick {
+	for cur.NextTick() {
+		for cur.Next() {
+			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
@@ -187,7 +194,7 @@ func VerifyCreditLimited(trace [][]simulate.Transfer, s int) error {
 					n = -n
 				}
 				return &Violation{
-					Tick: ti + 1, From: u, To: v,
+					Tick: cur.Tick(), From: u, To: v,
 					Reason: fmt.Sprintf("net transfer %d exceeds credit limit %d", n, s),
 				}
 			}
@@ -200,11 +207,12 @@ func VerifyCreditLimited(trace [][]simulate.Transfer, s int) error {
 // trace satisfies credit-limited barter — i.e. the peak per-pair
 // imbalance at any tick boundary. A fully cooperative trace may return
 // large values; the Riffle Pipeline returns 1.
-func MinimalCreditLimit(trace [][]simulate.Transfer) int {
+func MinimalCreditLimit(cur *trace.Cursor) int {
 	net := make(map[uint64]int)
 	max := 0
-	for _, tick := range trace {
-		for _, tr := range tick {
+	for cur.NextTick() {
+		for cur.Next() {
+			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
@@ -237,12 +245,12 @@ func MinimalCreditLimit(trace [][]simulate.Transfer) int {
 // matches the enforceable handshake the paper sketches (a node agrees to
 // a triangle before transmitting, so cycles are explicit, not found by
 // an optimizer).
-func VerifyTriangular(trace [][]simulate.Transfer, s int) error {
+func VerifyTriangular(cur *trace.Cursor, s int) error {
 	if s < 1 {
 		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
 	}
 	net := make(map[uint64]int)
-	for ti, tick := range trace {
+	for cur.NextTick() {
 		// count[u][v] = remaining uncancelled transfers u -> v this tick.
 		count := make(map[int32]map[int32]int)
 		addEdge := func(u, v int32, d int) {
@@ -259,7 +267,8 @@ func VerifyTriangular(trace [][]simulate.Transfer, s int) error {
 				}
 			}
 		}
-		for _, tr := range tick {
+		for cur.Next() {
+			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
@@ -305,7 +314,7 @@ func VerifyTriangular(trace [][]simulate.Transfer, s int) error {
 					n = -n
 				}
 				return &Violation{
-					Tick: ti + 1, From: u, To: v,
+					Tick: cur.Tick(), From: u, To: v,
 					Reason: fmt.Sprintf("net non-cycle transfer %d exceeds credit limit %d", n, s),
 				}
 			}

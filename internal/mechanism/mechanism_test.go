@@ -6,10 +6,17 @@ import (
 
 	"barterdist/internal/schedule"
 	"barterdist/internal/simulate"
+	"barterdist/internal/trace"
 )
 
 func tr(from, to, block int32) simulate.Transfer {
 	return simulate.Transfer{From: from, To: to, Block: block}
+}
+
+// cur wraps a nested tick list in a fresh single-use cursor, the shape
+// the verifiers consume.
+func cur(ticks [][]simulate.Transfer) *trace.Cursor {
+	return trace.FromTicks(ticks, nil, nil, false).Cursor()
 }
 
 func TestLedgerBasics(t *testing.T) {
@@ -69,22 +76,22 @@ func TestLedgerRejectsBadLimit(t *testing.T) {
 }
 
 func TestVerifyStrictBarterAcceptsExchange(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(0, 1, 0)}, // server hand-off: exempt
 		{tr(0, 2, 1)},
 		{tr(1, 2, 0), tr(2, 1, 1)}, // simultaneous exchange
 	}
-	if err := VerifyStrictBarter(trace); err != nil {
+	if err := VerifyStrictBarter(cur(ticks)); err != nil {
 		t.Fatalf("compliant trace rejected: %v", err)
 	}
 }
 
 func TestVerifyStrictBarterRejectsOneWay(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(0, 1, 0)},
 		{tr(1, 2, 0)}, // one-way client transfer
 	}
-	err := VerifyStrictBarter(trace)
+	err := VerifyStrictBarter(cur(ticks))
 	if err == nil {
 		t.Fatal("one-way transfer accepted")
 	}
@@ -103,48 +110,48 @@ func TestVerifyStrictBarterRejectsOneWay(t *testing.T) {
 func TestVerifyStrictBarterRejectsUnbalancedCounts(t *testing.T) {
 	// Two forward transfers vs one reverse (requires upload cap > 1, but
 	// the verifier must still catch it).
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(1, 2, 0), tr(1, 2, 1), tr(2, 1, 2)},
 	}
-	if VerifyStrictBarter(trace) == nil {
+	if VerifyStrictBarter(cur(ticks)) == nil {
 		t.Fatal("unbalanced exchange accepted")
 	}
 }
 
 func TestVerifyCreditLimited(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(1, 2, 0)},
 		{tr(1, 2, 1)},
 	}
-	if err := VerifyCreditLimited(trace, 2); err != nil {
+	if err := VerifyCreditLimited(cur(ticks), 2); err != nil {
 		t.Fatalf("s=2 should accept net 2: %v", err)
 	}
-	if VerifyCreditLimited(trace, 1) == nil {
+	if VerifyCreditLimited(cur(ticks), 1) == nil {
 		t.Fatal("s=1 should reject net 2")
 	}
-	if _, ok := VerifyCreditLimited(trace, 1).(*Violation); !ok {
+	if _, ok := VerifyCreditLimited(cur(ticks), 1).(*Violation); !ok {
 		t.Fatal("expected *Violation")
 	}
 }
 
 func TestVerifyCreditLimitedExchangeNetsToZero(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(1, 2, 0), tr(2, 1, 1)},
 		{tr(1, 2, 2), tr(2, 1, 3)},
 		{tr(1, 2, 4), tr(2, 1, 5)},
 	}
-	if err := VerifyCreditLimited(trace, 1); err != nil {
+	if err := VerifyCreditLimited(cur(ticks), 1); err != nil {
 		t.Fatalf("balanced exchanges rejected: %v", err)
 	}
 }
 
 func TestVerifyCreditLimitedReverseDirection(t *testing.T) {
 	// Imbalance in the higher->lower node direction must also be caught.
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(5, 2, 0)},
 		{tr(5, 2, 1)},
 	}
-	err := VerifyCreditLimited(trace, 1)
+	err := VerifyCreditLimited(cur(ticks), 1)
 	if err == nil {
 		t.Fatal("reverse-direction imbalance accepted")
 	}
@@ -155,36 +162,36 @@ func TestVerifyCreditLimitedReverseDirection(t *testing.T) {
 }
 
 func TestVerifyCreditLimitedBadLimit(t *testing.T) {
-	if VerifyCreditLimited(nil, 0) == nil {
+	if VerifyCreditLimited(cur(nil), 0) == nil {
 		t.Fatal("s=0 should error")
 	}
 }
 
 func TestMinimalCreditLimit(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(0, 1, 0)},              // exempt
 		{tr(1, 2, 0)},              // net(1,2) = 1
 		{tr(1, 2, 1)},              // net(1,2) = 2  <- peak
 		{tr(2, 1, 2), tr(2, 1, 3)}, // would need upload cap 2; fine for the auditor
 	}
-	if got := MinimalCreditLimit(trace); got != 2 {
+	if got := MinimalCreditLimit(cur(ticks)); got != 2 {
 		t.Fatalf("MinimalCreditLimit = %d, want 2", got)
 	}
-	if got := MinimalCreditLimit(nil); got != 0 {
+	if got := MinimalCreditLimit(cur(nil)); got != 0 {
 		t.Fatalf("empty trace limit = %d, want 0", got)
 	}
 }
 
 func TestVerifyTriangularAcceptsThreeCycle(t *testing.T) {
 	// 1 -> 2 -> 3 -> 1 simultaneously: pure triangle, no credit needed.
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(1, 2, 0), tr(2, 3, 1), tr(3, 1, 2)},
 	}
-	if err := VerifyTriangular(trace, 1); err != nil {
+	if err := VerifyTriangular(cur(ticks), 1); err != nil {
 		t.Fatalf("triangle rejected: %v", err)
 	}
 	// The same trace violates plain credit-limited... no: each pair net 1.
-	if err := VerifyCreditLimited(trace, 1); err != nil {
+	if err := VerifyCreditLimited(cur(ticks), 1); err != nil {
 		t.Fatalf("triangle within credit 1: %v", err)
 	}
 }
@@ -192,45 +199,45 @@ func TestVerifyTriangularAcceptsThreeCycle(t *testing.T) {
 func TestVerifyTriangularRepeatedTriangleNeedsNoCredit(t *testing.T) {
 	// Repeating the same directed triangle would blow any fixed pairwise
 	// credit limit, but triangular barter settles each round.
-	var trace [][]simulate.Transfer
+	var ticks [][]simulate.Transfer
 	for i := 0; i < 10; i++ {
-		trace = append(trace, []simulate.Transfer{
+		ticks = append(ticks, []simulate.Transfer{
 			tr(1, 2, int32(i)), tr(2, 3, int32(i)), tr(3, 1, int32(i)),
 		})
 	}
-	if err := VerifyTriangular(trace, 1); err != nil {
+	if err := VerifyTriangular(cur(ticks), 1); err != nil {
 		t.Fatalf("repeated triangle rejected: %v", err)
 	}
-	if VerifyCreditLimited(trace, 3) == nil {
+	if VerifyCreditLimited(cur(ticks), 3) == nil {
 		t.Fatal("plain credit verifier should reject 10 unpaid transfers per pair")
 	}
 }
 
 func TestVerifyTriangularChargesNonCycleTransfers(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{tr(1, 2, 0)},
 		{tr(1, 2, 1)},
 	}
-	if VerifyTriangular(trace, 1) == nil {
+	if VerifyTriangular(cur(ticks), 1) == nil {
 		t.Fatal("uncompensated transfers beyond s accepted")
 	}
-	if err := VerifyTriangular(trace, 2); err != nil {
+	if err := VerifyTriangular(cur(ticks), 2); err != nil {
 		t.Fatalf("s=2 should accept: %v", err)
 	}
-	if VerifyTriangular(nil, 0) == nil {
+	if VerifyTriangular(cur(nil), 0) == nil {
 		t.Fatal("s=0 should error")
 	}
 }
 
 func TestVerifyTriangularMixedCyclesAndExchanges(t *testing.T) {
-	trace := [][]simulate.Transfer{
+	ticks := [][]simulate.Transfer{
 		{
 			tr(1, 2, 0), tr(2, 1, 1), // 2-cycle
 			tr(3, 4, 2), tr(4, 5, 3), tr(5, 3, 4), // 3-cycle
 			tr(6, 7, 5), // one-way, charges credit 1
 		},
 	}
-	if err := VerifyTriangular(trace, 1); err != nil {
+	if err := VerifyTriangular(cur(ticks), 1); err != nil {
 		t.Fatalf("mixed tick rejected: %v", err)
 	}
 }
@@ -251,11 +258,11 @@ func TestRifflePipelineSatisfiesStrictBarter(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
 		}
-		if err := VerifyStrictBarter(res.Trace); err != nil {
+		if err := VerifyStrictBarter(res.Trace.Cursor()); err != nil {
 			t.Errorf("n=%d k=%d: riffle violates strict barter: %v", tc.n, tc.k, err)
 		}
 		// Strict barter implies credit-limited with s = 1.
-		if err := VerifyCreditLimited(res.Trace, 1); err != nil {
+		if err := VerifyCreditLimited(res.Trace.Cursor(), 1); err != nil {
 			t.Errorf("n=%d k=%d: riffle violates s=1 credit: %v", tc.n, tc.k, err)
 		}
 	}
@@ -277,7 +284,7 @@ func TestHypercubeSatisfiesCreditOneForPowersOfTwo(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
 		}
-		if err := VerifyCreditLimited(res.Trace, 1); err != nil {
+		if err := VerifyCreditLimited(res.Trace.Cursor(), 1); err != nil {
 			t.Errorf("n=%d k=%d: hypercube exceeds credit 1: %v", tc.n, tc.k, err)
 		}
 	}
@@ -295,7 +302,7 @@ func TestHypercubeCreditForArbitraryKIsLarger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := MinimalCreditLimit(res.Trace); got <= 1 {
+	if got := MinimalCreditLimit(res.Trace.Cursor()); got <= 1 {
 		t.Skipf("minimal credit %d — paper's remark did not bind at this size", got)
 	}
 }
@@ -316,7 +323,7 @@ func TestGeneralizedHypercubeObeysTriangularCredit(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
 		}
-		if err := VerifyTriangular(res.Trace, 3); err != nil {
+		if err := VerifyTriangular(res.Trace.Cursor(), 3); err != nil {
 			t.Errorf("n=%d k=%d: paired hypercube violates triangular s=3: %v", tc.n, tc.k, err)
 		}
 	}
@@ -329,7 +336,7 @@ func TestPipelineViolatesStrictBarter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if VerifyStrictBarter(res.Trace) == nil {
+	if VerifyStrictBarter(res.Trace.Cursor()) == nil {
 		t.Fatal("chain pipeline cannot satisfy strict barter")
 	}
 }

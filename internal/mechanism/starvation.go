@@ -11,22 +11,8 @@ import (
 // executable form of the paper's "protection of barter" argument: a
 // client that contributes nothing can extract almost nothing, because
 // every client-to-client transfer is collateralized by the credit
-// limit. The auditors replay a recorded simulate.Result (Trace +
-// LostTrace + Strategies) without needing the consumed adversary plan.
-
-// delivered reports, per tick, which Trace indices actually delivered —
-// i.e. were not dropped by the fault or adversary layer. lost may be
-// nil (loss-free run).
-func droppedSet(lost [][]int, tick int) map[int]bool {
-	if tick >= len(lost) || len(lost[tick]) == 0 {
-		return nil
-	}
-	m := make(map[int]bool, len(lost[tick]))
-	for _, idx := range lost[tick] {
-		m[idx] = true
-	}
-	return m
-}
+// limit. The auditors replay a recorded simulate.Result (the columnar
+// Trace plus Strategies) without needing the consumed adversary plan.
 
 // VerifyStarvation checks the starvation guarantee on an adversarial
 // trace run under credit-limited (or triangular) barter with limit s:
@@ -34,7 +20,8 @@ func droppedSet(lost [][]int, tick int) map[int]bool {
 // number of blocks DELIVERED to it by any single client peer must stay
 // within s for the whole run. Transfers that were scheduled but dropped
 // (by the fault layer or by the sender's own strategy) consumed no
-// credit at the free-rider and do not count.
+// credit at the free-rider and do not count, which the trace cursor's
+// per-transfer Dropped flag reports directly.
 //
 // The server (node 0) is exempt, as everywhere in the paper: barter
 // does not protect the server's altruism, only the clients'.
@@ -49,7 +36,7 @@ func VerifyStarvation(res *simulate.Result, s int) error {
 	if res.Strategies == nil {
 		return fmt.Errorf("mechanism: VerifyStarvation requires an adversarial run (Result.Strategies is nil)")
 	}
-	if len(res.Trace) == 0 && res.CompletionTime > 0 {
+	if res.Trace == nil && res.CompletionTime > 0 {
 		return fmt.Errorf("mechanism: VerifyStarvation requires a recorded trace (set RecordTrace)")
 	}
 	freeRider := make([]bool, len(res.Strategies))
@@ -60,16 +47,17 @@ func VerifyStarvation(res *simulate.Result, s int) error {
 			any = true
 		}
 	}
-	if !any {
-		return nil // nothing to starve
+	if !any || res.Trace == nil {
+		return nil // nothing to starve (or nothing recorded)
 	}
 	// net[pair(u,v)] counts blocks delivered u -> v minus v -> u, for
 	// pairs with a free-rider endpoint only.
 	net := make(map[uint64]int)
-	for ti, tick := range res.Trace {
-		drop := droppedSet(res.LostTrace, ti)
-		for i, tr := range tick {
-			if drop[i] || tr.From == 0 || tr.To == 0 {
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
+		for cur.Next() {
+			tr := cur.Transfer()
+			if cur.Dropped() || tr.From == 0 || tr.To == 0 {
 				continue
 			}
 			if !freeRider[tr.From] && !freeRider[tr.To] {
@@ -90,7 +78,7 @@ func VerifyStarvation(res *simulate.Result, s int) error {
 					n = -n
 				}
 				return &Violation{
-					Tick: ti + 1, From: u, To: v,
+					Tick: cur.Tick(), From: u, To: v,
 					Reason: fmt.Sprintf("free-rider %d received %d net blocks from client %d, above credit limit %d — barter failed to starve it", v, n, s, u),
 				}
 			}
@@ -113,52 +101,45 @@ func VerifyStarvation(res *simulate.Result, s int) error {
 //     apart.
 //
 // period is the throttle spacing in ticks; period <= 0 selects the
-// adversary package default. It needs res.Trace and, when losses
-// occurred, res.LostTrace/res.LostKindTrace.
+// adversary package default. It needs res.Trace, whose drop columns
+// carry each drop's kind.
 func AuditAdversary(res *simulate.Result, period float64) error {
 	if res.Strategies == nil {
 		return fmt.Errorf("mechanism: AuditAdversary requires an adversarial run (Result.Strategies is nil)")
 	}
-	if len(res.Trace) == 0 && res.CompletionTime > 0 {
+	if res.Trace == nil && res.CompletionTime > 0 {
 		return fmt.Errorf("mechanism: AuditAdversary requires a recorded trace (set RecordTrace)")
 	}
 	if period <= 0 {
 		period = adversary.DefaultThrottlePeriod
 	}
+	if res.Trace == nil {
+		return nil
+	}
 	n := len(res.Strategies)
 	lastAttempt := make([]int, n) // per-throttler tick of last admitted upload; 0 = none
-	for ti, tick := range res.Trace {
-		// kindAt[i] = LostKind of dropped transfer i this tick.
-		var kindAt map[int]uint8
-		if ti < len(res.LostTrace) && len(res.LostTrace[ti]) > 0 {
-			kindAt = make(map[int]uint8, len(res.LostTrace[ti]))
-			for j, idx := range res.LostTrace[ti] {
-				var kind uint8
-				if ti < len(res.LostKindTrace) && j < len(res.LostKindTrace[ti]) {
-					kind = res.LostKindTrace[ti][j]
-				}
-				kindAt[idx] = kind
-			}
-		}
-		for i, tr := range tick {
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
+		t := cur.Tick()
+		for cur.Next() {
+			tr := cur.Transfer()
 			if tr.From == 0 || int(tr.From) >= n {
 				continue
 			}
-			kind, dropped := kindAt[i]
-			refused := dropped && kind == simulate.LostKindRefused
+			refused := cur.Dropped() && cur.Kind() == simulate.LostKindRefused
 			switch res.Strategies[tr.From] {
 			case adversary.FreeRider:
 				if !refused {
 					return &Violation{
-						Tick: ti + 1, From: tr.From, To: tr.To,
+						Tick: t, From: tr.From, To: tr.To,
 						Reason: "free-rider sent a block (its strategy must refuse every upload)",
 					}
 				}
 			case adversary.Defector:
 				done := res.ClientCompletion[tr.From]
-				if done > 0 && ti+1 > done && !refused {
+				if done > 0 && t > done && !refused {
 					return &Violation{
-						Tick: ti + 1, From: tr.From, To: tr.To,
+						Tick: t, From: tr.From, To: tr.To,
 						Reason: fmt.Sprintf("defector uploaded after completing at tick %d", done),
 					}
 				}
@@ -166,13 +147,13 @@ func AuditAdversary(res *simulate.Result, period float64) error {
 				if refused {
 					continue
 				}
-				if last := lastAttempt[tr.From]; last > 0 && float64(ti+1-last) < period {
+				if last := lastAttempt[tr.From]; last > 0 && float64(t-last) < period {
 					return &Violation{
-						Tick: ti + 1, From: tr.From, To: tr.To,
-						Reason: fmt.Sprintf("throttler uploaded %d tick(s) after its previous upload at tick %d (period %g)", ti+1-last, last, period),
+						Tick: t, From: tr.From, To: tr.To,
+						Reason: fmt.Sprintf("throttler uploaded %d tick(s) after its previous upload at tick %d (period %g)", t-last, last, period),
 					}
 				}
-				lastAttempt[tr.From] = ti + 1
+				lastAttempt[tr.From] = t
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"barterdist/internal/mechanism"
 	"barterdist/internal/randomized"
 	"barterdist/internal/simulate"
+	"barterdist/internal/trace"
 )
 
 func adversarialRun(t *testing.T, creditLimit int, seed uint64) *simulate.Result {
@@ -81,10 +82,10 @@ func TestVerifyStarvationDetectsLeak(t *testing.T) {
 		Strategies: []adversary.Strategy{
 			adversary.Honest, adversary.Honest, adversary.FreeRider,
 		},
-		Trace: [][]simulate.Transfer{
+		Trace: trace.FromTicks([][]simulate.Transfer{
 			{{From: 1, To: 2, Block: 0}},
 			{{From: 1, To: 2, Block: 1}},
-		},
+		}, nil, nil, true),
 	}
 	err := mechanism.VerifyStarvation(res, 1)
 	if err == nil {
@@ -96,8 +97,10 @@ func TestVerifyStarvationDetectsLeak(t *testing.T) {
 	}
 	// The same trace with the second delivery dropped in flight stays
 	// within the bound: dropped transfers never reached the free-rider.
-	res.LostTrace = [][]int{nil, {0}}
-	res.LostKindTrace = [][]uint8{nil, {simulate.LostKindFault}}
+	res.Trace = trace.FromTicks([][]simulate.Transfer{
+		{{From: 1, To: 2, Block: 0}},
+		{{From: 1, To: 2, Block: 1}},
+	}, [][]int{nil, {0}}, [][]uint8{nil, {simulate.LostKindFault}}, true)
 	if err := mechanism.VerifyStarvation(res, 1); err != nil {
 		t.Fatalf("dropped delivery should not count: %v", err)
 	}
@@ -116,23 +119,23 @@ func TestAuditAdversaryDetectsMisbehavior(t *testing.T) {
 
 	// A free-rider whose upload actually delivered.
 	res := base()
-	res.Trace = [][]simulate.Transfer{{{From: 1, To: 2, Block: 0}}}
+	res.Trace = trace.FromTicks([][]simulate.Transfer{{{From: 1, To: 2, Block: 0}}}, nil, nil, true)
 	if err := mechanism.AuditAdversary(res, 0); err == nil {
 		t.Fatal("expected a free-rider violation")
 	}
 	// The same transfer marked refused is fine.
-	res.LostTrace = [][]int{{0}}
-	res.LostKindTrace = [][]uint8{{simulate.LostKindRefused}}
+	res.Trace = trace.FromTicks([][]simulate.Transfer{{{From: 1, To: 2, Block: 0}}},
+		[][]int{{0}}, [][]uint8{{simulate.LostKindRefused}}, true)
 	if err := mechanism.AuditAdversary(res, 0); err != nil {
 		t.Fatalf("refused free-rider upload should pass: %v", err)
 	}
 
 	// A throttler uploading twice within its period.
 	res = base()
-	res.Trace = [][]simulate.Transfer{
+	res.Trace = trace.FromTicks([][]simulate.Transfer{
 		{{From: 3, To: 2, Block: 0}},
 		{{From: 3, To: 2, Block: 1}},
-	}
+	}, nil, nil, true)
 	if err := mechanism.AuditAdversary(res, 4); err == nil {
 		t.Fatal("expected a throttler violation")
 	}
@@ -142,9 +145,9 @@ func TestAuditAdversaryDetectsMisbehavior(t *testing.T) {
 
 	// A defector uploading after its completion tick.
 	res = base()
-	res.Trace = [][]simulate.Transfer{
+	res.Trace = trace.FromTicks([][]simulate.Transfer{
 		{}, {{From: 4, To: 2, Block: 0}},
-	}
+	}, nil, nil, true)
 	if err := mechanism.AuditAdversary(res, 0); err == nil {
 		t.Fatal("expected a defector violation")
 	}

@@ -186,3 +186,52 @@ func TestTriangularIncrementalFreqMatchesRecompute(t *testing.T) {
 		t.Fatal("seed produced no fault events; pick a livelier seed")
 	}
 }
+
+// TestCandidateSetMatchesScan pins the incrementally maintained
+// candidate membership (alive, incomplete clients) against the
+// from-scratch predicate scan it replaced, across a run with crashes,
+// wiped rejoins, losses, and free-riders — every channel that can move
+// a node in or out of the set.
+func TestCandidateSetMatchesScan(t *testing.T) {
+	plan, err := fault.NewPlan(fault.Options{
+		Seed:              21,
+		CrashRate:         0.08,
+		MaxCrashes:        4,
+		RejoinDelay:       3,
+		RejoinLosesBlocks: true,
+		LossRate:          0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(Options{Seed: 5, DownloadCap: 1, CreditLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticksChecked := 0
+	probe := simulate.SchedulerFunc(func(tick int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+		out, err := sched.Tick(tick, st, dst)
+		if err != nil {
+			return nil, err
+		}
+		// beginTick ran at the top of Tick and nothing mutates the
+		// engine state until the transfers land, so the candidate set
+		// must equal the tick-start predicate right now.
+		for v := 1; v < st.N(); v++ {
+			want := st.Alive(v) && !st.Blocks(v).Full()
+			if got := sched.candidates.Has(v); got != want {
+				t.Fatalf("tick %d node %d: candidates.Has=%v, predicate=%v", tick, v, got, want)
+			}
+		}
+		ticksChecked++
+		return out, nil
+	})
+	if _, err := simulate.Run(simulate.Config{
+		Nodes: 24, Blocks: 12, DownloadCap: 1, Fault: plan, RecordTrace: true,
+	}, probe); err != nil {
+		t.Fatal(err)
+	}
+	if ticksChecked == 0 {
+		t.Fatal("probe never ran")
+	}
+}

@@ -102,10 +102,27 @@ type Scheduler struct {
 	n, k int
 	init bool
 
-	freq     []int     // freq[b] = number of nodes holding block b
-	order    []int     // uploader processing order, reshuffled per tick
-	downUsed []int     // per-node downloads consumed this tick
-	incoming [][]int32 // per-node blocks already in flight this tick
+	freq  []int // freq[b] = number of nodes holding block b
+	order []int // uploader processing order, reshuffled per tick
+	// downUsed and incoming are epoch-stamped per-tick scratch: an entry
+	// is live only when its stamp equals the current tick, so beginTick
+	// never pays an O(n) zeroing pass — per-tick cost is proportional to
+	// the receivers actually touched, not to the node count.
+	downUsed      []int
+	downStamp     []int32
+	incoming      [][]int32
+	incomingStamp []int32
+	curTick       int32
+	// touched lists the receivers scheduled at least one transfer this
+	// tick; the next beginTick checks exactly these for completion when
+	// maintaining the candidate set.
+	touched []int32
+	// candidates is the persistent membership set behind avail: alive,
+	// incomplete clients, maintained incrementally (completions come
+	// from touched, liveness from the fault-event stream) instead of an
+	// O(n) per-tick predicate scan. TestCandidateSetMatchesScan pins it
+	// against the from-scratch rebuild.
+	candidates *bitset.Set
 	// avail holds the complete-graph candidate receivers for the current
 	// tick: incomplete clients with download capacity left. Saturated
 	// nodes are swap-removed as the tick progresses so both sampling and
@@ -202,9 +219,17 @@ func (s *Scheduler) setup(st *simulate.State) error {
 		s.order[i] = i
 	}
 	s.downUsed = make([]int, s.n)
+	s.downStamp = make([]int32, s.n)
 	s.incoming = make([][]int32, s.n)
+	s.incomingStamp = make([]int32, s.n)
 	s.avail = make([]int32, 0, s.n)
 	s.availPos = make([]int32, s.n)
+	s.candidates = bitset.New(s.n)
+	for v := 1; v < s.n; v++ {
+		if st.Alive(v) && !st.Blocks(v).Full() {
+			s.candidates.Add(v)
+		}
+	}
 	if s.opts.Policy == LocalRare && s.opts.Graph == nil {
 		s.localPeers = make([]int32, 0, s.n)
 	}
@@ -263,13 +288,13 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 			continue // cannot happen if pickReceiver qualified v; defensive
 		}
 		dst = append(dst, simulate.Transfer{From: int32(u), To: int32(v), Block: int32(b)})
-		s.downUsed[v]++
-		s.incoming[v] = append(s.incoming[v], int32(b))
+		used := s.bumpDownUsed(v)
+		s.addIncoming(v, int32(b))
 		s.freq[b]++
 		if s.ledger != nil {
 			s.ledger.Record(int32(u), int32(v))
 		}
-		if s.opts.DownloadCap != simulate.Unlimited && s.downUsed[v] >= s.opts.DownloadCap {
+		if s.opts.DownloadCap != simulate.Unlimited && used >= s.opts.DownloadCap {
 			s.removeAvail(v)
 		}
 	}
@@ -292,6 +317,18 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 // consume exactly the pre-fault RNG stream.
 func (s *Scheduler) beginTick(st *simulate.State) {
 	now := float64(st.Tick() + 1) // the tick about to be scheduled
+	s.curTick = int32(st.Tick() + 1)
+	// Fold last tick's deliveries into the candidate set: only receivers
+	// that were actually scheduled a transfer can have completed, so the
+	// membership update costs O(active transfers), not O(n). Ground
+	// truth (st.Blocks(v).Full()) already reflects the engine's applied
+	// deliveries and drops.
+	for _, v := range s.touched {
+		if st.Blocks(int(v)).Full() {
+			s.candidates.Remove(int(v))
+		}
+	}
+	s.touched = s.touched[:0]
 	for _, lt := range st.LostLastTick() {
 		s.freq[lt.Block]--
 		if s.guard != nil && (lt.Adversary || lt.Corrupt) {
@@ -313,27 +350,33 @@ func (s *Scheduler) beginTick(st *simulate.State) {
 			switch ev.Kind {
 			case fault.Crash:
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, -1)
+				s.candidates.Remove(int(ev.Node))
 			case fault.Rejoin:
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, 1)
+				// A wiped rejoiner is always incomplete; an intact one
+				// may have completed before its crash.
+				if !st.Blocks(int(ev.Node)).Full() {
+					s.candidates.Add(int(ev.Node))
+				}
 			}
 		}
 		for i := range s.noPeerAtCount {
 			s.noPeerAtCount[i] = -1
 		}
 	}
-	for i := 0; i < s.n; i++ {
-		s.downUsed[i] = 0
-		s.incoming[i] = s.incoming[i][:0]
-		s.availPos[i] = -1
-	}
+	// Rebuild avail from the candidate set by word-level scan: ascending
+	// node order (the determinism contract for the rejection sampler)
+	// at O(n/64 + |avail|) instead of an O(n) predicate scan. availPos
+	// entries of non-candidates are stale but unreachable — removeAvail
+	// is only ever called for a node that was just handed a transfer,
+	// which means it came out of avail this tick.
 	s.avail = s.avail[:0]
 	s.removedInTick = 0
-	for v := 1; v < s.n; v++ {
-		if st.Alive(v) && !st.Blocks(v).Full() {
-			s.availPos[v] = int32(len(s.avail))
-			s.avail = append(s.avail, int32(v))
-		}
-	}
+	s.candidates.Iter(func(v int) bool {
+		s.availPos[v] = int32(len(s.avail))
+		s.avail = append(s.avail, int32(v))
+		return true
+	})
 	if s.opts.Graph == nil {
 		if s.commonBlocks == nil {
 			s.commonBlocks = bitset.New(s.k)
@@ -427,6 +470,47 @@ func (s *Scheduler) removeAvail(v int) {
 	s.removedInTick++
 }
 
+// downUsedOf returns v's download budget consumed this tick; entries
+// from earlier ticks read as zero via the epoch stamp.
+func (s *Scheduler) downUsedOf(v int) int {
+	if s.downStamp[v] != s.curTick {
+		return 0
+	}
+	return s.downUsed[v]
+}
+
+// bumpDownUsed increments v's consumed download budget for this tick
+// and returns the new value.
+func (s *Scheduler) bumpDownUsed(v int) int {
+	if s.downStamp[v] != s.curTick {
+		s.downStamp[v] = s.curTick
+		s.downUsed[v] = 0
+	}
+	s.downUsed[v]++
+	return s.downUsed[v]
+}
+
+// incomingOf returns the blocks already scheduled toward v this tick
+// (nil when none).
+func (s *Scheduler) incomingOf(v int) []int32 {
+	if s.incomingStamp[v] != s.curTick {
+		return nil
+	}
+	return s.incoming[v]
+}
+
+// addIncoming records one more block in flight to v this tick; the
+// first touch per tick resets v's stale list and registers v for the
+// next tick's completion check.
+func (s *Scheduler) addIncoming(v int, b int32) {
+	if s.incomingStamp[v] != s.curTick {
+		s.incomingStamp[v] = s.curTick
+		s.incoming[v] = s.incoming[v][:0]
+		s.touched = append(s.touched, int32(v))
+	}
+	s.incoming[v] = append(s.incoming[v], b)
+}
+
 // pickReceiverComplete is the complete-graph fast path: candidates are
 // drawn from the per-tick available list (incomplete clients with
 // download capacity left), since complete nodes and the server want no
@@ -504,7 +588,7 @@ func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified
 	if !s.needsSomething(st, u, v) {
 		return false, false
 	}
-	if s.opts.DownloadCap != simulate.Unlimited && s.downUsed[v] >= s.opts.DownloadCap {
+	if s.opts.DownloadCap != simulate.Unlimited && s.downUsedOf(v) >= s.opts.DownloadCap {
 		return true, false
 	}
 	if s.ledger != nil && !s.ledger.CanSend(int32(u), int32(v)) {
@@ -522,7 +606,7 @@ func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified
 // blocks already being delivered to v this tick.
 func (s *Scheduler) needsSomething(st *simulate.State, u, v int) bool {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := s.incoming[v]
+	inflight := s.incomingOf(v)
 	if len(inflight) == 0 {
 		return bu.AnyMissingFrom(bv)
 	}
@@ -544,7 +628,7 @@ func (s *Scheduler) needsSomething(st *simulate.State, u, v int) bool {
 // excluded).
 func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := s.incoming[v]
+	inflight := s.incomingOf(v)
 	useful := func(b int) bool {
 		for _, fb := range inflight {
 			if int(fb) == b {
@@ -553,10 +637,21 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 		}
 		return true
 	}
+	// offered enumerates the blocks u can give v, ascending. A complete
+	// sender (the server, or any finished peer that keeps seeding)
+	// offers exactly v's complement, which IterateMissing scans without
+	// touching the sender's words at all.
+	offered := func(fn func(b int) bool) {
+		if bu.Full() {
+			bv.IterateMissing(fn)
+		} else {
+			bu.IterDiff(bv, fn)
+		}
+	}
 	switch s.opts.Policy {
 	case RarestFirst, LocalRare:
 		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
-		bu.IterDiff(bv, func(b int) bool {
+		offered(func(b int) bool {
 			if !useful(b) {
 				return true
 			}
@@ -578,10 +673,13 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 		// Count the useful blocks first, then index into them — one RNG
 		// draw per transfer instead of one per candidate block.
 		count := 0
-		if len(inflight) == 0 {
+		switch {
+		case len(inflight) == 0 && bu.Full():
+			count = s.k - bv.Count() // |complement| without a scan
+		case len(inflight) == 0:
 			count = bu.DiffCount(bv)
-		} else {
-			bu.IterDiff(bv, func(b int) bool {
+		default:
+			offered(func(b int) bool {
 				if useful(b) {
 					count++
 				}
@@ -593,7 +691,7 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 		}
 		target := s.rng.Intn(count)
 		chosen := -1
-		bu.IterDiff(bv, func(b int) bool {
+		offered(func(b int) bool {
 			if !useful(b) {
 				return true
 			}

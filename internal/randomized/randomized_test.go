@@ -128,14 +128,12 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	if a.CompletionTime != b.CompletionTime || a.TotalTransfers != b.TotalTransfers {
 		t.Fatal("same seed produced different runs")
 	}
-	for i := range a.Trace {
-		if len(a.Trace[i]) != len(b.Trace[i]) {
-			t.Fatalf("tick %d differs between identical seeds", i+1)
-		}
-		for j := range a.Trace[i] {
-			if a.Trace[i][j] != b.Trace[i][j] {
-				t.Fatalf("transfer %d of tick %d differs", j, i+1)
-			}
+	if a.Trace.Len() != b.Trace.Len() || a.Trace.Ticks() != b.Trace.Ticks() {
+		t.Fatalf("trace shape differs between identical seeds")
+	}
+	for i := 0; i < a.Trace.Len(); i++ {
+		if a.Trace.At(i) != b.Trace.At(i) {
+			t.Fatalf("transfer %d differs between identical seeds", i)
 		}
 	}
 	c := runRandomized(t, cfg, Options{Seed: 43})
@@ -201,7 +199,7 @@ func TestCreditLimitedRespectsLedger(t *testing.T) {
 		if err != nil {
 			t.Fatalf("s=%d: %v", s, err)
 		}
-		if err := mechanism.VerifyCreditLimited(res.Trace, s); err != nil {
+		if err := mechanism.VerifyCreditLimited(res.Trace.Cursor(), s); err != nil {
 			t.Errorf("s=%d: trace violates credit limit: %v", s, err)
 		}
 	}
@@ -249,10 +247,11 @@ func TestServerNeverReceives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for ti, tick := range res.Trace {
-		for _, tr := range tick {
-			if tr.To == 0 {
-				t.Fatalf("tick %d: transfer to the server", ti+1)
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
+		for cur.Next() {
+			if cur.Transfer().To == 0 {
+				t.Fatalf("tick %d: transfer to the server", cur.Tick())
 			}
 		}
 	}
@@ -273,12 +272,14 @@ func TestNoDuplicateDeliveriesWithinTick(t *testing.T) {
 		t.Fatalf("redundant transfers occurred: total=%d useful=%d",
 			res.TotalTransfers, res.UsefulTransfers)
 	}
-	for ti, tick := range res.Trace {
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
 		seen := map[[2]int32]bool{}
-		for _, tr := range tick {
+		for cur.Next() {
+			tr := cur.Transfer()
 			key := [2]int32{tr.To, tr.Block}
 			if seen[key] {
-				t.Fatalf("tick %d: block %d delivered twice to node %d", ti+1, tr.Block, tr.To)
+				t.Fatalf("tick %d: block %d delivered twice to node %d", cur.Tick(), tr.Block, tr.To)
 			}
 			seen[key] = true
 		}

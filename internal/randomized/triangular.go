@@ -2,6 +2,7 @@ package randomized
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"barterdist/internal/adversary"
@@ -71,13 +72,58 @@ type TriangularScheduler struct {
 	n, k int
 	init bool
 
-	freq     []int
-	order    []int
-	downUsed []int
-	incoming [][]int32
-	scratch  []int32
-	intent   []int32 // intent[u] = chosen receiver, -1 if none
-	approved []bool  // per-tick settlement scratch, reused across ticks
+	freq  []int
+	order []int
+	// downUsed and incoming are epoch-stamped scratch, mirroring
+	// Scheduler: entries are live only when their stamp equals the
+	// current tick, so no per-tick O(n) zeroing pass is needed.
+	downUsed      []int
+	downStamp     []int32
+	incoming      [][]int32
+	incomingStamp []int32
+	curTick       int32
+	scratch       []int32
+	intent        []int32 // intent[u] = chosen receiver, -1 if none
+	approved      []bool  // per-tick settlement scratch, reused across ticks
+	// intenders lists the nodes that filed an intent this tick; the
+	// settlement phases iterate it (sorted ascending, preserving the
+	// historical whole-range scan order) and the next tick resets
+	// exactly these intent/approved entries.
+	intenders []int32
+}
+
+// downUsedOf returns v's download budget consumed this tick.
+func (ts *TriangularScheduler) downUsedOf(v int) int {
+	if ts.downStamp[v] != ts.curTick {
+		return 0
+	}
+	return ts.downUsed[v]
+}
+
+// bumpDownUsed increments v's consumed download budget for this tick.
+func (ts *TriangularScheduler) bumpDownUsed(v int) {
+	if ts.downStamp[v] != ts.curTick {
+		ts.downStamp[v] = ts.curTick
+		ts.downUsed[v] = 0
+	}
+	ts.downUsed[v]++
+}
+
+// incomingOf returns the blocks already scheduled toward v this tick.
+func (ts *TriangularScheduler) incomingOf(v int) []int32 {
+	if ts.incomingStamp[v] != ts.curTick {
+		return nil
+	}
+	return ts.incoming[v]
+}
+
+// addIncoming records one more block in flight to v this tick.
+func (ts *TriangularScheduler) addIncoming(v int, b int32) {
+	if ts.incomingStamp[v] != ts.curTick {
+		ts.incomingStamp[v] = ts.curTick
+		ts.incoming[v] = ts.incoming[v][:0]
+	}
+	ts.incoming[v] = append(ts.incoming[v], b)
 }
 
 var _ simulate.Scheduler = (*TriangularScheduler)(nil)
@@ -142,8 +188,13 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 		ts.order[i] = i
 	}
 	ts.downUsed = make([]int, ts.n)
+	ts.downStamp = make([]int32, ts.n)
 	ts.incoming = make([][]int32, ts.n)
+	ts.incomingStamp = make([]int32, ts.n)
 	ts.intent = make([]int32, ts.n)
+	for i := range ts.intent {
+		ts.intent[i] = -1
+	}
 	ts.approved = make([]bool, ts.n)
 	if st.Adversarial() {
 		guard, err := adversary.NewGuard(adversary.GuardOptions{})
@@ -184,11 +235,15 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 			st.Blocks(int(ev.Node)).AccumulateCounts(ts.freq, 1)
 		}
 	}
-	for i := 0; i < ts.n; i++ {
-		ts.downUsed[i] = 0
-		ts.incoming[i] = ts.incoming[i][:0]
-		ts.intent[i] = -1
+	ts.curTick = int32(st.Tick() + 1)
+	// Reset only last tick's intenders: everyone else's intent/approved
+	// entries are already clear, and downUsed/incoming invalidate
+	// themselves through their epoch stamps.
+	for _, u := range ts.intenders {
+		ts.intent[u] = -1
+		ts.approved[u] = false
 	}
+	ts.intenders = ts.intenders[:0]
 
 	// Phase 1: intents, in random order, reserving download capacity.
 	ts.rng.Shuffle(ts.order)
@@ -204,21 +259,20 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 			continue
 		}
 		ts.intent[u] = int32(v)
-		ts.downUsed[v]++
+		ts.intenders = append(ts.intenders, int32(u))
+		ts.bumpDownUsed(v)
 	}
 
 	// Phase 2a: approve what credit allows (server intents are exempt
-	// and always approved).
+	// and always approved). The intenders are visited in ascending node
+	// order — the same order the historical 0..n-1 scan used — so the
+	// settlement outcome is unchanged.
+	slices.Sort(ts.intenders)
 	approved := ts.approved
-	for i := range approved {
-		approved[i] = false
-	}
 	held := 0
-	for u := 0; u < ts.n; u++ {
+	for _, ui := range ts.intenders {
+		u := int(ui)
 		v := ts.intent[u]
-		if v < 0 {
-			continue
-		}
 		if ts.ledger.CanSend(int32(u), v) {
 			approved[u] = true
 		} else {
@@ -231,8 +285,9 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	// graph; walk it from each held node looking for a cycle of length
 	// <= CycleLimit consisting solely of held nodes.
 	if held > 0 {
-		for u := 0; u < ts.n; u++ {
-			if ts.intent[u] < 0 || approved[u] {
+		for _, ui := range ts.intenders {
+			u := int(ui)
+			if approved[u] {
 				continue
 			}
 			cycle := ts.findCycle(u, approved)
@@ -254,7 +309,7 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 			continue // everything useful is already in flight
 		}
 		dst = append(dst, simulate.Transfer{From: int32(u), To: int32(v), Block: int32(b)})
-		ts.incoming[v] = append(ts.incoming[v], int32(b))
+		ts.addIncoming(v, int32(b))
 		ts.freq[b]++
 	}
 	// Charge the ledger with per-tick cycle cancellation, mirroring the
@@ -388,7 +443,7 @@ func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
 		if v == 0 || !st.Alive(v) {
 			continue
 		}
-		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsed[v] >= ts.opts.DownloadCap {
+		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsedOf(v) >= ts.opts.DownloadCap {
 			continue
 		}
 		if !ts.needs(st, u, v) {
@@ -409,7 +464,7 @@ func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
 
 func (ts *TriangularScheduler) needs(st *simulate.State, u, v int) bool {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := ts.incoming[v]
+	inflight := ts.incomingOf(v)
 	if len(inflight) == 0 {
 		return bu.AnyMissingFrom(bv)
 	}
@@ -429,7 +484,7 @@ func (ts *TriangularScheduler) needs(st *simulate.State, u, v int) bool {
 // pickBlockFor mirrors Scheduler.pickBlock for the triangular variant.
 func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := ts.incoming[v]
+	inflight := ts.incomingOf(v)
 	useful := func(b int) bool {
 		for _, fb := range inflight {
 			if int(fb) == b {
@@ -438,9 +493,18 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 		}
 		return true
 	}
+	// offered mirrors Scheduler.pickBlock: a complete sender offers
+	// exactly v's complement, scanned word-at-a-time.
+	offered := func(fn func(b int) bool) {
+		if bu.Full() {
+			bv.IterateMissing(fn)
+		} else {
+			bu.IterDiff(bv, fn)
+		}
+	}
 	if ts.opts.Policy == RarestFirst || ts.opts.Policy == LocalRare {
 		best, bestFreq, ties := -1, int(^uint(0)>>1), 0
-		bu.IterDiff(bv, func(b int) bool {
+		offered(func(b int) bool {
 			if !useful(b) {
 				return true
 			}
@@ -467,7 +531,7 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 		return best
 	}
 	count := 0
-	bu.IterDiff(bv, func(b int) bool {
+	offered(func(b int) bool {
 		if useful(b) {
 			count++
 		}
@@ -478,7 +542,7 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 	}
 	target := ts.rng.Intn(count)
 	chosen := -1
-	bu.IterDiff(bv, func(b int) bool {
+	offered(func(b int) bool {
 		if !useful(b) {
 			return true
 		}

@@ -80,7 +80,7 @@ func TestTriangularCompletesAndVerifies(t *testing.T) {
 		if res.CompletionTime < analysis.CooperativeLowerBound(64, 64) {
 			t.Fatalf("%s: impossible T=%d", tc.name, res.CompletionTime)
 		}
-		if err := mechanism.VerifyTriangular(res.Trace, tc.credit); err != nil {
+		if err := mechanism.VerifyTriangular(res.Trace.Cursor(), tc.credit); err != nil {
 			t.Errorf("%s: trace violates triangular barter: %v", tc.name, err)
 		}
 	}
@@ -106,7 +106,7 @@ func TestTriangularCycleLimit2IsCreditLimited(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mechanism.VerifyCreditLimited(res.Trace, 2); err != nil {
+	if err := mechanism.VerifyCreditLimited(res.Trace.Cursor(), 2); err != nil {
 		t.Errorf("cycle-limit-2 trace violates credit barter: %v", err)
 	}
 }

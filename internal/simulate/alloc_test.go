@@ -1,0 +1,56 @@
+package simulate_test
+
+import (
+	"testing"
+
+	"barterdist/internal/randomized"
+	"barterdist/internal/simulate"
+)
+
+// TestSteadyStateTickAllocations pins the zero-alloc tick core: after
+// warm-up, advancing the synchronous engine one tick — scheduler pass,
+// capacity validation, delivery, AND columnar trace recording — must
+// allocate (almost) nothing. Everything per-tick lives in reused
+// scratch: epoch-stamped capacity counters, the swap-reused transfer
+// and drop staging buffers, and trace columns pre-sized by the
+// (n-1)·k completion bound. A regression here silently reintroduces
+// the per-tick make() churn that made large-n runs OOM-class.
+func TestSteadyStateTickAllocations(t *testing.T) {
+	const n, k = 512, 256
+	cfg := simulate.Config{
+		Nodes: n, Blocks: k,
+		DownloadCap: 1,
+		RecordTrace: true,
+	}
+	sched, err := randomized.New(randomized.Options{Seed: 11, DownloadCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := simulate.NewTestRunner(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := 1
+	step := func() {
+		done, err := r.Step(tick)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if done {
+			t.Fatalf("run completed at tick %d; measurement needs steady state (raise k)", tick)
+		}
+		tick++
+	}
+	// Warm-up: first touches allocate lazily (per-receiver in-flight
+	// rows, scheduler scratch) and the trace's Reserve hints settle.
+	for tick <= 32 {
+		step()
+	}
+	const measured = 64
+	avg := testing.AllocsPerRun(measured, step)
+	// ≈ 0: the occasional allocation (a rare append past a hint, a map
+	// rehash) amortizes out; anything ≥ 1 per tick is per-tick churn.
+	if avg >= 1 {
+		t.Fatalf("steady-state tick allocates %.2f times on average (want ≈ 0)", avg)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"barterdist/internal/adversary"
 	"barterdist/internal/fault"
+	"barterdist/internal/trace"
 )
 
 // ErrAudit wraps every RunAudit failure so callers can distinguish
@@ -20,7 +21,7 @@ func auditErr(format string, args ...any) error {
 // engine invariant held and that the reported result is exactly what
 // the trace produces. It is the post-hoc counterpart of the engine's
 // online validation: given only the artifacts a run leaves behind
-// (Config, Trace, FaultLog, LostTrace, FinalHave), it re-derives the
+// (Config, Trace, FaultLog, FinalHave), it re-derives the
 // whole execution and checks
 //
 //   - upload/download capacity: no node exceeds its per-tick caps;
@@ -36,7 +37,8 @@ func auditErr(format string, args ...any) error {
 // trace — or one produced by a cheating scheduler through a permissive
 // engine — fails with a pinpointed ErrAudit. cfg.Fault and
 // cfg.Adversary are ignored: the replay takes its adversity from
-// res.FaultLog and res.Strategies/res.LostKindTrace, so auditing never
+// res.FaultLog, res.Strategies, and the trace's drop columns, so
+// auditing never
 // consumes a (single-use) plan. For adversarial runs the drop causes
 // are re-counted per kind and the honest-only completion criterion and
 // honest stall accounting are re-derived from the trace.
@@ -59,12 +61,12 @@ func RunAudit(cfg Config, res *Result) error {
 	if len(res.FinalHave) != c.Nodes {
 		return auditErr("FinalHave has %d entries for %d nodes", len(res.FinalHave), c.Nodes)
 	}
-	if res.CompletionTime != len(res.Trace) {
-		return auditErr("CompletionTime %d does not match trace length %d",
-			res.CompletionTime, len(res.Trace))
+	if res.Trace == nil {
+		return auditErr("result has no trace; run with RecordTrace")
 	}
-	if len(res.LostTrace) > len(res.Trace) {
-		return auditErr("LostTrace has %d ticks but Trace has %d", len(res.LostTrace), len(res.Trace))
+	if res.CompletionTime != res.Trace.Ticks() {
+		return auditErr("CompletionTime %d does not match trace length %d",
+			res.CompletionTime, res.Trace.Ticks())
 	}
 
 	st := newState(c.Nodes, c.Blocks)
@@ -92,18 +94,16 @@ func RunAudit(cfg Config, res *Result) error {
 			}
 		}
 		st.aliveHonest = st.honestClients
-		if len(res.LostKindTrace) != len(res.LostTrace) {
-			return auditErr("LostKindTrace has %d ticks but LostTrace has %d",
-				len(res.LostKindTrace), len(res.LostTrace))
+		if !res.Trace.Kinded() {
+			return auditErr("adversarial result's trace records no drop kinds")
 		}
 	}
 
 	completion := make([]int, c.Nodes)
 	useful, total, lost, corrupt := 0, 0, 0, 0
 	honestUseful, honestWasted := 0, 0
-	kindCount := make([]int, 5) // indexed by LostKind*
-	upUsed := make([]int, c.Nodes)
-	downUsed := make([]int, c.Nodes)
+	kindCount := make([]int, trace.NumKinds)
+	caps := newCapScratch(c.Nodes)
 	logCursor := 0
 
 	applyEvents := func(t int) error {
@@ -158,39 +158,32 @@ func RunAudit(cfg Config, res *Result) error {
 		return nil
 	}
 
-	for t := 1; t <= len(res.Trace); t++ {
+	// Replay the columnar trace through a streaming cursor: the engine
+	// records drop positions strictly ascending, so the cursor hands
+	// each transfer its delivered/dropped status in one pass with no
+	// per-tick materialization.
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
+		t := cur.Tick()
 		if err := applyEvents(t); err != nil {
 			return err
 		}
-		tick := res.Trace[t-1]
-		for i := range upUsed {
-			upUsed[i] = 0
-			downUsed[i] = 0
-		}
-		for _, tr := range tick {
-			if err := validate(tr, st, c, upUsed, downUsed); err != nil {
+		// Two passes over the tick: capacity/state validation sees every
+		// transfer against the start-of-tick state, then the drop-aware
+		// pass applies deliveries. TickSpan gives the validation pass a
+		// raw index range without allocating a tick slice.
+		start, end := res.Trace.TickSpan(t - 1)
+		caps.reset(t)
+		for i := start; i < end; i++ {
+			if err := validate(res.Trace.At(i), st, c, caps); err != nil {
 				return auditErr("tick %d: %v", t, err)
 			}
 		}
-		var drops []int
-		var kinds []uint8
-		if t-1 < len(res.LostTrace) {
-			drops = res.LostTrace[t-1]
-			if adversarial {
-				kinds = res.LostKindTrace[t-1]
-				if len(kinds) != len(drops) {
-					return auditErr("tick %d: %d drop kinds for %d drops", t, len(kinds), len(drops))
-				}
-			}
-		}
-		di := 0
-		for i, tr := range tick {
-			if di < len(drops) && drops[di] == i {
-				// Drop indices are recorded strictly ascending, so a
-				// simple cursor consumes them; any malformed index fails
-				// the exhaustion check after the loop.
+		for cur.Next() {
+			tr := cur.Transfer()
+			if cur.Dropped() {
 				if adversarial {
-					k := kinds[di]
+					k := cur.Kind()
 					if int(k) >= len(kindCount) {
 						return auditErr("tick %d: unknown drop kind %d", t, k)
 					}
@@ -199,7 +192,6 @@ func RunAudit(cfg Config, res *Result) error {
 						honestWasted++
 					}
 				}
-				di++
 				lost++ // corrupt/lost split is re-checked in aggregate below
 				total++
 				continue
@@ -219,14 +211,11 @@ func RunAudit(cfg Config, res *Result) error {
 			}
 			total++
 		}
-		if di < len(drops) {
-			return auditErr("tick %d: LostTrace index %d out of range", t, drops[di])
-		}
 		st.tick = t
 	}
 	// Events that fired after the last scheduled tick (a crash that
 	// finished the run by removing the last incomplete client).
-	if err := applyEvents(len(res.Trace) + 1); err != nil {
+	if err := applyEvents(res.Trace.Ticks() + 1); err != nil {
 		return err
 	}
 	if logCursor != len(res.FaultLog) {

@@ -1,0 +1,18 @@
+package simulate
+
+// Test-only exports: the allocation regression suite (alloc_test.go,
+// package simulate_test) needs to drive the engine one tick at a time
+// with a real scheduler from internal/randomized, which an in-package
+// test cannot import (cycle). The alias keeps runner unexported for
+// production callers while letting the external test package step it.
+
+// TestRunner aliases the unexported tick runner for external tests.
+type TestRunner = runner
+
+// NewTestRunner builds a runner exactly as Run would.
+func NewTestRunner(cfg Config, sched Scheduler) (*TestRunner, error) {
+	return newRunner(cfg, sched)
+}
+
+// Step advances one tick; tick numbers must be 1, 2, 3, … in order.
+func (r *runner) Step(t int) (bool, error) { return r.step(t) }

@@ -8,6 +8,7 @@ import (
 
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
+	"barterdist/internal/trace"
 )
 
 // aliveChain is a fault-aware naive pipeline: the alive nodes, in id
@@ -215,9 +216,10 @@ func TestTraceReplaysToFinalState(t *testing.T) {
 	for b := 0; b < cfg.Blocks; b++ {
 		have[0].Add(b)
 	}
-	for _, tick := range res.Trace {
-		for _, tr := range tick {
-			have[tr.To].Add(int(tr.Block))
+	cur := res.Trace.Cursor()
+	for cur.NextTick() {
+		for cur.Next() {
+			have[cur.Transfer().To].Add(int(cur.Transfer().Block))
 		}
 	}
 	for v := range have {
@@ -284,7 +286,7 @@ func TestAuditCatchesCheatingScheduler(t *testing.T) {
 	for b := 0; b < cfg.Blocks; b++ {
 		have[0].Add(b)
 	}
-	res := &Result{ClientCompletion: make([]int, cfg.Nodes)}
+	res := &Result{ClientCompletion: make([]int, cfg.Nodes), Trace: trace.New(false)}
 	st := &State{n: cfg.Nodes, k: cfg.Blocks, have: have}
 	complete := func() int {
 		c := 0
@@ -309,7 +311,7 @@ func TestAuditCatchesCheatingScheduler(t *testing.T) {
 			}
 			res.TotalTransfers++
 		}
-		res.Trace = append(res.Trace, trs)
+		res.Trace.AppendTick(trs, nil, nil)
 		res.CompletionTime = tick
 	}
 	res.FinalHave = make([]*bitset.Set, cfg.Nodes)
@@ -346,10 +348,13 @@ func TestAuditCatchesDoctoredResults(t *testing.T) {
 		{"inflated useful count", func(r *Result) { r.UsefulTransfers++ }},
 		{"understated total count", func(r *Result) { r.TotalTransfers-- }},
 		{"claimed earlier completion", func(r *Result) {
-			r.Trace = r.Trace[:len(r.Trace)-1]
+			r.Trace.TruncateTicks(r.Trace.Ticks() - 1)
 		}},
 		{"swapped block id", func(r *Result) {
-			r.Trace[1][0].Block = int32(cfg.Blocks - 1)
+			start, _ := r.Trace.TickSpan(1)
+			tr := r.Trace.At(start)
+			tr.Block = int32(cfg.Blocks - 1)
+			r.Trace.Set(start, tr)
 		}},
 		{"forged final snapshot", func(r *Result) {
 			r.FinalHave[2] = bitset.New(cfg.Blocks)

@@ -53,17 +53,16 @@ import (
 	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
+	"barterdist/internal/trace"
 )
 
 // Unlimited marks a download capacity with no bound.
 const Unlimited = 0
 
 // Transfer is one block moving from one node to another within a tick.
-type Transfer struct {
-	From  int32
-	To    int32
-	Block int32
-}
+// It is an alias for the columnar trace package's element type, so
+// schedulers and the trace store share one representation.
+type Transfer = trace.Transfer
 
 // LostTransfer is a scheduled transfer that never delivered a block:
 // dropped by the fault layer or denied by the sender's adversarial
@@ -78,22 +77,23 @@ type LostTransfer struct {
 	Adversary bool
 }
 
-// Lost-transfer kinds recorded per drop in Result.LostKindTrace when
-// an adversary plan is active.
+// Lost-transfer kinds recorded per drop in the kinded columns of
+// Result.Trace when an adversary plan is active. They alias the trace
+// package's kinds, which own the canonical ordering.
 const (
 	// LostKindFault: vanished in the network (fault layer).
-	LostKindFault uint8 = iota
+	LostKindFault = trace.KindFault
 	// LostKindFaultCorrupt: corrupted in the network, discarded at
 	// verification.
-	LostKindFaultCorrupt
+	LostKindFaultCorrupt = trace.KindFaultCorrupt
 	// LostKindRefused: the sender silently refused (free-rider,
 	// completed defector, throttler outside its window).
-	LostKindRefused
+	LostKindRefused = trace.KindRefused
 	// LostKindStalled: a false-advertiser's claimed block never
 	// materialized.
-	LostKindStalled
+	LostKindStalled = trace.KindStalled
 	// LostKindGarbage: a corrupter's bytes failed verification.
-	LostKindGarbage
+	LostKindGarbage = trace.KindGarbage
 )
 
 // Config describes a simulation instance.
@@ -350,8 +350,12 @@ type Result struct {
 	UsefulTransfers int
 	// UploadsPerTick[t-1] is the number of transfers scheduled in tick t.
 	UploadsPerTick []int
-	// Trace holds per-tick transfer lists when Config.RecordTrace is set.
-	Trace [][]Transfer
+	// Trace is the columnar transfer log, recorded when
+	// Config.RecordTrace is set (nil otherwise). It holds every
+	// scheduled transfer per tick plus, under fault or adversary plans,
+	// the drop positions and — for adversarial runs — per-drop kinds.
+	// Consumers stream it through Trace.Cursor().
+	Trace *trace.Log
 
 	// Fault-layer outcomes; zero without a fault plan.
 
@@ -362,9 +366,6 @@ type Result struct {
 	LostTransfers int
 	// CorruptTransfers counts transfers delivered but discarded.
 	CorruptTransfers int
-	// LostTrace[t-1] holds the indices into Trace[t-1] of the transfers
-	// that were dropped in tick t (only when RecordTrace is set).
-	LostTrace [][]int
 	// FinalHave is a snapshot of every node's final block set (only when
 	// RecordTrace is set) — the ground truth RunAudit replays against.
 	FinalHave []*bitset.Set
@@ -394,10 +395,6 @@ type Result struct {
 	// adversary-faulted transfers; HonestWasted/(HonestUseful+
 	// HonestWasted) is Table F's honest stall rate.
 	HonestWasted int
-	// LostKindTrace parallels LostTrace (same shape) with each drop's
-	// LostKind* cause, recorded only when an adversary plan was active
-	// and RecordTrace was set.
-	LostKindTrace [][]uint8
 }
 
 // HonestStallRate returns the fraction of honest clients' spent
@@ -523,39 +520,102 @@ func (sf *simFaults) applyRejoin(ev fault.Event, st *State, res *Result) {
 	res.FaultLog = append(res.FaultLog, ev)
 }
 
-// Run executes the scheduler until every client holds all blocks (or,
-// under a fault plan, every client still part of the system does).
-func Run(cfg Config, sched Scheduler) (*Result, error) {
+// runner carries everything one run needs across ticks. All per-tick
+// scratch lives here so that a steady-state tick allocates nothing:
+// the transfer buffer, the drop-index and drop-kind staging slices,
+// the per-node capacity counters (reset by epoch stamp, not by an
+// O(n) zeroing loop), and the lost-transfer swap buffer are reused
+// verbatim from tick to tick.
+type runner struct {
+	c     Config
+	st    *State
+	res   *Result
+	sched Scheduler
+	sf    *simFaults
+	adv   *adversary.Plan
+
+	caps         *capScratch
+	buf          []Transfer
+	dropIdx      []int32        // staging: this tick's drop indices (ascending)
+	dropKinds    []uint8        // staging: parallel kinds (adversarial runs)
+	nextLost     []LostTransfer // this tick's drops; swapped into st.lost at the boundary
+	completedNow []int32        // clients that completed this tick (defector latch)
+}
+
+// capScratch holds the per-node upload/download counters used to
+// validate a tick's proposal. Instead of zeroing two length-n arrays
+// every tick, each counter carries the tick number ("epoch") at which
+// it was last touched; a stale stamp reads as zero. Per-tick cost is
+// proportional to the transfers scheduled, not to n.
+type capScratch struct {
+	up, down           []int32
+	upStamp, downStamp []int32
+	tick               int32
+}
+
+func newCapScratch(n int) *capScratch {
+	return &capScratch{
+		up:        make([]int32, n),
+		down:      make([]int32, n),
+		upStamp:   make([]int32, n),
+		downStamp: make([]int32, n),
+	}
+}
+
+// reset opens tick t; all counters become implicitly zero.
+func (cs *capScratch) reset(t int) { cs.tick = int32(t) }
+
+func (cs *capScratch) addUp(v int) int32 {
+	if cs.upStamp[v] != cs.tick {
+		cs.upStamp[v] = cs.tick
+		cs.up[v] = 0
+	}
+	cs.up[v]++
+	return cs.up[v]
+}
+
+func (cs *capScratch) addDown(v int) int32 {
+	if cs.downStamp[v] != cs.tick {
+		cs.downStamp[v] = cs.tick
+		cs.down[v] = 0
+	}
+	cs.down[v]++
+	return cs.down[v]
+}
+
+// newRunner validates the config, acquires the fault and adversary
+// plans, and sets up state and scratch. The caller drives step.
+func newRunner(cfg Config, sched Scheduler) (*runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	c := cfg.withDefaults()
 	st := newState(c.Nodes, c.Blocks)
 	res := &Result{ClientCompletion: make([]int, c.Nodes)}
+	r := &runner{c: c, st: st, res: res, sched: sched}
 	if c.Nodes == 1 {
-		return res, nil // no clients: vacuously complete at t=0
+		return r, nil // no clients: vacuously complete at t=0
 	}
 
-	var sf *simFaults
 	if c.Fault != nil {
 		if err := c.Fault.Acquire(); err != nil {
 			return nil, err
 		}
-		sf = &simFaults{plan: c.Fault}
+		r.sf = &simFaults{plan: c.Fault}
 		st.alive = make([]bool, c.Nodes)
 		for i := range st.alive {
 			st.alive[i] = true
 		}
 		st.aliveClients = c.Nodes - 1
 	}
-	adv := c.Adversary
-	if adv != nil {
+	if adv := c.Adversary; adv != nil {
 		if adv.N() != c.Nodes {
 			return nil, fmt.Errorf("simulate: adversary plan built for %d nodes, config has %d", adv.N(), c.Nodes)
 		}
 		if err := adv.Acquire(); err != nil {
 			return nil, err
 		}
+		r.adv = adv
 		st.adv = adv
 		st.honest = make([]bool, c.Nodes)
 		for v := range st.honest {
@@ -566,161 +626,203 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 		res.Strategies = adv.Strategies()
 	}
 
-	upUsed := make([]int, c.Nodes)
-	downUsed := make([]int, c.Nodes)
-	var buf []Transfer
-	var nextLost []LostTransfer // this tick's drops; swapped into st.lost at the boundary
-	var completedNow []int32    // clients that completed this tick (defector latch)
-	var err error
-
-	finish := func(t int) *Result {
-		res.CompletionTime = t
-		if c.RecordTrace {
-			res.FinalHave = make([]*bitset.Set, c.Nodes)
-			for v := range res.FinalHave {
-				res.FinalHave[v] = st.have[v].Clone()
-			}
-			if st.alive != nil {
-				res.FinalAlive = append([]bool(nil), st.alive...)
-			}
-		}
-		return res
+	r.caps = newCapScratch(c.Nodes)
+	if c.RecordTrace {
+		res.Trace = trace.New(r.adv != nil)
+		// Size hints from the completion bound: a full run delivers
+		// exactly (n-1)·k useful blocks, so the transfer columns hold at
+		// least that; the cooperative bound k-1+⌈log₂n⌉ plus generous
+		// slack covers the tick offsets. Overshoot is reclaimed when the
+		// Result is dropped; undershoot falls back to append doubling.
+		transfers := (c.Nodes - 1) * c.Blocks
+		ticks := c.Blocks + 2*logCeil(c.Nodes) + 64
+		res.Trace.Reserve(transfers, ticks, 0)
+		res.UploadsPerTick = make([]int, 0, ticks)
 	}
+	return r, nil
+}
 
-	for t := 1; t <= c.MaxTicks; t++ {
-		if sf != nil {
-			sf.beginTick(t, st, res)
-			// A crash can finish the run by removing the last incomplete
-			// client; the state is then that of the end of tick t-1.
-			if st.AllClientsComplete() {
-				return finish(t - 1), nil
-			}
-		}
-		buf = buf[:0]
-		buf, err = sched.Tick(t, st, buf)
-		if err != nil {
-			return nil, fmt.Errorf("simulate: scheduler failed at tick %d: %w", t, err)
-		}
+// logCeil returns ⌈log₂ n⌉ for n >= 1.
+func logCeil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
 
-		for i := range upUsed {
-			upUsed[i] = 0
-			downUsed[i] = 0
+// finish stamps the completion tick and snapshots the final state.
+func (r *runner) finish(t int) *Result {
+	res, st, c := r.res, r.st, r.c
+	res.CompletionTime = t
+	if c.RecordTrace {
+		res.FinalHave = make([]*bitset.Set, c.Nodes)
+		for v := range res.FinalHave {
+			res.FinalHave[v] = st.have[v].Clone()
 		}
-		// Validate against state at the start of the tick.
-		for _, tr := range buf {
-			if err := validate(tr, st, c, upUsed, downUsed); err != nil {
-				return nil, fmt.Errorf("simulate: tick %d: %w", t, err)
-			}
+		if st.alive != nil {
+			res.FinalAlive = append([]bool(nil), st.alive...)
 		}
-		var lostIdx []int
-		var lostKinds []uint8
-		nextLost = nextLost[:0]
-		completedNow = completedNow[:0]
-		// Apply simultaneously. The adversary rules on each transfer
-		// first (apply order is the deterministic draw order); only
-		// transfers it lets through reach the fault layer.
-		for i, tr := range buf {
-			if adv != nil {
-				if fate := adv.TransferFate(int(tr.From), float64(t)); fate != adversary.Deliver {
-					nextLost = append(nextLost, LostTransfer{
-						Transfer:  tr,
-						Corrupt:   fate == adversary.Garbage,
-						Adversary: true,
-					})
-					var kind uint8
-					switch fate {
-					case adversary.Refused:
-						res.AdvRefused++
-						kind = LostKindRefused
-					case adversary.Stalled:
-						res.AdvStalled++
-						kind = LostKindStalled
-					default:
-						res.AdvCorrupt++
-						kind = LostKindGarbage
-					}
-					if st.honest[tr.To] {
-						res.HonestWasted++
-					}
-					if c.RecordTrace {
-						lostIdx = append(lostIdx, i)
-						lostKinds = append(lostKinds, kind)
-					}
-					res.TotalTransfers++ // the receiver's slot was spent
-					continue
+	}
+	return res
+}
+
+// step executes tick t: fault events, one scheduler call, validation,
+// simultaneous application, and trace recording. It returns done=true
+// when the run completed at the end of this tick (or, under churn, at
+// the end of the previous one — a crash can finish the run before any
+// transfer is scheduled).
+func (r *runner) step(t int) (done bool, err error) {
+	st, res, c, sf, adv := r.st, r.res, r.c, r.sf, r.adv
+	if sf != nil {
+		sf.beginTick(t, st, res)
+		// A crash can finish the run by removing the last incomplete
+		// client; the state is then that of the end of tick t-1.
+		if st.AllClientsComplete() {
+			r.finish(t - 1)
+			return true, nil
+		}
+	}
+	r.buf = r.buf[:0]
+	r.buf, err = r.sched.Tick(t, st, r.buf)
+	if err != nil {
+		return false, fmt.Errorf("simulate: scheduler failed at tick %d: %w", t, err)
+	}
+	buf := r.buf
+
+	// Validate against state at the start of the tick.
+	r.caps.reset(t)
+	for _, tr := range buf {
+		if err := validate(tr, st, c, r.caps); err != nil {
+			return false, fmt.Errorf("simulate: tick %d: %w", t, err)
+		}
+	}
+	r.dropIdx = r.dropIdx[:0]
+	r.dropKinds = r.dropKinds[:0]
+	r.nextLost = r.nextLost[:0]
+	r.completedNow = r.completedNow[:0]
+	// Apply simultaneously. The adversary rules on each transfer
+	// first (apply order is the deterministic draw order); only
+	// transfers it lets through reach the fault layer.
+	for i, tr := range buf {
+		if adv != nil {
+			if fate := adv.TransferFate(int(tr.From), float64(t)); fate != adversary.Deliver {
+				r.nextLost = append(r.nextLost, LostTransfer{
+					Transfer:  tr,
+					Corrupt:   fate == adversary.Garbage,
+					Adversary: true,
+				})
+				var kind uint8
+				switch fate {
+				case adversary.Refused:
+					res.AdvRefused++
+					kind = LostKindRefused
+				case adversary.Stalled:
+					res.AdvStalled++
+					kind = LostKindStalled
+				default:
+					res.AdvCorrupt++
+					kind = LostKindGarbage
 				}
+				if st.honest[tr.To] {
+					res.HonestWasted++
+				}
+				if c.RecordTrace {
+					r.dropIdx = append(r.dropIdx, int32(i))
+					r.dropKinds = append(r.dropKinds, kind)
+				}
+				res.TotalTransfers++ // the receiver's slot was spent
+				continue
 			}
-			if sf != nil && sf.plan.Lossy() {
-				lost, corrupt := sf.plan.Drop()
-				if lost || corrupt {
-					nextLost = append(nextLost, LostTransfer{Transfer: tr, Corrupt: corrupt})
-					if corrupt {
-						res.CorruptTransfers++
-					} else {
-						res.LostTransfers++
-					}
-					if c.RecordTrace {
-						lostIdx = append(lostIdx, i)
-						if adv != nil {
-							if corrupt {
-								lostKinds = append(lostKinds, LostKindFaultCorrupt)
-							} else {
-								lostKinds = append(lostKinds, LostKindFault)
-							}
+		}
+		if sf != nil && sf.plan.Lossy() {
+			lost, corrupt := sf.plan.Drop()
+			if lost || corrupt {
+				r.nextLost = append(r.nextLost, LostTransfer{Transfer: tr, Corrupt: corrupt})
+				if corrupt {
+					res.CorruptTransfers++
+				} else {
+					res.LostTransfers++
+				}
+				if c.RecordTrace {
+					r.dropIdx = append(r.dropIdx, int32(i))
+					if adv != nil {
+						if corrupt {
+							r.dropKinds = append(r.dropKinds, LostKindFaultCorrupt)
+						} else {
+							r.dropKinds = append(r.dropKinds, LostKindFault)
 						}
 					}
-					res.TotalTransfers++ // the upload slot was spent
-					continue
+				}
+				res.TotalTransfers++ // the upload slot was spent
+				continue
+			}
+		}
+		if st.have[tr.To].Add(int(tr.Block)) {
+			res.UsefulTransfers++
+			if adv != nil && st.honest[tr.To] {
+				res.HonestUseful++
+			}
+			if int(tr.To) != 0 && st.have[tr.To].Full() {
+				st.complete++
+				res.ClientCompletion[tr.To] = t
+				if st.honest != nil && st.honest[tr.To] {
+					st.completeHonest++
+				}
+				if adv != nil {
+					r.completedNow = append(r.completedNow, tr.To)
 				}
 			}
-			if st.have[tr.To].Add(int(tr.Block)) {
-				res.UsefulTransfers++
-				if adv != nil && st.honest[tr.To] {
-					res.HonestUseful++
-				}
-				if int(tr.To) != 0 && st.have[tr.To].Full() {
-					st.complete++
-					res.ClientCompletion[tr.To] = t
-					if st.honest != nil && st.honest[tr.To] {
-						st.completeHonest++
-					}
-					if adv != nil {
-						completedNow = append(completedNow, tr.To)
-					}
-				}
-			}
-			res.TotalTransfers++
 		}
-		if adv != nil {
-			// Latch defectors only after the whole tick has landed:
-			// blocks arrive simultaneously at the boundary, so a
-			// defector's own tick-t uploads were sent before it knew it
-			// was done.
-			for _, v := range completedNow {
-				adv.NoteComplete(int(v))
-			}
-		}
-		res.UploadsPerTick = append(res.UploadsPerTick, len(buf))
-		if c.RecordTrace {
-			tick := make([]Transfer, len(buf))
-			copy(tick, buf)
-			res.Trace = append(res.Trace, tick)
-			if sf != nil || adv != nil {
-				res.LostTrace = append(res.LostTrace, lostIdx)
-			}
-			if adv != nil {
-				res.LostKindTrace = append(res.LostKindTrace, lostKinds)
-			}
-		}
-		if sf != nil || adv != nil {
-			// Expose this tick's drops to the scheduler next tick.
-			st.lost, nextLost = nextLost, st.lost
-		}
-		st.tick = t
-		if st.AllClientsComplete() {
-			return finish(t), nil
+		res.TotalTransfers++
+	}
+	if adv != nil {
+		// Latch defectors only after the whole tick has landed:
+		// blocks arrive simultaneously at the boundary, so a
+		// defector's own tick-t uploads were sent before it knew it
+		// was done.
+		for _, v := range r.completedNow {
+			adv.NoteComplete(int(v))
 		}
 	}
+	res.UploadsPerTick = append(res.UploadsPerTick, len(buf))
+	if c.RecordTrace {
+		res.Trace.AppendTick(buf, r.dropIdx, r.dropKinds)
+	}
+	if sf != nil || adv != nil {
+		// Expose this tick's drops to the scheduler next tick.
+		st.lost, r.nextLost = r.nextLost, st.lost
+	}
+	st.tick = t
+	if st.AllClientsComplete() {
+		r.finish(t)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run executes the scheduler until every client holds all blocks (or,
+// under a fault plan, every client still part of the system does).
+//
+//lint:novalidate audited forwarder — newRunner calls cfg.Validate
+func Run(cfg Config, sched Scheduler) (*Result, error) {
+	r, err := newRunner(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	if r.c.Nodes == 1 {
+		return r.res, nil
+	}
+	for t := 1; t <= r.c.MaxTicks; t++ {
+		done, err := r.step(t)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return r.res, nil
+		}
+	}
+	st, c := r.st, r.c
 	if st.honest != nil {
 		return nil, fmt.Errorf("%w (MaxTicks=%d, honest clients complete: %d/%d)",
 			ErrMaxTicks, c.MaxTicks, st.completeHonest, st.honestClients)
@@ -729,7 +831,7 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 		ErrMaxTicks, c.MaxTicks, st.complete, c.Nodes-1)
 }
 
-func validate(tr Transfer, st *State, c Config, upUsed, downUsed []int) error {
+func validate(tr Transfer, st *State, c Config, caps *capScratch) error {
 	from, to, b := int(tr.From), int(tr.To), int(tr.Block)
 	switch {
 	case from < 0 || from >= st.n:
@@ -752,16 +854,14 @@ func validate(tr Transfer, st *State, c Config, upUsed, downUsed []int) error {
 	if !st.have[from].Has(b) {
 		return fmt.Errorf("store-and-forward violation: node %d does not hold block %d", from, b)
 	}
-	upUsed[from]++
 	upCap := c.UploadCap
 	if from == 0 {
 		upCap = c.ServerUploadCap
 	}
-	if upUsed[from] > upCap {
+	if int(caps.addUp(from)) > upCap {
 		return fmt.Errorf("node %d exceeds upload cap %d", from, upCap)
 	}
-	downUsed[to]++
-	if c.DownloadCap != Unlimited && downUsed[to] > c.DownloadCap {
+	if used := caps.addDown(to); c.DownloadCap != Unlimited && int(used) > c.DownloadCap {
 		return fmt.Errorf("node %d exceeds download cap %d", to, c.DownloadCap)
 	}
 	return nil

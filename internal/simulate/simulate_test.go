@@ -204,14 +204,14 @@ func TestTraceRecording(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Trace) != res.CompletionTime {
-		t.Fatalf("trace has %d ticks, completion %d", len(res.Trace), res.CompletionTime)
+	if res.Trace.Ticks() != res.CompletionTime {
+		t.Fatalf("trace has %d ticks, completion %d", res.Trace.Ticks(), res.CompletionTime)
 	}
 	total := 0
-	for i, tick := range res.Trace {
-		total += len(tick)
-		if len(tick) != res.UploadsPerTick[i] {
-			t.Fatalf("tick %d: trace %d vs uploads %d", i+1, len(tick), res.UploadsPerTick[i])
+	for i := 0; i < res.Trace.Ticks(); i++ {
+		total += res.Trace.TickLen(i)
+		if res.Trace.TickLen(i) != res.UploadsPerTick[i] {
+			t.Fatalf("tick %d: trace %d vs uploads %d", i+1, res.Trace.TickLen(i), res.UploadsPerTick[i])
 		}
 	}
 	if total != res.TotalTransfers {

@@ -1,0 +1,432 @@
+// Package trace stores simulation transfer traces in columnar,
+// append-only form.
+//
+// The synchronous engine used to record its trace as [][]Transfer — a
+// slice header plus a backing array per tick, with two more ragged
+// slices ([][]int, [][]uint8) on the side for drops. At n = 10^5 peers
+// a single run schedules ~n·k ≈ 6.4M transfers, and the per-tick slice
+// churn made tracing OOM-class. A Log stores the same information in
+// five flat columns:
+//
+//	from, to, block []uint32   one entry per scheduled transfer
+//	tickEnd         []uint32   prefix offsets: tick t (0-based) spans
+//	                           [tickEnd[t-1], tickEnd[t])
+//	dropPos         []uint32   global transfer indices of drops,
+//	                           strictly ascending
+//	dropKind        []uint8    packed two-per-byte drop kinds (kinded
+//	                           logs only)
+//	dropTickEnd     []uint32   prefix offsets over dropPos per tick
+//
+// Appending a tick touches only the column tails, so steady-state
+// recording is allocation-free once the columns are Reserved (or after
+// the usual append doubling settles). Consumers — fingerprints, the
+// post-hoc auditors, the mechanism verifiers, cdverify — read the Log
+// through a streaming Cursor and never materialize the nested form.
+//
+// # Adding a column
+//
+// New per-transfer attributes get their own flat []T column appended in
+// AppendTick and exposed through a Cursor accessor; per-tick attributes
+// get a column indexed by tick. Keep columns parallel (same length
+// invariants as from/to/block) and extend Reserve with the new column.
+package trace
+
+import "fmt"
+
+// Transfer is one block moving from one node to another within a tick.
+// It is the unit every column triple (from, to, block) encodes; the
+// synchronous simulator aliases this type.
+type Transfer struct {
+	From  int32
+	To    int32
+	Block int32
+}
+
+// Drop kinds, recorded per dropped transfer in kinded logs. The order
+// is load-bearing: kinds below KindRefused are network faults, kinds
+// at or above it are the sender's own strategy (and are filtered from
+// the released view the mechanism verifiers audit).
+const (
+	// KindFault: vanished in the network (fault layer).
+	KindFault uint8 = iota
+	// KindFaultCorrupt: corrupted in the network, discarded at
+	// verification.
+	KindFaultCorrupt
+	// KindRefused: the sender silently refused (free-rider, completed
+	// defector, throttler outside its window).
+	KindRefused
+	// KindStalled: a false-advertiser's claimed block never
+	// materialized.
+	KindStalled
+	// KindGarbage: a corrupter's bytes failed verification.
+	KindGarbage
+
+	// NumKinds is the number of distinct drop kinds.
+	NumKinds = int(KindGarbage) + 1
+)
+
+// Log is a columnar, append-only transfer trace. The zero value is not
+// ready; use New.
+type Log struct {
+	from, to, block []uint32
+	tickEnd         []uint32
+	dropPos         []uint32
+	dropKind        []uint8 // two kinds per byte, low nibble first
+	kindLen         int     // kinds stored in dropKind
+	dropTickEnd     []uint32
+	kinded          bool
+}
+
+// New returns an empty log. kinded selects whether per-drop kinds are
+// recorded (adversarial runs); unkinded logs treat every drop as a
+// network fault.
+func New(kinded bool) *Log { return &Log{kinded: kinded} }
+
+// Reserve grows the columns to hold at least the given number of
+// transfers, ticks, and drops without further allocation. Callers
+// derive the transfer hint from the completion bound — a full run
+// delivers exactly (n-1)·k useful blocks, so that is the floor on the
+// scheduled-transfer count.
+func (l *Log) Reserve(transfers, ticks, drops int) {
+	grow32 := func(s []uint32, n int) []uint32 {
+		if cap(s)-len(s) >= n {
+			return s
+		}
+		out := make([]uint32, len(s), len(s)+n)
+		copy(out, s)
+		return out
+	}
+	if transfers > 0 {
+		l.from = grow32(l.from, transfers)
+		l.to = grow32(l.to, transfers)
+		l.block = grow32(l.block, transfers)
+	}
+	if ticks > 0 {
+		l.tickEnd = grow32(l.tickEnd, ticks)
+		l.dropTickEnd = grow32(l.dropTickEnd, ticks)
+	}
+	if drops > 0 {
+		l.dropPos = grow32(l.dropPos, drops)
+		if l.kinded && cap(l.dropKind)-len(l.dropKind) < (drops+1)/2 {
+			out := make([]uint8, len(l.dropKind), len(l.dropKind)+(drops+1)/2)
+			copy(out, l.dropKind)
+			l.dropKind = out
+		}
+	}
+}
+
+// AppendTick records one tick: ts is the tick's scheduled transfer
+// list, dropIdx the strictly ascending local indices (into ts) of the
+// transfers that never delivered, and dropKinds their causes (required
+// for kinded logs, ignored otherwise). The slices are copied; callers
+// reuse them across ticks.
+func (l *Log) AppendTick(ts []Transfer, dropIdx []int32, dropKinds []uint8) {
+	base := uint32(len(l.from))
+	for _, tr := range ts {
+		l.from = append(l.from, uint32(tr.From))
+		l.to = append(l.to, uint32(tr.To))
+		l.block = append(l.block, uint32(tr.Block))
+	}
+	l.tickEnd = append(l.tickEnd, uint32(len(l.from)))
+	prev := int32(-1)
+	for _, idx := range dropIdx {
+		if idx <= prev || int(idx) >= len(ts) {
+			panic(fmt.Sprintf("trace: drop index %d out of order or out of range (tick of %d transfers)", idx, len(ts)))
+		}
+		prev = idx
+		l.dropPos = append(l.dropPos, base+uint32(idx))
+	}
+	if l.kinded {
+		if len(dropKinds) != len(dropIdx) {
+			panic(fmt.Sprintf("trace: %d drop kinds for %d drops in a kinded log", len(dropKinds), len(dropIdx)))
+		}
+		for _, k := range dropKinds {
+			l.appendKind(k)
+		}
+	}
+	l.dropTickEnd = append(l.dropTickEnd, uint32(len(l.dropPos)))
+}
+
+// appendKind packs one more drop kind. The kind for drop j lives in
+// dropKind[j/2], low nibble for even j; kinds are appended in the same
+// order as dropPos entries.
+func (l *Log) appendKind(k uint8) {
+	j := l.kindLen
+	if j%2 == 0 {
+		l.dropKind = append(l.dropKind, k&0x0f)
+	} else {
+		l.dropKind[j/2] |= (k & 0x0f) << 4
+	}
+	l.kindLen++
+}
+
+// kindAt returns the kind of drop j (an index into dropPos).
+func (l *Log) kindAt(j int) uint8 {
+	b := l.dropKind[j/2]
+	if j%2 == 1 {
+		b >>= 4
+	}
+	return b & 0x0f
+}
+
+// Ticks returns the number of recorded ticks.
+func (l *Log) Ticks() int { return len(l.tickEnd) }
+
+// Len returns the total number of scheduled transfers.
+func (l *Log) Len() int { return len(l.from) }
+
+// Drops returns the total number of recorded drops.
+func (l *Log) Drops() int { return len(l.dropPos) }
+
+// Kinded reports whether per-drop kinds are recorded.
+func (l *Log) Kinded() bool { return l.kinded }
+
+// At returns transfer i (a global index in [0, Len())).
+func (l *Log) At(i int) Transfer {
+	return Transfer{From: int32(l.from[i]), To: int32(l.to[i]), Block: int32(l.block[i])}
+}
+
+// Set overwrites transfer i. It exists for the audit tests, which
+// doctor recorded traces to prove the auditors catch tampering.
+func (l *Log) Set(i int, tr Transfer) {
+	l.from[i] = uint32(tr.From)
+	l.to[i] = uint32(tr.To)
+	l.block[i] = uint32(tr.Block)
+}
+
+// TruncateTicks discards every tick at or after t (0-based), keeping
+// the first t ticks. Like Set, it exists for the audit tests, which
+// doctor recorded traces to prove the auditors catch tampering.
+func (l *Log) TruncateTicks(t int) {
+	if t >= l.Ticks() {
+		return
+	}
+	var end, dend uint32
+	if t > 0 {
+		end, dend = l.tickEnd[t-1], l.dropTickEnd[t-1]
+	}
+	l.from, l.to, l.block = l.from[:end], l.to[:end], l.block[:end]
+	l.tickEnd = l.tickEnd[:t]
+	l.dropPos = l.dropPos[:dend]
+	l.dropTickEnd = l.dropTickEnd[:t]
+	if l.kinded {
+		l.kindLen = int(dend)
+		l.dropKind = l.dropKind[:(dend+1)/2]
+		if dend%2 == 1 {
+			l.dropKind[dend/2] &= 0x0f // clear the stale high nibble
+		}
+	}
+}
+
+// TickSpan returns the global index range [start, end) of tick t
+// (0-based).
+func (l *Log) TickSpan(t int) (start, end int) {
+	if t > 0 {
+		start = int(l.tickEnd[t-1])
+	}
+	return start, int(l.tickEnd[t])
+}
+
+// TickLen returns the number of transfers scheduled in tick t (0-based).
+func (l *Log) TickLen(t int) int {
+	start, end := l.TickSpan(t)
+	return end - start
+}
+
+// dropSpan returns the range of dropPos indices belonging to tick t.
+func (l *Log) dropSpan(t int) (start, end int) {
+	if t > 0 {
+		start = int(l.dropTickEnd[t-1])
+	}
+	return start, int(l.dropTickEnd[t])
+}
+
+// AppendTickTransfers appends tick t's transfers to dst and returns it.
+func (l *Log) AppendTickTransfers(t int, dst []Transfer) []Transfer {
+	start, end := l.TickSpan(t)
+	for i := start; i < end; i++ {
+		dst = append(dst, l.At(i))
+	}
+	return dst
+}
+
+// AppendTickDrops appends tick t's drop indices (local to the tick) and
+// kinds to idx and kinds and returns both. For unkinded logs kinds is
+// returned unchanged.
+func (l *Log) AppendTickDrops(t int, idx []int32, kinds []uint8) ([]int32, []uint8) {
+	tickStart, _ := l.TickSpan(t)
+	ds, de := l.dropSpan(t)
+	for j := ds; j < de; j++ {
+		idx = append(idx, int32(int(l.dropPos[j])-tickStart))
+		if l.kinded {
+			kinds = append(kinds, l.kindAt(j))
+		}
+	}
+	return idx, kinds
+}
+
+// MemSize returns the approximate heap footprint of the columns in
+// bytes, for capacity reporting in scale experiments.
+func (l *Log) MemSize() int {
+	return 4*(cap(l.from)+cap(l.to)+cap(l.block)+cap(l.tickEnd)+cap(l.dropPos)+cap(l.dropTickEnd)) +
+		cap(l.dropKind)
+}
+
+// Cursor returns a streaming cursor over every scheduled transfer.
+func (l *Log) Cursor() *Cursor { return &Cursor{l: l, t: -1} }
+
+// ReleasedCursor returns a cursor over the released view: transfers a
+// sender's own strategy refused, stalled, or garbled (kind >=
+// KindRefused) are skipped — they were never released, so the
+// mechanism verifiers must not charge them. Network-fault drops stay
+// in: a block lost in flight still consumed the sender's credit. For
+// unkinded logs the released view is the full trace.
+func (l *Log) ReleasedCursor() *Cursor { return &Cursor{l: l, t: -1, released: true} }
+
+// Cursor streams a Log tick by tick, transfer by transfer. Usage:
+//
+//	c := log.Cursor()
+//	for c.NextTick() {
+//		for c.Next() {
+//			tr := c.Transfer()
+//			if c.Dropped() { ... c.Kind() ... }
+//		}
+//	}
+//
+// A cursor is single-use and must not outlive mutation of the Log.
+type Cursor struct {
+	l        *Log
+	released bool
+
+	t          int // current tick, 0-based; -1 before NextTick
+	start, end int // transfer span of current tick
+	di, de     int // dropPos span: next candidate drop, tick end
+	i          int // next transfer to visit
+
+	cur     int // current transfer (global index)
+	dropped bool
+	kind    uint8
+}
+
+// NextTick advances to the next tick, returning false past the end.
+// Any unvisited transfers of the previous tick are skipped.
+func (c *Cursor) NextTick() bool {
+	c.t++
+	if c.t >= c.l.Ticks() {
+		return false
+	}
+	c.start, c.end = c.l.TickSpan(c.t)
+	c.di, c.de = c.l.dropSpan(c.t)
+	c.i = c.start
+	c.cur = -1
+	return true
+}
+
+// Tick returns the 1-based tick number of the current tick.
+func (c *Cursor) Tick() int { return c.t + 1 }
+
+// TickLen returns the number of transfers scheduled in the current
+// tick (including ones a released cursor will skip).
+func (c *Cursor) TickLen() int { return c.end - c.start }
+
+// Next advances to the next transfer within the current tick.
+func (c *Cursor) Next() bool {
+	for c.i < c.end {
+		i := c.i
+		c.i++
+		dropped, kind := false, KindFault
+		if c.di < c.de && int(c.l.dropPos[c.di]) == i {
+			dropped = true
+			if c.l.kinded {
+				kind = c.l.kindAt(c.di)
+			}
+			c.di++
+		}
+		if c.released && dropped && kind >= KindRefused {
+			continue // never released by the sender
+		}
+		c.cur, c.dropped, c.kind = i, dropped, kind
+		return true
+	}
+	return false
+}
+
+// Transfer returns the current transfer.
+func (c *Cursor) Transfer() Transfer { return c.l.At(c.cur) }
+
+// Index returns the current transfer's local index within its tick.
+func (c *Cursor) Index() int { return c.cur - c.start }
+
+// Dropped reports whether the current transfer never delivered.
+func (c *Cursor) Dropped() bool { return c.dropped }
+
+// Kind returns the current transfer's drop kind; meaningful only when
+// Dropped() is true and the log is kinded (KindFault otherwise).
+func (c *Cursor) Kind() uint8 { return c.kind }
+
+// FromTicks builds a Log from the nested representation: per-tick
+// transfer lists, per-tick drop index lists (local, strictly
+// ascending; may be shorter than ticks or nil), and — for kinded
+// logs — per-tick drop kinds parallel to drops. It exists for tests
+// and for proving the columnar form equivalent to the historical one.
+func FromTicks(ticks [][]Transfer, drops [][]int, kinds [][]uint8, kinded bool) *Log {
+	l := New(kinded)
+	var idx []int32
+	var kk []uint8
+	for t, ts := range ticks {
+		idx = idx[:0]
+		kk = kk[:0]
+		if t < len(drops) {
+			for j, d := range drops[t] {
+				idx = append(idx, int32(d))
+				if kinded {
+					if t < len(kinds) && j < len(kinds[t]) {
+						kk = append(kk, kinds[t][j])
+					} else {
+						kk = append(kk, KindFault)
+					}
+				}
+			}
+		}
+		l.AppendTick(ts, idx, kk)
+	}
+	return l
+}
+
+// Materialize returns the nested [][]Transfer representation — the
+// historical in-memory form, used by tests to prove the columnar log
+// round-trips and by small-scale debugging output.
+func (l *Log) Materialize() [][]Transfer {
+	out := make([][]Transfer, l.Ticks())
+	for t := range out {
+		out[t] = l.AppendTickTransfers(t, nil)
+	}
+	return out
+}
+
+// MaterializeDrops returns the nested per-tick drop indices and (for
+// kinded logs) kinds, mirroring the historical LostTrace/LostKindTrace
+// shape: one row per tick, empty rows for tick without drops.
+func (l *Log) MaterializeDrops() ([][]int, [][]uint8) {
+	drops := make([][]int, l.Ticks())
+	var kinds [][]uint8
+	if l.kinded {
+		kinds = make([][]uint8, l.Ticks())
+	}
+	var idx []int32
+	var kk []uint8
+	for t := range drops {
+		idx, kk = l.AppendTickDrops(t, idx[:0], kk[:0])
+		if len(idx) > 0 {
+			row := make([]int, len(idx))
+			for j, v := range idx {
+				row[j] = int(v)
+			}
+			drops[t] = row
+		}
+		if l.kinded && len(kk) > 0 {
+			kinds[t] = append([]uint8(nil), kk...)
+		}
+	}
+	return drops, kinds
+}
