@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race figures tablef scale bench clean
+.PHONY: check build vet fmt lint test race fuzz figures tablef scale bench clean
 
 ## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
 check: vet fmt lint build race
@@ -37,6 +37,15 @@ test:
 ## locally, `go test ./...` (the tier-1 sweep) still runs it plain.
 race:
 	$(GO) test -race -short ./...
+
+## fuzz: the decoder fuzzers — hostile checkpoint bytes and hostile
+## trace-snapshot bytes must produce errors, never panics or wrong
+## decodes. 30s per target here; CI runs a shorter smoke under -race,
+## and `go test -fuzz` with no -fuzztime runs them open-ended.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzTraceCursor -fuzztime $(FUZZTIME) ./internal/trace/
 
 ## figures: regenerate the evaluation artifacts at medium scale
 figures:

@@ -21,6 +21,7 @@
 package barterdist
 
 import (
+	"barterdist/internal/checkpoint"
 	"barterdist/internal/core"
 	"barterdist/internal/randomized"
 )
@@ -85,8 +86,32 @@ const DownloadUnlimited = core.DownloadUnlimited
 // ErrStalled reports a run that did not complete within its tick budget.
 var ErrStalled = core.ErrStalled
 
+// CheckpointPolicy configures periodic crash-safe snapshots for
+// Config.Checkpoint: every Every ticks the engine state is written
+// atomically to Path.
+type CheckpointPolicy = checkpoint.Policy
+
+// Snapshot is a decoded checkpoint file; see ReadCheckpoint.
+type Snapshot = checkpoint.Snapshot
+
+// ErrCorruptCheckpoint reports a checkpoint file that failed structural
+// or checksum validation — a torn write or bit rot is detected, never
+// decoded into a wrong run.
+var ErrCorruptCheckpoint = checkpoint.ErrCorrupt
+
+// ReadCheckpoint loads and validates a snapshot written by a
+// checkpointed Run; pass it to Resume to continue the interrupted run.
+func ReadCheckpoint(path string) (*Snapshot, error) { return checkpoint.ReadFile(path) }
+
 // Run executes one configured dissemination and returns its metrics.
 // It is a pure forwarder: core.Run validates the configuration.
 //
 //lint:novalidate audited forwarder — core.Run calls cfg.Validate
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Resume continues a checkpointed run from its snapshot. cfg must be
+// the exact configuration of the interrupted Run call; the combined
+// result is byte-identical to an uninterrupted run's.
+//
+//lint:novalidate audited forwarder — core.Resume calls cfg.Validate
+func Resume(cfg Config, snap *Snapshot) (*Result, error) { return core.Resume(cfg, snap) }

@@ -12,6 +12,13 @@
 //	cdsim -n 9 -k 16 -algo riffle -verify strict
 //	cdsim -n 8 -k 3 -algo binomial-pipeline -trace      # Figure 1/2 style trace
 //	cdsim -n 256 -k 256 -algo randomized -reps 16 -workers 4
+//
+// Long runs can checkpoint crash-safely and resume:
+//
+//	cdsim -n 4096 -k 2000 -algo randomized -checkpoint run.ckpt -ckevery 100
+//	cdsim -n 4096 -k 2000 -algo randomized -resume run.ckpt    # same flags + -resume
+//
+// A resumed run's output is byte-identical to an uninterrupted one.
 package main
 
 import (
@@ -47,6 +54,9 @@ func main() {
 		reps    = flag.Int("reps", 1, "independent replicates with derived seeds (> 1 prints aggregate stats)")
 		workers = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS); output identical for any value >= 1")
 		adv     = flag.String("adversary", "", "adversary mix, e.g. 'freerider=0.2,corrupter=0.1,seed=9' (keys: freerider, throttler, falseadv, corrupter, defector, seed, period, claimrate, corruptrate); completion then means every honest client completed")
+		ckpt    = flag.String("checkpoint", "", "write a crash-safe snapshot of the run to this file every -ckevery ticks")
+		ckevery = flag.Int("ckevery", 100, "checkpoint interval in ticks (with -checkpoint)")
+		resume  = flag.String("resume", "", "resume an interrupted run from this snapshot file (pass the original run's flags too)")
 	)
 	flag.Parse()
 
@@ -87,9 +97,19 @@ func main() {
 		cfg.Adversary = &opts
 	}
 
+	// -checkpoint composes with -resume: a resumed run keeps writing
+	// fresh snapshots, so repeatedly crashed runs resume from the latest.
+	if *ckpt != "" {
+		cfg.Checkpoint = &barterdist.CheckpointPolicy{Path: *ckpt, Every: *ckevery}
+	}
+
 	if *reps > 1 {
 		if *trace {
 			fmt.Fprintln(os.Stderr, "cdsim: -trace requires -reps 1 (a trace is one run's transcript)")
+			os.Exit(2)
+		}
+		if *ckpt != "" || *resume != "" {
+			fmt.Fprintln(os.Stderr, "cdsim: -checkpoint/-resume require -reps 1 (a snapshot captures one run)")
 			os.Exit(2)
 		}
 		if err := runReplicates(cfg, *reps, *workers); err != nil {
@@ -99,7 +119,17 @@ func main() {
 		return
 	}
 
-	res, err := barterdist.Run(cfg)
+	var res *barterdist.Result
+	if *resume != "" {
+		snap, rerr := barterdist.ReadCheckpoint(*resume)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		res, err = barterdist.Resume(cfg, snap)
+	} else {
+		res, err = barterdist.Run(cfg)
+	}
 	if err != nil {
 		if errors.Is(err, barterdist.ErrStalled) {
 			fmt.Fprintf(os.Stderr, "stalled: %v\n", err)

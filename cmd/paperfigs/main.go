@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperfigs [-scale ci|medium|full] [-only fig3,fig6] [-out results]
+//	paperfigs [-scale ci|medium|full] [-only fig3,fig6] [-out results] [-checkpoint cells.jsonl]
 //
 // At -scale full the parameters match the paper (n up to 10000, k up to
 // 2000); budget tens of minutes on a single core. The rendered output is
@@ -51,6 +51,7 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated subset, e.g. fig3,tableC (default: everything)")
 	outFlag := flag.String("out", "results", "output directory for CSV and text renderings")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); output is byte-identical for any value >= 1")
+	ckpt := flag.String("checkpoint", "", "record every finished simulation cell in this JSONL store; rerunning an interrupted sweep recomputes only the missing cells")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
-	opt := experiment.Options{Progress: prog, Workers: *workers}
+	opt := experiment.Options{Progress: prog, Workers: *workers, Checkpoint: *ckpt}
 
 	exitCode := 0
 	for _, a := range artifacts {

@@ -1,0 +1,118 @@
+package adversary
+
+import (
+	"math"
+	"sort"
+
+	"barterdist/internal/checkpoint"
+)
+
+// Snapshot appends the plan's mutable behavior state to enc: the
+// behavior RNG, the defector latches, and the throttler windows. The
+// strategy assignment is included as a verification digest — it is
+// fully determined by (n, Options.Seed), so on restore a mismatch
+// means the snapshot was taken under a different adversary config.
+func (p *Plan) Snapshot(enc *checkpoint.Encoder) {
+	enc.Int(p.n)
+	digest := make([]byte, p.n)
+	for v, s := range p.strategy {
+		digest[v] = byte(s)
+	}
+	enc.Bytes8(digest)
+	p.behaviorRng.Snapshot(enc)
+	enc.Bools(p.defected)
+	enc.F64s(p.nextOpen)
+}
+
+// RestoreState overwrites the plan's mutable state from dec. The plan
+// must have been rebuilt from the same (n, Options) — the encoded
+// strategy assignment is checked against the fresh one.
+func (p *Plan) RestoreState(dec *checkpoint.Decoder) error {
+	n := dec.Int()
+	digest := dec.Bytes8()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != p.n || len(digest) != len(p.strategy) {
+		return checkpoint.Corruptf("adversary: snapshot for %d nodes, plan has %d", n, p.n)
+	}
+	for v, s := range p.strategy {
+		if digest[v] != byte(s) {
+			return checkpoint.Corruptf("adversary: node %d strategy mismatch (snapshot %d, plan %d) — different seed or fractions", v, digest[v], s)
+		}
+	}
+	if err := p.behaviorRng.RestoreState(dec); err != nil {
+		return err
+	}
+	defected := dec.Bools()
+	nextOpen := dec.F64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(defected) != p.n || len(nextOpen) != p.n {
+		return checkpoint.Corruptf("adversary: state slices sized %d/%d for %d nodes", len(defected), len(nextOpen), p.n)
+	}
+	for v, w := range nextOpen {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return checkpoint.Corruptf("adversary: node %d has invalid throttle window %v", v, w)
+		}
+		if defected[v] && p.strategy[v] != Defector {
+			return checkpoint.Corruptf("adversary: node %d defected but is %v", v, p.strategy[v])
+		}
+	}
+	copy(p.defected, defected)
+	copy(p.nextOpen, nextOpen)
+	return nil
+}
+
+// Snapshot appends the guard table to enc in ascending key order, so
+// the encoding is deterministic regardless of map layout.
+func (g *Guard) Snapshot(enc *checkpoint.Encoder) {
+	keys := make([]uint64, 0, len(g.cells))
+	for k := range g.cells { //lint:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Int(len(keys))
+	for _, k := range keys {
+		c := g.cells[k]
+		enc.U64(k)
+		enc.Int(c.strikes)
+		enc.F64(c.blockedUntil)
+	}
+}
+
+// RestoreState overwrites the guard table from dec. Keys must be
+// strictly ascending and every cell well-formed.
+func (g *Guard) RestoreState(dec *checkpoint.Decoder) error {
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return checkpoint.Corruptf("adversary: negative guard cell count %d", n)
+	}
+	cells := make(map[uint64]guardCell, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		k := dec.U64()
+		strikes := dec.Int()
+		blockedUntil := dec.F64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if i > 0 && k <= prev {
+			return checkpoint.Corruptf("adversary: guard keys not strictly ascending at entry %d", i)
+		}
+		if strikes <= 0 {
+			return checkpoint.Corruptf("adversary: guard entry %d has %d strikes", i, strikes)
+		}
+		if math.IsNaN(blockedUntil) || math.IsInf(blockedUntil, 0) || blockedUntil < 0 {
+			return checkpoint.Corruptf("adversary: guard entry %d blocked until %v", i, blockedUntil)
+		}
+		prev = k
+		cells[k] = guardCell{strikes: strikes, blockedUntil: blockedUntil}
+	}
+	g.cells = cells
+	return nil
+}

@@ -55,6 +55,7 @@ import (
 
 	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
+	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	// the compliant engine unchanged. Like Fault, a Plan is single-use
 	// and composes with it: the adversary rules on each delivery first.
 	Adversary *adversary.Plan
+	// Checkpoint enables periodic crash-safe snapshots: every
+	// Checkpoint.Every handled events the full engine state is written
+	// atomically to Checkpoint.Path. Resume continues such a run with a
+	// byte-identical remainder. nil disables checkpointing. Requires the
+	// protocol to implement CheckpointableProtocol.
+	Checkpoint *checkpoint.Policy
 }
 
 // Validate checks the raw configuration without mutating it. nil rate
@@ -412,7 +419,28 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Nodes == 1 {
+		return &Result{ClientCompletion: make([]float64, 1)}, nil
+	}
 	c := cfg.withDefaults()
+	eng, err := newEngine(c, p)
+	if err != nil {
+		return nil, err
+	}
+	// Kick every node once; most will park immediately.
+	for v := 0; v < c.Nodes; v++ {
+		if err := eng.tryStartUpload(v); err != nil {
+			return nil, err
+		}
+	}
+	return eng.loop()
+}
+
+// newEngine builds the engine for an already-validated, defaulted
+// config: state, result, plans acquired, timers and the first crash
+// arrival scheduled. The caller kicks the nodes (fresh run) or restores
+// a snapshot (resume).
+func newEngine(c Config, p Protocol) (*engine, error) {
 	st := &State{
 		n:        c.Nodes,
 		k:        c.Blocks,
@@ -427,9 +455,6 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		st.have[0].Add(b)
 	}
 	res := &Result{ClientCompletion: make([]float64, c.Nodes)}
-	if c.Nodes == 1 {
-		return res, nil
-	}
 	if c.RecordTrace {
 		// A full run delivers exactly (n-1)*k useful blocks; reserving
 		// that floor up front keeps steady-state recording out of the
@@ -487,27 +512,30 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 	if c.Fault != nil {
 		eng.scheduleNextCrash()
 	}
-	// Kick every node once; most will park immediately.
-	for v := 0; v < c.Nodes; v++ {
-		if err := eng.tryStartUpload(v); err != nil {
-			return nil, err
+	return eng, nil
+}
+
+// finish stamps the completion time and, under RecordTrace, the final
+// ownership and liveness snapshots.
+func (e *engine) finish() *Result {
+	c, st, res := e.cfg, e.st, e.res
+	res.CompletionTime = st.now
+	if c.RecordTrace {
+		res.FinalHave = make([]*bitset.Set, c.Nodes)
+		for v := range res.FinalHave {
+			res.FinalHave[v] = st.have[v].Clone()
+		}
+		if st.alive != nil {
+			res.FinalAlive = append([]bool(nil), st.alive...)
 		}
 	}
+	return res
+}
 
-	finish := func() *Result {
-		res.CompletionTime = st.now
-		if c.RecordTrace {
-			res.FinalHave = make([]*bitset.Set, c.Nodes)
-			for v := range res.FinalHave {
-				res.FinalHave[v] = st.have[v].Clone()
-			}
-			if st.alive != nil {
-				res.FinalAlive = append([]bool(nil), st.alive...)
-			}
-		}
-		return res
-	}
-
+// loop drains the event queue to completion, checkpointing at handled-
+// event boundaries when configured.
+func (e *engine) loop() (*Result, error) {
+	eng, c, st, p := e, e.cfg, e.st, e.proto
 	for eng.queue.Len() > 0 {
 		ev := heap.Pop(&eng.queue).(*event)
 		if ev.cancelled {
@@ -531,7 +559,7 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 				return nil, err
 			}
 			if st.AllClientsComplete() {
-				return finish(), nil
+				return eng.finish(), nil
 			}
 		case evTimer:
 			p.OnTimer(ev.timer, st)
@@ -555,7 +583,7 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 			}
 			// Removing the last incomplete client can finish the run.
 			if st.AllClientsComplete() {
-				return finish(), nil
+				return eng.finish(), nil
 			}
 			eng.scheduleNextCrash()
 		case evRejoin:
@@ -563,7 +591,7 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 				return nil, err
 			}
 			if st.AllClientsComplete() {
-				return finish(), nil
+				return eng.finish(), nil
 			}
 		case evAdvWake:
 			eng.advWakePending[ev.node] = false
@@ -573,6 +601,10 @@ func Run(cfg Config, p Protocol) (*Result, error) {
 		}
 		// Fully handled; nothing retains the event past this point.
 		eng.release(ev)
+		eng.handled++
+		if err := eng.maybeCheckpoint(); err != nil {
+			return nil, err
+		}
 	}
 	if st.honest != nil {
 		return nil, fmt.Errorf("%w (event queue drained, honest clients complete: %d/%d)",
@@ -589,6 +621,9 @@ type engine struct {
 	res   *Result
 	queue eventQueue
 	seq   int
+	// handled counts fully processed (non-cancelled) events; checkpoints
+	// fire at multiples of Config.Checkpoint.Every.
+	handled int
 
 	uploading  []bool   // upload port busy
 	parked     []bool   // NextUpload returned false; awaiting a wake event

@@ -1,0 +1,125 @@
+package asim
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/checkpoint"
+	"barterdist/internal/fault"
+)
+
+// asimFingerprint serializes everything observable about an async run —
+// completion data, the ordered transfer trace, the fault log, and the
+// adversary counters — so two runs compare byte for byte.
+func asimFingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completion=%.17g transfers=%d lost=%d corrupt=%d\n",
+		res.CompletionTime, res.Transfers, res.Lost, res.Corrupt)
+	fmt.Fprintf(&b, "clients=%v\n", res.ClientCompletion)
+	for _, tr := range res.Trace {
+		fmt.Fprintf(&b, "%.17g..%.17g %d->%d#%d lost=%v corrupt=%v adv=%v\n",
+			tr.Start, tr.End, tr.From, tr.To, tr.Block, tr.Lost, tr.Corrupt, tr.Adversary)
+	}
+	for _, ev := range res.FaultLog {
+		fmt.Fprintf(&b, "fault t=%.17g node=%d kind=%d\n", ev.Time, ev.Node, ev.Kind)
+	}
+	if res.Strategies != nil {
+		fmt.Fprintf(&b, "strategies=%v advstalled=%d advcorrupt=%d huseful=%d hwasted=%d\n",
+			res.Strategies, res.AdvStalled, res.AdvCorrupt, res.HonestUseful, res.HonestWasted)
+	}
+	return b.String()
+}
+
+func mustAdvPlan(t *testing.T, n int, o adversary.Options) *adversary.Plan {
+	t.Helper()
+	p, err := adversary.NewPlan(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAsimResumeMatchesUninterruptedRun is the event-driven engine's
+// resume-determinism matrix: checkpointing at event-count boundaries
+// must not perturb a run, and resuming from the last snapshot (with a
+// fresh protocol instance, whose state comes entirely from the file)
+// must reproduce the uninterrupted fingerprint exactly.
+func TestAsimResumeMatchesUninterruptedRun(t *testing.T) {
+	faultOpts := fault.Options{
+		Seed:              17,
+		CrashRate:         0.05,
+		MaxCrashes:        4,
+		RejoinDelay:       6,
+		RejoinLosesBlocks: true,
+		LossRate:          0.05,
+	}
+	advOpts := adversary.Options{
+		Seed:                99,
+		FreeRiderFrac:       0.15,
+		FalseAdvertiserFrac: 0.1,
+		CorrupterFrac:       0.1,
+	}
+	scenarios := []struct {
+		name     string
+		rarest   bool
+		seed     uint64
+		hasFault bool
+		hasAdv   bool
+	}{
+		{"random", false, 42, false, false},
+		{"rarest-first", true, 13, false, false},
+		{"rarest+fault", true, 13, true, false},
+		{"rarest+fault+adversary", true, 13, true, true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			// Plans are single-use position state (RNG streams plus a
+			// consumed-arrival cursor), so every Run/Resume call gets a
+			// fresh configuration with fresh plans.
+			makeCfg := func() Config {
+				cfg := Config{Nodes: 24, Blocks: 16, DownloadPorts: 1, RecordTrace: true}
+				if sc.hasFault {
+					cfg.Fault = mustPlan(t, faultOpts)
+				}
+				if sc.hasAdv {
+					cfg.Adversary = mustAdvPlan(t, cfg.Nodes, advOpts)
+				}
+				return cfg
+			}
+			proto := func() *AsyncRandomized { return NewAsyncRandomized(nil, sc.rarest, 1, sc.seed) }
+			res, err := Run(makeCfg(), proto())
+			if err != nil {
+				t.Fatalf("uninterrupted Run: %v", err)
+			}
+			want := asimFingerprint(res)
+			for _, every := range []int{1, 50} {
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				ck := makeCfg()
+				ck.Checkpoint = &checkpoint.Policy{Path: path, Every: every}
+				ckRes, err := Run(ck, proto())
+				if err != nil {
+					t.Fatalf("every=%d: checkpointed Run: %v", every, err)
+				}
+				if got := asimFingerprint(ckRes); got != want {
+					t.Fatalf("every=%d: checkpointing perturbed the run", every)
+				}
+				snap, err := checkpoint.ReadFile(path)
+				if err != nil {
+					t.Fatalf("every=%d: ReadFile: %v", every, err)
+				}
+				resumed, err := Resume(makeCfg(), proto(), snap)
+				if err != nil {
+					t.Fatalf("every=%d: Resume: %v", every, err)
+				}
+				if got := asimFingerprint(resumed); got != want {
+					t.Errorf("every=%d: resumed run diverged:\n--- uninterrupted ---\n%.2000s\n--- resumed ---\n%.2000s",
+						every, want, got)
+				}
+			}
+		})
+	}
+}

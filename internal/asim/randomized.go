@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"barterdist/internal/adversary"
+	"barterdist/internal/checkpoint"
 	"barterdist/internal/graph"
 	"barterdist/internal/xrand"
 )
@@ -34,9 +35,10 @@ type AsyncRandomized struct {
 }
 
 var (
-	_ Protocol       = (*AsyncRandomized)(nil)
-	_ FaultAware     = (*AsyncRandomized)(nil)
-	_ AdversaryAware = (*AsyncRandomized)(nil)
+	_ Protocol               = (*AsyncRandomized)(nil)
+	_ FaultAware             = (*AsyncRandomized)(nil)
+	_ AdversaryAware         = (*AsyncRandomized)(nil)
+	_ CheckpointableProtocol = (*AsyncRandomized)(nil)
 )
 
 // NewAsyncRandomized returns the protocol with the given seed.
@@ -249,6 +251,60 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 		return true
 	})
 	return chosen
+}
+
+// SnapshotState implements CheckpointableProtocol: the RNG, the rarity
+// counts, and the quarantine table are the protocol's entire mutable
+// state (scratch is dead between NextUpload calls).
+func (a *AsyncRandomized) SnapshotState(enc *checkpoint.Encoder) error {
+	a.rng.Snapshot(enc)
+	enc.Bool(a.freq != nil)
+	if a.freq != nil {
+		enc.Ints(a.freq)
+	}
+	enc.Bool(a.guard != nil)
+	if a.guard != nil {
+		a.guard.Snapshot(enc)
+	}
+	return nil
+}
+
+// RestoreState implements CheckpointableProtocol.
+func (a *AsyncRandomized) RestoreState(dec *checkpoint.Decoder, s *State) error {
+	a.ensure(s)
+	if err := a.rng.RestoreState(dec); err != nil {
+		return err
+	}
+	if !dec.Bool() {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		// ensure ran before the first event of the original run too, so a
+		// mid-run snapshot always carries the counts.
+		return checkpoint.Corruptf("asim: snapshot lacks rarity counts")
+	}
+	freq := dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(freq) != s.K() {
+		return checkpoint.Corruptf("asim: rarity counts sized %d for %d blocks", len(freq), s.K())
+	}
+	for b, f := range freq {
+		if f < 0 {
+			return checkpoint.Corruptf("asim: rarity count %d of block %d negative", f, b)
+		}
+	}
+	copy(a.freq, freq)
+	if dec.Bool() != (a.guard != nil) {
+		if dec.Err() == nil {
+			return checkpoint.Corruptf("asim: guard presence mismatch (different adversary config?)")
+		}
+	}
+	if a.guard != nil {
+		return a.guard.RestoreState(dec)
+	}
+	return dec.Err()
 }
 
 // String describes the protocol for experiment output.

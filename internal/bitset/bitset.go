@@ -10,6 +10,7 @@
 package bitset
 
 import (
+	"fmt"
 	"math/bits"
 	"strings"
 )
@@ -239,6 +240,31 @@ func (s *Set) FirstMissingIn(o *Set) int {
 // (rarity accounting, fingerprints) that would otherwise pay one Has
 // bounds check per bit.
 func (s *Set) Words() []uint64 { return s.words }
+
+// SetWords overwrites the set's contents from a word slice previously
+// obtained via Words(), validating the shape: the slice must have
+// exactly the word count for Cap() bits, and no bit beyond Cap() may
+// be set. It recomputes the cached population count. It exists for
+// checkpoint restore; a corrupted snapshot surfaces as an error here,
+// never as a set whose count disagrees with its words.
+func (s *Set) SetWords(words []uint64) error {
+	if len(words) != len(s.words) {
+		return fmt.Errorf("bitset: SetWords got %d words, capacity %d needs %d",
+			len(words), s.n, len(s.words))
+	}
+	if tail := uint(s.n % wordBits); tail != 0 && len(words) > 0 {
+		if words[len(words)-1]&^((1<<tail)-1) != 0 {
+			return fmt.Errorf("bitset: SetWords has bits beyond capacity %d", s.n)
+		}
+	}
+	count := 0
+	for i, w := range words {
+		s.words[i] = w
+		count += bits.OnesCount64(w)
+	}
+	s.count = count
+	return nil
+}
 
 // AccumulateCounts adds delta to counts[i] for every set bit i. It is
 // the word-parallel workhorse behind rarest-first frequency

@@ -567,3 +567,38 @@ func TestFirstMissingInOracle(t *testing.T) {
 		}
 	}
 }
+
+func TestSetWordsRoundTrip(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+	}
+	restored := New(130)
+	words := append([]uint64(nil), s.Words()...)
+	if err := restored.SetWords(words); err != nil {
+		t.Fatalf("SetWords: %v", err)
+	}
+	if !restored.Equal(s) {
+		t.Fatal("restored set differs")
+	}
+	if restored.Count() != s.Count() {
+		t.Fatalf("count %d, want %d", restored.Count(), s.Count())
+	}
+}
+
+func TestSetWordsRejectsBadShape(t *testing.T) {
+	s := New(130)
+	if err := s.SetWords(make([]uint64, 2)); err == nil {
+		t.Fatal("wrong word count accepted")
+	}
+	// Bit 130 and up live beyond capacity in the last word.
+	bad := make([]uint64, 3)
+	bad[2] = 1 << 2
+	if err := s.SetWords(bad); err == nil {
+		t.Fatal("out-of-capacity bit accepted")
+	}
+	// The failed calls must not have corrupted the set.
+	if s.Count() != 0 {
+		t.Fatalf("failed SetWords mutated count to %d", s.Count())
+	}
+}

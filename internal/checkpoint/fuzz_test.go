@@ -1,0 +1,41 @@
+package checkpoint
+
+import "testing"
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the container decoder
+// and the primitive decoder. The contract under fuzzing: never panic,
+// never allocate unboundedly, and — when Decode succeeds — re-encoding
+// the result must reproduce the input exactly (no silently-dropped or
+// invented state).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(buildSample().Encode())
+	data := buildSample().Encode()
+	trunc := data[:len(data)/2]
+	f.Add(append([]byte(nil), trunc...))
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip byte-identically.
+		if got := snap.Encode(); string(got) != string(data) {
+			t.Fatalf("re-encode mismatch: %d bytes in, %d bytes out", len(data), len(got))
+		}
+		// Exercise the primitive decoder over every payload; it
+		// must never panic regardless of content.
+		for _, sec := range snap.Sections() {
+			d := NewDecoder(sec.Payload)
+			for d.Err() == nil && d.Remaining() > 0 {
+				d.Uint64s()
+				_ = d.String()
+				d.U8()
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 
 	"barterdist/internal/adversary"
 	"barterdist/internal/analysis"
+	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
@@ -154,6 +155,14 @@ type Config struct {
 	// actually released. Composes with Fault. A nil Adversary
 	// reproduces the compliant engine byte for byte.
 	Adversary *adversary.Options
+
+	// Checkpoint enables periodic crash-safe snapshots: every
+	// Checkpoint.Every ticks the engine state is written atomically to
+	// Checkpoint.Path. An interrupted run continues via Resume with a
+	// byte-identical remainder. Supported by the randomized schedulers
+	// and the pure precomputed schedules; SelfHeal-wrapped runs (Fault
+	// with a deterministic algorithm) refuse to checkpoint.
+	Checkpoint *checkpoint.Policy
 }
 
 // Result reports a completed run.
@@ -206,9 +215,53 @@ func (c *Config) Validate() error {
 }
 
 // Run executes one configured dissemination and returns its metrics.
+//
+//lint:novalidate audited forwarder — prepare calls cfg.Validate
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	simCfg, sched, overlayName, err := prepare(&cfg)
+	if err != nil {
 		return nil, err
+	}
+	simRes, err := simulate.Run(simCfg, sched)
+	if err != nil {
+		if errors.Is(err, simulate.ErrMaxTicks) {
+			return nil, fmt.Errorf("%w: %v", ErrStalled, err)
+		}
+		return nil, err
+	}
+	return buildResult(cfg, simCfg, overlayName, simRes)
+}
+
+// Resume continues a checkpointed run from its snapshot file. cfg must
+// be the exact configuration of the interrupted Run call — the scenario
+// (scheduler, overlay, fault and adversary plans) is rebuilt from it,
+// then rewound to the snapshot's tick boundary. By the determinism
+// contract the combined result is byte-identical to an uninterrupted
+// run's.
+//
+//lint:novalidate audited forwarder — prepare calls cfg.Validate
+func Resume(cfg Config, snap *checkpoint.Snapshot) (*Result, error) {
+	simCfg, sched, overlayName, err := prepare(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	simRes, err := simulate.Resume(simCfg, sched, snap)
+	if err != nil {
+		if errors.Is(err, simulate.ErrMaxTicks) {
+			return nil, fmt.Errorf("%w: %v", ErrStalled, err)
+		}
+		return nil, err
+	}
+	return buildResult(cfg, simCfg, overlayName, simRes)
+}
+
+// prepare validates cfg, applies defaults, and builds the engine
+// configuration, scheduler, and single-use fault/adversary plans for
+// one run. Run and Resume share it so a resumed scenario is constructed
+// exactly like the original.
+func prepare(cfg *Config) (simulate.Config, simulate.Scheduler, string, error) {
+	if err := cfg.Validate(); err != nil {
+		return simulate.Config{}, nil, "", err
 	}
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = AlgoBinomialPipeline
@@ -219,19 +272,20 @@ func Run(cfg Config) (*Result, error) {
 		DownloadCap: cfg.DownloadCap,
 		MaxTicks:    cfg.MaxTicks,
 		RecordTrace: cfg.RecordTrace || cfg.Verify != MechanismNone,
+		Checkpoint:  cfg.Checkpoint,
 	}
 	if cfg.DownloadCap == DownloadUnlimited {
 		simCfg.DownloadCap = simulate.Unlimited
 	}
 
-	sched, overlayName, err := buildScheduler(&cfg, &simCfg)
+	sched, overlayName, err := buildScheduler(cfg, &simCfg)
 	if err != nil {
-		return nil, err
+		return simulate.Config{}, nil, "", err
 	}
 	if cfg.Fault != nil {
 		plan, err := fault.NewPlan(*cfg.Fault)
 		if err != nil {
-			return nil, err
+			return simulate.Config{}, nil, "", err
 		}
 		simCfg.Fault = plan
 		switch cfg.Algorithm {
@@ -248,19 +302,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Adversary != nil {
 		plan, err := adversary.NewPlan(cfg.Nodes, *cfg.Adversary)
 		if err != nil {
-			return nil, err
+			return simulate.Config{}, nil, "", err
 		}
 		simCfg.Adversary = plan
 	}
+	return simCfg, sched, overlayName, nil
+}
 
-	simRes, err := simulate.Run(simCfg, sched)
-	if err != nil {
-		if errors.Is(err, simulate.ErrMaxTicks) {
-			return nil, fmt.Errorf("%w: %v", ErrStalled, err)
-		}
-		return nil, err
-	}
-
+// buildResult assembles the public result from a finished engine run.
+func buildResult(cfg Config, simCfg simulate.Config, overlayName string, simRes *simulate.Result) (*Result, error) {
 	res := &Result{
 		CompletionTime:    simRes.CompletionTime,
 		OptimalTime:       analysis.CooperativeLowerBound(cfg.Nodes, cfg.Blocks),
@@ -270,8 +320,9 @@ func Run(cfg Config) (*Result, error) {
 		Sim:               simRes,
 		SimConfig:         simCfg,
 	}
-	res.SimConfig.Fault = nil     // the consumed plan must not leak into replays
-	res.SimConfig.Adversary = nil // ditto: audits replay from Sim.Strategies
+	res.SimConfig.Fault = nil      // the consumed plan must not leak into replays
+	res.SimConfig.Adversary = nil  // ditto: audits replay from Sim.Strategies
+	res.SimConfig.Checkpoint = nil // replays should not overwrite the live checkpoint
 	if simRes.Trace != nil && simRes.Trace.Len() > 0 {
 		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace.Cursor())
 	}

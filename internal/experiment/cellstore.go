@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// cellRecord is one completed (spec, replicate) cell of a sweep, as
+// persisted in the checkpoint store: one JSON object per line,
+// append-only, so an interrupted figure or table run resumes by
+// re-running only the cells with no line. The outcome payload is an
+// opaque JSON value — each generator caches its own outcome type
+// through cellCached, so one store file can hold a whole paperfigs
+// sweep (figures and tables mixed) keyed by tag.
+type cellRecord struct {
+	Tag  string          `json:"tag"`
+	Seed uint64          `json:"seed"`
+	Rep  int             `json:"rep"`
+	Out  json.RawMessage `json:"out"`
+}
+
+// cellStore is the append-only JSONL store behind Options.Checkpoint.
+// Cells are keyed by (tag, seed, replicate) — the spec's stable
+// identity — so reordering specs between runs cannot mis-assign a
+// cached outcome. Writes are serialized by a mutex (the worker pool
+// calls put concurrently) and synced per cell: each cell is a whole
+// simulation, so the fsync is noise next to the work it makes durable.
+type cellStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+func cellKey(tag string, seed uint64, rep int) string {
+	return fmt.Sprintf("%s\x00%d\x00%d", tag, seed, rep)
+}
+
+// openStore opens the cell store named by Options.Checkpoint, or
+// returns nil (checkpointing disabled) when the option is empty. The
+// nil store is safe to use: get misses, put and close are no-ops.
+func (o Options) openStore() (*cellStore, error) {
+	if o.Checkpoint == "" {
+		return nil, nil
+	}
+	return openCellStore(o.Checkpoint)
+}
+
+// openCellStore opens (creating if needed) the store at path and loads
+// every completed cell. A torn final line — the signature of a crash
+// mid-append — is truncated away and the run continues; a corrupt line
+// in the middle of the file is an error, not a guess.
+func openCellStore(path string) (*cellStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	s := &cellStore{f: f, done: make(map[string]json.RawMessage)}
+	good := int64(0) // offset just past the last fully parsed line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec cellRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Out == nil {
+			break
+		}
+		good += int64(len(line)) + 1
+		s.done[cellKey(rec.Tag, rec.Seed, rec.Rep)] = rec.Out
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint store %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	if tail := st.Size() - good; tail > 0 {
+		// More than one line of garbage means the file is not just a
+		// torn append; refuse to silently drop completed cells.
+		if tail > 1<<16 {
+			f.Close()
+			return nil, fmt.Errorf("experiment: checkpoint store %s: %d bytes of unparseable data at offset %d", path, tail, good)
+		}
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiment: checkpoint store: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	return s, nil
+}
+
+// get returns the cached outcome payload of a cell, if present. A nil
+// store always misses.
+func (s *cellStore) get(tag string, seed uint64, rep int) (json.RawMessage, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.done[cellKey(tag, seed, rep)]
+	return raw, ok
+}
+
+// put records a completed cell durably before it is considered done.
+func (s *cellStore) put(tag string, seed uint64, rep int, v any) error {
+	if s == nil {
+		return nil
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	line, err := json.Marshal(cellRecord{Tag: tag, Seed: seed, Rep: rep, Out: out})
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("experiment: checkpoint store: %w", err)
+	}
+	s.done[cellKey(tag, seed, rep)] = out
+	return nil
+}
+
+func (s *cellStore) close() error {
+	if s == nil {
+		return nil
+	}
+	return s.f.Close()
+}
+
+// cellCached runs compute for the cell (tag, seed, rep) unless the
+// store already holds its outcome, in which case the cached value is
+// returned and compute is skipped entirely. Outcomes are recorded
+// durably before they are returned, so a crash can lose at most the
+// in-flight cells. Errors are never cached — a resumed run retries
+// them. The outcome type must round-trip through encoding/json (i.e.
+// carry exported fields only), because the cache IS its JSON form.
+func cellCached[T any](s *cellStore, tag string, seed uint64, rep int, compute func() (T, error)) (T, error) {
+	if raw, ok := s.get(tag, seed, rep); ok {
+		var out T
+		if err := json.Unmarshal(raw, &out); err != nil {
+			var zero T
+			return zero, fmt.Errorf("experiment: checkpoint store: cell %q seed=%d rep=%d: %w", tag, seed, rep, err)
+		}
+		return out, nil
+	}
+	out, err := compute()
+	if err != nil {
+		return out, err
+	}
+	if err := s.put(tag, seed, rep, out); err != nil {
+		var zero T
+		return zero, fmt.Errorf("%s: %w", tag, err)
+	}
+	return out, nil
+}

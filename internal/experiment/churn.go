@@ -85,9 +85,14 @@ func TableE(sc Scale, opt Options) (*Table, error) {
 		},
 	}
 	prog := opt.Progress.Serialized()
+	store, err := opt.openStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.close()
 	type outcome struct {
-		stalled bool
-		ticks   float64
+		Stalled bool    `json:"stalled,omitempty"`
+		Ticks   float64 `json:"ticks"`
 	}
 	// Flat job index: ((rate, col), rep), matching the sequential
 	// aggregation below.
@@ -114,17 +119,23 @@ func TableE(sc Scale, opt Options) (*Table, error) {
 				LossRate:          churnLoss,
 			}
 		}
-		res, err := core.Run(cfg)
-		if errors.Is(err, core.ErrStalled) {
-			return outcome{stalled: true}, nil
-		}
-		if err != nil {
-			return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, err)
-		}
-		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
-			return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, aerr)
-		}
-		return outcome{ticks: float64(res.CompletionTime)}, nil
+		// A cached cell skips RunAudit along with the simulation — the
+		// audit already passed when the cell was first computed and
+		// recorded, so replaying it would re-verify an identical trace.
+		tag := fmt.Sprintf("tableE: %s rate=%g", cols[ci].label, rate)
+		return cellCached(store, tag, cfg.Seed, rep, func() (outcome, error) {
+			res, err := core.Run(cfg)
+			if errors.Is(err, core.ErrStalled) {
+				return outcome{Stalled: true}, nil
+			}
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, err)
+			}
+			if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+				return outcome{}, fmt.Errorf("tableE %s rate=%g: %w", cols[ci].label, rate, aerr)
+			}
+			return outcome{Ticks: float64(res.CompletionTime)}, nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -135,11 +146,11 @@ func TableE(sc Scale, opt Options) (*Table, error) {
 			sum, done, stalls := 0.0, 0, 0
 			for rep := 0; rep < reps; rep++ {
 				o := outs[ri*perRate+ci*reps+rep]
-				if o.stalled {
+				if o.Stalled {
 					stalls++
 					continue
 				}
-				sum += o.ticks
+				sum += o.Ticks
 				done++
 			}
 			switch {

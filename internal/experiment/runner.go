@@ -27,6 +27,18 @@ type Options struct {
 	// Workers caps the simulation worker pool. Zero selects
 	// runtime.GOMAXPROCS(0); negative values are rejected by Validate.
 	Workers int
+	// Checkpoint names a JSONL cell store recording every completed
+	// (spec, replicate) simulation as it finishes. Rerunning an
+	// interrupted generator against the same store recomputes only the
+	// missing cells and reproduces the exact uncheckpointed output:
+	// cached cells carry the same outcome the simulation would, because
+	// each cell's seed is pre-derived from its identity. Every
+	// replicated generator honors it — the figures and Table C through
+	// runPoints, Tables D/E/F and the scale capstone directly. TableA
+	// and TableB are single deterministic runs per cell (milliseconds
+	// at any scale), so they recompute rather than cache. Empty
+	// disables checkpointing.
+	Checkpoint string
 }
 
 // Validate checks the options without mutating them. Workers must be
@@ -53,10 +65,11 @@ type runSpec struct {
 
 // repOutcome is one replicate's result. Stalls (core.ErrStalled) count
 // as runs pinned at the tick budget, exactly as the paper plots "off
-// the charts" points.
+// the charts" points. Fields are exported because the checkpoint cell
+// store caches outcomes as JSON (see cellCached).
 type repOutcome struct {
-	ticks   float64
-	stalled bool
+	Ticks   float64 `json:"ticks"`
+	Stalled bool    `json:"stalled,omitempty"`
 }
 
 // runPoints fans every (spec, replicate) pair out over the worker pool
@@ -65,6 +78,11 @@ type repOutcome struct {
 // left zero for the caller to fill in.
 func runPoints(opt Options, specs []runSpec) ([]Point, error) {
 	prog := opt.Progress.Serialized()
+	store, err := opt.openStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.close()
 	total := 0
 	for _, sp := range specs {
 		total += sp.reps
@@ -85,15 +103,19 @@ func runPoints(opt Options, specs []runSpec) ([]Point, error) {
 		}
 		cfg := sp.cfg
 		cfg.Seed = sp.seed + uint64(rep)*parallel.SeedStride
-		res, err := core.Run(cfg)
-		switch {
-		case err == nil:
-			return repOutcome{ticks: float64(res.CompletionTime)}, nil
-		case errors.Is(err, core.ErrStalled):
-			return repOutcome{ticks: float64(cfg.MaxTicks), stalled: true}, nil
-		default:
-			return repOutcome{}, fmt.Errorf("%s: %w", sp.tag, err)
-		}
+		return cellCached(store, sp.tag, sp.seed, rep, func() (repOutcome, error) {
+			res, err := core.Run(cfg)
+			switch {
+			case err == nil:
+				return repOutcome{Ticks: float64(res.CompletionTime)}, nil
+			case errors.Is(err, core.ErrStalled):
+				// Stalls are data (points pinned at the tick budget), so they
+				// are cached; real errors are not — a resumed run retries them.
+				return repOutcome{Ticks: float64(cfg.MaxTicks), Stalled: true}, nil
+			default:
+				return repOutcome{}, fmt.Errorf("%s: %w", sp.tag, err)
+			}
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -107,8 +129,8 @@ func runPoints(opt Options, specs []runSpec) ([]Point, error) {
 		for r := 0; r < sp.reps; r++ {
 			o := outcomes[j]
 			j++
-			times = append(times, o.ticks)
-			if o.stalled {
+			times = append(times, o.Ticks)
+			if o.Stalled {
 				stalled++
 			}
 		}

@@ -52,13 +52,15 @@ func tableScaleParams(sc Scale) (ns []int, k int, repsFor func(n int) int) {
 // deterministic function of the replicate seed — including the trace
 // footprint, whose column capacities are fixed by the Reserve hints and
 // the (seeded) append sequence — so the table stays byte-identical for
-// any worker count.
+// any worker count, and caching a cell in the checkpoint store (the
+// fields are exported for exactly that JSON round-trip) returns the
+// same bytes a recompute would.
 type scaleOutcome struct {
-	ticks      float64
-	stalled    bool
-	optimal    int
-	transfers  int
-	traceBytes int
+	Ticks      float64 `json:"ticks"`
+	Stalled    bool    `json:"stalled,omitempty"`
+	Optimal    int     `json:"optimal"`
+	Transfers  int     `json:"transfers"`
+	TraceBytes int     `json:"traceBytes"`
 }
 
 // TableScale reproduces the scale-out table: T vs n for the randomized
@@ -72,6 +74,15 @@ func TableScale(sc Scale, opt Options) (*Table, error) {
 	}
 	ns, k, repsFor := tableScaleParams(sc)
 	prog := opt.Progress.Serialized()
+	// The scale capstone is the single most expensive cell in the whole
+	// harness (n = 100k with tracing on runs for the better part of an
+	// hour), so it is exactly where per-point checkpointing pays: an
+	// interrupted full-scale sweep resumes with every finished n cached.
+	store, err := opt.openStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.close()
 
 	specOf := make([]int32, 0, 8) // flat job index -> index into ns
 	repOf := make([]int32, 0, 8)  // flat job index -> replicate
@@ -95,20 +106,23 @@ func TableScale(sc Scale, opt Options) (*Table, error) {
 			RecordTrace: true,
 			Seed:        uint64(26000+n) + uint64(rep)*parallel.SeedStride,
 		}
-		res, err := core.Run(cfg)
-		switch {
-		case err == nil:
-			return scaleOutcome{
-				ticks:      float64(res.CompletionTime),
-				optimal:    res.OptimalTime,
-				transfers:  res.Sim.TotalTransfers,
-				traceBytes: res.Sim.Trace.MemSize(),
-			}, nil
-		case errors.Is(err, core.ErrStalled):
-			return scaleOutcome{ticks: float64(cfg.MaxTicks), stalled: true}, nil
-		default:
-			return scaleOutcome{}, fmt.Errorf("tableScale: n=%d rep=%d: %w", n, rep, err)
-		}
+		tag := fmt.Sprintf("tableScale: n=%d k=%d credit=1", n, k)
+		return cellCached(store, tag, uint64(26000+n), rep, func() (scaleOutcome, error) {
+			res, err := core.Run(cfg)
+			switch {
+			case err == nil:
+				return scaleOutcome{
+					Ticks:      float64(res.CompletionTime),
+					Optimal:    res.OptimalTime,
+					Transfers:  res.Sim.TotalTransfers,
+					TraceBytes: res.Sim.Trace.MemSize(),
+				}, nil
+			case errors.Is(err, core.ErrStalled):
+				return scaleOutcome{Ticks: float64(cfg.MaxTicks), Stalled: true}, nil
+			default:
+				return scaleOutcome{}, fmt.Errorf("tableScale: n=%d rep=%d: %w", n, rep, err)
+			}
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -129,8 +143,8 @@ func TableScale(sc Scale, opt Options) (*Table, error) {
 		for r := 0; r < reps; r++ {
 			o := outcomes[j]
 			j++
-			times = append(times, o.ticks)
-			if o.stalled {
+			times = append(times, o.Ticks)
+			if o.Stalled {
 				stalled++
 			}
 		}
@@ -139,18 +153,18 @@ func TableScale(sc Scale, opt Options) (*Table, error) {
 			return nil, fmt.Errorf("tableScale: n=%d: %w", n, err)
 		}
 		ratio := "-"
-		if first.optimal > 0 {
-			ratio = fmt.Sprintf("%.3f", sum.Mean/float64(first.optimal))
+		if first.Optimal > 0 {
+			ratio = fmt.Sprintf("%.3f", sum.Mean/float64(first.Optimal))
 		}
 		row := []string{
 			fmt.Sprint(n),
 			fmt.Sprintf("%.2f", sum.Mean),
 			fmt.Sprintf("%.2f", sum.CI95),
 			fmt.Sprint(reps),
-			fmt.Sprint(first.optimal),
+			fmt.Sprint(first.Optimal),
 			ratio,
-			fmt.Sprint(first.transfers),
-			fmt.Sprintf("%.1f", float64(first.traceBytes)/(1<<20)),
+			fmt.Sprint(first.Transfers),
+			fmt.Sprintf("%.1f", float64(first.TraceBytes)/(1<<20)),
 		}
 		if stalled > 0 {
 			row[1] = fmt.Sprintf(">=%.0f (stalled %d/%d)", sum.Mean, stalled, reps)

@@ -50,31 +50,42 @@ func TableD(sc Scale, opt Options) (*Table, error) {
 		},
 	}
 	prog := opt.Progress.Serialized()
-	type outcome struct{ bt, free float64 }
+	store, err := opt.openStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.close()
+	type outcome struct {
+		BT   float64 `json:"bt"`
+		Free float64 `json:"free"`
+	}
 	outs, err := parallel.Map(opt.workers(), len(sizes)*reps, func(j int) (outcome, error) {
 		sz, rep := sizes[j/reps], j%reps
 		if rep == 0 {
 			prog.log("tableD: n=%d k=%d d=%d", sz.n, sz.k, sz.d)
 		}
 		seed := uint64(9000 + sz.n*31 + rep)
-		g, err := graph.RandomRegular(sz.n, sz.d, xrand.New(seed))
-		if err != nil {
-			return outcome{}, fmt.Errorf("tableD: %w", err)
-		}
-		proto, err := bt.New(bt.Options{Graph: g, DownloadPorts: 1, Seed: seed})
-		if err != nil {
-			return outcome{}, fmt.Errorf("tableD: %w", err)
-		}
-		btRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, proto)
-		if err != nil {
-			return outcome{}, fmt.Errorf("tableD bittorrent n=%d k=%d: %w", sz.n, sz.k, err)
-		}
-		free := asim.NewAsyncRandomized(g, true, 1, seed)
-		freeRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, free)
-		if err != nil {
-			return outcome{}, fmt.Errorf("tableD randomized n=%d k=%d: %w", sz.n, sz.k, err)
-		}
-		return outcome{bt: btRes.CompletionTime, free: freeRes.CompletionTime}, nil
+		tag := fmt.Sprintf("tableD: n=%d k=%d d=%d", sz.n, sz.k, sz.d)
+		return cellCached(store, tag, seed, rep, func() (outcome, error) {
+			g, err := graph.RandomRegular(sz.n, sz.d, xrand.New(seed))
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableD: %w", err)
+			}
+			proto, err := bt.New(bt.Options{Graph: g, DownloadPorts: 1, Seed: seed})
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableD: %w", err)
+			}
+			btRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, proto)
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableD bittorrent n=%d k=%d: %w", sz.n, sz.k, err)
+			}
+			free := asim.NewAsyncRandomized(g, true, 1, seed)
+			freeRes, err := asim.Run(asim.Config{Nodes: sz.n, Blocks: sz.k, DownloadPorts: 1}, free)
+			if err != nil {
+				return outcome{}, fmt.Errorf("tableD randomized n=%d k=%d: %w", sz.n, sz.k, err)
+			}
+			return outcome{BT: btRes.CompletionTime, Free: freeRes.CompletionTime}, nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -82,8 +93,8 @@ func TableD(sc Scale, opt Options) (*Table, error) {
 	for si, sz := range sizes {
 		var btSum, freeSum float64
 		for rep := 0; rep < reps; rep++ {
-			btSum += outs[si*reps+rep].bt
-			freeSum += outs[si*reps+rep].free
+			btSum += outs[si*reps+rep].BT
+			freeSum += outs[si*reps+rep].Free
 		}
 		btMean := btSum / float64(reps)
 		freeMean := freeSum / float64(reps)

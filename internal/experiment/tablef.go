@@ -89,10 +89,15 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 		},
 	}
 	prog := opt.Progress.Serialized()
+	store, serr := opt.openStore()
+	if serr != nil {
+		return nil, serr
+	}
+	defer store.close()
 	type outcome struct {
-		stalled bool
-		ticks   float64
-		stall   float64 // honest stall rate
+		Stalled bool    `json:"stalled,omitempty"`
+		Ticks   float64 `json:"ticks"`
+		Stall   float64 `json:"stall"` // honest stall rate
 	}
 	runSync := func(ci int, frac float64, rep int) (outcome, error) {
 		cfg := core.Config{
@@ -111,7 +116,7 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 		}
 		res, err := core.Run(cfg)
 		if errors.Is(err, core.ErrStalled) {
-			return outcome{stalled: true}, nil
+			return outcome{Stalled: true}, nil
 		}
 		if err != nil {
 			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, err)
@@ -129,7 +134,7 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 				}
 			}
 		}
-		return outcome{ticks: float64(res.CompletionTime), stall: res.Sim.HonestStallRate()}, nil
+		return outcome{Ticks: float64(res.CompletionTime), Stall: res.Sim.HonestStallRate()}, nil
 	}
 	runAsync := func(frac float64, rep int) (outcome, error) {
 		const ci = 3
@@ -150,7 +155,7 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 		proto := asim.NewAsyncRandomized(nil, false, 1, seed)
 		res, err := asim.Run(cfg, proto)
 		if errors.Is(err, asim.ErrMaxTime) {
-			return outcome{stalled: true}, nil
+			return outcome{Stalled: true}, nil
 		}
 		if err != nil {
 			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, err)
@@ -160,7 +165,7 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 		if aerr := asim.RunAudit(auditCfg, res); aerr != nil {
 			return outcome{}, fmt.Errorf("tableF %s frac=%g: %w", cols[ci], frac, aerr)
 		}
-		return outcome{ticks: res.CompletionTime, stall: res.HonestStallRate()}, nil
+		return outcome{Ticks: res.CompletionTime, Stall: res.HonestStallRate()}, nil
 	}
 	// Flat job index: ((frac, col), rep), matching the sequential
 	// aggregation below.
@@ -172,10 +177,16 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 		if ci == 0 && rep == 0 {
 			prog.log("tableF: adversary fraction %g", frac)
 		}
-		if ci == 3 {
-			return runAsync(frac, rep)
-		}
-		return runSync(ci, frac, rep)
+		// Cached cells skip RunAudit/AuditAdversary/VerifyStarvation along
+		// with the run: the audits passed when the cell was first computed,
+		// and a recompute would replay the identical seeded trace.
+		tag := fmt.Sprintf("tableF: %s frac=%g", cols[ci], frac)
+		return cellCached(store, tag, uint64(11000+100*ci+rep), rep, func() (outcome, error) {
+			if ci == 3 {
+				return runAsync(frac, rep)
+			}
+			return runSync(ci, frac, rep)
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -186,12 +197,12 @@ func TableF(sc Scale, opt Options) (*Table, error) {
 			tickSum, stallRateSum, done, stalls := 0.0, 0.0, 0, 0
 			for rep := 0; rep < reps; rep++ {
 				o := outs[fi*perFrac+ci*reps+rep]
-				if o.stalled {
+				if o.Stalled {
 					stalls++
 					continue
 				}
-				tickSum += o.ticks
-				stallRateSum += o.stall
+				tickSum += o.Ticks
+				stallRateSum += o.Stall
 				done++
 			}
 			switch {

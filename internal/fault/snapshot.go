@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"math"
+
+	"barterdist/internal/checkpoint"
+)
+
+// Snapshot appends the plan's mutable position to enc: the three
+// sub-stream RNG states, the pending crash arrival, and the remaining
+// crash budget. The Options are NOT serialized — a resumed run rebuilds
+// the plan from its own config (NewPlan + Acquire) and then overwrites
+// the position, so a snapshot can never smuggle in a different fault
+// model.
+func (p *Plan) Snapshot(enc *checkpoint.Encoder) {
+	p.arrivalRng.Snapshot(enc)
+	p.victimRng.Snapshot(enc)
+	p.lossRng.Snapshot(enc)
+	enc.F64(p.nextCrash)
+	enc.Int(p.crashesLeft)
+}
+
+// RestoreState overwrites the plan's mutable position from dec. The
+// plan must already be acquired by the resuming engine; the fresh
+// NewPlan's initial draws are discarded and replaced wholesale.
+func (p *Plan) RestoreState(dec *checkpoint.Decoder) error {
+	if err := p.arrivalRng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := p.victimRng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := p.lossRng.RestoreState(dec); err != nil {
+		return err
+	}
+	nextCrash := dec.F64()
+	crashesLeft := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if math.IsNaN(nextCrash) || nextCrash < 0 && !math.IsInf(nextCrash, 1) {
+		return checkpoint.Corruptf("fault: invalid next crash arrival %v", nextCrash)
+	}
+	if crashesLeft < -1 {
+		return checkpoint.Corruptf("fault: invalid crash budget %d", crashesLeft)
+	}
+	p.nextCrash = nextCrash
+	p.crashesLeft = crashesLeft
+	return nil
+}

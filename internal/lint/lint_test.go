@@ -163,6 +163,23 @@ func TestAdversaryScopeFixture(t *testing.T) {
 	}
 }
 
+func TestCheckpointScopeFixture(t *testing.T) {
+	// internal/checkpoint is inside BOTH determinism scopes: snapshot
+	// encoders walk maps (credit ledgers, quarantine tables) and a
+	// "written at" header field tempts a wall-clock read. The ckptio
+	// fixture carries violations of each rule, so both analyzers run
+	// together and every want line must fire under the checkpoint path.
+	as := []*Analyzer{NoWallClockAnalyzer(), MapIterationAnalyzer()}
+	checkFixtureAll(t, as, "ckptio", "fixture/internal/checkpoint/ckptio")
+	// Out of scope: the same violating code is silent for both rules.
+	for _, a := range as {
+		_, _, findings := loadFixture(t, a, "ckptio", "fixture/internal/report/ckptio")
+		if len(findings) != 0 {
+			t.Fatalf("out-of-scope package should be silent for %s, got %v", a.Name, findings)
+		}
+	}
+}
+
 func TestIgnoredErrorsFixtures(t *testing.T) {
 	checkFixture(t, IgnoredErrorsAnalyzer(), "ignorederr", "fixture/ignorederr")
 }

@@ -22,6 +22,9 @@ var mapIterScope = []string{
 	// a map-ordered write path would scramble the on-disk/in-memory
 	// record order across runs.
 	"internal/trace",
+	// Snapshots must encode identical bytes for identical state, so any
+	// map iterated during encoding has to walk sorted keys.
+	"internal/checkpoint",
 }
 
 // MapIterationAnalyzer flags `for ... range m` over a map in scheduler

@@ -1,0 +1,65 @@
+// Package ckptio exercises both scoped determinism rules on
+// checkpoint-shaped code. Loaded under the checkpoint import path
+// (fixture/internal/checkpoint/ckptio) the flagged lines fire; loaded
+// under a neutral path the package is silent, which the tests use to
+// prove internal/checkpoint is inside both scopes.
+//
+// The hazards here are the exact ones a snapshot layer invites: a
+// "written at" timestamp baked into the header makes byte-identical
+// state encode to different files, and a map walked in hash order
+// makes two snapshots of the same ledger differ.
+package ckptio
+
+import (
+	"sort"
+	"time"
+)
+
+// RetryBackoff is a Duration constant — a pure value, always allowed
+// even in scope.
+const RetryBackoff = 250 * time.Millisecond
+
+// Header is a snapshot preamble. WrittenAt is the tempting field this
+// fixture exists to kill: snapshots must be functions of state alone.
+type Header struct {
+	Tick      int
+	WrittenAt int64
+}
+
+// Stamp bakes the wall clock into a snapshot header, so the same
+// engine state never encodes to the same bytes twice.
+func Stamp(h *Header) {
+	h.WrittenAt = time.Now().UnixNano() // want "time.Now forbidden"
+}
+
+// EncodeBalances serializes a credit ledger straight out of map
+// iteration: two snapshots of identical balances would differ in
+// section byte order, breaking the byte-identical resume contract.
+func EncodeBalances(balances map[uint64]int64, out []byte) []byte {
+	for pair, bal := range balances { // want "iteration over map balances has randomized order"
+		out = append(out, byte(pair), byte(bal))
+	}
+	return out
+}
+
+// TotalCredit is a commutative integer aggregation — provably
+// order-insensitive, accepted without annotation.
+func TotalCredit(balances map[uint64]int64) int64 {
+	var sum int64
+	for _, bal := range balances {
+		sum += bal
+	}
+	return sum
+}
+
+// SortedPairs collects keys then sorts; the collection loop is
+// order-sensitive in isolation, so it carries an audited suppression —
+// the pattern every real snapshot encoder in this repo uses.
+func SortedPairs(balances map[uint64]int64) []uint64 {
+	keys := make([]uint64, 0, len(balances))
+	for pair := range balances { //lint:ordered keys are sorted below
+		keys = append(keys, pair)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -21,6 +21,10 @@ var wallClockScope = []string{
 	// inside the tick loop and replayed by audits, so a wall-clock read
 	// there would be just as nondeterministic as in the engines.
 	"internal/trace",
+	// Checkpoints are replayed state: a timestamp baked into a snapshot
+	// (or into its encoding) would make resumed runs diverge from
+	// uninterrupted ones.
+	"internal/checkpoint",
 }
 
 // wallClockFuncs are the package time entry points that observe or

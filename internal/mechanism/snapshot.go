@@ -1,0 +1,66 @@
+package mechanism
+
+import (
+	"sort"
+
+	"barterdist/internal/checkpoint"
+)
+
+// Snapshot appends the ledger's state to enc: the credit limit and the
+// non-zero pairwise balances in ascending key order. Zero balances are
+// skipped — they are semantically absent (Net reports 0 either way),
+// and skipping them makes the encoding canonical: a restored ledger
+// and the live one it was captured from snapshot to identical bytes.
+func (l *Ledger) Snapshot(enc *checkpoint.Encoder) {
+	enc.Int(l.limit)
+	keys := make([]uint64, 0, len(l.net))
+	for k, n := range l.net {
+		if n != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	enc.Int(len(keys))
+	for _, k := range keys {
+		enc.U64(k)
+		enc.Int(l.net[k])
+	}
+}
+
+// RestoreState overwrites the ledger's balances from dec. The encoded
+// credit limit must match the ledger's (the limit comes from config,
+// not the snapshot; a mismatch means the snapshot belongs to a
+// different run). Keys must be strictly ascending and values non-zero,
+// so a corrupted payload cannot decode into a plausible ledger.
+func (l *Ledger) RestoreState(dec *checkpoint.Decoder) error {
+	limit := dec.Int()
+	n := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if limit != l.limit {
+		return checkpoint.Corruptf("mechanism: snapshot credit limit %d, config has %d", limit, l.limit)
+	}
+	if n < 0 {
+		return checkpoint.Corruptf("mechanism: negative pair count %d", n)
+	}
+	net := make(map[uint64]int, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		k := dec.U64()
+		v := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if i > 0 && k <= prev {
+			return checkpoint.Corruptf("mechanism: ledger keys not strictly ascending at entry %d", i)
+		}
+		if v == 0 {
+			return checkpoint.Corruptf("mechanism: ledger entry %d has zero balance", i)
+		}
+		prev = k
+		net[k] = v
+	}
+	l.net = net
+	return nil
+}

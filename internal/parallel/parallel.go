@@ -25,10 +25,42 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a task that panicked resolves to: execution
+// is supervised, so one panicking task cannot take down the whole
+// process (and with it every sibling's completed work). It records the
+// task index, the recovered value, and the goroutine stack at the
+// panic site for debugging.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// runTask invokes task(i), converting a panic into a *PanicError so
+// the pool's ordered-error contract holds even for crashing tasks.
+func runTask(task func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return task(i)
+}
 
 // SeedStride is the canonical per-index seed increment (the golden
 // ratio in fixed point, the same constant splitmix64 uses). Tasks that
@@ -55,7 +87,9 @@ func Workers(n int) int {
 // Every task runs even if an earlier one failed, and the returned
 // error is the lowest-index one — both choices keep the observable
 // outcome independent of scheduling, so output is byte-identical for
-// any worker count >= 1.
+// any worker count >= 1. A panicking task is recovered into a
+// *PanicError at its index (carrying the stack) instead of crashing
+// the process, on both the sequential and pooled paths.
 func ForEach(workers, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -68,7 +102,7 @@ func ForEach(workers, n int, task func(i int) error) error {
 		// Sequential reference path: no goroutines, same semantics.
 		var first error
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil && first == nil {
+			if err := runTask(task, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -86,7 +120,7 @@ func ForEach(workers, n int, task func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = task(i)
+				errs[i] = runTask(task, i)
 			}
 		}()
 	}

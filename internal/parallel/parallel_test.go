@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -125,5 +126,51 @@ func TestMapPartialResultsOnError(t *testing.T) {
 	}
 	if len(out) != 10 || out[9] != 81 || out[5] != 0 {
 		t.Fatalf("partial results wrong: %v", out)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		var ran [8]bool
+		err := ForEach(w, 8, func(i int) error {
+			ran[i] = true
+			if i == 3 || i == 6 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", w, err)
+		}
+		if pe.Index != 3 {
+			t.Fatalf("workers=%d: lowest panicking index = %d, want 3", w, pe.Index)
+		}
+		if pe.Value != "boom 3" {
+			t.Fatalf("workers=%d: recovered value = %v", w, pe.Value)
+		}
+		if !bytes.Contains(pe.Stack, []byte("parallel_test.go")) {
+			t.Fatalf("workers=%d: stack does not point at the panic site:\n%s", w, pe.Stack)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("workers=%d: task %d skipped after sibling panic", w, i)
+			}
+		}
+	}
+}
+
+func TestForEachPanicLosesToEarlierError(t *testing.T) {
+	err := ForEach(4, 8, func(i int) error {
+		if i == 2 {
+			return errors.New("plain failure")
+		}
+		if i == 5 {
+			panic("later panic")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "plain failure" {
+		t.Fatalf("err = %v, want the lowest-index plain failure", err)
 	}
 }

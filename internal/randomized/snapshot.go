@@ -1,0 +1,212 @@
+package randomized
+
+import (
+	"fmt"
+
+	"barterdist/internal/checkpoint"
+	"barterdist/internal/simulate"
+)
+
+// Both randomized-family schedulers implement
+// simulate.CheckpointableScheduler. What gets serialized is exactly the
+// state that survives a tick boundary and cannot be rebuilt from the
+// engine's restored State:
+//
+//   - the RNG (the scheduler's entire decision stream),
+//   - the credit ledger and quarantine table (economic history),
+//   - freq (rarity counts carry speculative increments for transfers
+//     the engine will only report lost at the NEXT beginTick, so a
+//     from-scratch recount would disagree),
+//   - order (Shuffle permutes in place, so each tick's permutation
+//     depends on the previous one),
+//   - noPeerAtCount (whether a sender skips its scan decides whether
+//     it draws from the RNG).
+//
+// Everything epoch-stamped (downUsed, incoming, capacity scratch) is
+// provably dead at a tick boundary — stale stamps read as zero — and
+// the candidate set is rebuilt from the restored ground truth in setup,
+// which agrees with the incremental maintenance at every boundary
+// (TestCandidateSetMatchesScan pins that invariant).
+
+var (
+	_ simulate.CheckpointableScheduler = (*Scheduler)(nil)
+	_ simulate.CheckpointableScheduler = (*TriangularScheduler)(nil)
+)
+
+// SnapshotState implements simulate.CheckpointableScheduler.
+func (s *Scheduler) SnapshotState(enc *checkpoint.Encoder) error {
+	if s.opts.RewireEvery > 0 {
+		// The overlay itself mutates mid-run; serializing graphs is out
+		// of scope, so refuse loudly instead of resuming a wrong overlay.
+		return fmt.Errorf("randomized: checkpointing is not supported with RewireEvery > 0")
+	}
+	if !s.init {
+		return fmt.Errorf("randomized: cannot snapshot before the first tick")
+	}
+	s.rng.Snapshot(enc)
+	enc.Bool(s.ledger != nil)
+	if s.ledger != nil {
+		s.ledger.Snapshot(enc)
+	}
+	enc.Bool(s.guard != nil)
+	if s.guard != nil {
+		s.guard.Snapshot(enc)
+	}
+	enc.Ints(s.freq)
+	enc.Ints(s.order)
+	enc.Ints(s.noPeerAtCount)
+	return nil
+}
+
+// RestoreState implements simulate.CheckpointableScheduler. st must be
+// the engine's already-restored state; setup derives the candidate set
+// and sizing from it before the serialized fields overwrite the rest.
+func (s *Scheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) error {
+	if s.opts.RewireEvery > 0 {
+		return fmt.Errorf("randomized: checkpointing is not supported with RewireEvery > 0")
+	}
+	if !s.init {
+		if err := s.setup(st); err != nil {
+			return err
+		}
+	}
+	if err := s.rng.RestoreState(dec); err != nil {
+		return err
+	}
+	if dec.Bool() != (s.ledger != nil) {
+		if dec.Err() == nil {
+			return checkpoint.Corruptf("randomized: ledger presence mismatch (different CreditLimit?)")
+		}
+	}
+	if s.ledger != nil {
+		if err := s.ledger.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	if dec.Bool() != (s.guard != nil) {
+		if dec.Err() == nil {
+			return checkpoint.Corruptf("randomized: guard presence mismatch (different adversary config?)")
+		}
+	}
+	if s.guard != nil {
+		if err := s.guard.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	freq := dec.Ints()
+	order := dec.Ints()
+	noPeer := dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := restoreFreq(s.freq, freq, s.k); err != nil {
+		return err
+	}
+	if err := restoreOrder(s.order, order, s.n); err != nil {
+		return err
+	}
+	if len(noPeer) != s.n {
+		return checkpoint.Corruptf("randomized: no-peer cache sized %d for %d nodes", len(noPeer), s.n)
+	}
+	for v, c := range noPeer {
+		if c < -1 || c > s.k {
+			return checkpoint.Corruptf("randomized: no-peer cache entry %d = %d out of range", v, c)
+		}
+	}
+	copy(s.noPeerAtCount, noPeer)
+	s.touched = s.touched[:0]
+	return nil
+}
+
+// SnapshotState implements simulate.CheckpointableScheduler.
+//
+// intent/approved/intenders are NOT serialized: the next Tick resets
+// exactly last tick's intenders before reading anything, so an empty
+// table reproduces the reset's effect verbatim.
+func (ts *TriangularScheduler) SnapshotState(enc *checkpoint.Encoder) error {
+	if !ts.init {
+		return fmt.Errorf("randomized: cannot snapshot before the first tick")
+	}
+	ts.rng.Snapshot(enc)
+	ts.ledger.Snapshot(enc)
+	enc.Bool(ts.guard != nil)
+	if ts.guard != nil {
+		ts.guard.Snapshot(enc)
+	}
+	enc.Ints(ts.freq)
+	enc.Ints(ts.order)
+	return nil
+}
+
+// RestoreState implements simulate.CheckpointableScheduler.
+func (ts *TriangularScheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) error {
+	if !ts.init {
+		if err := ts.setup(st); err != nil {
+			return err
+		}
+	}
+	if err := ts.rng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := ts.ledger.RestoreState(dec); err != nil {
+		return err
+	}
+	if dec.Bool() != (ts.guard != nil) {
+		if dec.Err() == nil {
+			return checkpoint.Corruptf("randomized: guard presence mismatch (different adversary config?)")
+		}
+	}
+	if ts.guard != nil {
+		if err := ts.guard.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	freq := dec.Ints()
+	order := dec.Ints()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := restoreFreq(ts.freq, freq, ts.k); err != nil {
+		return err
+	}
+	if err := restoreOrder(ts.order, order, ts.n); err != nil {
+		return err
+	}
+	ts.intenders = ts.intenders[:0]
+	for i := range ts.intent {
+		ts.intent[i] = -1
+		ts.approved[i] = false
+	}
+	return nil
+}
+
+// restoreFreq validates and installs serialized rarity counts.
+func restoreFreq(dst, src []int, k int) error {
+	if len(src) != k {
+		return checkpoint.Corruptf("randomized: freq sized %d for %d blocks", len(src), k)
+	}
+	for b, f := range src {
+		if f < 0 {
+			return checkpoint.Corruptf("randomized: freq[%d] = %d negative", b, f)
+		}
+	}
+	copy(dst, src)
+	return nil
+}
+
+// restoreOrder validates that src is a permutation of [0, n) and
+// installs it.
+func restoreOrder(dst, src []int, n int) error {
+	if len(src) != n {
+		return checkpoint.Corruptf("randomized: order sized %d for %d nodes", len(src), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range src {
+		if v < 0 || v >= n || seen[v] {
+			return checkpoint.Corruptf("randomized: order is not a permutation of [0, %d)", n)
+		}
+		seen[v] = true
+	}
+	copy(dst, src)
+	return nil
+}

@@ -32,6 +32,12 @@ import (
 // Completion time: k - 1 + r ticks when n = 2^r, and at most
 // k + ⌈log2(n-1)⌉ in general — both optimal (Theorems in Section 2).
 type BinomialPipeline struct {
+	// The schedule is fully determined at construction; the identity
+	// caches below are deterministic functions of the first tick's
+	// state, so a fresh instance replays identically and checkpointing
+	// is stateless.
+	simulate.StatelessSchedulerState
+
 	assign *graph.PairedHypercubeAssignment
 	k      int
 	// nodeID maps logical instance node -> engine node. Logical node 0

@@ -21,8 +21,10 @@ import (
 	"barterdist/internal/simulate"
 )
 
-// fixed replays a precomputed tick-indexed transfer schedule.
+// fixed replays a precomputed tick-indexed transfer schedule. It is a
+// pure function of the tick, so it checkpoints statelessly.
 type fixed struct {
+	simulate.StatelessSchedulerState
 	byTick [][]simulate.Transfer
 }
 

@@ -1,0 +1,460 @@
+package simulate
+
+import (
+	"fmt"
+
+	"barterdist/internal/checkpoint"
+	"barterdist/internal/fault"
+	"barterdist/internal/trace"
+)
+
+// CheckpointableScheduler is implemented by schedulers whose internal
+// state (RNG streams, ledgers, frequency tables) can be persisted and
+// restored. Schedulers without internal state may embed
+// StatelessSchedulerState; the engine refuses to checkpoint a run whose
+// scheduler implements neither.
+type CheckpointableScheduler interface {
+	Scheduler
+	// SnapshotState appends the scheduler's full mutable state to enc.
+	SnapshotState(enc *checkpoint.Encoder) error
+	// RestoreState overwrites the scheduler's state from dec, given
+	// the already-restored engine state (schedulers may rebuild
+	// derived caches from it). It is called exactly once, before the
+	// first resumed tick.
+	RestoreState(dec *checkpoint.Decoder, st *State) error
+}
+
+// StatelessSchedulerState makes a scheduler checkpointable by declaring
+// it has no mutable state: embed it in schedulers whose Tick is a pure
+// function of (t, *State) — precomputed schedules, closed-form
+// broadcasts — and snapshot/restore become no-ops. Embedding it in a
+// scheduler that does mutate internal state silently breaks the
+// resume-determinism contract; when in doubt, implement
+// CheckpointableScheduler by hand.
+type StatelessSchedulerState struct{}
+
+// SnapshotState implements CheckpointableScheduler (nothing to save).
+func (StatelessSchedulerState) SnapshotState(*checkpoint.Encoder) error { return nil }
+
+// RestoreState implements CheckpointableScheduler (nothing to restore).
+func (StatelessSchedulerState) RestoreState(*checkpoint.Decoder, *State) error { return nil }
+
+// SnapshotState makes every SchedulerFunc checkpointable: an adapted
+// function is expected to be pure in (t, *State). Closures over mutable
+// state must implement CheckpointableScheduler as a named type instead.
+func (f SchedulerFunc) SnapshotState(*checkpoint.Encoder) error { return nil }
+
+// RestoreState implements CheckpointableScheduler (nothing to restore).
+func (f SchedulerFunc) RestoreState(*checkpoint.Decoder, *State) error { return nil }
+
+// Section names of a synchronous-engine snapshot.
+const (
+	secMeta      = "sim/meta"
+	secState     = "sim/state"
+	secResult    = "sim/result"
+	secTrace     = "sim/trace"
+	secFault     = "sim/fault"
+	secAdversary = "sim/adversary"
+	secScheduler = "sim/scheduler"
+)
+
+// snapshot captures the runner's full state at the current tick
+// boundary (immediately after step(t) returned done=false).
+func (r *runner) snapshot() (*checkpoint.Snapshot, error) {
+	cs, ok := r.sched.(CheckpointableScheduler)
+	if !ok {
+		return nil, fmt.Errorf("simulate: scheduler %T does not support checkpointing", r.sched)
+	}
+	snap := &checkpoint.Snapshot{}
+
+	meta := checkpoint.NewEncoder(64)
+	c := r.c
+	meta.Int(c.Nodes)
+	meta.Int(c.Blocks)
+	meta.Int(c.UploadCap)
+	meta.Int(c.ServerUploadCap)
+	meta.Int(c.DownloadCap)
+	meta.Bool(c.RecordTrace)
+	meta.Bool(r.sf != nil)
+	meta.Bool(r.adv != nil)
+	snap.Add(secMeta, meta.Bytes())
+
+	st := r.st
+	se := checkpoint.NewEncoder(64 + c.Nodes*(c.Blocks/8+16))
+	se.Int(st.tick)
+	se.Int(st.complete)
+	for _, h := range st.have {
+		se.Uint64s(h.Words())
+	}
+	se.Bool(st.alive != nil)
+	if st.alive != nil {
+		se.Bools(st.alive)
+		se.Int(st.aliveClients)
+		se.Int(st.pendingRejoin)
+	}
+	se.Bool(st.honest != nil)
+	if st.honest != nil {
+		se.Int(st.completeHonest)
+		se.Int(st.aliveHonest)
+		se.Int(st.pendingRejoinHonest)
+	}
+	encodeLost(se, st.lost)
+	snap.Add(secState, se.Bytes())
+
+	res := r.res
+	re := checkpoint.NewEncoder(256)
+	re.Ints(res.ClientCompletion)
+	re.Int(res.TotalTransfers)
+	re.Int(res.UsefulTransfers)
+	re.Ints(res.UploadsPerTick)
+	re.Int(len(res.FaultLog))
+	for _, ev := range res.FaultLog {
+		encodeEvent(re, ev)
+	}
+	re.Int(res.LostTransfers)
+	re.Int(res.CorruptTransfers)
+	re.Int(res.AdvRefused)
+	re.Int(res.AdvStalled)
+	re.Int(res.AdvCorrupt)
+	re.Int(res.HonestUseful)
+	re.Int(res.HonestWasted)
+	snap.Add(secResult, re.Bytes())
+
+	if c.RecordTrace {
+		te := checkpoint.NewEncoder(64 + 16*res.Trace.Len())
+		res.Trace.Snapshot(te)
+		snap.Add(secTrace, te.Bytes())
+	}
+	if r.sf != nil {
+		fe := checkpoint.NewEncoder(128)
+		r.sf.plan.Snapshot(fe)
+		fe.Int(len(r.sf.rejoins))
+		for _, ev := range r.sf.rejoins {
+			encodeEvent(fe, ev)
+		}
+		snap.Add(secFault, fe.Bytes())
+	}
+	if r.adv != nil {
+		ae := checkpoint.NewEncoder(64 + 16*c.Nodes)
+		r.adv.Snapshot(ae)
+		snap.Add(secAdversary, ae.Bytes())
+	}
+
+	sche := checkpoint.NewEncoder(1024)
+	if err := cs.SnapshotState(sche); err != nil {
+		return nil, fmt.Errorf("simulate: scheduler snapshot: %w", err)
+	}
+	snap.Add(secScheduler, sche.Bytes())
+	return snap, nil
+}
+
+// restore overwrites a freshly constructed runner (newRunner output,
+// plans acquired, tick 0) with the snapshot's state. On success the
+// runner is positioned exactly as it was when the snapshot was taken:
+// the next step is st.tick+1.
+func (r *runner) restore(snap *checkpoint.Snapshot) error {
+	cs, ok := r.sched.(CheckpointableScheduler)
+	if !ok {
+		return fmt.Errorf("simulate: scheduler %T does not support checkpointing", r.sched)
+	}
+
+	mp, err := snap.Section(secMeta)
+	if err != nil {
+		return err
+	}
+	md := checkpoint.NewDecoder(mp)
+	c := r.c
+	nodes, blocks := md.Int(), md.Int()
+	upCap, srvCap, downCap := md.Int(), md.Int(), md.Int()
+	recTrace, hasFault, hasAdv := md.Bool(), md.Bool(), md.Bool()
+	if err := md.Finish(); err != nil {
+		return err
+	}
+	if nodes != c.Nodes || blocks != c.Blocks || upCap != c.UploadCap ||
+		srvCap != c.ServerUploadCap || downCap != c.DownloadCap ||
+		recTrace != c.RecordTrace || hasFault != (r.sf != nil) || hasAdv != (r.adv != nil) {
+		return fmt.Errorf("simulate: snapshot taken under a different config (snapshot n=%d k=%d U=%d/%d D=%d trace=%v fault=%v adv=%v)",
+			nodes, blocks, upCap, srvCap, downCap, recTrace, hasFault, hasAdv)
+	}
+
+	sp, err := snap.Section(secState)
+	if err != nil {
+		return err
+	}
+	sd := checkpoint.NewDecoder(sp)
+	st := r.st
+	tick := sd.Int()
+	complete := sd.Int()
+	if sd.Err() == nil && (tick < 1 || complete < 0 || complete > c.Nodes-1) {
+		return checkpoint.Corruptf("simulate: tick %d / complete %d out of range", tick, complete)
+	}
+	for v := range st.have {
+		words := sd.Uint64s()
+		if err := sd.Err(); err != nil {
+			return err
+		}
+		if err := st.have[v].SetWords(words); err != nil {
+			return checkpoint.Corruptf("simulate: node %d blocks: %v", v, err)
+		}
+	}
+	if sd.Bool() != (st.alive != nil) {
+		if sd.Err() == nil {
+			return checkpoint.Corruptf("simulate: fault-state presence mismatch")
+		}
+	}
+	if st.alive != nil {
+		alive := sd.Bools()
+		st.aliveClients = sd.Int()
+		st.pendingRejoin = sd.Int()
+		if sd.Err() == nil {
+			if len(alive) != c.Nodes {
+				return checkpoint.Corruptf("simulate: alive mask sized %d for %d nodes", len(alive), c.Nodes)
+			}
+			copy(st.alive, alive)
+		}
+	}
+	if sd.Bool() != (st.honest != nil) {
+		if sd.Err() == nil {
+			return checkpoint.Corruptf("simulate: adversary-state presence mismatch")
+		}
+	}
+	if st.honest != nil {
+		st.completeHonest = sd.Int()
+		st.aliveHonest = sd.Int()
+		st.pendingRejoinHonest = sd.Int()
+	}
+	lost, err := decodeLost(sd, st.n, st.k)
+	if err != nil {
+		return err
+	}
+	st.lost = lost
+	if err := sd.Finish(); err != nil {
+		return err
+	}
+	st.tick = tick
+	st.complete = complete
+
+	rp, err := snap.Section(secResult)
+	if err != nil {
+		return err
+	}
+	rd := checkpoint.NewDecoder(rp)
+	res := r.res
+	cc := rd.Ints()
+	res.TotalTransfers = rd.Int()
+	res.UsefulTransfers = rd.Int()
+	upt := rd.Ints()
+	nEvents := rd.Int()
+	if rd.Err() == nil {
+		if len(cc) != c.Nodes {
+			return checkpoint.Corruptf("simulate: completion slice sized %d for %d nodes", len(cc), c.Nodes)
+		}
+		if len(upt) != tick {
+			return checkpoint.Corruptf("simulate: %d per-tick upload counts after %d ticks", len(upt), tick)
+		}
+		if nEvents < 0 {
+			return checkpoint.Corruptf("simulate: negative fault-log length")
+		}
+	}
+	copy(res.ClientCompletion, cc)
+	res.UploadsPerTick = append(res.UploadsPerTick[:0], upt...)
+	res.FaultLog = nil
+	for i := 0; i < nEvents && rd.Err() == nil; i++ {
+		ev, err := decodeEvent(rd, st.n)
+		if err != nil {
+			return err
+		}
+		res.FaultLog = append(res.FaultLog, ev)
+	}
+	res.LostTransfers = rd.Int()
+	res.CorruptTransfers = rd.Int()
+	res.AdvRefused = rd.Int()
+	res.AdvStalled = rd.Int()
+	res.AdvCorrupt = rd.Int()
+	res.HonestUseful = rd.Int()
+	res.HonestWasted = rd.Int()
+	if err := rd.Finish(); err != nil {
+		return err
+	}
+
+	if c.RecordTrace {
+		tp, err := snap.Section(secTrace)
+		if err != nil {
+			return err
+		}
+		td := checkpoint.NewDecoder(tp)
+		log, err := trace.Restore(td)
+		if err != nil {
+			return err
+		}
+		if err := td.Finish(); err != nil {
+			return err
+		}
+		if log.Kinded() != res.Trace.Kinded() {
+			return checkpoint.Corruptf("simulate: trace kindedness mismatch")
+		}
+		if log.Ticks() != tick {
+			return checkpoint.Corruptf("simulate: trace holds %d ticks, state at tick %d", log.Ticks(), tick)
+		}
+		res.Trace = log
+	}
+
+	if r.sf != nil {
+		fp, err := snap.Section(secFault)
+		if err != nil {
+			return err
+		}
+		fd := checkpoint.NewDecoder(fp)
+		if err := r.sf.plan.RestoreState(fd); err != nil {
+			return err
+		}
+		nRejoins := fd.Int()
+		if fd.Err() == nil && nRejoins < 0 {
+			return checkpoint.Corruptf("simulate: negative rejoin count")
+		}
+		r.sf.rejoins = nil
+		prev := 0.0
+		for i := 0; i < nRejoins && fd.Err() == nil; i++ {
+			ev, err := decodeEvent(fd, st.n)
+			if err != nil {
+				return err
+			}
+			if ev.Kind != fault.Rejoin || ev.Time < prev {
+				return checkpoint.Corruptf("simulate: rejoin queue entry %d invalid", i)
+			}
+			prev = ev.Time
+			r.sf.rejoins = append(r.sf.rejoins, ev)
+		}
+		if err := fd.Finish(); err != nil {
+			return err
+		}
+	}
+	if r.adv != nil {
+		ap, err := snap.Section(secAdversary)
+		if err != nil {
+			return err
+		}
+		ad := checkpoint.NewDecoder(ap)
+		if err := r.adv.RestoreState(ad); err != nil {
+			return err
+		}
+		if err := ad.Finish(); err != nil {
+			return err
+		}
+	}
+
+	shp, err := snap.Section(secScheduler)
+	if err != nil {
+		return err
+	}
+	shd := checkpoint.NewDecoder(shp)
+	if err := cs.RestoreState(shd, st); err != nil {
+		return fmt.Errorf("simulate: scheduler restore: %w", err)
+	}
+	if err := shd.Finish(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func encodeLost(e *checkpoint.Encoder, lost []LostTransfer) {
+	e.Int(len(lost))
+	for _, lt := range lost {
+		e.U32(uint32(lt.From))
+		e.U32(uint32(lt.To))
+		e.U32(uint32(lt.Block))
+		e.Bool(lt.Corrupt)
+		e.Bool(lt.Adversary)
+	}
+}
+
+func decodeLost(d *checkpoint.Decoder, n, k int) ([]LostTransfer, error) {
+	cnt := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if cnt < 0 || cnt > d.Remaining() {
+		return nil, checkpoint.Corruptf("simulate: lost-transfer count %d invalid", cnt)
+	}
+	var lost []LostTransfer
+	for i := 0; i < cnt; i++ {
+		from, to, block := int32(d.U32()), int32(d.U32()), int32(d.U32())
+		corrupt, adv := d.Bool(), d.Bool()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if int(from) >= n || int(to) >= n || from < 0 || to < 0 || block < 0 || int(block) >= k {
+			return nil, checkpoint.Corruptf("simulate: lost transfer %d out of range", i)
+		}
+		lost = append(lost, LostTransfer{
+			Transfer:  Transfer{From: from, To: to, Block: block},
+			Corrupt:   corrupt,
+			Adversary: adv,
+		})
+	}
+	return lost, nil
+}
+
+func encodeEvent(e *checkpoint.Encoder, ev fault.Event) {
+	e.F64(ev.Time)
+	e.U32(uint32(ev.Node))
+	e.U8(uint8(ev.Kind))
+	e.Bool(ev.Wiped)
+}
+
+func decodeEvent(d *checkpoint.Decoder, n int) (fault.Event, error) {
+	ev := fault.Event{
+		Time: d.F64(),
+		Node: int32(d.U32()),
+		Kind: fault.Kind(d.U8()),
+	}
+	ev.Wiped = d.Bool()
+	if err := d.Err(); err != nil {
+		return fault.Event{}, err
+	}
+	if ev.Node < 1 || int(ev.Node) >= n {
+		return fault.Event{}, checkpoint.Corruptf("simulate: fault event node %d out of range", ev.Node)
+	}
+	if ev.Kind != fault.Crash && ev.Kind != fault.Rejoin {
+		return fault.Event{}, checkpoint.Corruptf("simulate: fault event kind %d invalid", ev.Kind)
+	}
+	return ev, nil
+}
+
+// maybeCheckpoint writes a snapshot if the policy asks for one at the
+// end of tick t. A write failure aborts the run: the user asked for
+// durability, so failing to provide it must not pass silently.
+func (r *runner) maybeCheckpoint(t int) error {
+	ck := r.c.Checkpoint
+	if !ck.Enabled() || t%ck.Every != 0 {
+		return nil
+	}
+	snap, err := r.snapshot()
+	if err != nil {
+		return err
+	}
+	return snap.WriteFile(ck.Path)
+}
+
+// Resume reconstructs a run from a snapshot and continues it to
+// completion. cfg and sched must be built exactly as for the original
+// Run call (fresh single-use fault/adversary plans with the same
+// options, same scheduler construction); the snapshot then rewinds all
+// mutable state to the captured tick boundary. By the determinism
+// contract the resumed run's result — including the full trace — is
+// byte-identical to the uninterrupted run's.
+//
+//lint:novalidate audited forwarder — newRunner calls cfg.Validate
+func Resume(cfg Config, sched Scheduler, snap *checkpoint.Snapshot) (*Result, error) {
+	r, err := newRunner(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	if r.c.Nodes == 1 {
+		return nil, fmt.Errorf("simulate: nothing to resume for a single-node run")
+	}
+	if err := r.restore(snap); err != nil {
+		return nil, err
+	}
+	return r.loop(r.st.tick + 1)
+}

@@ -52,6 +52,7 @@ import (
 
 	"barterdist/internal/adversary"
 	"barterdist/internal/bitset"
+	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
 	"barterdist/internal/trace"
 )
@@ -128,6 +129,12 @@ type Config struct {
 	// the compliant engine unchanged. Like Fault, a Plan is single-use
 	// and composes with it: the adversary rules on each transfer first.
 	Adversary *adversary.Plan
+	// Checkpoint enables periodic crash-safe snapshots of the full
+	// engine state: every Checkpoint.Every ticks the engine atomically
+	// rewrites Checkpoint.Path with a snapshot a later Resume call can
+	// continue from. Requires a CheckpointableScheduler. nil disables
+	// checkpointing with zero overhead.
+	Checkpoint *checkpoint.Policy
 }
 
 // Validate checks the raw configuration without mutating it. All
@@ -813,13 +820,23 @@ func Run(cfg Config, sched Scheduler) (*Result, error) {
 	if r.c.Nodes == 1 {
 		return r.res, nil
 	}
-	for t := 1; t <= r.c.MaxTicks; t++ {
+	return r.loop(1)
+}
+
+// loop drives the runner from tick start (inclusive) to completion,
+// writing periodic checkpoints when configured. It is shared by Run
+// (start=1) and Resume (start=snapshot tick+1).
+func (r *runner) loop(start int) (*Result, error) {
+	for t := start; t <= r.c.MaxTicks; t++ {
 		done, err := r.step(t)
 		if err != nil {
 			return nil, err
 		}
 		if done {
 			return r.res, nil
+		}
+		if err := r.maybeCheckpoint(t); err != nil {
+			return nil, err
 		}
 	}
 	st, c := r.st, r.c

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"testing"
+
+	"barterdist/internal/checkpoint"
+)
+
+// FuzzTraceCursor feeds arbitrary bytes to the trace Restore path and,
+// when a Log decodes, drives both cursors over the whole log. The
+// contract: never panic, and every decoded log satisfies the cursor
+// invariants (transfer indices in range, drop counts consistent), so a
+// corrupted snapshot can never produce a silently-wrong trace walk.
+func FuzzTraceCursor(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(snapshotBytes(New(false)))
+	f.Add(snapshotBytes(sampleLog(false)))
+	f.Add(snapshotBytes(sampleLog(true)))
+	mut := snapshotBytes(sampleLog(true))
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Restore(checkpoint.NewDecoder(data))
+		if err != nil {
+			return
+		}
+		seenTransfers, seenDrops := 0, 0
+		c := l.Cursor()
+		for c.NextTick() {
+			tlen := 0
+			for c.Next() {
+				tr := c.Transfer()
+				_ = tr
+				if c.Index() < 0 || c.Index() >= c.TickLen() {
+					t.Fatalf("index %d outside tick of %d", c.Index(), c.TickLen())
+				}
+				if c.Dropped() {
+					seenDrops++
+					if int(c.Kind()) >= NumKinds {
+						t.Fatalf("invalid kind %d from cursor", c.Kind())
+					}
+				}
+				tlen++
+			}
+			if tlen != c.TickLen() {
+				t.Fatalf("cursor visited %d transfers in tick of %d", tlen, c.TickLen())
+			}
+			seenTransfers += tlen
+		}
+		if seenTransfers != l.Len() {
+			t.Fatalf("cursor visited %d transfers, log has %d", seenTransfers, l.Len())
+		}
+		if seenDrops != l.Drops() {
+			t.Fatalf("cursor saw %d drops, log has %d", seenDrops, l.Drops())
+		}
+		// The released view must visit a subset and never panic.
+		rc := l.ReleasedCursor()
+		released := 0
+		for rc.NextTick() {
+			for rc.Next() {
+				released++
+			}
+		}
+		if released > seenTransfers {
+			t.Fatalf("released view visited more (%d) than full view (%d)", released, seenTransfers)
+		}
+		// Materialization exercises the remaining accessors.
+		l.Materialize()
+		l.MaterializeDrops()
+	})
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"barterdist/internal/checkpoint"
+)
+
+// Snapshot appends the log's full column state to enc. The encoding is
+// the columns verbatim plus the kinded flag and kind count; Restore
+// re-validates every structural invariant, so a corrupted payload can
+// never yield a Log whose cursors misbehave.
+func (l *Log) Snapshot(enc *checkpoint.Encoder) {
+	enc.Bool(l.kinded)
+	enc.Uint32s(l.from)
+	enc.Uint32s(l.to)
+	enc.Uint32s(l.block)
+	enc.Uint32s(l.tickEnd)
+	enc.Uint32s(l.dropPos)
+	enc.Bytes8(l.dropKind)
+	enc.Int(l.kindLen)
+	enc.Uint32s(l.dropTickEnd)
+}
+
+// Restore decodes a Log previously written by Snapshot, validating the
+// structural invariants AppendTick maintains:
+//
+//   - from/to/block have equal lengths
+//   - tickEnd is monotone non-decreasing and ends exactly at len(from)
+//   - dropPos is strictly ascending and every entry falls inside its
+//     tick's transfer span
+//   - dropTickEnd parallels tickEnd and ends exactly at len(dropPos)
+//   - kinded logs carry exactly one valid kind nibble per drop
+//
+// Any violation returns an error wrapping checkpoint.ErrCorrupt.
+func Restore(dec *checkpoint.Decoder) (*Log, error) {
+	l := &Log{
+		kinded:      dec.Bool(),
+		from:        dec.Uint32s(),
+		to:          dec.Uint32s(),
+		block:       dec.Uint32s(),
+		tickEnd:     dec.Uint32s(),
+		dropPos:     dec.Uint32s(),
+		dropKind:    dec.Bytes8(),
+		kindLen:     dec.Int(),
+		dropTickEnd: dec.Uint32s(),
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) validate() error {
+	fail := func(format string, args ...any) error {
+		return corruptf("trace: "+format, args...)
+	}
+	if len(l.to) != len(l.from) || len(l.block) != len(l.from) {
+		return fail("column lengths differ: from=%d to=%d block=%d",
+			len(l.from), len(l.to), len(l.block))
+	}
+	if len(l.dropTickEnd) != len(l.tickEnd) {
+		return fail("dropTickEnd has %d ticks, tickEnd has %d",
+			len(l.dropTickEnd), len(l.tickEnd))
+	}
+	var prev uint32
+	for t, end := range l.tickEnd {
+		if end < prev || int(end) > len(l.from) {
+			return fail("tickEnd[%d]=%d not monotone within %d transfers", t, end, len(l.from))
+		}
+		prev = end
+	}
+	if len(l.tickEnd) > 0 {
+		if last := l.tickEnd[len(l.tickEnd)-1]; int(last) != len(l.from) {
+			return fail("last tickEnd %d != transfer count %d", last, len(l.from))
+		}
+	} else if len(l.from) != 0 {
+		return fail("%d transfers but no ticks", len(l.from))
+	}
+	prev = 0
+	for t, end := range l.dropTickEnd {
+		if end < prev || int(end) > len(l.dropPos) {
+			return fail("dropTickEnd[%d]=%d not monotone within %d drops", t, end, len(l.dropPos))
+		}
+		prev = end
+	}
+	if len(l.dropTickEnd) > 0 {
+		if last := l.dropTickEnd[len(l.dropTickEnd)-1]; int(last) != len(l.dropPos) {
+			return fail("last dropTickEnd %d != drop count %d", last, len(l.dropPos))
+		}
+	} else if len(l.dropPos) != 0 {
+		return fail("%d drops but no ticks", len(l.dropPos))
+	}
+	// Every drop must fall strictly inside its own tick's span, and
+	// drops are strictly ascending overall.
+	for t := range l.tickEnd {
+		tickStart, tickEnd := l.TickSpan(t)
+		ds, de := l.dropSpan(t)
+		last := tickStart - 1
+		for j := ds; j < de; j++ {
+			pos := int(l.dropPos[j])
+			if pos <= last || pos >= tickEnd {
+				return fail("dropPos[%d]=%d outside tick %d span [%d,%d) or not ascending",
+					j, pos, t, tickStart, tickEnd)
+			}
+			last = pos
+		}
+	}
+	if l.kinded {
+		if l.kindLen != len(l.dropPos) {
+			return fail("kinded log has %d kinds for %d drops", l.kindLen, len(l.dropPos))
+		}
+		if len(l.dropKind) != (l.kindLen+1)/2 {
+			return fail("dropKind has %d bytes for %d kinds", len(l.dropKind), l.kindLen)
+		}
+		for j := 0; j < l.kindLen; j++ {
+			if int(l.kindAt(j)) >= NumKinds {
+				return fail("drop %d has invalid kind %d", j, l.kindAt(j))
+			}
+		}
+		if l.kindLen%2 == 1 && l.dropKind[l.kindLen/2]&0xf0 != 0 {
+			return fail("stale high nibble after last kind")
+		}
+	} else {
+		if l.kindLen != 0 || len(l.dropKind) != 0 {
+			return fail("unkinded log carries %d kinds", l.kindLen)
+		}
+	}
+	return nil
+}
+
+func corruptf(format string, args ...any) error {
+	return checkpoint.Corruptf(format, args...)
+}

@@ -1,0 +1,28 @@
+package xrand
+
+import "barterdist/internal/checkpoint"
+
+// Snapshot appends the generator's four state words to enc.
+func (r *Rand) Snapshot(enc *checkpoint.Encoder) {
+	s := r.State()
+	enc.U64(s[0])
+	enc.U64(s[1])
+	enc.U64(s[2])
+	enc.U64(s[3])
+}
+
+// RestoreState overwrites the generator's state from dec, rejecting
+// truncated input and the invalid all-zero state.
+func (r *Rand) RestoreState(dec *checkpoint.Decoder) error {
+	var s [4]uint64
+	for i := range s {
+		s[i] = dec.U64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := r.SetState(s); err != nil {
+		return checkpoint.Corruptf("%v", err)
+	}
+	return nil
+}

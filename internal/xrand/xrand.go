@@ -10,7 +10,10 @@
 // recommended by Blackman and Vigna).
 package xrand
 
-import "math/bits"
+import (
+	"errors"
+	"math/bits"
+)
 
 // Rand is a deterministic pseudo-random number generator. It is NOT safe
 // for concurrent use; create one generator per goroutine (see Split).
@@ -31,6 +34,27 @@ func New(seed uint64) *Rand {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &r
+}
+
+// ErrZeroState rejects restoring an all-zero generator state, which is
+// a fixed point of xoshiro256** (the stream would be all zeros) and is
+// unreachable from New, so it can only mean a corrupted snapshot.
+var ErrZeroState = errors.New("xrand: all-zero state is invalid")
+
+// State returns the generator's internal state, for checkpointing. A
+// generator restored with SetState(r.State()) continues the exact same
+// stream: the next Uint64 from both generators is identical, forever.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state, resuming the
+// stream captured by State. The all-zero state is rejected because it
+// is invalid for xoshiro256** and cannot be produced by New.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return ErrZeroState
+	}
+	r.s = s
+	return nil
 }
 
 // splitmix64 advances the splitmix64 state and returns (newState, output).
