@@ -11,8 +11,13 @@ check: vet fmt lint build race
 build:
 	$(GO) build ./...
 
+## vet: go vet plus cmd/cdvet — the cross-package dataflow gate
+## (concurrency containment, shard purity of the tick core, heap-escape
+## drift vs the committed ANALYSIS.json baseline). Legitimate analysis
+## changes re-baseline with `go run ./cmd/cdvet -update`.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/cdvet
 
 # gofmt -s -l lists unformatted (or unsimplified) files; any output
 # fails the gate.

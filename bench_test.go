@@ -6,11 +6,14 @@ package barterdist_test
 // paper artifact is recorded in DESIGN.md's experiment index.
 
 import (
+	"path/filepath"
 	"testing"
 
 	"barterdist"
+	"barterdist/internal/analysis"
 	"barterdist/internal/experiment"
 	"barterdist/internal/fault"
+	"barterdist/internal/lint"
 )
 
 // Benchmarks run the generators with Workers: 1 so that ns/op measures
@@ -213,3 +216,48 @@ func BenchmarkAblation_RewiredOverlay(b *testing.B) {
 // BenchmarkTableD_BitTorrent regenerates Table D: the Section 4
 // BitTorrent-vs-optimal comparison on the asynchronous simulator.
 func BenchmarkTableD_BitTorrent(b *testing.B) { benchTable(b, experiment.TableD) }
+
+// BenchmarkCdvetModule measures the whole-module cdvet gate exactly as
+// `make vet` pays for it: load + type-check the module, run the
+// concurrency-containment walk, the interprocedural purity
+// classification, and the -gcflags=-m escape build. The escape build
+// rides the Go build cache, so this is the warm cost — the one every
+// pre-PR `make check` and the CI cdvet job actually spend.
+func BenchmarkCdvetModule(b *testing.B) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod := loader.ModulePath()
+		findings := lint.RunAnalyzers(loader.Fset, pkgs, []*lint.Analyzer{analysis.ConcurrencyContainmentAnalyzer()})
+		report, pf, err := analysis.Purity(mod, loader.Fset, pkgs,
+			analysis.DefaultPairingRoots(mod), analysis.DefaultPurityRoots(mod))
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings = append(findings, pf...)
+		diags, err := analysis.BuildEscapeDiagnostics(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		escape, err := analysis.Escape(root, loader.Fset, pkgs, analysis.DefaultEscapeGates(mod), diags)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("cdvet findings on main: %v", findings)
+		}
+		if len(report.Functions) == 0 || len(escape.Gates) == 0 {
+			b.Fatal("empty analysis report")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"barterdist/internal/lint"
+)
+
+// moduleRoot is the repository root relative to this package.
+const moduleRoot = "../.."
+
+// loadFixturePkg type-checks one testdata package under a fake import
+// path, mirroring internal/lint's fixture harness.
+func loadFixturePkg(t *testing.T, fixture, asPath string) (*lint.Loader, *lint.Package) {
+	t.Helper()
+	loader, err := lint.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", fixture), asPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", fixture, err)
+	}
+	return loader, pkg
+}
+
+// wantComment is one "// want \"substring\"" expectation.
+type wantComment struct {
+	line int
+	want string
+}
+
+func parseWants(fset *token.FileSet, files []*ast.File) []wantComment {
+	var wants []wantComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, `want "`)
+				if i < 0 {
+					continue
+				}
+				rest := text[i+len(`want "`):]
+				j := strings.Index(rest, `"`)
+				if j < 0 {
+					continue
+				}
+				wants = append(wants, wantComment{
+					line: fset.Position(c.Pos()).Line,
+					want: rest[:j],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWants asserts findings fire exactly where the want comments
+// say, and nowhere else.
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []lint.Finding, label string) {
+	t.Helper()
+	wants := parseWants(fset, files)
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		ok := false
+		for i, f := range findings {
+			if !matched[i] && f.Line == w.line && strings.Contains(f.Msg, w.want) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: expected finding at line %d containing %q; findings: %v", label, w.line, w.want, findings)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding %s", label, f)
+		}
+	}
+}
+
+func TestConcurrencyContainmentFixture(t *testing.T) {
+	loader, pkg := loadFixturePkg(t, "concviol", "fixture/internal/experiment/concviol")
+	findings := lint.RunAnalyzers(loader.Fset, []*lint.Package{pkg}, []*lint.Analyzer{ConcurrencyContainmentAnalyzer()})
+	matchWants(t, loader.Fset, pkg.Files, findings, "concviol")
+}
+
+func TestConcurrencyContainmentAllowsParallel(t *testing.T) {
+	// The same violating code inside internal/parallel is the
+	// deterministic worker pool's own implementation — silent.
+	loader, pkg := loadFixturePkg(t, "concviol", "fixture/internal/parallel/concviol")
+	findings := lint.RunAnalyzers(loader.Fset, []*lint.Package{pkg}, []*lint.Analyzer{ConcurrencyContainmentAnalyzer()})
+	if len(findings) != 0 {
+		t.Fatalf("allowlisted package should be silent, got %v", findings)
+	}
+}

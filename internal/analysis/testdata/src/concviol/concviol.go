@@ -1,0 +1,53 @@
+// Package concviol is the concurrency-containment fixture: every
+// primitive the rule flags, plus the patterns it must stay silent on
+// (method calls on an already-declared mutex, suppressed audited
+// exceptions). Loaded under a non-allowlisted path every want line
+// fires; loaded under fixture/internal/parallel/... all are silent.
+package concviol
+
+import (
+	"sync"        // want "import of sync"
+	"sync/atomic" // want "import of sync/atomic"
+)
+
+var mu sync.Mutex // want "use of sync.Mutex"
+
+var counter int64
+
+// Fanout is the pattern the rule exists to keep out of engines: ad-hoc
+// goroutine fan-out with channel collection.
+func Fanout(work []int) int {
+	results := make(chan int, len(work)) // want "channel type"
+	for range work {
+		go func() { // want "go statement"
+			atomic.AddInt64(&counter, 1) // want "use of sync/atomic.AddInt64"
+			results <- 1                 // want "channel send"
+		}()
+	}
+	total := 0
+	for range work {
+		total += <-results // want "channel receive"
+	}
+	close(results) // want "close of channel"
+	return total
+}
+
+// Wait takes a channel parameter and selects on it.
+func Wait(stop chan struct{}) { // want "channel type"
+	select { // want "select statement"
+	case <-stop: // want "channel receive"
+	default:
+	}
+	mu.Lock() // silent: the declaration of mu carries the finding
+	defer mu.Unlock()
+}
+
+//lint:concurrency-containment fixture: audited exception, the declaration is the single finding site
+var suppressedMu sync.Mutex
+
+// Guarded uses the suppressed mutex; method calls are never flagged,
+// so the suppression on the declaration covers all uses.
+func Guarded() {
+	suppressedMu.Lock()
+	defer suppressedMu.Unlock()
+}

@@ -1,0 +1,82 @@
+// Package puritycases is the shard-purity fixture: one function per
+// classification (pure, receiver-local, param-writing,
+// shared-writing, unknown) plus a suppressed origin proving that an
+// audited //lint:shard-purity annotation accepts its whole call chain.
+// The test drives the analysis with PairPeer/PairQuiet/PairDynamic as
+// pairing roots.
+package puritycases
+
+// sharedCount is the shard-locality hazard this fixture models: a
+// package-level counter bumped from a pairing path.
+var sharedCount int
+
+// auditLog backs the suppressed case.
+var auditLog []string
+
+// Peer is per-peer state — writes through it are shard-local.
+type Peer struct {
+	have  []bool
+	score int
+}
+
+// BlocksOf is pure: it reads and computes only.
+func BlocksOf(p *Peer) int {
+	n := 0
+	for _, h := range p.have {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// Mark is receiver-local: it writes only through its receiver.
+func (p *Peer) Mark(b int) {
+	p.have[b] = true
+	p.score++
+}
+
+// FillWindow is param-writing: locality is the caller's problem.
+func FillWindow(dst []bool, from int) {
+	if from < len(dst) {
+		dst[from] = true
+	}
+}
+
+// tally is the shared-writing origin the gate must catch.
+func tally() {
+	sharedCount++ // want "write to shared fixture/puritycases.sharedCount"
+}
+
+// PairPeer is a pairing root: it inherits shared-writing from tally,
+// but the finding lands at tally's write, not here.
+func PairPeer(p *Peer, dst []bool) int {
+	p.Mark(0)
+	FillWindow(dst, 1)
+	tally()
+	return BlocksOf(p)
+}
+
+//lint:shard-purity fixture: audited exception — the chain through noteAudit stays certified
+func noteAudit(s string) {
+	auditLog = append(auditLog, s)
+}
+
+// PairQuiet goes through the suppressed origin: no finding, and its
+// own class stays param-writing (Mark's receiver re-rooted at p).
+func PairQuiet(p *Peer) int {
+	noteAudit("paired")
+	p.Mark(1)
+	return BlocksOf(p)
+}
+
+// scorer has no implementation in this fixture, so calling it is a
+// dynamic call the analysis cannot resolve.
+type scorer interface {
+	score(p *Peer) int
+}
+
+// PairDynamic is a pairing root with an unresolvable dynamic call.
+func PairDynamic(s scorer, p *Peer) int {
+	return s.score(p) // want "unresolvable dynamic call"
+}

@@ -2,7 +2,7 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
+	"sync" //lint:concurrency-containment Progress.Serialized guards user-facing progress output from internal/parallel workers; never touches simulation state
 
 	"barterdist/internal/analysis"
 	"barterdist/internal/core"
@@ -27,7 +27,7 @@ func (p Progress) Serialized() Progress {
 	if p == nil {
 		return nil
 	}
-	var mu sync.Mutex
+	var mu sync.Mutex //lint:concurrency-containment see the sync import note: serializes progress callbacks, not results
 	return func(format string, args ...any) {
 		mu.Lock()
 		defer mu.Unlock()

@@ -1,0 +1,50 @@
+// Package genericinst is a loader-hardening fixture: generic
+// functions, generic types, explicit and inferred instantiations, and
+// a generic method constraint. The recursive importer must type-check
+// all of it (types.Info.Instances populated) without tripping any
+// analyzer — generics are ordinary deterministic code.
+package genericinst
+
+// Number is a constraint over the arithmetic kinds the schedulers use.
+type Number interface {
+	~int | ~int64 | ~uint32 | ~float64
+}
+
+// SumOf folds a slice of any numeric kind.
+func SumOf[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Pair is a generic value pair, instantiated both explicitly and by
+// inference below.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// NewPair builds a Pair with inferred type arguments.
+func NewPair[K comparable, V any](k K, v V) Pair[K, V] {
+	return Pair[K, V]{Key: k, Val: v}
+}
+
+// Swap returns the pair with a transformed value — a generic method on
+// a generic receiver, plus a function-typed parameter.
+func (p Pair[K, V]) Swap(f func(V) V) Pair[K, V] {
+	return Pair[K, V]{Key: p.Key, Val: f(p.Val)}
+}
+
+// Instantiations exercises explicit instantiation expressions, which
+// only resolve when types.Info.Instances is wired into the checker.
+func Instantiations() int {
+	intSum := SumOf[int] // explicit instantiation as a value
+	total := intSum([]int{1, 2, 3})
+	total += int(SumOf([]int64{4, 5})) // inferred
+	p := NewPair("peers", total)
+	q := p.Swap(func(v int) int { return v * 2 })
+	r := Pair[string, int]{Key: "blocks", Val: 7} // explicit type instantiation
+	return q.Val + r.Val
+}

@@ -1,0 +1,20 @@
+package withtests_test
+
+import (
+	"testing"
+	"time"
+
+	withtests "fixture/internal/simulate/withtests"
+)
+
+// TestElapsedExternal is an external (package foo_test) test file; the
+// loader must surface it as a separate "<path>_test" package when
+// tests are included. It carries its own wall-clock read so scope
+// tests can prove external test packages are analyzed too.
+func TestElapsedExternal(t *testing.T) {
+	deadline := time.Now()
+	if withtests.Elapsed(0, 1) != 1 {
+		t.Fatal("elapsed")
+	}
+	_ = deadline
+}

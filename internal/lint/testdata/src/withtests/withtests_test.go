@@ -1,0 +1,17 @@
+package withtests
+
+import (
+	"testing"
+	"time"
+)
+
+// TestElapsedWallClock measures simulated elapsed ticks against the
+// wall clock — exactly the nondeterminism the no-wallclock rule
+// exists to catch, hiding in a test file.
+func TestElapsedWallClock(t *testing.T) {
+	start := time.Now() // want "time.Now forbidden"
+	if Elapsed(3, 7) != 4 {
+		t.Fatal("elapsed")
+	}
+	_ = start
+}
