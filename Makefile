@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race fuzz figures tablef scale bench clean
+.PHONY: check build vet fmt lint test race fuzz figures tablef scale bench bench-shard clean
 
 ## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
 check: vet fmt lint build race
@@ -63,16 +63,32 @@ tablef:
 	$(GO) run ./cmd/paperfigs -scale medium -only tableF -out results
 
 ## scale: the large-n scale-out capstone at full size — T vs n for
-## n in {1k, 10k, 100k}, k=64, randomized + credit s=1, tracing on
-## (single process; see EXPERIMENTS.md for peak-RSS / ns-per-tick)
+## n in {1k, 10k, 100k, 1M}, k=64, randomized + credit s=1, tracing
+## on. The largest row additionally sweeps the sharded tick core at
+## P in {1,4,8} (wall-clock column). Hours-long: the cell store makes
+## the run resumable after a crash or ^C (single process; see
+## EXPERIMENTS.md for peak-RSS / ns-per-tick).
 scale:
-	$(GO) run ./cmd/paperfigs -scale full -only tableScale -out results
+	$(GO) run ./cmd/paperfigs -scale full -only tableScale -out results \
+		-checkpoint results/tableScale.cells.jsonl
 
 ## bench: run the benchmark suite and write a BENCH_<date>.json
 ## snapshot (ns/op, B/op, allocs/op, speedup vs the newest committed
 ## snapshot). Commit the snapshot with perf-affecting PRs.
 bench:
 	$(GO) run ./cmd/cdbench
+
+## bench-shard: the shard-scaling snapshot — rerun the suite with the
+## sharded tick core at P=8 lanes, write BENCH_<date>-shard.json, and
+## print the delta table vs the newest plain snapshot (Fig5/Fig6/
+## TableD plus the 20k credit smoke; the credit s=1 path is the one
+## the eligibility index accelerates). Run on a quiet machine: a busy
+## core poisons the medians.
+bench-shard:
+	$(GO) run ./cmd/cdbench -shardworkers 8 -out BENCH_$$(date +%Y-%m-%d)-shard.json
+	$(GO) run ./cmd/cdbench -compare \
+		"$$(ls BENCH_*.json | grep -v -- -shard | sort | tail -1)" \
+		BENCH_$$(date +%Y-%m-%d)-shard.json
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,9 @@ package barterdist_test
 // paper artifact is recorded in DESIGN.md's experiment index.
 
 import (
+	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"barterdist"
@@ -216,6 +218,50 @@ func BenchmarkAblation_RewiredOverlay(b *testing.B) {
 // BenchmarkTableD_BitTorrent regenerates Table D: the Section 4
 // BitTorrent-vs-optimal comparison on the asynchronous simulator.
 func BenchmarkTableD_BitTorrent(b *testing.B) { benchTable(b, experiment.TableD) }
+
+// benchShardWorkers reads the tick-core worker width cdbench exports
+// via BARTERDIST_SHARD_WORKERS (`cdbench -shardworkers N`); 0 keeps the
+// config default. Results are byte-identical for any value — only
+// wall-clock moves — so the knob never changes what a benchmark checks.
+func benchShardWorkers(b *testing.B) int {
+	b.Helper()
+	v := os.Getenv("BARTERDIST_SHARD_WORKERS")
+	if v == "" {
+		return 0
+	}
+	w, err := strconv.Atoi(v)
+	if err != nil || w < 0 {
+		b.Fatalf("BARTERDIST_SHARD_WORKERS=%q: want a non-negative integer", v)
+	}
+	return w
+}
+
+// BenchmarkScale20kCreditSmoke is one n=20k, k=64 randomized run under
+// credit-limited barter (s=1) with tracing on — the scale smoke's
+// configuration and the DESIGN.md §11.3 regime where the credit-starved
+// exact pass used to burn ~40% of CPU in O(n) scans before the
+// eligibility index replaced them. This is the credit s=1 hot-path
+// number the BENCH_*-shard snapshots track across shard-worker widths.
+func BenchmarkScale20kCreditSmoke(b *testing.B) {
+	workers := benchShardWorkers(b)
+	for i := 0; i < b.N; i++ {
+		res, err := barterdist.Run(barterdist.Config{
+			Nodes: 20000, Blocks: 64,
+			Algorithm:    barterdist.AlgoRandomized,
+			CreditLimit:  1,
+			DownloadCap:  1,
+			RecordTrace:  true,
+			ShardWorkers: workers,
+			Seed:         46000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletionTime <= 0 {
+			b.Fatal("no completion time")
+		}
+	}
+}
 
 // BenchmarkCdvetModule measures the whole-module cdvet gate exactly as
 // `make vet` pays for it: load + type-check the module, run the

@@ -52,11 +52,16 @@ const benchSchema = "barterdist-bench/v2"
 // report is the on-disk schema. Fields are stable: downstream tooling
 // keys on Schema.
 type report struct {
-	Schema     string   `json:"schema"`
-	Date       string   `json:"date"`
-	GoVersion  string   `json:"go_version"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	BenchArgs  []string `json:"bench_args"`
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// ShardWorkers is the tick-core worker width the suite ran under
+	// (the BARTERDIST_SHARD_WORKERS the shard-sensitive benchmarks
+	// read); shard-scaling numbers are only interpretable next to it
+	// and to GoMaxProcs. 0 means the benchmarks' own defaults.
+	ShardWorkers int      `json:"shard_workers,omitempty"`
+	BenchArgs    []string `json:"bench_args"`
 	// Reps is how many times the suite ran; each result is the median.
 	Reps     int    `json:"reps"`
 	Baseline string `json:"baseline,omitempty"`
@@ -87,6 +92,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "forward -cpuprofile to go test on the final repetition")
 		memprofile = flag.String("memprofile", "", "forward -memprofile to go test on the final repetition")
 		compare    = flag.Bool("compare", false, "compare two snapshots: cdbench -compare old.json new.json")
+		shardW     = flag.Int("shardworkers", 0, "tick-core worker width for shard-sensitive benchmarks (sets BARTERDIST_SHARD_WORKERS; 0 = benchmark defaults)")
 	)
 	flag.Parse()
 	if *compare {
@@ -128,6 +134,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cdbench: rep %d/%d: go %s\n", r+1, *reps, strings.Join(repArgs, " "))
 		cmd := exec.Command("go", repArgs...)
+		if *shardW > 0 {
+			cmd.Env = append(os.Environ(), fmt.Sprintf("BARTERDIST_SHARD_WORKERS=%d", *shardW))
+		}
 		cmd.Stderr = os.Stderr
 		raw, err := cmd.Output()
 		if err != nil {
@@ -143,6 +152,13 @@ func main() {
 	}
 	results := medianResults(runs)
 	warnings := hostWarnings(runs, *reps)
+	if *shardW > runtime.GOMAXPROCS(0) {
+		// Oversubscribed lanes time-slice one another, so wall-clock
+		// deltas measure contention, not shard scaling.
+		warnings = append(warnings,
+			fmt.Sprintf("shardworkers=%d exceeds GOMAXPROCS=%d: shard-scaling numbers measure oversubscription, not parallel speedup",
+				*shardW, runtime.GOMAXPROCS(0)))
+	}
 
 	basePath := *baseline
 	if basePath == "auto" {
@@ -158,15 +174,16 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     benchSchema,
-		Date:       time.Now().Format("2006-01-02"),
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		BenchArgs:  args,
-		Reps:       *reps,
-		Baseline:   basePath,
-		Warnings:   warnings,
-		Results:    results,
+		Schema:       benchSchema,
+		Date:         time.Now().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		ShardWorkers: *shardW,
+		BenchArgs:    args,
+		Reps:         *reps,
+		Baseline:     basePath,
+		Warnings:     warnings,
+		Results:      results,
 	}
 	for _, w := range warnings {
 		fmt.Fprintf(os.Stderr, "cdbench: warning: %s\n", w)
@@ -264,6 +281,9 @@ func compareSnapshots(w *os.File, oldPath, newPath string) error {
 	}
 	fmt.Fprintf(w, "%s (%s) -> %s (%s)\n", filepath.Base(oldPath), oldRep.Schema, filepath.Base(newPath), newRep.Schema)
 	for _, rep := range []*report{oldRep, newRep} {
+		if rep.ShardWorkers > 0 {
+			fmt.Fprintf(w, "  %s: gomaxprocs=%d shardworkers=%d\n", rep.Date, rep.GoMaxProcs, rep.ShardWorkers)
+		}
 		for _, warn := range rep.Warnings {
 			fmt.Fprintf(w, "  warning: %s\n", warn)
 		}

@@ -53,6 +53,7 @@ func main() {
 		maxT    = flag.Int("maxticks", 0, "tick budget (0 = generous default)")
 		reps    = flag.Int("reps", 1, "independent replicates with derived seeds (> 1 prints aggregate stats)")
 		workers = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS); output identical for any value >= 1")
+		shardW  = flag.Int("shardworkers", 0, "worker pool width for the sharded tick core (0 = GOMAXPROCS, capped at 8 lanes); output identical for any value")
 		adv     = flag.String("adversary", "", "adversary mix, e.g. 'freerider=0.2,corrupter=0.1,seed=9' (keys: freerider, throttler, falseadv, corrupter, defector, seed, period, claimrate, corruptrate); completion then means every honest client completed")
 		ckpt    = flag.String("checkpoint", "", "write a crash-safe snapshot of the run to this file every -ckevery ticks")
 		ckevery = flag.Int("ckevery", 100, "checkpoint interval in ticks (with -checkpoint)")
@@ -78,6 +79,7 @@ func main() {
 		CycleLimit:     *cycles,
 		RewireEvery:    *rewire,
 		Seed:           *seed,
+		ShardWorkers:   *shardW,
 		Verify:         barterdist.Mechanism(*verify),
 		RecordTrace:    *trace,
 		MaxTicks:       *maxT,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -42,6 +43,11 @@ func runHelper(t *testing.T, args string) (string, string, error) {
 // clean up), resumes from the surviving snapshot with -resume, and
 // requires the resumed run's complete output — metrics and the full
 // transfer trace — to be byte-identical to an uninterrupted run's.
+//
+// The matrix crosses the shard-worker knob: the victim is killed at
+// P ∈ {1, 8} and each snapshot is also resumed at the other width,
+// because a snapshot carries the lane streams but no worker count —
+// crash-safety and worker-invariance must compose.
 func TestKillAndResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
@@ -56,44 +62,51 @@ func TestKillAndResume(t *testing.T) {
 		t.Fatalf("reference run produced no metrics:\n%s", ref)
 	}
 
-	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
-	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess")
-	cmd.Env = append(os.Environ(), "CDSIM_HELPER=1",
-		"CDSIM_ARGS="+base+" -checkpoint "+ckpt+" -ckevery 1")
-	var victimOut bytes.Buffer
-	cmd.Stdout = &victimOut
-	cmd.Stderr = &victimOut
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("start victim: %v", err)
-	}
-	// Kill as soon as the first snapshot lands. If the run wins the race
-	// and exits first, the snapshot still exists and resume still works —
-	// the test just degrades from "mid-flight" to "post-completion".
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if st, err := os.Stat(ckpt); err == nil && st.Size() > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			cmd.Process.Kill()
-			cmd.Wait()
-			t.Fatalf("no checkpoint appeared within 30s; victim output:\n%s", victimOut.String())
-		}
-		time.Sleep(time.Millisecond)
-	}
-	killed := cmd.Process.Signal(syscall.SIGKILL) == nil
-	werr := cmd.Wait()
-	if killed && werr == nil {
-		t.Logf("victim completed before SIGKILL landed; resuming from its last snapshot anyway")
-	}
+	for _, m := range []struct{ killP, resumeP int }{{1, 1}, {8, 8}, {8, 1}} {
+		m := m
+		t.Run(fmt.Sprintf("killP=%d_resumeP=%d", m.killP, m.resumeP), func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess")
+			cmd.Env = append(os.Environ(), "CDSIM_HELPER=1",
+				fmt.Sprintf("CDSIM_ARGS=%s -shardworkers %d -checkpoint %s -ckevery 1", base, m.killP, ckpt))
+			var victimOut bytes.Buffer
+			cmd.Stdout = &victimOut
+			cmd.Stderr = &victimOut
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start victim: %v", err)
+			}
+			// Kill as soon as the first snapshot lands. If the run wins the
+			// race and exits first, the snapshot still exists and resume
+			// still works — the test just degrades from "mid-flight" to
+			// "post-completion".
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if st, err := os.Stat(ckpt); err == nil && st.Size() > 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatalf("no checkpoint appeared within 30s; victim output:\n%s", victimOut.String())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			killed := cmd.Process.Signal(syscall.SIGKILL) == nil
+			werr := cmd.Wait()
+			if killed && werr == nil {
+				t.Logf("victim completed before SIGKILL landed; resuming from its last snapshot anyway")
+			}
 
-	resumed, stderr, err := runHelper(t, base+" -resume "+ckpt)
-	if err != nil {
-		t.Fatalf("resumed run: %v\n%s", err, stderr)
-	}
-	if resumed != ref {
-		t.Errorf("resumed output differs from uninterrupted run\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
-			head(ref, 40), head(resumed, 40))
+			resumed, stderr, err := runHelper(t,
+				fmt.Sprintf("%s -shardworkers %d -resume %s", base, m.resumeP, ckpt))
+			if err != nil {
+				t.Fatalf("resumed run: %v\n%s", err, stderr)
+			}
+			if resumed != ref {
+				t.Errorf("resumed output differs from uninterrupted run\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+					head(ref, 40), head(resumed, 40))
+			}
+		})
 	}
 }
 

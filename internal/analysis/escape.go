@@ -61,9 +61,27 @@ var defaultEscapeGateTemplates = []string{
 	"(*MOD/internal/randomized.Scheduler).pickReceiverComplete",
 	"(*MOD/internal/randomized.Scheduler).pickBlock",
 	"(*MOD/internal/randomized.Scheduler).qualify",
+	"(*MOD/internal/randomized.Scheduler).qualifiedIndexed",
 	"(*MOD/internal/randomized.Scheduler).needsSomething",
 	"(*MOD/internal/randomized.Scheduler).blockFreq",
 	"(*MOD/internal/randomized.Scheduler).removeAvail",
+	// sharded tick: per-lane proposal pass + barrier merge
+	"(*MOD/internal/randomized.Scheduler).runLane",
+	"(*MOD/internal/randomized.Scheduler).attempt",
+	"(*MOD/internal/randomized.Scheduler).merge",
+	"(*MOD/internal/randomized.Scheduler).interestSize",
+	"(*MOD/internal/randomized.Scheduler).laneRes",
+	"(*MOD/internal/randomized.Scheduler).blockInFlight",
+	"(*MOD/internal/randomized.Scheduler).blockInFlightGlobal",
+	"MOD/internal/randomized.mix64",
+	"MOD/internal/randomized.prioBase",
+	// incremental eligibility index (the O(n) scan replacement)
+	"(*MOD/internal/randomized.eligIndex).add",
+	"(*MOD/internal/randomized.eligIndex).remove",
+	"(*MOD/internal/randomized.eligIndex).has",
+	// shard decomposition helpers on the lane path
+	"MOD/internal/shard.Of",
+	"MOD/internal/shard.Shuffle32",
 	// triangular scheduler
 	"(*MOD/internal/randomized.TriangularScheduler).Tick",
 	"(*MOD/internal/randomized.TriangularScheduler).pickIntent",
@@ -71,6 +89,8 @@ var defaultEscapeGateTemplates = []string{
 	"(*MOD/internal/randomized.TriangularScheduler).pickBlockFor",
 	"(*MOD/internal/randomized.TriangularScheduler).findCycle",
 	"(*MOD/internal/randomized.TriangularScheduler).settleLedger",
+	"(*MOD/internal/randomized.TriangularScheduler).runIntentLane",
+	"(*MOD/internal/randomized.TriangularScheduler).proposeIntent",
 	// bt protocol
 	"(*MOD/internal/bt.Protocol).NextUpload",
 	"(*MOD/internal/bt.Protocol).recomputeChokes",

@@ -143,6 +143,15 @@ var defaultPurityRootTemplates = []string{
 	"(*MOD/internal/bt.Protocol).OnDeliver",
 	"(*MOD/internal/bt.Protocol).OnTimer",
 	"(*MOD/internal/asim.AsyncRandomized).OnDeliver",
+	// Sharded tick barrier entry points: the per-lane proposal pass and
+	// the sequential merge are rooted explicitly so the report keeps
+	// mapping them even if an indirect call ever hides them from the
+	// Tick-rooted sweep.
+	"(*MOD/internal/randomized.Scheduler).runLane",
+	"(*MOD/internal/randomized.Scheduler).merge",
+	"(*MOD/internal/randomized.Scheduler).beginTick",
+	"(*MOD/internal/randomized.TriangularScheduler).runIntentLane",
+	"MOD/internal/shard.Run",
 }
 
 // defaultPairingRootTemplates are the per-peer pairing decisions — the
@@ -157,6 +166,11 @@ var defaultPairingRootTemplates = []string{
 	"(*MOD/internal/randomized.TriangularScheduler).pickBlockFor",
 	"(*MOD/internal/bt.Protocol).NextUpload",
 	"(*MOD/internal/asim.AsyncRandomized).NextUpload",
+	// The sharded tick's concurrent roots: one lane job per logical
+	// shard runs these simultaneously, so everything they reach must
+	// stay free of shared writes (lane-owned and parameter state only).
+	"(*MOD/internal/randomized.Scheduler).runLane",
+	"(*MOD/internal/randomized.TriangularScheduler).runIntentLane",
 }
 
 func expandRoots(templates []string, modulePath string) []string {

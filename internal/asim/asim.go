@@ -77,6 +77,14 @@ type Config struct {
 	// DownloadPorts bounds concurrent receives per node (Unlimited = no
 	// bound; each concurrent receive still shares DownloadRate).
 	DownloadPorts int
+	// ShardWorkers is accepted for configuration symmetry with the
+	// synchronous engine (core.Config.ShardWorkers) and validated, but
+	// does not affect the asynchronous engine: its event loop is
+	// inherently sequential — one upload decision per event — so there
+	// is no intra-run phase to parallelize. Protocols still draw from
+	// per-shard streams (see AsyncRandomized), keeping the RNG
+	// derivation identical across both engines.
+	ShardWorkers int
 	// MaxTime aborts runaway protocols. 0 selects a generous default.
 	MaxTime float64
 	// RecordTrace keeps every transfer (delivered, lost, or corrupted)
@@ -131,6 +139,9 @@ func (c *Config) Validate() error {
 	}
 	if c.DownloadPorts < 0 {
 		return fmt.Errorf("asim: DownloadPorts = %d, need >= 0", c.DownloadPorts)
+	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("asim: ShardWorkers = %d, need >= 0", c.ShardWorkers)
 	}
 	if c.MaxTime < 0 || math.IsNaN(c.MaxTime) || math.IsInf(c.MaxTime, 0) {
 		return fmt.Errorf("asim: MaxTime = %v must be finite and >= 0", c.MaxTime)

@@ -6,6 +6,7 @@ import (
 	"barterdist/internal/adversary"
 	"barterdist/internal/checkpoint"
 	"barterdist/internal/graph"
+	"barterdist/internal/shard"
 	"barterdist/internal/xrand"
 )
 
@@ -23,7 +24,13 @@ type AsyncRandomized struct {
 	// DownloadPorts mirrors Config.DownloadPorts for target filtering.
 	DownloadPorts int
 
-	rng     *xrand.Rand
+	// srng holds one independent draw stream per logical shard; every
+	// draw made on behalf of uploader u comes from srng[shard.Of(u)],
+	// the same stream-per-lane discipline the synchronous schedulers
+	// follow. The event loop is sequential, so this buys no concurrency
+	// here — it keeps the two engines' RNG derivation identical, which
+	// is what lets one DESIGN.md section describe both.
+	srng    [shard.Slots]*xrand.Rand
 	freq    []int
 	scratch []int32
 	// guard is the per-receiver quarantine table, created lazily when
@@ -47,7 +54,7 @@ func NewAsyncRandomized(g *graph.Graph, rarest bool, ports int, seed uint64) *As
 		Graph:         g,
 		RarestFirst:   rarest,
 		DownloadPorts: ports,
-		rng:           xrand.New(seed),
+		srng:          shard.Streams(seed),
 	}
 }
 
@@ -132,21 +139,23 @@ func (a *AsyncRandomized) OnAdversaryDrop(from, to, _ int, _ bool, s *State) {
 	}
 }
 
-// NextUpload implements Protocol.
+// NextUpload implements Protocol. All draws for uploader u come from
+// u's shard stream.
 func (a *AsyncRandomized) NextUpload(u int, s *State) (Upload, bool) {
 	a.ensure(s)
-	v := a.pickTarget(u, s)
+	rng := a.srng[shard.Of(u)]
+	v := a.pickTarget(rng, u, s)
 	if v < 0 {
 		return Upload{}, false
 	}
-	b := a.pickBlock(u, v, s)
+	b := a.pickBlock(rng, u, v, s)
 	if b < 0 {
 		return Upload{}, false
 	}
 	return Upload{To: v, Block: b}, true
 }
 
-func (a *AsyncRandomized) pickTarget(u int, s *State) int {
+func (a *AsyncRandomized) pickTarget(rng *xrand.Rand, u int, s *State) int {
 	if a.Graph != nil {
 		a.scratch = append(a.scratch[:0], a.Graph.Neighbors(u)...)
 	} else {
@@ -158,7 +167,7 @@ func (a *AsyncRandomized) pickTarget(u int, s *State) int {
 		}
 	}
 	for i := range a.scratch {
-		j := i + a.rng.Intn(len(a.scratch)-i)
+		j := i + rng.Intn(len(a.scratch)-i)
 		a.scratch[i], a.scratch[j] = a.scratch[j], a.scratch[i]
 		v := int(a.scratch[i])
 		if v == 0 || !s.Alive(v) {
@@ -197,7 +206,7 @@ func (a *AsyncRandomized) usefulFor(u, v int, s *State) bool {
 	return need
 }
 
-func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
+func (a *AsyncRandomized) pickBlock(rng *xrand.Rand, u, v int, s *State) int {
 	bu, bv := s.Blocks(u), s.Blocks(v)
 	// offered enumerates the blocks u can give v, ascending; a complete
 	// sender offers exactly v's complement (see Scheduler.pickBlock).
@@ -219,7 +228,7 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 				best, bestFreq, ties = b, a.freq[b], 1
 			case a.freq[b] == bestFreq:
 				ties++
-				if a.rng.Intn(ties) == 0 {
+				if rng.Intn(ties) == 0 {
 					best = b
 				}
 			}
@@ -237,7 +246,7 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 	if count == 0 {
 		return -1
 	}
-	target := a.rng.Intn(count)
+	target := rng.Intn(count)
 	chosen := -1
 	offered(func(b int) bool {
 		if s.InFlightTo(v, b) {
@@ -253,11 +262,17 @@ func (a *AsyncRandomized) pickBlock(u, v int, s *State) int {
 	return chosen
 }
 
-// SnapshotState implements CheckpointableProtocol: the RNG, the rarity
-// counts, and the quarantine table are the protocol's entire mutable
-// state (scratch is dead between NextUpload calls).
+// SnapshotState implements CheckpointableProtocol: the shard streams,
+// the rarity counts, and the quarantine table are the protocol's entire
+// mutable state (scratch is dead between NextUpload calls). A
+// lane-count sentinel precedes the streams as a format version, so a
+// checkpoint from a build with a different logical decomposition fails
+// loudly.
 func (a *AsyncRandomized) SnapshotState(enc *checkpoint.Encoder) error {
-	a.rng.Snapshot(enc)
+	enc.Int(shard.Slots)
+	for _, rng := range a.srng {
+		rng.Snapshot(enc)
+	}
 	enc.Bool(a.freq != nil)
 	if a.freq != nil {
 		enc.Ints(a.freq)
@@ -272,8 +287,17 @@ func (a *AsyncRandomized) SnapshotState(enc *checkpoint.Encoder) error {
 // RestoreState implements CheckpointableProtocol.
 func (a *AsyncRandomized) RestoreState(dec *checkpoint.Decoder, s *State) error {
 	a.ensure(s)
-	if err := a.rng.RestoreState(dec); err != nil {
+	slots := dec.Int()
+	if err := dec.Err(); err != nil {
 		return err
+	}
+	if slots != shard.Slots {
+		return checkpoint.Corruptf("asim: snapshot has %d shard lanes, this build has %d", slots, shard.Slots)
+	}
+	for _, rng := range a.srng {
+		if err := rng.RestoreState(dec); err != nil {
+			return err
+		}
 	}
 	if !dec.Bool() {
 		if err := dec.Err(); err != nil {

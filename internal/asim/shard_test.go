@@ -1,0 +1,69 @@
+package asim
+
+import (
+	"testing"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/fault"
+)
+
+// TestAsyncShardWorkerInvariance is the async half of the shard
+// fingerprint matrix: the event loop is sequential, so ShardWorkers is
+// documented as a validated no-op — but the protocol's draws still come
+// from per-shard streams, and this pins that neither the knob nor the
+// stream decomposition can show through a trace. Scenario classes
+// mirror the synchronous matrix: clean, faulty, and adversarial.
+func TestAsyncShardWorkerInvariance(t *testing.T) {
+	faultOpts := fault.Options{
+		Seed:              17,
+		CrashRate:         0.05,
+		MaxCrashes:        4,
+		RejoinDelay:       6,
+		RejoinLosesBlocks: true,
+		LossRate:          0.05,
+	}
+	advOpts := adversary.Options{
+		Seed:                99,
+		FreeRiderFrac:       0.15,
+		FalseAdvertiserFrac: 0.1,
+		CorrupterFrac:       0.1,
+	}
+	scenarios := []struct {
+		name     string
+		rarest   bool
+		seed     uint64
+		hasFault bool
+		hasAdv   bool
+	}{
+		{"random+clean", false, 42, false, false},
+		{"rarest+fault", true, 13, true, false},
+		{"rarest+fault+adversary", true, 13, true, true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(workers int) string {
+				cfg := Config{Nodes: 24, Blocks: 16, DownloadPorts: 1,
+					RecordTrace: true, ShardWorkers: workers}
+				if sc.hasFault {
+					cfg.Fault = mustPlan(t, faultOpts)
+				}
+				if sc.hasAdv {
+					cfg.Adversary = mustAdvPlan(t, cfg.Nodes, advOpts)
+				}
+				res, err := Run(cfg, NewAsyncRandomized(nil, sc.rarest, 1, sc.seed))
+				if err != nil {
+					t.Fatalf("ShardWorkers=%d: Run: %v", workers, err)
+				}
+				return asimFingerprint(res)
+			}
+			want := run(1)
+			for _, p := range []int{2, 3, 8} {
+				if got := run(p); got != want {
+					t.Fatalf("ShardWorkers=%d diverged from the single-worker reference:\n--- P=1 ---\n%.2000s\n--- P=%d ---\n%.2000s",
+						p, want, p, got)
+				}
+			}
+		})
+	}
+}

@@ -121,6 +121,13 @@ type Config struct {
 	// periodically" variant).
 	RewireEvery int
 
+	// ShardWorkers is how many OS workers resolve the randomized-family
+	// schedulers' intra-tick pairing lanes concurrently (see
+	// internal/shard). 0 and 1 both mean inline sequential resolution.
+	// Results are byte-identical for every value; this knob only trades
+	// wall-clock for cores.
+	ShardWorkers int
+
 	// DownloadCap is the per-node download capacity D. 0 lets Run choose
 	// the algorithm's natural requirement (2 for the overlapped riffle,
 	// 1 for the randomized algorithm, unbounded for deterministic
@@ -210,6 +217,9 @@ func (c *Config) Validate() error {
 	}
 	if c.DownloadCap < 0 && c.DownloadCap != DownloadUnlimited {
 		return fmt.Errorf("core: DownloadCap = %d is invalid", c.DownloadCap)
+	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("core: ShardWorkers = %d is invalid", c.ShardWorkers)
 	}
 	return nil
 }
@@ -377,12 +387,13 @@ func buildScheduler(cfg *Config, simCfg *simulate.Config) (simulate.Scheduler, s
 			return nil, "", err
 		}
 		s, err := randomized.New(randomized.Options{
-			Graph:       g,
-			Policy:      cfg.Policy,
-			CreditLimit: cfg.CreditLimit,
-			DownloadCap: simCfg.DownloadCap,
-			Seed:        cfg.Seed,
-			RewireEvery: cfg.RewireEvery,
+			Graph:        g,
+			Policy:       cfg.Policy,
+			CreditLimit:  cfg.CreditLimit,
+			DownloadCap:  simCfg.DownloadCap,
+			Seed:         cfg.Seed,
+			RewireEvery:  cfg.RewireEvery,
+			ShardWorkers: cfg.ShardWorkers,
 		})
 		return s, name, err
 	case AlgoTriangular:
@@ -398,12 +409,13 @@ func buildScheduler(cfg *Config, simCfg *simulate.Config) (simulate.Scheduler, s
 			g = graph.Complete(cfg.Nodes)
 		}
 		s, err := randomized.NewTriangular(randomized.TriangularOptions{
-			Graph:       g,
-			Policy:      cfg.Policy,
-			CreditLimit: cfg.CreditLimit,
-			CycleLimit:  cfg.CycleLimit,
-			DownloadCap: simCfg.DownloadCap,
-			Seed:        cfg.Seed,
+			Graph:        g,
+			Policy:       cfg.Policy,
+			CreditLimit:  cfg.CreditLimit,
+			CycleLimit:   cfg.CycleLimit,
+			DownloadCap:  simCfg.DownloadCap,
+			Seed:         cfg.Seed,
+			ShardWorkers: cfg.ShardWorkers,
 		})
 		return s, name, err
 	default:

@@ -150,9 +150,11 @@ func TestTableScaleHonorsCheckpoint(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("checkpointed table differs:\ngot  %+v\nwant %+v", got, want)
 	}
+	// ScaleCI: ns={128,512} x 2 reps, minus n=512 rep 0 (owned by the
+	// shard sweep), plus the three shard-sweep cells at P=1/4/8.
 	lines := readStoreLines(t, path)
-	if len(lines) != 4 { // ScaleCI: ns={128,512} x 2 reps
-		t.Fatalf("store has %d lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
+	if len(lines) != 6 {
+		t.Fatalf("store has %d lines, want 6:\n%s", len(lines), strings.Join(lines, "\n"))
 	}
 
 	// Poke a sentinel completion time into every cached cell and rerun.

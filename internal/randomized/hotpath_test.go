@@ -57,14 +57,15 @@ func TestLocalRareCountsSaturatedPeers(t *testing.T) {
 		sched.beginTick(st)
 		sched.removeAvail(2)
 		sched.removeAvail(4)
-		if got := sched.blockFreq(st, 6, 0); got != 2 {
+		ln := sched.lanes[0] // uploader 0's lane
+		if got := sched.blockFreq(ln, st, 6, 0); got != 2 {
 			return nil, errors.New("blockFreq(6, B0) changed")
 		}
-		if got := sched.blockFreq(st, 6, 1); got != 3 {
+		if got := sched.blockFreq(ln, st, 6, 1); got != 3 {
 			// The buggy avail-based count reports 1 here.
 			return nil, errors.New("blockFreq(6, B1) ignores saturated holders")
 		}
-		if got := sched.pickBlock(st, 0, 6); got != 0 {
+		if got := sched.pickBlock(ln, st, 0, 6); got != 0 {
 			return nil, errors.New("LocalRare picked the wrong rarest block")
 		}
 		checked = true

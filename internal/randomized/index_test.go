@@ -1,0 +1,93 @@
+package randomized
+
+import (
+	"testing"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/fault"
+	"barterdist/internal/simulate"
+)
+
+// TestEligIndexMatchesScan pins the incremental eligibility index to
+// the naive predicate it replaced: after every tick of a churny,
+// credit-limited, adversarial run, (b, v) must be indexed exactly when
+// v is an alive, incomplete client missing block b — the condition the
+// old O(n) bitset.AnyMissingFrom scan tested candidate by candidate.
+// The member lists and position slab are also cross-checked against
+// each other, so a swap-remove bookkeeping bug cannot hide behind a
+// correct membership answer.
+func TestEligIndexMatchesScan(t *testing.T) {
+	faultPlan, err := fault.NewPlan(fault.Options{
+		Seed:              21,
+		CrashRate:         0.08,
+		MaxCrashes:        4,
+		RejoinDelay:       3,
+		RejoinLosesBlocks: true,
+		LossRate:          0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nodes = 24
+	advPlan, err := adversary.NewPlan(nodes, adversary.Options{
+		Seed:          99,
+		FreeRiderFrac: 0.15,
+		CorrupterFrac: 0.1,
+		DefectorFrac:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(Options{Seed: 5, DownloadCap: 1, CreditLimit: 1, ShardWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticksChecked := 0
+	probe := simulate.SchedulerFunc(func(tick int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
+		out, err := sched.Tick(tick, st, dst)
+		if err != nil {
+			return nil, err
+		}
+		// beginTick folded last tick's deliveries, losses, and fault
+		// events at the top of Tick, and the engine has not yet applied
+		// this tick's transfers — so the index must equal the tick-start
+		// ground truth right now.
+		ix := sched.index
+		for b := 0; b < st.K(); b++ {
+			members := 0
+			for v := 1; v < st.N(); v++ {
+				want := st.Alive(v) && !st.Blocks(v).Full() && !st.Blocks(v).Has(b)
+				if got := ix.has(b, v); got != want {
+					t.Fatalf("tick %d block %d node %d: index.has=%v, predicate=%v", tick, b, v, got, want)
+				}
+				if want {
+					members++
+				}
+			}
+			if int(ix.count[b]) != members {
+				t.Fatalf("tick %d block %d: count=%d, scan found %d members", tick, b, ix.count[b], members)
+			}
+			base := b * st.N()
+			for i := 0; i < int(ix.count[b]); i++ {
+				v := ix.members[base+i]
+				if p := ix.pos[base+int(v)]; int(p) != i {
+					t.Fatalf("tick %d block %d: members[%d]=%d but pos=%d", tick, b, i, v, p)
+				}
+			}
+		}
+		if ix.has(0, 0) {
+			t.Fatalf("tick %d: server indexed as a receiver", tick)
+		}
+		ticksChecked++
+		return out, nil
+	})
+	if _, err := simulate.Run(simulate.Config{
+		Nodes: nodes, Blocks: 12, DownloadCap: 1,
+		Fault: faultPlan, Adversary: advPlan, RecordTrace: true,
+	}, probe); err != nil {
+		t.Fatal(err)
+	}
+	if ticksChecked == 0 {
+		t.Fatal("probe never ran")
+	}
+}

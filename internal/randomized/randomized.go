@@ -7,19 +7,32 @@
 //  1. Among u's overlay neighbors, find those that (a) still need a
 //     block u holds, (b) have download capacity left this tick, and
 //     (c) — under credit-limited barter — are within u's credit limit.
-//     Pick one uniformly at random (the paper's "handshake protocol"
-//     resolving collisions is modeled by processing uploaders in a
-//     random order against shared per-tick capacity counters).
+//     Pick one uniformly at random.
 //  2. Upload one block v needs, chosen by the block-selection policy:
 //     Random (uniform over the useful blocks) or Rarest-First (the
 //     globally least-replicated useful block, the paper's
 //     perfect-statistics variant; LocalRare estimates rarity from the
 //     receiver's neighborhood instead).
 //
+// The paper's "handshake protocol" that resolves collisions between
+// simultaneous proposals is modeled by the sharded intent/merge tick
+// (DESIGN.md §14): peers are partitioned into shard.Slots fixed logical
+// lanes, each round every lane resolves its members' pairing decisions
+// concurrently against the tick-start view plus its own reservations,
+// and a sequential merge commits the proposals in canonical lane order
+// against the shared capacity, duplicate-block, and credit constraints.
+// Conflicting proposals retry in the next round until a round produces
+// no proposals, which converges to the same greedy maximal matching the
+// historical sequential handshake produced. Because every random draw
+// comes from a lane stream derived from the peer id alone, the schedule
+// is byte-identical for any worker count (Options.ShardWorkers).
+//
 // The scheduler supports arbitrary overlay graphs and special-cases the
-// complete graph so that Figure 3's n = 10000 runs stay fast: instead of
-// materializing 50M edges, candidate receivers are rejection-sampled
-// from the incomplete-node list with an exact full-scan fallback.
+// complete graph so large swarms stay fast: candidate receivers are
+// rejection-sampled from the incomplete-node list, and the exact
+// fallback enumerates the uploader's tick-start audience through the
+// incremental eligibility index (index.go) instead of subset-testing
+// every incomplete client.
 package randomized
 
 import (
@@ -30,6 +43,7 @@ import (
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
+	"barterdist/internal/shard"
 	"barterdist/internal/simulate"
 	"barterdist/internal/xrand"
 )
@@ -84,12 +98,58 @@ type Options struct {
 	// promising future work at the end of Section 3.2.4. Requires a
 	// regular Graph (all degrees equal).
 	RewireEvery int
+	// ShardWorkers is how many OS workers resolve the shard.Slots
+	// logical pairing lanes concurrently inside each tick. 0 and 1 both
+	// mean inline sequential resolution. The schedule is byte-identical
+	// for every value — the logical decomposition and the per-lane
+	// draw streams are fixed; workers only decide physical concurrency.
+	ShardWorkers int
+}
+
+// lane is the per-shard slice of the scheduler: the members owned by
+// one logical shard, their dedicated xrand stream, and the
+// receiver-indexed reservation scratch the lane writes during a
+// concurrent pairing round. Two invariants make the concurrent phase
+// race-free: a lane only draws randomness from its own stream and only
+// writes lane-owned state (reservations, intents, its members' no-peer
+// cache entries), and everything global it reads (ground-truth block
+// sets, avail, the eligibility index, freq, the ledger, the guard) is
+// mutated exclusively between rounds by beginTick and the merge.
+type lane struct {
+	rng     *xrand.Rand
+	members []int32 // fixed ascending member ids (σ(v) = v mod shard.Slots)
+	order   []int32 // per-tick Fisher–Yates shuffle of members
+	pend    []int32 // uploaders to retry this round (staged by the merge)
+	intents []intent
+	// resStamp/resDown/resHead are receiver-indexed reservations, live
+	// only when the stamp equals the scheduler's current round stamp:
+	// resDown counts this lane's in-round download reservations for a
+	// receiver, resHead heads the linked list (through intent.prev) of
+	// this lane's in-round proposals to it.
+	resStamp []int32
+	resDown  []int32
+	resHead  []int32
+	// freqAdd/freqTouched carry the lane's in-round rarity deltas for
+	// RarestFirst: committed transfers live in Scheduler.freq, proposals
+	// made earlier in the same round by this lane add on top.
+	freqAdd     []int32
+	freqTouched []int32
+	scratch     []int32 // neighbor shuffle buffer (general graphs)
+}
+
+// intent is one lane-local upload proposal awaiting the merge.
+type intent struct {
+	u, v, b int32
+	prev    int32 // previous intent index targeting the same v this round, -1
 }
 
 // Scheduler is the randomized algorithm. Create one per simulation run;
-// it carries per-run state (RNG, credit ledger, rarity statistics).
+// it carries per-run state (RNG streams, credit ledger, rarity
+// statistics, the eligibility index).
 type Scheduler struct {
-	opts   Options
+	opts Options
+	// rng is the base stream: it only drives lane-independent draws
+	// (overlay rewiring). All pairing draws come from the lane streams.
 	rng    *xrand.Rand
 	ledger *mechanism.Ledger // nil in cooperative mode
 	// guard is the peer-scoring/quarantine table, created lazily when
@@ -99,24 +159,30 @@ type Scheduler struct {
 	// periodically. nil in adversary-free runs — zero overhead.
 	guard *adversary.Guard
 
-	n, k int
-	init bool
+	n, k    int
+	init    bool
+	workers int
 
-	freq  []int // freq[b] = number of nodes holding block b
-	order []int // uploader processing order, reshuffled per tick
+	freq []int // freq[b] = number of nodes holding block b (committed)
 	// downUsed and incoming are epoch-stamped per-tick scratch: an entry
 	// is live only when its stamp equals the current tick, so beginTick
 	// never pays an O(n) zeroing pass — per-tick cost is proportional to
-	// the receivers actually touched, not to the node count.
+	// the receivers actually touched, not to the node count. Both are
+	// written only by the sequential merge.
 	downUsed      []int
 	downStamp     []int32
 	incoming      [][]int32
 	incomingStamp []int32
 	curTick       int32
-	// touched lists the receivers scheduled at least one transfer this
+	// touched lists the receivers committed at least one transfer this
 	// tick; the next beginTick checks exactly these for completion when
 	// maintaining the candidate set.
 	touched []int32
+	// committed buffers this tick's merged transfers so the next
+	// beginTick can fold the actually-applied deliveries into the
+	// eligibility index (the engine owns dst, so the scheduler keeps its
+	// own copy; nil-length in graph mode, which has no index).
+	committed []simulate.Transfer
 	// candidates is the persistent membership set behind avail: alive,
 	// incomplete clients, maintained incrementally (completions come
 	// from touched, liveness from the fault-event stream) instead of an
@@ -125,29 +191,36 @@ type Scheduler struct {
 	candidates *bitset.Set
 	// avail holds the complete-graph candidate receivers for the current
 	// tick: incomplete clients with download capacity left. Saturated
-	// nodes are swap-removed as the tick progresses so both sampling and
-	// the exact fallback stay proportional to the remaining candidates.
+	// nodes are swap-removed by the merge as the tick progresses so both
+	// sampling and the exact fallback stay proportional to the remaining
+	// candidates.
 	avail         []int32
 	availPos      []int32 // availPos[v] = index of v in avail, -1 if absent
 	removedInTick int     // saturated receivers dropped this tick
-	scratch       []int32 // candidate shuffling buffer (general graphs)
 	// localPeers is the tick-start snapshot of avail used by the
 	// LocalRare policy on the complete graph: rarity must be estimated
 	// over every alive incomplete client, not over the shrinking avail
 	// list, or the estimate would depend on which receivers happened to
 	// saturate earlier in the same tick.
 	localPeers []int32
-	// commonBlocks is the intersection of every incomplete client's
-	// block set at the start of the tick (complete-graph mode). An
-	// uploader whose holdings are a subset of commonBlocks has nothing
-	// anyone needs and skips without scanning.
-	commonBlocks *bitset.Set
+	// index is the incremental missing-block/eligibility index
+	// (complete-graph mode only; nil with an explicit overlay).
+	index *eligIndex
 	// noPeerAtCount[u] caches that u found no interested peer while
 	// holding noPeerAtCount[u] blocks; valid until u's holdings grow
 	// (interest is monotone in the sender's block set). It is only set
 	// when the failed scan saw no interested peer at all — capacity- or
-	// credit-blocked peers do not populate the cache.
+	// credit-blocked peers do not populate the cache. Lanes write only
+	// their own members' entries, so concurrent rounds stay race-free.
 	noPeerAtCount []int
+
+	lanes [shard.Slots]*lane
+	// laneTask is the pre-bound round closure handed to shard.Run so the
+	// steady-state tick allocates nothing; it reads curState/curRound.
+	laneTask   func(sg int) error
+	curState   *simulate.State
+	curRound   int32
+	roundStamp int32
 }
 
 var _ simulate.Scheduler = (*Scheduler)(nil)
@@ -162,6 +235,9 @@ func (o *Options) Validate() error {
 	}
 	if o.CreditLimit < 0 {
 		return fmt.Errorf("randomized: negative credit limit %d", o.CreditLimit)
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("randomized: negative shard workers %d", o.ShardWorkers)
 	}
 	if o.RewireEvery < 0 {
 		return fmt.Errorf("randomized: negative rewire interval %d", o.RewireEvery)
@@ -190,7 +266,11 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.Policy == 0 {
 		opts.Policy = Random
 	}
-	s := &Scheduler{opts: opts, rng: xrand.New(opts.Seed)}
+	s := &Scheduler{
+		opts:    opts,
+		rng:     xrand.New(opts.Seed),
+		workers: shard.Workers(opts.ShardWorkers),
+	}
 	if opts.CreditLimit > 0 {
 		ledger, err := mechanism.NewLedger(opts.CreditLimit)
 		if err != nil {
@@ -214,10 +294,6 @@ func (s *Scheduler) setup(st *simulate.State) error {
 	for b := 0; b < s.k; b++ {
 		s.freq[b] = 1 // the server
 	}
-	s.order = make([]int, s.n)
-	for i := range s.order {
-		s.order[i] = i
-	}
 	s.downUsed = make([]int, s.n)
 	s.downStamp = make([]int32, s.n)
 	s.incoming = make([][]int32, s.n)
@@ -230,12 +306,44 @@ func (s *Scheduler) setup(st *simulate.State) error {
 			s.candidates.Add(v)
 		}
 	}
+	if s.opts.Graph == nil {
+		s.index = newEligIndex(s.n, s.k)
+		s.candidates.Iter(func(v int) bool {
+			s.index.addNode(st, v)
+			return true
+		})
+		s.committed = s.committed[:0]
+	}
 	if s.opts.Policy == LocalRare && s.opts.Graph == nil {
 		s.localPeers = make([]int32, 0, s.n)
 	}
 	s.noPeerAtCount = make([]int, s.n)
 	for i := range s.noPeerAtCount {
 		s.noPeerAtCount[i] = -1
+	}
+	streams := shard.Streams(s.opts.Seed)
+	for sg := 0; sg < shard.Slots; sg++ {
+		members := shard.Members(s.n, sg)
+		ln := &lane{
+			rng:      streams[sg],
+			members:  members,
+			order:    make([]int32, len(members)),
+			resStamp: make([]int32, s.n),
+			resDown:  make([]int32, s.n),
+			resHead:  make([]int32, s.n),
+			freqAdd:  make([]int32, s.k),
+		}
+		// Reservation stamps start at -1: the live round stamps are
+		// always positive, so a fresh lane never reads a zero-value
+		// entry as a live reservation.
+		for i := range ln.resStamp {
+			ln.resStamp[i] = -1
+		}
+		s.lanes[sg] = ln
+	}
+	s.laneTask = func(sg int) error {
+		s.runLane(s.lanes[sg])
+		return nil
 	}
 	if st.Adversarial() {
 		guard, err := adversary.NewGuard(adversary.GuardOptions{})
@@ -248,7 +356,14 @@ func (s *Scheduler) setup(st *simulate.State) error {
 	return nil
 }
 
-// Tick implements simulate.Scheduler.
+// Tick implements simulate.Scheduler: the sharded intent/merge tick.
+// Rounds alternate a concurrent phase (every lane proposes transfers
+// for its unmatched members) with a sequential canonical-order merge
+// (lane 0's proposals in proposal order, then lane 1's, …) that commits
+// or defers each proposal against the shared constraints. The first
+// proposal of every round always commits — the phase validated it
+// against exactly the state the merge starts from — so the loop
+// terminates, and it stops as soon as a round proposes nothing.
 func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]simulate.Transfer, error) {
 	if !s.init {
 		if err := s.setup(st); err != nil {
@@ -262,43 +377,148 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 	}
 	s.beginTick(st)
 
-	s.rng.Shuffle(s.order)
-	for _, u := range s.order {
-		if !st.Alive(u) {
-			continue // crashed nodes neither offer nor receive
+	s.curState = st
+	for round := int32(0); ; round++ {
+		s.curRound = round
+		s.roundStamp++
+		if err := shard.Run(s.workers, s.laneTask); err != nil {
+			s.curState = nil
+			return nil, err
 		}
-		if st.Refuses(u) {
-			continue // u's own strategy declines to upload this tick
+		proposals := 0
+		for _, ln := range s.lanes {
+			proposals += len(ln.intents)
 		}
-		if st.CountOf(u) == 0 {
-			continue // nothing to offer yet
+		if proposals == 0 {
+			break
 		}
-		if s.noPeerAtCount[u] == st.CountOf(u) {
-			continue // no peer wanted anything at this holding level
-		}
-		v, sawInterest := s.pickReceiver(st, u)
-		if v < 0 {
-			if !sawInterest {
-				s.noPeerAtCount[u] = st.CountOf(u)
+		dst = s.merge(dst)
+	}
+	s.curState = nil
+	return dst, nil
+}
+
+// runLane resolves one lane's pairing decisions for the current round:
+// round 0 visits the lane's members in this tick's shuffled order
+// (screening out nodes that cannot upload), later rounds revisit
+// exactly the members whose previous proposal the merge deferred.
+func (s *Scheduler) runLane(ln *lane) {
+	st := s.curState
+	ln.intents = ln.intents[:0]
+	for _, b := range ln.freqTouched {
+		ln.freqAdd[b] = 0
+	}
+	ln.freqTouched = ln.freqTouched[:0]
+	if s.curRound == 0 {
+		copy(ln.order, ln.members)
+		shard.Shuffle32(ln.rng, ln.order)
+		for _, uu := range ln.order {
+			u := int(uu)
+			if !st.Alive(u) {
+				continue // crashed nodes neither offer nor receive
 			}
-			continue
+			if st.Refuses(u) {
+				continue // u's own strategy declines to upload this tick
+			}
+			c := st.CountOf(u)
+			if c == 0 {
+				continue // nothing to offer yet
+			}
+			if s.noPeerAtCount[u] == c {
+				continue // no peer wanted anything at this holding level
+			}
+			s.attempt(ln, st, u)
 		}
-		b := s.pickBlock(st, u, v)
-		if b < 0 {
-			continue // cannot happen if pickReceiver qualified v; defensive
+		return
+	}
+	for _, uu := range ln.pend {
+		s.attempt(ln, st, int(uu))
+	}
+}
+
+// attempt makes one pairing decision for uploader u and stages the
+// resulting proposal (if any) for the merge.
+func (s *Scheduler) attempt(ln *lane, st *simulate.State, u int) {
+	v, sawInterest := s.pickReceiver(ln, st, u)
+	if v < 0 {
+		if !sawInterest {
+			s.noPeerAtCount[u] = st.CountOf(u)
 		}
-		dst = append(dst, simulate.Transfer{From: int32(u), To: int32(v), Block: int32(b)})
-		used := s.bumpDownUsed(v)
-		s.addIncoming(v, int32(b))
-		s.freq[b]++
-		if s.ledger != nil {
-			s.ledger.Record(int32(u), int32(v))
+		return
+	}
+	b := s.pickBlock(ln, st, u, v)
+	if b < 0 {
+		return // cannot happen if pickReceiver qualified v; defensive
+	}
+	idx := int32(len(ln.intents))
+	prev := int32(-1)
+	if ln.resStamp[v] == s.roundStamp {
+		prev = ln.resHead[v]
+		ln.resDown[v]++
+	} else {
+		ln.resStamp[v] = s.roundStamp
+		ln.resDown[v] = 1
+	}
+	ln.resHead[v] = idx
+	ln.intents = append(ln.intents, intent{u: int32(u), v: int32(v), b: int32(b), prev: prev})
+	if s.opts.Policy == RarestFirst {
+		if ln.freqAdd[b] == 0 {
+			ln.freqTouched = append(ln.freqTouched, int32(b))
 		}
-		if s.opts.DownloadCap != simulate.Unlimited && used >= s.opts.DownloadCap {
-			s.removeAvail(v)
+		ln.freqAdd[b]++
+	}
+}
+
+// merge commits this round's proposals in canonical lane order,
+// re-validating each against the shared per-tick constraints (download
+// capacity, duplicate blocks in flight, credit). A proposal that lost
+// its slot to an earlier-merged one is deferred: its uploader retries
+// with fresh draws next round.
+//
+// The lane order rotates by (tick + round) mod Slots. A fixed order
+// would hand the same lane first claim on every contended receiver slot
+// forever — in a credit-limited endgame that can permanently starve a
+// receiver whose low-lane suitors are credit-blocked while its
+// credit-worthy neighbors sit in higher lanes. The rotation is a pure
+// function of run history, so it costs nothing in determinism or
+// worker-invariance, and every lane gets first claim infinitely often.
+func (s *Scheduler) merge(dst []simulate.Transfer) []simulate.Transfer {
+	start := (int(s.curTick) + int(s.curRound)) % shard.Slots
+	for i := 0; i < shard.Slots; i++ {
+		ln := s.lanes[(start+i)%shard.Slots]
+		ln.pend = ln.pend[:0]
+		for i := range ln.intents {
+			it := &ln.intents[i]
+			v := int(it.v)
+			if s.opts.DownloadCap != simulate.Unlimited && s.downUsedOf(v) >= s.opts.DownloadCap {
+				ln.pend = append(ln.pend, it.u)
+				continue
+			}
+			if s.blockInFlightGlobal(v, it.b) {
+				ln.pend = append(ln.pend, it.u)
+				continue
+			}
+			if s.ledger != nil && !s.ledger.CanSend(it.u, it.v) {
+				ln.pend = append(ln.pend, it.u)
+				continue
+			}
+			tr := simulate.Transfer{From: it.u, To: it.v, Block: it.b}
+			dst = append(dst, tr)
+			if s.index != nil {
+				s.committed = append(s.committed, tr)
+			}
+			used := s.bumpDownUsed(v)
+			s.addIncoming(v, it.b)
+			s.freq[it.b]++
+			if s.ledger != nil {
+				s.ledger.Record(it.u, it.v)
+			}
+			if s.opts.DownloadCap != simulate.Unlimited && used >= s.opts.DownloadCap {
+				s.removeAvail(v)
+			}
 		}
 	}
-	return dst, nil
+	return dst
 }
 
 // beginTick folds the previous tick's outcomes into the incremental
@@ -315,9 +535,25 @@ func (s *Scheduler) Tick(t int, st *simulate.State, dst []simulate.Transfer) ([]
 // flush the no-peer cache, which is keyed to the old population.
 // Fault-free runs see empty event and loss lists, take no branch, and
 // consume exactly the pre-fault RNG stream.
+//
+// The eligibility index gets the same treatment: last tick's committed
+// transfers are folded in against ground truth (a delivery the engine
+// dropped leaves the receiver still missing the block, so the
+// conditional remove is a no-op), a crash withdraws the victim's
+// missing-block entries, and a rejoin files the survivor's — or, when
+// wiped, all k of them.
 func (s *Scheduler) beginTick(st *simulate.State) {
 	now := float64(st.Tick() + 1) // the tick about to be scheduled
 	s.curTick = int32(st.Tick() + 1)
+	if s.index != nil {
+		for i := range s.committed {
+			tr := &s.committed[i]
+			if st.Has(int(tr.To), int(tr.Block)) {
+				s.index.remove(int(tr.Block), int(tr.To))
+			}
+		}
+		s.committed = s.committed[:0]
+	}
 	// Fold last tick's deliveries into the candidate set: only receivers
 	// that were actually scheduled a transfer can have completed, so the
 	// membership update costs O(active transfers), not O(n). Ground
@@ -351,12 +587,18 @@ func (s *Scheduler) beginTick(st *simulate.State) {
 			case fault.Crash:
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, -1)
 				s.candidates.Remove(int(ev.Node))
+				if s.index != nil {
+					s.index.removeNode(st, int(ev.Node))
+				}
 			case fault.Rejoin:
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, 1)
 				// A wiped rejoiner is always incomplete; an intact one
 				// may have completed before its crash.
 				if !st.Blocks(int(ev.Node)).Full() {
 					s.candidates.Add(int(ev.Node))
+					if s.index != nil {
+						s.index.addNode(st, int(ev.Node))
+					}
 				}
 			}
 		}
@@ -377,18 +619,9 @@ func (s *Scheduler) beginTick(st *simulate.State) {
 		s.avail = append(s.avail, int32(v))
 		return true
 	})
-	if s.opts.Graph == nil {
-		if s.commonBlocks == nil {
-			s.commonBlocks = bitset.New(s.k)
-		}
-		s.commonBlocks.Fill()
-		for _, v := range s.avail {
-			s.commonBlocks.AndWith(st.Blocks(int(v)))
-		}
-		if s.opts.Policy == LocalRare {
-			// Snapshot before any mid-tick saturation removals.
-			s.localPeers = append(s.localPeers[:0], s.avail...)
-		}
+	if s.opts.Graph == nil && s.opts.Policy == LocalRare {
+		// Snapshot before any mid-tick saturation removals.
+		s.localPeers = append(s.localPeers[:0], s.avail...)
 	}
 }
 
@@ -412,7 +645,8 @@ func (s *Scheduler) recomputeFreq(st *simulate.State) {
 
 // rewire replaces the overlay with a fresh random regular graph of the
 // same degree and invalidates the no-peer cache (it is keyed to the old
-// neighborhoods).
+// neighborhoods). Rewiring draws from the base stream, never the lane
+// streams, so lane draw sequences stay independent of it.
 func (s *Scheduler) rewire() error {
 	g, err := graph.RandomRegular(s.opts.Graph.N(), s.opts.Graph.Degree(0), s.rng)
 	if err != nil {
@@ -428,9 +662,9 @@ func (s *Scheduler) rewire() error {
 // pickReceiver returns a uniformly random qualified receiver for u, or
 // -1. sawInterest reports whether any peer was interested in u's content
 // regardless of capacity or credit (used for the no-peer cache).
-func (s *Scheduler) pickReceiver(st *simulate.State, u int) (int, bool) {
+func (s *Scheduler) pickReceiver(ln *lane, st *simulate.State, u int) (int, bool) {
 	if s.opts.Graph == nil {
-		return s.pickReceiverComplete(st, u)
+		return s.pickReceiverComplete(ln, st, u)
 	}
 	nbrs := s.opts.Graph.Neighbors(u)
 	if len(nbrs) == 0 {
@@ -439,13 +673,13 @@ func (s *Scheduler) pickReceiver(st *simulate.State, u int) (int, bool) {
 	// Lazily shuffle the neighbor list and take the first qualified
 	// entry: the first qualified element of a uniform permutation is
 	// uniform over the qualified set.
-	s.scratch = append(s.scratch[:0], nbrs...)
+	ln.scratch = append(ln.scratch[:0], nbrs...)
 	sawInterest := false
-	for i := range s.scratch {
-		j := i + s.rng.Intn(len(s.scratch)-i)
-		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
-		v := int(s.scratch[i])
-		interested, qualified := s.qualify(st, u, v)
+	for i := range ln.scratch {
+		j := i + ln.rng.Intn(len(ln.scratch)-i)
+		ln.scratch[i], ln.scratch[j] = ln.scratch[j], ln.scratch[i]
+		v := int(ln.scratch[i])
+		interested, qualified := s.qualify(ln, st, u, v)
 		sawInterest = sawInterest || interested
 		if qualified {
 			return v, true
@@ -470,7 +704,7 @@ func (s *Scheduler) removeAvail(v int) {
 	s.removedInTick++
 }
 
-// downUsedOf returns v's download budget consumed this tick; entries
+// downUsedOf returns v's download budget committed this tick; entries
 // from earlier ticks read as zero via the epoch stamp.
 func (s *Scheduler) downUsedOf(v int) int {
 	if s.downStamp[v] != s.curTick {
@@ -479,7 +713,7 @@ func (s *Scheduler) downUsedOf(v int) int {
 	return s.downUsed[v]
 }
 
-// bumpDownUsed increments v's consumed download budget for this tick
+// bumpDownUsed increments v's committed download budget for this tick
 // and returns the new value.
 func (s *Scheduler) bumpDownUsed(v int) int {
 	if s.downStamp[v] != s.curTick {
@@ -490,7 +724,16 @@ func (s *Scheduler) bumpDownUsed(v int) int {
 	return s.downUsed[v]
 }
 
-// incomingOf returns the blocks already scheduled toward v this tick
+// laneRes returns this lane's in-round download reservations for v on
+// top of the committed budget.
+func (s *Scheduler) laneRes(ln *lane, v int) int {
+	if ln.resStamp[v] != s.roundStamp {
+		return 0
+	}
+	return int(ln.resDown[v])
+}
+
+// incomingOf returns the blocks already committed toward v this tick
 // (nil when none).
 func (s *Scheduler) incomingOf(v int) []int32 {
 	if s.incomingStamp[v] != s.curTick {
@@ -499,7 +742,7 @@ func (s *Scheduler) incomingOf(v int) []int32 {
 	return s.incoming[v]
 }
 
-// addIncoming records one more block in flight to v this tick; the
+// addIncoming records one more block committed to v this tick; the
 // first touch per tick resets v's stale list and registers v for the
 // next tick's completion check.
 func (s *Scheduler) addIncoming(v int, b int32) {
@@ -511,11 +754,51 @@ func (s *Scheduler) addIncoming(v int, b int32) {
 	s.incoming[v] = append(s.incoming[v], b)
 }
 
+// blockInFlightGlobal reports whether b is already committed toward v
+// this tick.
+func (s *Scheduler) blockInFlightGlobal(v int, b int32) bool {
+	for _, fb := range s.incomingOf(v) {
+		if fb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// blockInFlight additionally checks this lane's in-round proposals.
+func (s *Scheduler) blockInFlight(ln *lane, v int, b int32) bool {
+	if s.blockInFlightGlobal(v, b) {
+		return true
+	}
+	if ln.resStamp[v] == s.roundStamp {
+		for i := ln.resHead[v]; i >= 0; i = ln.intents[i].prev {
+			if ln.intents[i].b == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// interestSize is the uploader's tick-start audience size Σ_{b∈Bu}
+// |missing(b)| — zero iff no alive incomplete client misses anything u
+// holds, in which case (and only then) the no-peer cache may be primed.
+func (s *Scheduler) interestSize(bu *bitset.Set) int {
+	total := 0
+	bu.Iter(func(b int) bool {
+		total += int(s.index.count[b])
+		return true
+	})
+	return total
+}
+
 // pickReceiverComplete is the complete-graph fast path: candidates are
 // drawn from the per-tick available list (incomplete clients with
 // download capacity left), since complete nodes and the server want no
-// blocks.
-func (s *Scheduler) pickReceiverComplete(st *simulate.State, u int) (int, bool) {
+// blocks. A miss streak in the rejection sampler falls through to the
+// exact pass, which enumerates the uploader's audience through the
+// eligibility index instead of subset-testing every candidate.
+func (s *Scheduler) pickReceiverComplete(ln *lane, st *simulate.State, u int) (int, bool) {
 	m := len(s.avail)
 	if m == 0 {
 		// An empty candidate list mid-tick only means every incomplete
@@ -524,71 +807,153 @@ func (s *Scheduler) pickReceiverComplete(st *simulate.State, u int) (int, bool) 
 		// removed this tick.
 		return -1, s.removedInTick > 0
 	}
-	// Subset test against the tick-start intersection of incomplete
-	// clients: if u offers nothing outside it, no incomplete client
-	// needs anything from u — now or later this tick (sets only grow),
-	// so the result may safely prime the no-peer cache.
-	if !st.Blocks(u).AnyMissingFrom(s.commonBlocks) {
+	bu := st.Blocks(u)
+	full := bu.Full()
+	if !full && s.interestSize(bu) == 0 {
+		// Nobody misses anything u holds — now or later this tick
+		// (block sets only change at the tick boundary), so the result
+		// may safely prime the no-peer cache.
 		return -1, false
 	}
-	// Rejection-sample while the population is large; a miss streak
-	// falls through to the exact scan. Capacity is guaranteed by the
-	// avail list, so misses only come from disinterest or credit.
+	// Rejection-sample while the population is large. Capacity against
+	// the committed budget is guaranteed by the avail list; the lane's
+	// own reservations and credit are re-checked per draw.
 	const maxTries = 40
 	if m > 64 {
 		for try := 0; try < maxTries; try++ {
-			v := int(s.avail[s.rng.Intn(m)])
+			v := int(s.avail[ln.rng.Intn(m)])
 			if v == u {
 				continue
 			}
-			if _, qualified := s.qualify(st, u, v); qualified {
+			if _, qualified := s.qualify(ln, st, u, v); qualified {
 				return v, true
 			}
 		}
 	}
-	// Exact pass: uniform choice over all qualified receivers via
-	// reservoir sampling.
+	if full {
+		// A complete sender's audience is every candidate, so the index
+		// offers no shortcut; scan the availability list with the cheap
+		// interest test (an incomplete client always needs something
+		// from a full sender unless in-flight transfers cover it).
+		chosen := -1
+		count := 0
+		sawInterest := false
+		for _, vv := range s.avail {
+			v := int(vv)
+			if v == u {
+				continue
+			}
+			interested, qualified := s.qualify(ln, st, u, v)
+			sawInterest = sawInterest || interested
+			if !qualified {
+				continue
+			}
+			count++
+			if ln.rng.Intn(count) == 0 {
+				chosen = v
+			}
+		}
+		if s.removedInTick > 0 {
+			sawInterest = true
+		}
+		return chosen, sawInterest || chosen >= 0
+	}
+	// Exact pass: choose the qualified audience member with the maximum
+	// stateless priority, enumerated block by block through the index —
+	// O(audience), not O(candidates). The priority hash is a bijection
+	// of the node id for fixed (seed, uploader, tick, round), so the
+	// winner is unique, uniform-ish over the qualified set, and —
+	// crucially — independent of the member lists' internal order:
+	// an index rebuilt from ground truth on resume enumerates the same
+	// audience in a different order and still elects the same receiver
+	// (duplicate appearances across block lists don't even need
+	// deduplication, since max is idempotent). Interest is already
+	// established (interestSize > 0), so the no-peer cache is never
+	// primed from here.
+	base := prioBase(s.opts.Seed, u, s.curTick, s.curRound)
 	chosen := -1
-	count := 0
-	sawInterest := false
-	for _, vv := range s.avail {
-		v := int(vv)
-		if v == u {
-			continue
+	var best uint64
+	bu.Iter(func(b int) bool {
+		off := b * s.n
+		cnt := int(s.index.count[b])
+		for i := 0; i < cnt; i++ {
+			v := int(s.index.members[off+i])
+			p := mix64(base ^ uint64(uint32(v)))
+			if chosen >= 0 && p <= best {
+				continue // cheap reject before the qualification checks
+			}
+			if v == chosen || !s.qualifiedIndexed(ln, st, u, v) {
+				continue
+			}
+			chosen, best = v, p
 		}
-		interested, qualified := s.qualify(st, u, v)
-		sawInterest = sawInterest || interested
-		if !qualified {
-			continue
-		}
-		count++
-		if s.rng.Intn(count) == 0 {
-			chosen = v
+		return true
+	})
+	return chosen, true
+}
+
+// mix64 is the 64-bit avalanche finalizer (Murmur3/SplitMix style): a
+// bijection on uint64 with full-width diffusion.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// prioBase derives the per-pass hash base for the exact pass's
+// stateless priorities. It depends only on (seed, uploader, tick,
+// round) — all pure functions of run history that survive a
+// checkpoint/resume cycle — and never on RNG stream state, so the
+// exact pass consumes no lane draws.
+func prioBase(seed uint64, u int, tick, round int32) uint64 {
+	h := mix64(seed ^ uint64(uint32(u))<<32 ^ uint64(uint32(tick)))
+	return mix64(h ^ uint64(uint32(round)))
+}
+
+// qualifiedIndexed is the qualification check for audience members
+// enumerated from the eligibility index: membership already proves the
+// receiver is an alive incomplete client that misses one of the
+// uploader's blocks, so only capacity, credit, quarantine, and the
+// in-flight discount remain.
+func (s *Scheduler) qualifiedIndexed(ln *lane, st *simulate.State, u, v int) bool {
+	if s.opts.DownloadCap != simulate.Unlimited && s.downUsedOf(v)+s.laneRes(ln, v) >= s.opts.DownloadCap {
+		return false
+	}
+	if s.ledger != nil && !s.ledger.CanSend(int32(u), int32(v)) {
+		return false
+	}
+	if s.guard != nil && s.guard.Blocked(v, u, float64(st.Tick()+1)) {
+		return false
+	}
+	if s.incomingStamp[v] == s.curTick || ln.resStamp[v] == s.roundStamp {
+		// Something is in flight or proposed to v: make sure u still
+		// offers a block beyond it.
+		if !s.needsSomething(ln, st, u, v) {
+			return false
 		}
 	}
-	// The scan only covered unsaturated receivers; if any were removed
-	// this tick, an interested-but-saturated peer may exist, so the
-	// no-peer cache must not be primed from this result.
-	if s.removedInTick > 0 {
-		sawInterest = true
-	}
-	return chosen, sawInterest || chosen >= 0
+	return true
 }
 
 // qualify reports whether v is interested in u's content (needs a block
-// u holds beyond what is already in flight to v) and whether v is fully
-// qualified (interested, has download capacity, and is within credit).
-func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified bool) {
+// u holds beyond what is already in flight or proposed to v) and
+// whether v is fully qualified (interested, has download capacity
+// beyond the committed budget and this lane's reservations, and is
+// within credit).
+func (s *Scheduler) qualify(ln *lane, st *simulate.State, u, v int) (interested, qualified bool) {
 	if v == 0 {
 		return false, false // the server needs nothing
 	}
 	if !st.Alive(v) {
 		return false, false // dead receivers are re-sampled around
 	}
-	if !s.needsSomething(st, u, v) {
+	if !s.needsSomething(ln, st, u, v) {
 		return false, false
 	}
-	if s.opts.DownloadCap != simulate.Unlimited && s.downUsedOf(v) >= s.opts.DownloadCap {
+	if s.opts.DownloadCap != simulate.Unlimited && s.downUsedOf(v)+s.laneRes(ln, v) >= s.opts.DownloadCap {
 		return true, false
 	}
 	if s.ledger != nil && !s.ledger.CanSend(int32(u), int32(v)) {
@@ -603,19 +968,17 @@ func (s *Scheduler) qualify(st *simulate.State, u, v int) (interested, qualified
 }
 
 // needsSomething reports whether u holds a block v lacks, discounting
-// blocks already being delivered to v this tick.
-func (s *Scheduler) needsSomething(st *simulate.State, u, v int) bool {
+// blocks already committed toward v this tick and this lane's in-round
+// proposals.
+func (s *Scheduler) needsSomething(ln *lane, st *simulate.State, u, v int) bool {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := s.incomingOf(v)
-	if len(inflight) == 0 {
+	if s.incomingStamp[v] != s.curTick && ln.resStamp[v] != s.roundStamp {
 		return bu.AnyMissingFrom(bv)
 	}
 	need := false
 	bu.IterDiff(bv, func(b int) bool {
-		for _, fb := range inflight {
-			if int(fb) == b {
-				return true // already in flight; keep looking
-			}
+		if s.blockInFlight(ln, v, int32(b)) {
+			return true // already in flight or proposed; keep looking
 		}
 		need = true
 		return false
@@ -624,18 +987,13 @@ func (s *Scheduler) needsSomething(st *simulate.State, u, v int) bool {
 }
 
 // pickBlock selects the block u uploads to v under the configured
-// policy. Returns -1 if no useful block remains (in-flight blocks are
-// excluded).
-func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
+// policy. Returns -1 if no useful block remains (in-flight and
+// lane-proposed blocks are excluded).
+func (s *Scheduler) pickBlock(ln *lane, st *simulate.State, u, v int) int {
 	bu, bv := st.Blocks(u), st.Blocks(v)
-	inflight := s.incomingOf(v)
+	inflight := s.incomingStamp[v] == s.curTick || ln.resStamp[v] == s.roundStamp
 	useful := func(b int) bool {
-		for _, fb := range inflight {
-			if int(fb) == b {
-				return false
-			}
-		}
-		return true
+		return !inflight || !s.blockInFlight(ln, v, int32(b))
 	}
 	// offered enumerates the blocks u can give v, ascending. A complete
 	// sender (the server, or any finished peer that keeps seeding)
@@ -655,14 +1013,14 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 			if !useful(b) {
 				return true
 			}
-			f := s.blockFreq(st, v, b)
+			f := s.blockFreq(ln, st, v, b)
 			switch {
 			case f < bestFreq:
 				best, bestFreq, ties = b, f, 1
 			case f == bestFreq:
 				// Reservoir over ties keeps the choice unbiased.
 				ties++
-				if s.rng.Intn(ties) == 0 {
+				if ln.rng.Intn(ties) == 0 {
 					best = b
 				}
 			}
@@ -674,9 +1032,9 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 		// draw per transfer instead of one per candidate block.
 		count := 0
 		switch {
-		case len(inflight) == 0 && bu.Full():
+		case !inflight && bu.Full():
 			count = s.k - bv.Count() // |complement| without a scan
-		case len(inflight) == 0:
+		case !inflight:
 			count = bu.DiffCount(bv)
 		default:
 			offered(func(b int) bool {
@@ -689,7 +1047,7 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 		if count == 0 {
 			return -1
 		}
-		target := s.rng.Intn(count)
+		target := ln.rng.Intn(count)
 		chosen := -1
 		offered(func(b int) bool {
 			if !useful(b) {
@@ -706,10 +1064,11 @@ func (s *Scheduler) pickBlock(st *simulate.State, u, v int) int {
 	}
 }
 
-// blockFreq returns the replication count used for rarity comparisons.
-func (s *Scheduler) blockFreq(st *simulate.State, v, b int) int {
+// blockFreq returns the replication count used for rarity comparisons:
+// the committed count plus this lane's in-round proposals.
+func (s *Scheduler) blockFreq(ln *lane, st *simulate.State, v, b int) int {
 	if s.opts.Policy == RarestFirst {
-		return s.freq[b]
+		return s.freq[b] + int(ln.freqAdd[b])
 	}
 	// LocalRare: count holders among v's alive neighbors. On the
 	// complete graph the neighborhood estimate is taken over the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"barterdist/internal/checkpoint"
+	"barterdist/internal/shard"
 	"barterdist/internal/simulate"
 )
 
@@ -12,26 +13,67 @@ import (
 // state that survives a tick boundary and cannot be rebuilt from the
 // engine's restored State:
 //
-//   - the RNG (the scheduler's entire decision stream),
+//   - the base RNG and the shard.Slots lane streams (the scheduler's
+//     entire decision stream),
 //   - the credit ledger and quarantine table (economic history),
 //   - freq (rarity counts carry speculative increments for transfers
 //     the engine will only report lost at the NEXT beginTick, so a
 //     from-scratch recount would disagree),
-//   - order (Shuffle permutes in place, so each tick's permutation
-//     depends on the previous one),
 //   - noPeerAtCount (whether a sender skips its scan decides whether
-//     it draws from the RNG).
+//     it draws from its lane stream).
 //
-// Everything epoch-stamped (downUsed, incoming, capacity scratch) is
-// provably dead at a tick boundary — stale stamps read as zero — and
-// the candidate set is rebuilt from the restored ground truth in setup,
-// which agrees with the incremental maintenance at every boundary
-// (TestCandidateSetMatchesScan pins that invariant).
+// A lane-count sentinel (shard.Slots) precedes the lane streams: it
+// doubles as a format version, so a checkpoint written under a
+// different logical decomposition fails loudly instead of resuming a
+// subtly different schedule.
+//
+// Per-tick member orders are NOT serialized: each tick copies the fixed
+// member list and shuffles it fresh from the lane stream, so the order
+// is a pure function of serialized state. Everything epoch-stamped
+// (downUsed, incoming, reservations) is provably dead at a tick
+// boundary — stale stamps read as zero — and the candidate set and
+// eligibility index are rebuilt from the restored ground truth in
+// setup, which agrees with the incremental maintenance at every
+// boundary (TestCandidateSetMatchesScan and TestEligIndexMatchesScan
+// pin that invariant). Last tick's committed-transfer buffer and
+// touched list are NOT serialized either: the engine applies the
+// tick's transfers before checkpointing, so the ground truth the
+// restore rebuilds from already reflects them — the rebuild reproduces
+// exactly what folding the buffers at the next beginTick would have.
+// The one place a rebuilt index could diverge from an incrementally
+// maintained one is the internal order of its member lists, which is
+// why the exact pass selects by stateless max-priority instead of
+// enumeration-order reservoir sampling (see pickReceiverComplete).
 
 var (
 	_ simulate.CheckpointableScheduler = (*Scheduler)(nil)
 	_ simulate.CheckpointableScheduler = (*TriangularScheduler)(nil)
 )
+
+// snapshotLanes writes the lane-count sentinel and the lane streams.
+func snapshotLanes(enc *checkpoint.Encoder, lanes *[shard.Slots]*lane) {
+	enc.Int(shard.Slots)
+	for _, ln := range lanes {
+		ln.rng.Snapshot(enc)
+	}
+}
+
+// restoreLanes validates the sentinel and restores the lane streams.
+func restoreLanes(dec *checkpoint.Decoder, lanes *[shard.Slots]*lane) error {
+	slots := dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if slots != shard.Slots {
+		return checkpoint.Corruptf("randomized: checkpoint has %d shard lanes, this build has %d", slots, shard.Slots)
+	}
+	for _, ln := range lanes {
+		if err := ln.rng.RestoreState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // SnapshotState implements simulate.CheckpointableScheduler.
 func (s *Scheduler) SnapshotState(enc *checkpoint.Encoder) error {
@@ -44,6 +86,7 @@ func (s *Scheduler) SnapshotState(enc *checkpoint.Encoder) error {
 		return fmt.Errorf("randomized: cannot snapshot before the first tick")
 	}
 	s.rng.Snapshot(enc)
+	snapshotLanes(enc, &s.lanes)
 	enc.Bool(s.ledger != nil)
 	if s.ledger != nil {
 		s.ledger.Snapshot(enc)
@@ -53,14 +96,14 @@ func (s *Scheduler) SnapshotState(enc *checkpoint.Encoder) error {
 		s.guard.Snapshot(enc)
 	}
 	enc.Ints(s.freq)
-	enc.Ints(s.order)
 	enc.Ints(s.noPeerAtCount)
 	return nil
 }
 
 // RestoreState implements simulate.CheckpointableScheduler. st must be
-// the engine's already-restored state; setup derives the candidate set
-// and sizing from it before the serialized fields overwrite the rest.
+// the engine's already-restored state; setup rebuilds the candidate set,
+// the eligibility index, and the lanes from it before the serialized
+// fields overwrite the rest.
 func (s *Scheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) error {
 	if s.opts.RewireEvery > 0 {
 		return fmt.Errorf("randomized: checkpointing is not supported with RewireEvery > 0")
@@ -71,6 +114,9 @@ func (s *Scheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) er
 		}
 	}
 	if err := s.rng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := restoreLanes(dec, &s.lanes); err != nil {
 		return err
 	}
 	if dec.Bool() != (s.ledger != nil) {
@@ -94,15 +140,11 @@ func (s *Scheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) er
 		}
 	}
 	freq := dec.Ints()
-	order := dec.Ints()
 	noPeer := dec.Ints()
 	if err := dec.Err(); err != nil {
 		return err
 	}
 	if err := restoreFreq(s.freq, freq, s.k); err != nil {
-		return err
-	}
-	if err := restoreOrder(s.order, order, s.n); err != nil {
 		return err
 	}
 	if len(noPeer) != s.n {
@@ -115,6 +157,7 @@ func (s *Scheduler) RestoreState(dec *checkpoint.Decoder, st *simulate.State) er
 	}
 	copy(s.noPeerAtCount, noPeer)
 	s.touched = s.touched[:0]
+	s.committed = s.committed[:0]
 	return nil
 }
 
@@ -128,13 +171,13 @@ func (ts *TriangularScheduler) SnapshotState(enc *checkpoint.Encoder) error {
 		return fmt.Errorf("randomized: cannot snapshot before the first tick")
 	}
 	ts.rng.Snapshot(enc)
+	snapshotLanes(enc, &ts.lanes)
 	ts.ledger.Snapshot(enc)
 	enc.Bool(ts.guard != nil)
 	if ts.guard != nil {
 		ts.guard.Snapshot(enc)
 	}
 	enc.Ints(ts.freq)
-	enc.Ints(ts.order)
 	return nil
 }
 
@@ -146,6 +189,9 @@ func (ts *TriangularScheduler) RestoreState(dec *checkpoint.Decoder, st *simulat
 		}
 	}
 	if err := ts.rng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := restoreLanes(dec, &ts.lanes); err != nil {
 		return err
 	}
 	if err := ts.ledger.RestoreState(dec); err != nil {
@@ -162,14 +208,10 @@ func (ts *TriangularScheduler) RestoreState(dec *checkpoint.Decoder, st *simulat
 		}
 	}
 	freq := dec.Ints()
-	order := dec.Ints()
 	if err := dec.Err(); err != nil {
 		return err
 	}
 	if err := restoreFreq(ts.freq, freq, ts.k); err != nil {
-		return err
-	}
-	if err := restoreOrder(ts.order, order, ts.n); err != nil {
 		return err
 	}
 	ts.intenders = ts.intenders[:0]
@@ -189,23 +231,6 @@ func restoreFreq(dst, src []int, k int) error {
 		if f < 0 {
 			return checkpoint.Corruptf("randomized: freq[%d] = %d negative", b, f)
 		}
-	}
-	copy(dst, src)
-	return nil
-}
-
-// restoreOrder validates that src is a permutation of [0, n) and
-// installs it.
-func restoreOrder(dst, src []int, n int) error {
-	if len(src) != n {
-		return checkpoint.Corruptf("randomized: order sized %d for %d nodes", len(src), n)
-	}
-	seen := make([]bool, n)
-	for _, v := range src {
-		if v < 0 || v >= n || seen[v] {
-			return checkpoint.Corruptf("randomized: order is not a permutation of [0, %d)", n)
-		}
-		seen[v] = true
 	}
 	copy(dst, src)
 	return nil

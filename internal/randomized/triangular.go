@@ -9,6 +9,7 @@ import (
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
 	"barterdist/internal/mechanism"
+	"barterdist/internal/shard"
 	"barterdist/internal/simulate"
 	"barterdist/internal/xrand"
 )
@@ -33,6 +34,10 @@ type TriangularOptions struct {
 	DownloadCap int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// ShardWorkers mirrors Options.ShardWorkers: how many OS workers
+	// resolve the intent lanes concurrently. The schedule is
+	// byte-identical for every value.
+	ShardWorkers int
 }
 
 // TriangularScheduler implements the randomized algorithm under the
@@ -43,7 +48,13 @@ type TriangularOptions struct {
 //
 //  1. Intent: every node with data picks one random interested neighbor
 //     with spare download capacity, ignoring credit (as if a handshake
-//     proposed the transfer).
+//     proposed the transfer). The intent phase runs as sharded rounds
+//     exactly like Scheduler.Tick: lanes propose concurrently against
+//     the committed capacity budget plus their own reservations, the
+//     canonical merge re-checks capacity (the only constraint another
+//     lane can consume mid-phase — credit, interest, and quarantine are
+//     static until transfers are emitted) and defers losers to the next
+//     round with fresh draws.
 //  2. Settlement: intents a node can afford under its per-pair credit
 //     are approved directly and charged to the ledger. The remaining
 //     intents form a functional graph (one outgoing intent per node);
@@ -58,7 +69,10 @@ type TriangularOptions struct {
 // same credit limit (asserted in tests), and for CycleLimit = 2 it
 // degenerates to credit-limited barter.
 type TriangularScheduler struct {
-	opts   TriangularOptions
+	opts TriangularOptions
+	// rng is the base stream. No pairing draw comes from it (those all
+	// live on the lane streams); it is retained for snapshot-format
+	// symmetry with Scheduler and future lane-independent draws.
 	rng    *xrand.Rand
 	ledger *mechanism.Ledger
 	// guard mirrors Scheduler.guard: a per-receiver quarantine table
@@ -69,11 +83,11 @@ type TriangularScheduler struct {
 	// claw back; the quarantine table is the triangular defense.
 	guard *adversary.Guard
 
-	n, k int
-	init bool
+	n, k    int
+	init    bool
+	workers int
 
-	freq  []int
-	order []int
+	freq []int
 	// downUsed and incoming are epoch-stamped scratch, mirroring
 	// Scheduler: entries are live only when their stamp equals the
 	// current tick, so no per-tick O(n) zeroing pass is needed.
@@ -82,14 +96,19 @@ type TriangularScheduler struct {
 	incoming      [][]int32
 	incomingStamp []int32
 	curTick       int32
-	scratch       []int32
 	intent        []int32 // intent[u] = chosen receiver, -1 if none
 	approved      []bool  // per-tick settlement scratch, reused across ticks
 	// intenders lists the nodes that filed an intent this tick; the
-	// settlement phases iterate it (sorted ascending, preserving the
-	// historical whole-range scan order) and the next tick resets
-	// exactly these intent/approved entries.
+	// settlement phases iterate it (sorted ascending, the canonical
+	// settlement order) and the next tick resets exactly these
+	// intent/approved entries.
 	intenders []int32
+
+	lanes      [shard.Slots]*lane
+	laneTask   func(sg int) error
+	curState   *simulate.State
+	curRound   int32
+	roundStamp int32
 }
 
 // downUsedOf returns v's download budget consumed this tick.
@@ -107,6 +126,15 @@ func (ts *TriangularScheduler) bumpDownUsed(v int) {
 		ts.downUsed[v] = 0
 	}
 	ts.downUsed[v]++
+}
+
+// laneRes returns this lane's in-round intent reservations for v on top
+// of the committed budget.
+func (ts *TriangularScheduler) laneRes(ln *lane, v int) int {
+	if ln.resStamp[v] != ts.roundStamp {
+		return 0
+	}
+	return int(ln.resDown[v])
 }
 
 // incomingOf returns the blocks already scheduled toward v this tick.
@@ -142,6 +170,9 @@ func (o *TriangularOptions) Validate() error {
 	if o.CycleLimit != 0 && o.CycleLimit < 2 {
 		return fmt.Errorf("randomized: cycle limit %d must be >= 2", o.CycleLimit)
 	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("randomized: negative shard workers %d", o.ShardWorkers)
+	}
 	return nil
 }
 
@@ -164,9 +195,10 @@ func NewTriangular(opts TriangularOptions) (*TriangularScheduler, error) {
 		return nil, err
 	}
 	return &TriangularScheduler{
-		opts:   opts,
-		rng:    xrand.New(opts.Seed),
-		ledger: ledger,
+		opts:    opts,
+		rng:     xrand.New(opts.Seed),
+		ledger:  ledger,
+		workers: shard.Workers(opts.ShardWorkers),
 	}, nil
 }
 
@@ -183,10 +215,6 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 	for b := range ts.freq {
 		ts.freq[b] = 1
 	}
-	ts.order = make([]int, ts.n)
-	for i := range ts.order {
-		ts.order[i] = i
-	}
 	ts.downUsed = make([]int, ts.n)
 	ts.downStamp = make([]int32, ts.n)
 	ts.incoming = make([][]int32, ts.n)
@@ -196,6 +224,25 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 		ts.intent[i] = -1
 	}
 	ts.approved = make([]bool, ts.n)
+	streams := shard.Streams(ts.opts.Seed)
+	for sg := 0; sg < shard.Slots; sg++ {
+		members := shard.Members(ts.n, sg)
+		ln := &lane{
+			rng:      streams[sg],
+			members:  members,
+			order:    make([]int32, len(members)),
+			resStamp: make([]int32, ts.n),
+			resDown:  make([]int32, ts.n),
+		}
+		for i := range ln.resStamp {
+			ln.resStamp[i] = -1 // live round stamps are always positive
+		}
+		ts.lanes[sg] = ln
+	}
+	ts.laneTask = func(sg int) error {
+		ts.runIntentLane(ts.lanes[sg])
+		return nil
+	}
 	if st.Adversarial() {
 		guard, err := adversary.NewGuard(adversary.GuardOptions{})
 		if err != nil {
@@ -205,6 +252,49 @@ func (ts *TriangularScheduler) setup(st *simulate.State) error {
 	}
 	ts.init = true
 	return nil
+}
+
+// runIntentLane resolves one lane's intent proposals for the current
+// round: round 0 visits the lane's members in this tick's shuffled
+// order, later rounds revisit exactly the members whose proposal the
+// merge deferred on capacity.
+func (ts *TriangularScheduler) runIntentLane(ln *lane) {
+	st := ts.curState
+	ln.intents = ln.intents[:0]
+	if ts.curRound == 0 {
+		copy(ln.order, ln.members)
+		shard.Shuffle32(ln.rng, ln.order)
+		for _, uu := range ln.order {
+			u := int(uu)
+			if !st.Alive(u) || st.CountOf(u) == 0 {
+				continue
+			}
+			if st.Refuses(u) {
+				continue
+			}
+			ts.proposeIntent(ln, st, u)
+		}
+		return
+	}
+	for _, uu := range ln.pend {
+		ts.proposeIntent(ln, st, int(uu))
+	}
+}
+
+// proposeIntent makes one intent decision for u and stages it with a
+// lane-local capacity reservation.
+func (ts *TriangularScheduler) proposeIntent(ln *lane, st *simulate.State, u int) {
+	v := ts.pickIntent(ln, st, u)
+	if v < 0 {
+		return
+	}
+	if ln.resStamp[v] == ts.roundStamp {
+		ln.resDown[v]++
+	} else {
+		ln.resStamp[v] = ts.roundStamp
+		ln.resDown[v] = 1
+	}
+	ln.intents = append(ln.intents, intent{u: int32(u), v: int32(v), b: -1, prev: -1})
 }
 
 // Tick implements simulate.Scheduler.
@@ -245,28 +335,52 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	}
 	ts.intenders = ts.intenders[:0]
 
-	// Phase 1: intents, in random order, reserving download capacity.
-	ts.rng.Shuffle(ts.order)
-	for _, u := range ts.order {
-		if !st.Alive(u) || st.CountOf(u) == 0 {
-			continue
+	// Phase 1: intents, as sharded rounds. The merge re-validates only
+	// download capacity — the one shared budget lanes consume from each
+	// other — and defers losers; the first proposal of every round was
+	// validated against exactly the state the merge starts from, so each
+	// round with proposals commits at least one and the loop terminates.
+	ts.curState = st
+	for round := int32(0); ; round++ {
+		ts.curRound = round
+		ts.roundStamp++
+		if err := shard.Run(ts.workers, ts.laneTask); err != nil {
+			ts.curState = nil
+			return nil, err
 		}
-		if st.Refuses(u) {
-			continue
+		proposals := 0
+		for _, ln := range ts.lanes {
+			proposals += len(ln.intents)
 		}
-		v := ts.pickIntent(st, u)
-		if v < 0 {
-			continue
+		if proposals == 0 {
+			break
 		}
-		ts.intent[u] = int32(v)
-		ts.intenders = append(ts.intenders, int32(u))
-		ts.bumpDownUsed(v)
+		// Lane order rotates by (tick + round) mod Slots, mirroring
+		// Scheduler.merge: a fixed order would give one lane permanent
+		// first claim on contended receiver slots, which can starve a
+		// receiver whose low-lane suitors are credit-blocked.
+		startLane := (int(ts.curTick) + int(round)) % shard.Slots
+		for i := 0; i < shard.Slots; i++ {
+			ln := ts.lanes[(startLane+i)%shard.Slots]
+			ln.pend = ln.pend[:0]
+			for i := range ln.intents {
+				it := &ln.intents[i]
+				v := int(it.v)
+				if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsedOf(v) >= ts.opts.DownloadCap {
+					ln.pend = append(ln.pend, it.u)
+					continue
+				}
+				ts.intent[it.u] = it.v
+				ts.intenders = append(ts.intenders, it.u)
+				ts.bumpDownUsed(v)
+			}
+		}
 	}
+	ts.curState = nil
 
 	// Phase 2a: approve what credit allows (server intents are exempt
 	// and always approved). The intenders are visited in ascending node
-	// order — the same order the historical 0..n-1 scan used — so the
-	// settlement outcome is unchanged.
+	// order — the canonical settlement order.
 	slices.Sort(ts.intenders)
 	approved := ts.approved
 	held := 0
@@ -297,14 +411,17 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 		}
 	}
 
-	// Emit transfers for approved intents.
+	// Emit transfers for approved intents, ascending uploader order
+	// (intenders are already sorted). Block draws come from the
+	// uploader's lane stream so every draw for u stays on one stream.
 	start := len(dst)
-	for _, u := range ts.order {
+	for _, ui := range ts.intenders {
+		u := int(ui)
 		if !approved[u] {
 			continue
 		}
 		v := int(ts.intent[u])
-		b := ts.pickBlockFor(st, u, v)
+		b := ts.pickBlockFor(ts.lanes[shard.Of(u)], st, u, v)
 		if b < 0 {
 			continue // everything useful is already in flight
 		}
@@ -424,26 +541,27 @@ func (ts *TriangularScheduler) findCycle(u int, approved []bool) []int {
 }
 
 // pickIntent returns a random interested neighbor with download
-// capacity left, or -1. Credit-affordable receivers are preferred (they
-// settle unconditionally); when every interested neighbor is
-// credit-blocked, a random blocked one is proposed anyway in the hope
-// that settlement finds a cycle through it — the extra liquidity
-// triangular barter exists to provide.
-func (ts *TriangularScheduler) pickIntent(st *simulate.State, u int) int {
+// capacity left (committed budget plus this lane's reservations), or
+// -1. Credit-affordable receivers are preferred (they settle
+// unconditionally); when every interested neighbor is credit-blocked, a
+// random blocked one is proposed anyway in the hope that settlement
+// finds a cycle through it — the extra liquidity triangular barter
+// exists to provide.
+func (ts *TriangularScheduler) pickIntent(ln *lane, st *simulate.State, u int) int {
 	nbrs := ts.opts.Graph.Neighbors(u)
 	if len(nbrs) == 0 {
 		return -1
 	}
-	ts.scratch = append(ts.scratch[:0], nbrs...)
+	ln.scratch = append(ln.scratch[:0], nbrs...)
 	blocked := -1
-	for i := range ts.scratch {
-		j := i + ts.rng.Intn(len(ts.scratch)-i)
-		ts.scratch[i], ts.scratch[j] = ts.scratch[j], ts.scratch[i]
-		v := int(ts.scratch[i])
+	for i := range ln.scratch {
+		j := i + ln.rng.Intn(len(ln.scratch)-i)
+		ln.scratch[i], ln.scratch[j] = ln.scratch[j], ln.scratch[i]
+		v := int(ln.scratch[i])
 		if v == 0 || !st.Alive(v) {
 			continue
 		}
-		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsedOf(v) >= ts.opts.DownloadCap {
+		if ts.opts.DownloadCap != simulate.Unlimited && ts.downUsedOf(v)+ts.laneRes(ln, v) >= ts.opts.DownloadCap {
 			continue
 		}
 		if !ts.needs(st, u, v) {
@@ -481,8 +599,9 @@ func (ts *TriangularScheduler) needs(st *simulate.State, u, v int) bool {
 	return need
 }
 
-// pickBlockFor mirrors Scheduler.pickBlock for the triangular variant.
-func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
+// pickBlockFor mirrors Scheduler.pickBlock for the triangular variant;
+// random draws come from the uploader's lane stream.
+func (ts *TriangularScheduler) pickBlockFor(ln *lane, st *simulate.State, u, v int) int {
 	bu, bv := st.Blocks(u), st.Blocks(v)
 	inflight := ts.incomingOf(v)
 	useful := func(b int) bool {
@@ -522,7 +641,7 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 				best, bestFreq, ties = b, f, 1
 			case f == bestFreq:
 				ties++
-				if ts.rng.Intn(ties) == 0 {
+				if ln.rng.Intn(ties) == 0 {
 					best = b
 				}
 			}
@@ -540,7 +659,7 @@ func (ts *TriangularScheduler) pickBlockFor(st *simulate.State, u, v int) int {
 	if count == 0 {
 		return -1
 	}
-	target := ts.rng.Intn(count)
+	target := ln.rng.Intn(count)
 	chosen := -1
 	offered(func(b int) bool {
 		if !useful(b) {
