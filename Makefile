@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race fuzz figures tablef scale bench bench-shard clean
+.PHONY: check build vet fmt lint test race fuzz figures tablef scale flashcrowd bench bench-shard clean
 
 ## check: the full pre-PR gate — vet, formatting, lint, build, race-enabled tests
 check: vet fmt lint build race
@@ -71,6 +71,14 @@ tablef:
 scale:
 	$(GO) run ./cmd/paperfigs -scale full -only tableScale -out results \
 		-checkpoint results/tableScale.cells.jsonl
+
+## flashcrowd: the open-system scale acceptance at full size — a flash
+## crowd of 10^5 arriving peers (λ=64, rarest-first, depart at
+## completion) run to a drained verdict four times: ShardWorkers 1 vs 8
+## (byte-identical fingerprints), audited, and checkpoint/resumed.
+## ~6 minutes; measurements recorded in EXPERIMENTS.md Table G.
+flashcrowd:
+	BARTERDIST_FLASHCROWD=1 $(GO) test ./internal/core -run TestFlashCrowdScale -count=1 -v -timeout 30m
 
 ## bench: run the benchmark suite and write a BENCH_<date>.json
 ## snapshot (ns/op, B/op, allocs/op, speedup vs the newest committed

@@ -21,6 +21,7 @@
 package barterdist
 
 import (
+	"barterdist/internal/arrival"
 	"barterdist/internal/checkpoint"
 	"barterdist/internal/core"
 	"barterdist/internal/randomized"
@@ -78,6 +79,38 @@ const (
 	PolicyRandom      = randomized.Random
 	PolicyRarestFirst = randomized.RarestFirst
 	PolicyLocalRare   = randomized.LocalRare
+)
+
+// ArrivalOptions configures an open-system swarm for Config.Arrivals:
+// a seeded Poisson arrival process, departure policies (completion,
+// selfish early exit, lingering seeds), and the stability watchdog's
+// thresholds; see arrival.Options.
+type ArrivalOptions = arrival.Options
+
+// OpenResult carries an open-system run's verdict and robustness
+// instrumentation (Result.Open); see arrival.OpenResult.
+type OpenResult = arrival.OpenResult
+
+// Verdict grades an open-system run.
+type Verdict = arrival.Verdict
+
+// SeedPolicy selects what completed peers do in an open-system swarm.
+type SeedPolicy = arrival.SeedPolicy
+
+// Open-system verdicts and unstable-run reasons.
+const (
+	VerdictDrained  = arrival.VerdictDrained
+	VerdictUnstable = arrival.VerdictUnstable
+
+	ReasonDivergence = arrival.ReasonDivergence
+	ReasonStarvation = arrival.ReasonStarvation
+	ReasonBudget     = arrival.ReasonBudget
+)
+
+// Seed-persistence policies for ArrivalOptions.SeedPolicy.
+const (
+	SeedDepart = arrival.SeedDepart
+	SeedStay   = arrival.SeedStay
 )
 
 // DownloadUnlimited as Config.DownloadCap removes the download bound.

@@ -12,6 +12,13 @@
 //	cdsim -n 9 -k 16 -algo riffle -verify strict
 //	cdsim -n 8 -k 3 -algo binomial-pipeline -trace      # Figure 1/2 style trace
 //	cdsim -n 256 -k 256 -algo randomized -reps 16 -workers 4
+//	cdsim -n 4097 -k 32 -algo randomized -policy rarest-first -arrivals 4 -depart 0.1
+//
+// The last form is an open-system run: peers arrive as a Poisson
+// process at λ = 4/tick (capacity -n), depart when complete (10%
+// selfishly earlier), and the run ends in a stability verdict —
+// drained, or unstable with the watchdog's reason — instead of a
+// completion time.
 //
 // Long runs can checkpoint crash-safely and resume:
 //
@@ -55,6 +62,10 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS); output identical for any value >= 1")
 		shardW  = flag.Int("shardworkers", 0, "worker pool width for the sharded tick core (0 = GOMAXPROCS, capped at 8 lanes); output identical for any value")
 		adv     = flag.String("adversary", "", "adversary mix, e.g. 'freerider=0.2,corrupter=0.1,seed=9' (keys: freerider, throttler, falseadv, corrupter, defector, seed, period, claimrate, corruptrate); completion then means every honest client completed")
+		arrRate = flag.Float64("arrivals", 0, "open-system mode: Poisson peer arrival rate λ in peers/tick (> 0 enables; -n becomes the cumulative-arrival capacity and the run ends in a verdict)")
+		departP = flag.Float64("depart", 0, "probability an arriving peer is selfish and departs before completing (requires -arrivals)")
+		seedPol = flag.String("seedpolicy", "", "what completed peers do: depart | stay (requires -arrivals; default depart)")
+		linger  = flag.Float64("linger", 0, "ticks a completed peer keeps seeding before departing (requires -arrivals and seed policy depart)")
 		ckpt    = flag.String("checkpoint", "", "write a crash-safe snapshot of the run to this file every -ckevery ticks")
 		ckevery = flag.Int("ckevery", 100, "checkpoint interval in ticks (with -checkpoint)")
 		resume  = flag.String("resume", "", "resume an interrupted run from this snapshot file (pass the original run's flags too)")
@@ -97,6 +108,48 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Adversary = &opts
+	}
+
+	// Open-system flags. Every problem is reported at once (the same
+	// errors.Join discipline as ArrivalOptions.Validate) so a bad λ and
+	// a bad seed policy cost one round trip, not two.
+	var openErrs []error
+	if *arrRate != 0 {
+		opts := barterdist.ArrivalOptions{
+			Seed:      *seed,
+			Rate:      *arrRate,
+			EarlyExit: *departP,
+			Linger:    *linger,
+		}
+		switch *seedPol {
+		case "", "depart":
+			opts.SeedPolicy = barterdist.SeedDepart
+		case "stay":
+			opts.SeedPolicy = barterdist.SeedStay
+		default:
+			openErrs = append(openErrs, fmt.Errorf("cdsim: unknown -seedpolicy %q (want depart or stay)", *seedPol))
+		}
+		if err := opts.Validate(); err != nil {
+			openErrs = append(openErrs, err)
+		}
+		if *reps > 1 {
+			openErrs = append(openErrs, errors.New("cdsim: -arrivals requires -reps 1 (an open run reports a verdict, not aggregate completion times)"))
+		}
+		cfg.Arrivals = &opts
+	} else {
+		if *departP != 0 {
+			openErrs = append(openErrs, errors.New("cdsim: -depart requires -arrivals (departures need an open system)"))
+		}
+		if *seedPol != "" {
+			openErrs = append(openErrs, errors.New("cdsim: -seedpolicy requires -arrivals"))
+		}
+		if *linger != 0 {
+			openErrs = append(openErrs, errors.New("cdsim: -linger requires -arrivals"))
+		}
+	}
+	if len(openErrs) > 0 {
+		fmt.Fprintln(os.Stderr, errors.Join(openErrs...))
+		os.Exit(2)
 	}
 
 	// -checkpoint composes with -resume: a resumed run keeps writing
@@ -147,9 +200,26 @@ func main() {
 	if res.Overlay != "" {
 		fmt.Printf("overlay:              %s\n", res.Overlay)
 	}
-	fmt.Printf("completion time:      %d ticks\n", res.CompletionTime)
-	fmt.Printf("cooperative bound:    %d ticks (Theorem 1)\n", res.OptimalTime)
-	fmt.Printf("strict-barter bound:  %d ticks (Theorem 2)\n", res.StrictBarterBound)
+	if o := res.Open; o != nil {
+		// An open run's metric is its verdict, not a completion time:
+		// the completion bounds assume all n peers present at tick 0.
+		fmt.Printf("arrival rate (λ):     %g peers/tick (seed policy %s)\n",
+			cfg.Arrivals.Rate, cfg.Arrivals.SeedPolicy)
+		if o.Verdict == barterdist.VerdictUnstable {
+			fmt.Printf("verdict:              %s (%s)\n", o.Verdict, o.Reason)
+		} else {
+			fmt.Printf("verdict:              %s\n", o.Verdict)
+		}
+		fmt.Printf("run length:           %d ticks\n", res.CompletionTime)
+		fmt.Printf("arrived / departed:   %d / %d\n", o.Arrived, o.Departed)
+		fmt.Printf("completed / selfish:  %d / %d\n", o.Completed, o.EarlyExits)
+		fmt.Printf("occupancy peak/final: %d / %d\n", o.PeakOccupancy, o.FinalOccupancy)
+		fmt.Printf("sojourn mean/max:     %.2f / %.0f ticks\n", o.SojournMean, o.SojournMax)
+	} else {
+		fmt.Printf("completion time:      %d ticks\n", res.CompletionTime)
+		fmt.Printf("cooperative bound:    %d ticks (Theorem 1)\n", res.OptimalTime)
+		fmt.Printf("strict-barter bound:  %d ticks (Theorem 2)\n", res.StrictBarterBound)
+	}
 	fmt.Printf("upload efficiency:    %.3f\n", res.Efficiency)
 	fmt.Printf("useful transfers:     %d (total %d)\n", res.Sim.UsefulTransfers, res.Sim.TotalTransfers)
 	if res.Sim.Strategies != nil {

@@ -73,6 +73,7 @@ func main() {
 		{"tableD", tableArtifact(experiment.TableD)},
 		{"tableE", tableArtifact(experiment.TableE)},
 		{"tableF", tableArtifact(experiment.TableF)},
+		{"tableG", tableArtifact(experiment.TableG)},
 		{"tableScale", tableArtifact(experiment.TableScale)},
 	}
 

@@ -91,6 +91,16 @@ func TestConcurrencyContainmentFixture(t *testing.T) {
 	matchWants(t, loader.Fset, pkg.Files, findings, "concviol")
 }
 
+func TestConcurrencyContainmentCoversArrival(t *testing.T) {
+	// internal/arrival feeds both engines' deterministic event order;
+	// it must stay OUT of the allowlist — a goroutine or channel in the
+	// arrival plan would race the Poisson stream against the tick loop.
+	// Every violation in the fixture must fire under the arrival path.
+	loader, pkg := loadFixturePkg(t, "concviol", "fixture/internal/arrival/concviol")
+	findings := lint.RunAnalyzers(loader.Fset, []*lint.Package{pkg}, []*lint.Analyzer{ConcurrencyContainmentAnalyzer()})
+	matchWants(t, loader.Fset, pkg.Files, findings, "arrival/concviol")
+}
+
 func TestConcurrencyContainmentAllowsParallel(t *testing.T) {
 	// The same violating code inside internal/parallel is the
 	// deterministic worker pool's own implementation — silent.

@@ -1,0 +1,265 @@
+// Package arrival is the deterministic open-system layer shared by
+// both simulators: it schedules Poisson peer arrivals, selfish
+// early-exit decisions, and seed-persistence policy, all driven by the
+// repository's seeded RNG so that every open run is exactly
+// reproducible.
+//
+// The paper (and every experiment before this package) studies a
+// closed batch: all n clients present at tick 0, metric = completion
+// time. Real swarms are a *process* — peers arrive at rate λ, download
+// the file, and leave — and the interesting questions become
+// stability ones: does the swarm occupancy stay bounded (ergodic), or
+// does one block become rare enough that the population diverges?
+// "On the stability of two-chunk file-sharing systems" (Norros–Reittu,
+// PAPERS.md) proves both outcomes are reachable depending on the
+// chunk-selection policy, which makes an open swarm a machine-checkable
+// robustness target: a run now ends in a Verdict, not just a
+// completion time.
+//
+// A Plan is a stream of open-system decisions:
+//
+//   - peer arrivals follow a Poisson process with rate Options.Rate
+//     (arrivals per tick in the synchronous engine, per unit time in
+//     the asynchronous one — the two time axes are identical, 1 tick =
+//     1 unit);
+//   - at each arrival the peer's exit behavior is drawn: with
+//     probability Options.EarlyExit it is selfish and will depart
+//     after collecting a uniformly chosen partial block count in
+//     [1, k-1]; otherwise it downloads the whole file and then follows
+//     the seed policy (leave at completion, linger, or stay);
+//   - the server (node 0) is persistent: an open swarm with no
+//     original seed makes every stability question vacuous.
+//
+// Engines give arriving peers fresh node ids in arrival order, so the
+// cumulative population is capped by the engine's configured capacity
+// (Config.Nodes); the plan itself is an unbounded stream.
+//
+// A Plan is single-use and stateful; engines call Acquire before
+// consuming it so that accidentally sharing one Plan across two runs
+// fails loudly instead of silently decorrelating the streams. Arrival
+// times and exit draws come from two independent sub-streams of the
+// seed, so changing EarlyExit does not perturb the arrival schedule of
+// the same seed.
+package arrival
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"barterdist/internal/xrand"
+)
+
+// SeedPolicy selects what a peer does once it holds the whole file.
+type SeedPolicy uint8
+
+// The seed policies.
+const (
+	// SeedDepart makes a completed peer leave at the start of the next
+	// tick (plus Options.Linger, if set). This is the Norros–Reittu
+	// open-system model and the default.
+	SeedDepart SeedPolicy = iota
+	// SeedStay makes completed peers stay and seed until the run ends.
+	// With SeedStay an open swarm is trivially stable for any λ once a
+	// few peers complete, so it is mostly a control configuration.
+	SeedStay
+)
+
+// String implements fmt.Stringer.
+func (s SeedPolicy) String() string {
+	switch s {
+	case SeedDepart:
+		return "depart"
+	case SeedStay:
+		return "stay"
+	default:
+		return fmt.Sprintf("seedpolicy(%d)", uint8(s))
+	}
+}
+
+// Options configures a Plan and its watchdog. The zero value is
+// invalid (an open system needs a positive arrival rate); engines
+// treat a nil *Plan as "closed batch mode".
+type Options struct {
+	// Seed drives every arrival and exit decision.
+	Seed uint64
+	// Rate is the Poisson arrival rate λ in peers per tick (or per unit
+	// time). Must be > 0.
+	Rate float64
+	// EarlyExit is the probability that an arriving peer is selfish and
+	// departs after collecting only part of the file. Must be in [0, 1).
+	EarlyExit float64
+	// SeedPolicy selects what completed peers do (depart or stay).
+	SeedPolicy SeedPolicy
+	// Linger is how many ticks (time units) a completed peer keeps
+	// seeding before departing, under SeedDepart. 0 = leave immediately.
+	Linger float64
+
+	// Watchdog thresholds. Zero values select engine defaults via
+	// WithWatchdogDefaults; see that method for the concrete numbers.
+
+	// Window is the occupancy-averaging window in ticks (time units).
+	Window float64
+	// GrowthWindows is how many consecutive windows of mean-occupancy
+	// growth (each by at least GrowthFactor) trip the divergence alarm.
+	GrowthWindows int
+	// GrowthFactor is the per-window relative growth threshold ε: a
+	// window counts as "growing" when its mean occupancy exceeds the
+	// previous window's by more than a factor of 1+ε.
+	GrowthFactor float64
+	// MinOccupancy is the floor below which growth is never counted as
+	// divergence — small swarms fluctuate wildly in relative terms.
+	MinOccupancy int
+	// AgeLimit trips the starvation alarm when any present, incomplete
+	// peer has been in the swarm longer than this many ticks (units).
+	AgeLimit float64
+}
+
+// Validate checks the options without mutating them and reports every
+// problem at once (errors.Join), so a CLI can surface the full list in
+// one round trip.
+func (o *Options) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("arrival: "+format, args...))
+	}
+	if math.IsNaN(o.Rate) || math.IsInf(o.Rate, 0) || o.Rate <= 0 {
+		bad("Rate = %v must be finite and > 0", o.Rate)
+	}
+	if math.IsNaN(o.EarlyExit) || o.EarlyExit < 0 || o.EarlyExit >= 1 {
+		bad("EarlyExit = %v must be in [0, 1)", o.EarlyExit)
+	}
+	switch o.SeedPolicy {
+	case SeedDepart, SeedStay:
+	default:
+		bad("unknown seed policy %d", uint8(o.SeedPolicy))
+	}
+	if math.IsNaN(o.Linger) || math.IsInf(o.Linger, 0) || o.Linger < 0 {
+		bad("Linger = %v must be finite and >= 0", o.Linger)
+	}
+	if o.SeedPolicy == SeedStay && o.Linger != 0 {
+		bad("Linger is meaningless under SeedPolicy stay")
+	}
+	if math.IsNaN(o.Window) || math.IsInf(o.Window, 0) || o.Window < 0 {
+		bad("Window = %v must be finite and >= 0", o.Window)
+	}
+	if o.GrowthWindows < 0 {
+		bad("GrowthWindows = %d must be >= 0", o.GrowthWindows)
+	}
+	if math.IsNaN(o.GrowthFactor) || math.IsInf(o.GrowthFactor, 0) || o.GrowthFactor < 0 {
+		bad("GrowthFactor = %v must be finite and >= 0", o.GrowthFactor)
+	}
+	if o.MinOccupancy < 0 {
+		bad("MinOccupancy = %d must be >= 0", o.MinOccupancy)
+	}
+	if math.IsNaN(o.AgeLimit) || math.IsInf(o.AgeLimit, 0) || o.AgeLimit < 0 {
+		bad("AgeLimit = %v must be finite and >= 0", o.AgeLimit)
+	}
+	return errors.Join(errs...)
+}
+
+// WithWatchdogDefaults returns a copy of o with every zero watchdog
+// threshold replaced by its default. blocks is the file size k: the
+// starvation age limit scales with it, because even a stable peer's
+// sojourn is at least k download slots.
+//
+// Defaults: Window 64, GrowthWindows 4, GrowthFactor 0.05,
+// MinOccupancy 64, AgeLimit 50·k + 1000.
+func (o Options) WithWatchdogDefaults(blocks int) Options {
+	if o.Window == 0 {
+		o.Window = 64
+	}
+	if o.GrowthWindows == 0 {
+		o.GrowthWindows = 4
+	}
+	if o.GrowthFactor == 0 {
+		o.GrowthFactor = 0.05
+	}
+	if o.MinOccupancy == 0 {
+		o.MinOccupancy = 64
+	}
+	if o.AgeLimit == 0 {
+		o.AgeLimit = 50*float64(blocks) + 1000
+	}
+	return o
+}
+
+// Plan is a seeded, single-use stream of open-system decisions.
+// Engines query it in a fixed order (one arrival draw per TakeArrival,
+// one exit draw per ExitThreshold, in arrival order), so a given seed
+// always yields the same traffic regardless of what the scheduler
+// under test does with it.
+type Plan struct {
+	opts Options
+
+	arrivalRng *xrand.Rand // Poisson inter-arrival times
+	exitRng    *xrand.Rand // selfish early-exit draws
+
+	nextArrival float64
+	acquired    bool
+}
+
+// NewPlan validates opts and returns a fresh Plan.
+func NewPlan(opts Options) (*Plan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(opts.Seed)
+	p := &Plan{
+		opts:       opts,
+		arrivalRng: root.Split(),
+		exitRng:    root.Split(),
+	}
+	p.nextArrival = p.drawArrival(0)
+	return p, nil
+}
+
+// Options returns the plan's configuration.
+func (p *Plan) Options() Options { return p.opts }
+
+// Acquire marks the plan as consumed by an engine run. Reusing a plan
+// across runs is a bug (the decision streams would be continuations,
+// not reproductions), so the second Acquire fails.
+func (p *Plan) Acquire() error {
+	if p.acquired {
+		return fmt.Errorf("arrival: Plan already consumed by a previous run; build one Plan per run")
+	}
+	p.acquired = true
+	return nil
+}
+
+// drawArrival returns the next Poisson arrival strictly after from.
+func (p *Plan) drawArrival(from float64) float64 {
+	// Exponential inter-arrival; 1-U keeps the argument in (0, 1].
+	u := p.arrivalRng.Float64()
+	return from + -math.Log(1-u)/p.opts.Rate
+}
+
+// NextArrival returns the next pending arrival time. The stream is
+// unbounded; engines stop consuming it when their node-id capacity is
+// exhausted.
+func (p *Plan) NextArrival() float64 { return p.nextArrival }
+
+// TakeArrival consumes the pending arrival and draws the next one.
+func (p *Plan) TakeArrival() {
+	p.nextArrival = p.drawArrival(p.nextArrival)
+}
+
+// ExitThreshold draws the arriving peer's exit behavior: selfish peers
+// return the block count (in [1, k-1]) after which they depart;
+// cooperative peers return 0. Engines must call it exactly once per
+// arrival, in arrival order, so the stream is reproducible. blocks is
+// the file size k; with k == 1 there is no partial file to defect
+// with, so every peer is cooperative.
+func (p *Plan) ExitThreshold(blocks int) int {
+	if p.opts.EarlyExit <= 0 {
+		return 0
+	}
+	// Always burn the selfishness draw so the stream shape does not
+	// depend on k.
+	selfish := p.exitRng.Float64() < p.opts.EarlyExit
+	if !selfish || blocks < 2 {
+		return 0
+	}
+	return 1 + p.exitRng.Intn(blocks-1)
+}

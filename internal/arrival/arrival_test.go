@@ -1,0 +1,232 @@
+package arrival
+
+import (
+	"strings"
+	"testing"
+
+	"barterdist/internal/checkpoint"
+)
+
+func TestValidateCollectsEveryError(t *testing.T) {
+	o := Options{Rate: -1, EarlyExit: 1.5, Linger: -2, GrowthWindows: -1}
+	err := o.Validate()
+	if err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	for _, want := range []string{"Rate", "EarlyExit", "Linger", "GrowthWindows"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("multi-error does not mention %s: %v", want, err)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	o := Options{Rate: 2.5, EarlyExit: 0.1, SeedPolicy: SeedDepart, Linger: 3}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	o = Options{Rate: 1, SeedPolicy: SeedStay}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	o = Options{Rate: 1, SeedPolicy: SeedStay, Linger: 1}
+	if err := o.Validate(); err == nil {
+		t.Fatal("linger under SeedStay accepted")
+	}
+}
+
+func TestPlanSingleUse(t *testing.T) {
+	p, err := NewPlan(Options{Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(); err == nil {
+		t.Fatal("second Acquire succeeded")
+	}
+}
+
+func TestArrivalStreamDeterministicAndIncreasing(t *testing.T) {
+	draw := func() []float64 {
+		p, err := NewPlan(Options{Seed: 7, Rate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, 0, 100)
+		for i := 0; i < 100; i++ {
+			times = append(times, p.NextArrival())
+			p.TakeArrival()
+		}
+		return times
+	}
+	a, b := draw(), draw()
+	last := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical plans: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] <= last {
+			t.Fatalf("arrival %d = %v not strictly after %v", i, a[i], last)
+		}
+		last = a[i]
+	}
+	// Mean inter-arrival should be near 1/rate = 2.
+	if mean := last / float64(len(a)); mean < 1 || mean > 4 {
+		t.Errorf("mean inter-arrival %v wildly off 1/λ = 2", mean)
+	}
+}
+
+func TestExitThreshold(t *testing.T) {
+	p, _ := NewPlan(Options{Seed: 3, Rate: 1, EarlyExit: 0.5})
+	selfish, coop := 0, 0
+	const k = 10
+	for i := 0; i < 1000; i++ {
+		th := p.ExitThreshold(k)
+		if th < 0 || th >= k {
+			t.Fatalf("exit threshold %d outside [0, k-1]", th)
+		}
+		if th > 0 {
+			selfish++
+		} else {
+			coop++
+		}
+	}
+	if selfish < 400 || selfish > 600 {
+		t.Errorf("selfish fraction %d/1000 far from EarlyExit = 0.5", selfish)
+	}
+	// EarlyExit 0 never draws; k = 1 has no partial file to defect with.
+	p2, _ := NewPlan(Options{Seed: 3, Rate: 1})
+	if th := p2.ExitThreshold(k); th != 0 {
+		t.Errorf("EarlyExit 0 produced threshold %d", th)
+	}
+	p3, _ := NewPlan(Options{Seed: 3, Rate: 1, EarlyExit: 0.9})
+	if th := p3.ExitThreshold(1); th != 0 {
+		t.Errorf("k = 1 produced threshold %d", th)
+	}
+}
+
+func TestWatchdogDivergence(t *testing.T) {
+	opts := Options{Rate: 1, Window: 10, GrowthWindows: 3, GrowthFactor: 0.05, MinOccupancy: 4, AgeLimit: 1e9}
+	w := NewWatchdog(opts)
+	// Occupancy doubling every window: trips after GrowthWindows
+	// consecutive growing windows (plus one baseline window).
+	occ := 8
+	tripAt := -1
+	for tick := 0; tick < 200 && tripAt < 0; tick++ {
+		if tick%10 == 9 {
+			occ *= 2
+		}
+		if r := w.Observe(float64(tick), occ, 1); r != ReasonNone {
+			if r != ReasonDivergence {
+				t.Fatalf("wrong reason %v", r)
+			}
+			tripAt = tick
+		}
+	}
+	if tripAt < 0 {
+		t.Fatal("doubling occupancy never tripped the divergence alarm")
+	}
+	if again := w.Observe(float64(tripAt+1), 1, 1); again != ReasonDivergence {
+		t.Errorf("tripped watchdog untripped: %v", again)
+	}
+}
+
+func TestWatchdogFlatOccupancyStaysQuiet(t *testing.T) {
+	opts := Options{Rate: 1, Window: 10, GrowthWindows: 3, GrowthFactor: 0.05, MinOccupancy: 4, AgeLimit: 1e9}
+	w := NewWatchdog(opts)
+	for tick := 0; tick < 1000; tick++ {
+		occ := 50 + (tick%7 - 3) // bounded fluctuation
+		if r := w.Observe(float64(tick), occ, 10); r != ReasonNone {
+			t.Fatalf("flat occupancy tripped %v at tick %d", r, tick)
+		}
+	}
+}
+
+func TestWatchdogBelowFloorIgnoresGrowth(t *testing.T) {
+	opts := Options{Rate: 1, Window: 5, GrowthWindows: 2, GrowthFactor: 0.05, MinOccupancy: 1000, AgeLimit: 1e9}
+	w := NewWatchdog(opts)
+	occ := 1
+	for tick := 0; tick < 500; tick++ {
+		if tick%5 == 4 {
+			occ *= 2
+			if occ > 900 {
+				occ = 900 // stays under the floor
+			}
+		}
+		if r := w.Observe(float64(tick), occ, 1); r != ReasonNone {
+			t.Fatalf("sub-floor growth tripped %v", r)
+		}
+	}
+}
+
+func TestWatchdogStarvation(t *testing.T) {
+	opts := Options{Rate: 1, Window: 10, GrowthWindows: 3, GrowthFactor: 0.05, MinOccupancy: 4, AgeLimit: 100}
+	w := NewWatchdog(opts)
+	if r := w.Observe(50, 10, 99); r != ReasonNone {
+		t.Fatalf("age under the limit tripped %v", r)
+	}
+	if r := w.Observe(51, 10, 101); r != ReasonStarvation {
+		t.Fatalf("age over the limit gave %v, want starvation", r)
+	}
+}
+
+func TestPlanSnapshotRoundTrip(t *testing.T) {
+	p, _ := NewPlan(Options{Seed: 11, Rate: 2, EarlyExit: 0.3})
+	for i := 0; i < 17; i++ {
+		p.TakeArrival()
+		p.ExitThreshold(20)
+	}
+	enc := checkpoint.NewEncoder(64)
+	p.Snapshot(enc)
+
+	q, _ := NewPlan(Options{Seed: 11, Rate: 2, EarlyExit: 0.3})
+	dec := checkpoint.NewDecoder(enc.Bytes())
+	if err := q.RestoreState(dec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if p.NextArrival() != q.NextArrival() {
+			t.Fatalf("arrival stream diverged after restore at draw %d", i)
+		}
+		if p.ExitThreshold(20) != q.ExitThreshold(20) {
+			t.Fatalf("exit stream diverged after restore at draw %d", i)
+		}
+		p.TakeArrival()
+		q.TakeArrival()
+	}
+}
+
+func TestWatchdogSnapshotRoundTrip(t *testing.T) {
+	opts := Options{Rate: 1, Window: 10, GrowthWindows: 3, GrowthFactor: 0.05, MinOccupancy: 4, AgeLimit: 1e9}
+	w := NewWatchdog(opts)
+	occ := 8
+	for tick := 0; tick < 25; tick++ {
+		if tick%10 == 9 {
+			occ *= 2
+		}
+		w.Observe(float64(tick), occ, 1)
+	}
+	enc := checkpoint.NewEncoder(64)
+	w.Snapshot(enc)
+	w2 := NewWatchdog(opts)
+	if err := w2.RestoreState(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Both copies must trip at the same observation from here on.
+	for tick := 25; tick < 200; tick++ {
+		if tick%10 == 9 {
+			occ *= 2
+		}
+		a := w.Observe(float64(tick), occ, 1)
+		b := w2.Observe(float64(tick), occ, 1)
+		if a != b {
+			t.Fatalf("restored watchdog diverged at tick %d: %v vs %v", tick, a, b)
+		}
+		if a == ReasonDivergence {
+			return
+		}
+	}
+	t.Fatal("neither watchdog tripped")
+}

@@ -1,0 +1,85 @@
+package arrival
+
+import (
+	"math"
+
+	"barterdist/internal/checkpoint"
+)
+
+// Snapshot appends the plan's mutable position to enc: the two
+// sub-stream RNG states and the pending arrival time. The Options are
+// NOT serialized — a resumed run rebuilds the plan from its own config
+// (NewPlan + Acquire) and then overwrites the position, so a snapshot
+// can never smuggle in a different traffic model.
+func (p *Plan) Snapshot(enc *checkpoint.Encoder) {
+	p.arrivalRng.Snapshot(enc)
+	p.exitRng.Snapshot(enc)
+	enc.F64(p.nextArrival)
+}
+
+// RestoreState overwrites the plan's mutable position from dec. The
+// plan must already be acquired by the resuming engine; the fresh
+// NewPlan's initial draws are discarded and replaced wholesale.
+func (p *Plan) RestoreState(dec *checkpoint.Decoder) error {
+	if err := p.arrivalRng.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := p.exitRng.RestoreState(dec); err != nil {
+		return err
+	}
+	nextArrival := dec.F64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if math.IsNaN(nextArrival) || nextArrival < 0 {
+		return checkpoint.Corruptf("arrival: invalid next arrival %v", nextArrival)
+	}
+	p.nextArrival = nextArrival
+	return nil
+}
+
+// Snapshot appends the watchdog's accumulated window state to enc.
+func (w *Watchdog) Snapshot(enc *checkpoint.Encoder) {
+	enc.F64(w.winStart)
+	enc.F64(w.winSum)
+	enc.I64(w.winN)
+	enc.F64(w.prevMean)
+	enc.Bool(w.prevValid)
+	enc.Int(w.growing)
+	enc.U8(uint8(w.tripped))
+}
+
+// RestoreState overwrites the watchdog's window state from dec. The
+// thresholds are not serialized: the resuming run rebuilds them from
+// its own Options, mirroring Plan.RestoreState.
+func (w *Watchdog) RestoreState(dec *checkpoint.Decoder) error {
+	winStart := dec.F64()
+	winSum := dec.F64()
+	winN := dec.I64()
+	prevMean := dec.F64()
+	prevValid := dec.Bool()
+	growing := dec.Int()
+	tripped := Reason(dec.U8())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if math.IsNaN(winStart) || winStart < 0 || math.IsNaN(winSum) || winSum < 0 || winN < 0 {
+		return checkpoint.Corruptf("arrival: invalid watchdog window state")
+	}
+	if math.IsNaN(prevMean) || prevMean < 0 || growing < 0 {
+		return checkpoint.Corruptf("arrival: invalid watchdog trend state")
+	}
+	switch tripped {
+	case ReasonNone, ReasonDivergence, ReasonStarvation, ReasonBudget:
+	default:
+		return checkpoint.Corruptf("arrival: invalid watchdog reason %d", uint8(tripped))
+	}
+	w.winStart = winStart
+	w.winSum = winSum
+	w.winN = winN
+	w.prevMean = prevMean
+	w.prevValid = prevValid
+	w.growing = growing
+	w.tripped = tripped
+	return nil
+}

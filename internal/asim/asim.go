@@ -54,6 +54,7 @@ import (
 	"sort"
 
 	"barterdist/internal/adversary"
+	"barterdist/internal/arrival"
 	"barterdist/internal/bitset"
 	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
@@ -99,6 +100,14 @@ type Config struct {
 	// the compliant engine unchanged. Like Fault, a Plan is single-use
 	// and composes with it: the adversary rules on each delivery first.
 	Adversary *adversary.Plan
+	// Arrivals attaches an open-system plan (Poisson peer arrivals,
+	// departures at completion or selfish early exit, seed policy).
+	// Nodes then becomes the capacity — an upper bound on cumulative
+	// arrivals — and the run ends with a stability verdict in
+	// Result.Open instead of a closed-batch completion. nil runs the
+	// closed engine unchanged. Single-use, and mutually exclusive with
+	// Fault and Adversary for now.
+	Arrivals *arrival.Plan
 	// Checkpoint enables periodic crash-safe snapshots: every
 	// Checkpoint.Every handled events the full engine state is written
 	// atomically to Checkpoint.Path. Resume continues such a run with a
@@ -145,6 +154,17 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxTime < 0 || math.IsNaN(c.MaxTime) || math.IsInf(c.MaxTime, 0) {
 		return fmt.Errorf("asim: MaxTime = %v must be finite and >= 0", c.MaxTime)
+	}
+	if c.Arrivals != nil {
+		if c.Nodes < 2 {
+			return fmt.Errorf("asim: open-system mode needs Nodes >= 2 (capacity for at least one arrival)")
+		}
+		if c.Fault != nil {
+			return fmt.Errorf("asim: Arrivals cannot combine with Fault (open-system churn owns the liveness mask)")
+		}
+		if c.Adversary != nil {
+			return fmt.Errorf("asim: Arrivals cannot combine with Adversary (open-system completion semantics differ)")
+		}
 	}
 	return nil
 }
@@ -346,8 +366,14 @@ type Result struct {
 	Trace []TransferRecord
 	// FinalHave snapshots every node's final block set (RecordTrace).
 	FinalHave []*bitset.Set
-	// FinalAlive is the final liveness mask (RecordTrace + fault plan).
+	// FinalAlive is the final liveness mask (RecordTrace + fault or
+	// arrival plan).
 	FinalAlive []bool
+
+	// Open holds the open-system verdict and robustness instrumentation;
+	// nil for closed-batch runs. In open mode FaultLog carries the
+	// Arrive/Depart events.
+	Open *arrival.OpenResult
 
 	// Adversary-layer outcomes; zero without an adversary plan.
 
@@ -386,6 +412,8 @@ const (
 	evCrash   // a fault-plan crash arrival
 	evRejoin  // a crashed node returns
 	evAdvWake // a throttler's upload window reopens
+	evArrive  // an open-system peer arrival (internal/arrival)
+	evDepart  // an open-system peer departs for good
 )
 
 type event struct {
@@ -493,6 +521,17 @@ func newEngine(c Config, p Protocol) (*engine, error) {
 		}
 		st.aliveClients = c.Nodes - 1
 	}
+	if c.Arrivals != nil {
+		if err := c.Arrivals.Acquire(); err != nil {
+			return nil, err
+		}
+		eng.faultAware, _ = p.(FaultAware)
+		eng.oa = newAsimArrivals(c.Arrivals, c)
+		// Only the persistent server is present at time 0; clients
+		// appear through the arrival stream with fresh ids.
+		st.alive = make([]bool, c.Nodes)
+		st.alive[0] = true
+	}
 	if c.Adversary != nil {
 		if c.Adversary.N() != c.Nodes {
 			return nil, fmt.Errorf("asim: adversary plan built for %d nodes, config has %d", c.Adversary.N(), c.Nodes)
@@ -522,6 +561,9 @@ func newEngine(c Config, p Protocol) (*engine, error) {
 	}
 	if c.Fault != nil {
 		eng.scheduleNextCrash()
+	}
+	if c.Arrivals != nil {
+		eng.scheduleNextArrival()
 	}
 	return eng, nil
 }
@@ -556,6 +598,11 @@ func (e *engine) loop() (*Result, error) {
 			continue
 		}
 		if ev.at > c.MaxTime {
+			if eng.oa != nil {
+				// Bounded-run truncation: an open run that outlives its
+				// budget is reported as Unstable, never as an error.
+				return eng.finishOpen(arrival.VerdictUnstable, arrival.ReasonBudget), nil
+			}
 			if st.honest != nil {
 				return nil, fmt.Errorf("%w (t=%.2f, honest clients complete: %d/%d)",
 					ErrMaxTime, ev.at, st.completeHonest, st.honestClients)
@@ -569,7 +616,7 @@ func (e *engine) loop() (*Result, error) {
 			if err := eng.finishTransfer(ev); err != nil {
 				return nil, err
 			}
-			if st.AllClientsComplete() {
+			if eng.oa == nil && st.AllClientsComplete() {
 				return eng.finish(), nil
 			}
 		case evTimer:
@@ -609,12 +656,48 @@ func (e *engine) loop() (*Result, error) {
 			if err := eng.tryStartUpload(ev.node); err != nil {
 				return nil, err
 			}
+		case evArrive:
+			c.Arrivals.TakeArrival()
+			if err := eng.applyArrive(); err != nil {
+				return nil, err
+			}
+			eng.scheduleNextArrival()
+		case evDepart:
+			if err := eng.applyDepart(ev.node); err != nil {
+				return nil, err
+			}
+		}
+		if eng.oa != nil {
+			// Open runs end in a verdict: the watchdog truncates a
+			// diverging or starving swarm, and the drain check requires
+			// the arrival pool to be exhausted first.
+			if reason := eng.oa.observe(st); reason != arrival.ReasonNone {
+				return eng.finishOpen(arrival.VerdictUnstable, reason), nil
+			}
+			if eng.oa.drained(st) {
+				return eng.finishOpen(arrival.VerdictDrained, arrival.ReasonNone), nil
+			}
 		}
 		// Fully handled; nothing retains the event past this point.
 		eng.release(ev)
 		eng.handled++
 		if err := eng.maybeCheckpoint(); err != nil {
 			return nil, err
+		}
+	}
+	if eng.oa != nil {
+		// The queue can drain through cancelled events (a departure
+		// aborting the last in-flight transfers), so re-check the drain
+		// criterion before ruling the run stuck.
+		switch {
+		case eng.oa.drained(st):
+			return eng.finishOpen(arrival.VerdictDrained, arrival.ReasonNone), nil
+		case eng.oa.truncated:
+			return eng.finishOpen(arrival.VerdictUnstable, arrival.ReasonBudget), nil
+		default:
+			// Peers are present and incomplete but no event will ever
+			// fire again: permanent protocol starvation.
+			return eng.finishOpen(arrival.VerdictUnstable, arrival.ReasonStarvation), nil
 		}
 	}
 	if st.honest != nil {
@@ -640,6 +723,7 @@ type engine struct {
 	parked     []bool   // NextUpload returned false; awaiting a wake event
 	curUpload  []*event // pending completion event of each node's upload
 	faultAware FaultAware
+	oa         *asimArrivals // open-system bookkeeping; nil in closed runs
 
 	adv            *adversary.Plan
 	advAware       AdversaryAware
@@ -701,41 +785,7 @@ func (e *engine) applyCrash() error {
 	if v < 0 {
 		return nil // nobody left to kill
 	}
-	st.alive[v] = false
-	st.aliveClients--
-	if st.have[v].Full() {
-		st.complete--
-	}
-	if st.honest != nil && st.honest[v] {
-		st.aliveHonest--
-		if st.have[v].Full() {
-			st.completeHonest--
-		}
-	}
-	e.parked[v] = false
-
-	var wakeSenders []int
-	var freedReceiver int = -1
-	// Abort v's outgoing transfer: the receiver's download port frees.
-	if out := e.curUpload[v]; out != nil {
-		out.cancelled = true
-		e.curUpload[v] = nil
-		e.uploading[v] = false
-		delete(st.inFlight[out.to], int32(out.block))
-		freedReceiver = out.to
-	}
-	// Abort transfers in flight toward v: each sender's port frees. The
-	// per-sender mutations are independent (a sender has at most one
-	// upload in flight), and wakeSenders is sorted below before any
-	// order-sensitive use, so map order cannot leak into the trace.
-	for _, in := range st.inFlight[v] { //lint:ordered wakeSenders sorted before use
-		in.cancelled = true
-		e.uploading[in.from] = false
-		e.curUpload[in.from] = nil
-		wakeSenders = append(wakeSenders, in.from)
-	}
-	sort.Ints(wakeSenders)
-	clear(st.inFlight[v])
+	wakeSenders, freedReceiver := e.teardown(v)
 
 	ev := fault.Event{Time: st.now, Node: int32(v), Kind: fault.Crash}
 	e.res.FaultLog = append(e.res.FaultLog, ev)
@@ -766,6 +816,52 @@ func (e *engine) applyCrash() error {
 		}
 	}
 	return nil
+}
+
+// teardown takes node v out of the swarm — shared by crashes and
+// open-system departures. The node goes dark, its outgoing upload and
+// every transfer in flight toward it are aborted, and the ports those
+// transfers held are restored. It returns the senders whose upload
+// ports freed (sorted ascending) and the receiver whose download port
+// freed (-1 if none); the caller re-wakes them once its own
+// bookkeeping is consistent.
+func (e *engine) teardown(v int) (wakeSenders []int, freedReceiver int) {
+	st := e.st
+	st.alive[v] = false
+	st.aliveClients--
+	if st.have[v].Full() {
+		st.complete--
+	}
+	if st.honest != nil && st.honest[v] {
+		st.aliveHonest--
+		if st.have[v].Full() {
+			st.completeHonest--
+		}
+	}
+	e.parked[v] = false
+
+	freedReceiver = -1
+	// Abort v's outgoing transfer: the receiver's download port frees.
+	if out := e.curUpload[v]; out != nil {
+		out.cancelled = true
+		e.curUpload[v] = nil
+		e.uploading[v] = false
+		delete(st.inFlight[out.to], int32(out.block))
+		freedReceiver = out.to
+	}
+	// Abort transfers in flight toward v: each sender's port frees. The
+	// per-sender mutations are independent (a sender has at most one
+	// upload in flight), and wakeSenders is sorted below before any
+	// order-sensitive use, so map order cannot leak into the trace.
+	for _, in := range st.inFlight[v] { //lint:ordered wakeSenders sorted before use
+		in.cancelled = true
+		e.uploading[in.from] = false
+		e.curUpload[in.from] = nil
+		wakeSenders = append(wakeSenders, in.from)
+	}
+	sort.Ints(wakeSenders)
+	clear(st.inFlight[v])
+	return wakeSenders, freedReceiver
 }
 
 // applyRejoin brings a crashed node back, optionally with an empty
@@ -995,6 +1091,9 @@ func (e *engine) finishTransfer(ev *event) error {
 			if e.adv != nil {
 				e.adv.NoteComplete(ev.to)
 			}
+		}
+		if e.oa != nil && ev.to != 0 {
+			e.noteOpenDelivery(ev.to)
 		}
 	}
 	if e.cfg.RecordTrace {

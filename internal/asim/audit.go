@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"barterdist/internal/adversary"
+	"barterdist/internal/arrival"
 	"barterdist/internal/bitset"
 	"barterdist/internal/fault"
 )
@@ -52,6 +53,7 @@ const durEps = 1e-9
 func RunAudit(cfg Config, res *Result) error {
 	cfg.Fault = nil
 	cfg.Adversary = nil
+	cfg.Arrivals = nil // open replays take arrivals from res.FaultLog
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -84,10 +86,19 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 
 	// Fault-log sanity: time-ordered, clients only, alternating states.
+	// Open-system logs instead hold Arrive/Depart events: the swarm
+	// starts empty (server only), ids are handed out in arrival order,
+	// and departures are permanent.
+	open := res.Open != nil
 	alive := make([]bool, c.Nodes)
-	for i := range alive {
-		alive[i] = true
+	alive[0] = true
+	if !open {
+		for i := range alive {
+			alive[i] = true
+		}
 	}
+	nextArrive := 1
+	departed, earlyExits := 0, 0
 	for i, ev := range res.FaultLog {
 		v := int(ev.Node)
 		if v <= 0 || v >= c.Nodes {
@@ -99,15 +110,39 @@ func RunAudit(cfg Config, res *Result) error {
 		}
 		switch ev.Kind {
 		case fault.Crash:
+			if open {
+				return auditErr("t=%v: crash event in an open-system run", ev.Time)
+			}
 			if !alive[v] {
 				return auditErr("t=%v: node %d crashes while already dead", ev.Time, v)
 			}
 			alive[v] = false
 		case fault.Rejoin:
+			if open {
+				return auditErr("t=%v: rejoin event in an open-system run", ev.Time)
+			}
 			if alive[v] {
 				return auditErr("t=%v: node %d rejoins while alive", ev.Time, v)
 			}
 			alive[v] = true
+		case fault.Arrive:
+			if !open {
+				return auditErr("t=%v: arrival event in a closed-system run", ev.Time)
+			}
+			if v != nextArrive {
+				return auditErr("t=%v: node %d arrives out of order (expected %d)", ev.Time, v, nextArrive)
+			}
+			nextArrive++
+			alive[v] = true
+		case fault.Depart:
+			if !open {
+				return auditErr("t=%v: departure event in a closed-system run", ev.Time)
+			}
+			if !alive[v] {
+				return auditErr("t=%v: node %d departs while absent", ev.Time, v)
+			}
+			alive[v] = false
+			departed++
 		default:
 			return auditErr("fault log: unknown event kind %d", uint8(ev.Kind))
 		}
@@ -115,15 +150,16 @@ func RunAudit(cfg Config, res *Result) error {
 
 	// aliveAt reports node v's liveness at time t (events at exactly t
 	// included — crash arrivals are continuous, so exact collisions with
-	// transfer boundaries do not occur in engine-produced runs).
+	// transfer boundaries do not occur in engine-produced runs). In open
+	// mode clients are absent until their Arrive event.
 	aliveAt := func(v int, t float64) bool {
-		up := true
+		up := v == 0 || !open
 		for _, ev := range res.FaultLog {
 			if ev.Time > t {
 				break
 			}
 			if int(ev.Node) == v {
-				up = ev.Kind == fault.Rejoin
+				up = ev.Kind == fault.Rejoin || ev.Kind == fault.Arrive
 			}
 		}
 		return up
@@ -175,6 +211,12 @@ func RunAudit(cfg Config, res *Result) error {
 					arrivedAt[v][b] = math.Inf(1)
 				}
 				completion[v] = 0
+			}
+			// Starvation accounting: a peer that departs before holding
+			// the full file left early (same-time deliveries precede the
+			// departure, matching the engine's event order).
+			if ev.Kind == fault.Depart && !have[ev.Node].Full() {
+				earlyExits++
 			}
 			if ev.Time > maxTime {
 				maxTime = ev.Time
@@ -320,14 +362,60 @@ func RunAudit(cfg Config, res *Result) error {
 
 	// The run must have finished under the engine's criterion: every
 	// alive client — every alive *honest* client under an adversary
-	// plan — holds the whole file.
-	for v := 1; v < c.Nodes; v++ {
-		if adversarial && !honest[v] {
-			continue
+	// plan — holds the whole file. An open run instead ends on its
+	// verdict: Drained requires an exhausted pool and no peer
+	// mid-download; Unstable is a bounded truncation with no completion
+	// requirement, but the starvation audit below still must account
+	// for every peer that entered.
+	if open {
+		o := res.Open
+		arrived := nextArrive - 1
+		occupancy := 0
+		comp := 0
+		for v := 1; v < c.Nodes; v++ {
+			if alive[v] && !have[v].Full() {
+				occupancy++
+			}
+			if completion[v] != 0 {
+				comp++
+			}
 		}
-		if alive[v] && !have[v].Full() {
-			return auditErr("replayed trace leaves alive client %d incomplete (%d/%d blocks)",
-				v, have[v].Count(), c.Blocks)
+		switch o.Verdict {
+		case arrival.VerdictDrained:
+			if arrived != c.Nodes-1 {
+				return auditErr("drained verdict with %d/%d arrivals replayed", arrived, c.Nodes-1)
+			}
+			if occupancy != 0 {
+				return auditErr("drained verdict but %d present clients incomplete", occupancy)
+			}
+		case arrival.VerdictUnstable:
+			// Bounded truncation: nothing further to require.
+		default:
+			return auditErr("open result carries verdict %v", o.Verdict)
+		}
+		if o.Arrived != arrived || o.Departed != departed || o.EarlyExits != earlyExits {
+			return auditErr("replay counts %d arrived / %d departed / %d early exits, result reports %d / %d / %d",
+				arrived, departed, earlyExits, o.Arrived, o.Departed, o.EarlyExits)
+		}
+		if o.Completed != comp {
+			return auditErr("replay counts %d completions, open result reports %d", comp, o.Completed)
+		}
+		if o.FinalOccupancy != occupancy {
+			return auditErr("replay leaves %d peers mid-download, open result reports %d", occupancy, o.FinalOccupancy)
+		}
+		if o.Arrived != o.Completed+o.EarlyExits+o.FinalOccupancy {
+			return auditErr("open run starves silently: %d arrived != %d completed + %d early exits + %d still present",
+				o.Arrived, o.Completed, o.EarlyExits, o.FinalOccupancy)
+		}
+	} else {
+		for v := 1; v < c.Nodes; v++ {
+			if adversarial && !honest[v] {
+				continue
+			}
+			if alive[v] && !have[v].Full() {
+				return auditErr("replayed trace leaves alive client %d incomplete (%d/%d blocks)",
+					v, have[v].Count(), c.Blocks)
+			}
 		}
 	}
 	if delivered != res.Transfers {
@@ -346,7 +434,14 @@ func RunAudit(cfg Config, res *Result) error {
 			honestUseful, honestWasted, res.HonestUseful, res.HonestWasted)
 	}
 	if len(res.Trace) > 0 || len(res.FaultLog) > 0 {
-		if res.CompletionTime != maxTime {
+		// An open run's clock can outlive its last logged event: the
+		// final handled event may be an unlogged protocol timer, and
+		// finish() stamps CompletionTime with the engine clock.
+		if open && res.CompletionTime < maxTime {
+			return auditErr("CompletionTime %v precedes the last recorded event (%v)",
+				res.CompletionTime, maxTime)
+		}
+		if !open && res.CompletionTime != maxTime {
 			return auditErr("CompletionTime %v does not match the last recorded event (%v)",
 				res.CompletionTime, maxTime)
 		}

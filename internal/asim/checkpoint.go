@@ -33,6 +33,7 @@ const (
 	asecEngine    = "asim/engine"
 	asecFault     = "asim/fault"
 	asecAdversary = "asim/adversary"
+	asecArrival   = "asim/arrival"
 	asecProtocol  = "asim/protocol"
 )
 
@@ -59,6 +60,7 @@ func (e *engine) snapshot() (*checkpoint.Snapshot, error) {
 	me.Bool(c.RecordTrace)
 	me.Bool(c.Fault != nil)
 	me.Bool(e.adv != nil)
+	me.Bool(e.oa != nil)
 	snap.Add(asecMeta, me.Bytes())
 
 	st := e.st
@@ -140,10 +142,10 @@ func (e *engine) snapshot() (*checkpoint.Snapshot, error) {
 			ee.F64(ev.start)
 		case evTimer:
 			ee.Int(ev.timer)
-		case evCrash:
-			// The arrival time says it all; cross-checked against the
-			// restored fault plan on resume.
-		case evRejoin, evAdvWake:
+		case evCrash, evArrive:
+			// The event time says it all; cross-checked against the
+			// restored fault/arrival plan position on resume.
+		case evRejoin, evAdvWake, evDepart:
 			ee.U32(uint32(ev.node))
 		}
 	}
@@ -158,6 +160,11 @@ func (e *engine) snapshot() (*checkpoint.Snapshot, error) {
 		ae := checkpoint.NewEncoder(64 + 16*c.Nodes)
 		e.adv.Snapshot(ae)
 		snap.Add(asecAdversary, ae.Bytes())
+	}
+	if e.oa != nil {
+		oe := checkpoint.NewEncoder(256 + 16*c.Nodes)
+		e.oa.snapshot(oe)
+		snap.Add(asecArrival, oe.Bytes())
 	}
 
 	pe := checkpoint.NewEncoder(1024)
@@ -192,15 +199,17 @@ func (e *engine) restore(snap *checkpoint.Snapshot) error {
 	ports := md.Int()
 	maxTime := md.F64()
 	recTrace, hasFault, hasAdv := md.Bool(), md.Bool(), md.Bool()
+	hasOpen := md.Bool()
 	if err := md.Finish(); err != nil {
 		return err
 	}
 	if nodes != c.Nodes || blocks != c.Blocks || ports != c.DownloadPorts ||
 		maxTime != c.MaxTime || recTrace != c.RecordTrace ||
 		hasFault != (c.Fault != nil) || hasAdv != (e.adv != nil) ||
+		hasOpen != (e.oa != nil) ||
 		!equalF64s(upRate, c.UploadRate) || !equalF64s(downRate, c.DownloadRate) {
-		return fmt.Errorf("asim: snapshot taken under a different config (snapshot n=%d k=%d ports=%d maxTime=%v trace=%v fault=%v adv=%v)",
-			nodes, blocks, ports, maxTime, recTrace, hasFault, hasAdv)
+		return fmt.Errorf("asim: snapshot taken under a different config (snapshot n=%d k=%d ports=%d maxTime=%v trace=%v fault=%v adv=%v open=%v)",
+			nodes, blocks, ports, maxTime, recTrace, hasFault, hasAdv, hasOpen)
 	}
 
 	sp, err := snap.Section(asecState)
@@ -386,6 +395,20 @@ func (e *engine) restore(snap *checkpoint.Snapshot) error {
 		}
 	}
 
+	if e.oa != nil {
+		op, err := snap.Section(asecArrival)
+		if err != nil {
+			return err
+		}
+		od := checkpoint.NewDecoder(op)
+		if err := e.oa.restore(od, st); err != nil {
+			return err
+		}
+		if err := od.Finish(); err != nil {
+			return err
+		}
+	}
+
 	if err := e.restoreQueue(snap); err != nil {
 		return err
 	}
@@ -435,6 +458,10 @@ func (e *engine) restoreQueue(snap *checkpoint.Snapshot) error {
 	rejoins, rejoinsHonest := 0, 0
 	crashSeen := false
 	crashAt := 0.0
+	arriveSeen := false
+	arriveAt := 0.0
+	departSeen := make([]bool, c.Nodes)
+	departs := 0
 	prevAt, prevSeq := math.Inf(-1), 0
 	for i := 0; i < nPend; i++ {
 		at := ed.F64()
@@ -531,6 +558,23 @@ func (e *engine) restoreQueue(snap *checkpoint.Snapshot) error {
 			}
 			e.advWakePending[node] = true
 			ev.node = node
+		case evArrive:
+			if e.oa == nil || arriveSeen {
+				return checkpoint.Corruptf("asim: unexpected arrival event")
+			}
+			arriveSeen, arriveAt = true, at
+		case evDepart:
+			node := int(ed.U32())
+			if err := ed.Err(); err != nil {
+				return err
+			}
+			if e.oa == nil || node < 1 || node >= st.n || !st.alive[node] ||
+				!e.oa.departScheduled[node] || departSeen[node] {
+				return checkpoint.Corruptf("asim: departure event for node %d invalid", node)
+			}
+			departSeen[node] = true
+			departs++
+			ev.node = node
 		default:
 			return checkpoint.Corruptf("asim: unknown event kind %d", kind)
 		}
@@ -554,6 +598,25 @@ func (e *engine) restoreQueue(snap *checkpoint.Snapshot) error {
 		expect := ok && at <= c.MaxTime
 		if expect != crashSeen || (expect && crashAt != at) {
 			return checkpoint.Corruptf("asim: crash event inconsistent with fault plan position")
+		}
+	}
+	if e.oa != nil {
+		// Exactly one arrival event is pending unless the pool is
+		// exhausted or the stream was cut by MaxTime, and its time is
+		// the restored plan's next draw.
+		expect := int(e.oa.nextID) < c.Nodes && !e.oa.truncated
+		if expect != arriveSeen || (expect && arriveAt != c.Arrivals.NextArrival()) {
+			return checkpoint.Corruptf("asim: arrival event inconsistent with arrival plan position")
+		}
+		// Every scheduled-but-alive departure has exactly one event.
+		want := 0
+		for v := 1; v < st.n; v++ {
+			if e.oa.departScheduled[v] && st.alive[v] {
+				want++
+			}
+		}
+		if departs != want {
+			return checkpoint.Corruptf("asim: %d queued departures for %d scheduled", departs, want)
 		}
 	}
 	for v, p := range parked {
@@ -624,10 +687,80 @@ func decodeFaultEvent(d *checkpoint.Decoder, n int) (fault.Event, error) {
 	if ev.Node < 1 || int(ev.Node) >= n {
 		return fault.Event{}, checkpoint.Corruptf("asim: fault event node %d out of range", ev.Node)
 	}
-	if ev.Kind != fault.Crash && ev.Kind != fault.Rejoin {
+	switch ev.Kind {
+	case fault.Crash, fault.Rejoin, fault.Arrive, fault.Depart:
+	default:
 		return fault.Event{}, checkpoint.Corruptf("asim: fault event kind %d invalid", ev.Kind)
 	}
 	return ev, nil
+}
+
+// snapshot appends the open-system bookkeeping: the arrival plan and
+// watchdog positions plus every per-peer array the verdict and sojourn
+// statistics are computed from.
+func (oa *asimArrivals) snapshot(e *checkpoint.Encoder) {
+	oa.plan.Snapshot(e)
+	oa.wd.Snapshot(e)
+	e.U32(uint32(oa.nextID))
+	e.F64s(oa.arrivedAt)
+	e.Int32s(oa.exitAfter)
+	e.Bools(oa.departScheduled)
+	e.Int(oa.departed)
+	e.Int(oa.earlyExits)
+	e.Int(oa.peak)
+	e.U32(uint32(oa.oldest))
+	e.Bool(oa.truncated)
+}
+
+// restore rewinds the open-system bookkeeping. Must run before
+// restoreQueue: the queued arrival and departure events are validated
+// against the restored plan position and departScheduled mask.
+func (oa *asimArrivals) restore(d *checkpoint.Decoder, st *State) error {
+	if err := oa.plan.RestoreState(d); err != nil {
+		return err
+	}
+	if err := oa.wd.RestoreState(d); err != nil {
+		return err
+	}
+	nextID := int32(d.U32())
+	arrivedAt := d.F64s()
+	exitAfter := d.Int32s()
+	departScheduled := d.Bools()
+	departed, earlyExits, peak := d.Int(), d.Int(), d.Int()
+	oldest := int32(d.U32())
+	truncated := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nextID < 1 || nextID > int32(st.n) {
+		return checkpoint.Corruptf("asim: arrival nextID %d out of range", nextID)
+	}
+	if len(arrivedAt) != st.n || len(exitAfter) != st.n || len(departScheduled) != st.n {
+		return checkpoint.Corruptf("asim: arrival arrays sized %d/%d/%d for %d nodes",
+			len(arrivedAt), len(exitAfter), len(departScheduled), st.n)
+	}
+	for v := 1; v < int(nextID); v++ {
+		if math.IsNaN(arrivedAt[v]) || arrivedAt[v] < 0 || arrivedAt[v] > st.now {
+			return checkpoint.Corruptf("asim: node %d arrival time %v out of range", v, arrivedAt[v])
+		}
+		if exitAfter[v] < 0 || int(exitAfter[v]) >= st.k {
+			return checkpoint.Corruptf("asim: node %d exit threshold %d out of range", v, exitAfter[v])
+		}
+	}
+	if departed < 0 || earlyExits < 0 || earlyExits > departed || peak < 0 {
+		return checkpoint.Corruptf("asim: arrival counters %d/%d/%d invalid", departed, earlyExits, peak)
+	}
+	if oldest < 1 || oldest > nextID {
+		return checkpoint.Corruptf("asim: oldest pointer %d outside [1, %d]", oldest, nextID)
+	}
+	oa.nextID = nextID
+	copy(oa.arrivedAt, arrivedAt)
+	copy(oa.exitAfter, exitAfter)
+	copy(oa.departScheduled, departScheduled)
+	oa.departed, oa.earlyExits, oa.peak = departed, earlyExits, peak
+	oa.oldest = oldest
+	oa.truncated = truncated
+	return nil
 }
 
 func equalF64s(a, b []float64) bool {

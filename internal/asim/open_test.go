@@ -1,0 +1,226 @@
+package asim
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"barterdist/internal/arrival"
+	"barterdist/internal/checkpoint"
+)
+
+func openPlan(t *testing.T, opts arrival.Options) *arrival.Plan {
+	t.Helper()
+	plan, err := arrival.NewPlan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestOpenDrains: a modest Poisson stream into the async rarest-first
+// swarm exhausts the pool and drains.
+func TestOpenDrains(t *testing.T) {
+	res, err := Run(Config{
+		Nodes: 129, Blocks: 8, DownloadPorts: 1,
+		Arrivals: openPlan(t, arrival.Options{Seed: 7, Rate: 0.5}),
+	}, NewAsyncRandomized(nil, true, 1, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Open
+	if o == nil {
+		t.Fatal("open run returned nil Open result")
+	}
+	if o.Verdict != arrival.VerdictDrained {
+		t.Fatalf("verdict = %v (reason %v), want Drained", o.Verdict, o.Reason)
+	}
+	if o.Arrived != 128 || o.Completed != 128 {
+		t.Errorf("arrived=%d completed=%d, want 128/128", o.Arrived, o.Completed)
+	}
+	if o.FinalOccupancy != 0 {
+		t.Errorf("FinalOccupancy = %d, want 0", o.FinalOccupancy)
+	}
+	if o.SojournMean <= 0 || o.SojournMax < o.SojournMean {
+		t.Errorf("sojourn stats inconsistent: mean=%g max=%g", o.SojournMean, o.SojournMax)
+	}
+}
+
+// TestOpenEarlyExitAccounting: selfish peers leave before completing
+// and the books still balance.
+func TestOpenEarlyExit(t *testing.T) {
+	res, err := Run(Config{
+		Nodes: 65, Blocks: 8, DownloadPorts: 1,
+		Arrivals: openPlan(t, arrival.Options{
+			Seed: 3, Rate: 0.4, EarlyExit: 0.25, Linger: 2,
+		}),
+	}, NewAsyncRandomized(nil, true, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Open
+	if o == nil || o.Verdict != arrival.VerdictDrained {
+		t.Fatalf("open = %+v, want Drained verdict", o)
+	}
+	if o.EarlyExits == 0 {
+		t.Error("EarlyExits = 0, want some selfish departures at EarlyExit=0.25")
+	}
+	if o.Completed+o.EarlyExits != o.Arrived {
+		t.Errorf("Completed(%d) + EarlyExits(%d) != Arrived(%d)",
+			o.Completed, o.EarlyExits, o.Arrived)
+	}
+}
+
+// TestOpenAudit replays recorded open-system runs — drained, selfish,
+// and watchdog-truncated — through the full post-hoc audit, including
+// the starvation identity over every peer that ever arrived.
+func TestOpenAudit(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		opts arrival.Options
+	}{
+		{"drained", Config{Nodes: 65, Blocks: 8, DownloadPorts: 1, RecordTrace: true},
+			arrival.Options{Seed: 7, Rate: 0.5}},
+		{"selfish", Config{Nodes: 65, Blocks: 8, DownloadPorts: 1, RecordTrace: true},
+			arrival.Options{Seed: 3, Rate: 0.4, EarlyExit: 0.3, Linger: 2}},
+		{"unstable", Config{Nodes: 513, Blocks: 2, DownloadPorts: 1, RecordTrace: true, MaxTime: 100_000},
+			arrival.Options{Seed: 13, Rate: 1.5,
+				Window: 32, GrowthWindows: 3, GrowthFactor: 0.05,
+				MinOccupancy: 32, AgeLimit: 400}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Arrivals = openPlan(t, tc.opts)
+			res, err := Run(cfg, NewAsyncRandomized(nil, true, 1, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Open == nil {
+				t.Fatal("open run returned nil Open result")
+			}
+			if tc.name == "unstable" && res.Open.Verdict != arrival.VerdictUnstable {
+				t.Fatalf("verdict = %v/%v, want Unstable", res.Open.Verdict, res.Open.Reason)
+			}
+			if err := RunAudit(cfg, res); err != nil {
+				t.Fatalf("audit of %s open run: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// asimOpenFingerprint extends asimFingerprint with the open-system
+// result so resume comparisons also cover the verdict and sojourns.
+func asimOpenFingerprint(res *Result) string {
+	var b strings.Builder
+	b.WriteString(asimFingerprint(res))
+	o := res.Open
+	if o == nil {
+		b.WriteString("open=nil\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "open verdict=%v reason=%v arrived=%d departed=%d completed=%d early=%d peak=%d final=%d\n",
+		o.Verdict, o.Reason, o.Arrived, o.Departed, o.Completed,
+		o.EarlyExits, o.PeakOccupancy, o.FinalOccupancy)
+	fmt.Fprintf(&b, "sojourn mean=%.17g max=%.17g\narrivals=%v\n",
+		o.SojournMean, o.SojournMax, o.ArrivalTime)
+	return b.String()
+}
+
+// TestOpenResumeMatchesUninterruptedRun: checkpointing an open async
+// run must not perturb it, and resuming mid-flash-crowd (fresh
+// protocol and arrival plan, state entirely from the file) must
+// reproduce the uninterrupted fingerprint.
+func TestOpenResumeMatchesUninterruptedRun(t *testing.T) {
+	mk := func() (Config, *AsyncRandomized) {
+		return Config{
+			Nodes: 97, Blocks: 8, DownloadPorts: 1, RecordTrace: true,
+			Arrivals: openPlan(t, arrival.Options{
+				Seed: 7, Rate: 0.8, EarlyExit: 0.2, Linger: 1.5,
+			}),
+		}, NewAsyncRandomized(nil, true, 1, 42)
+	}
+	cfg, p := mk()
+	res, err := Run(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asimOpenFingerprint(res)
+	if res.Open == nil || res.Open.Verdict != arrival.VerdictDrained {
+		t.Fatalf("open = %+v, want Drained verdict", res.Open)
+	}
+	for _, every := range []int{1, 64} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		cfg, p := mk()
+		cfg.Checkpoint = &checkpoint.Policy{Path: path, Every: every}
+		ckRes, err := Run(cfg, p)
+		if err != nil {
+			t.Fatalf("every=%d: checkpointed Run: %v", every, err)
+		}
+		if got := asimOpenFingerprint(ckRes); got != want {
+			t.Fatalf("every=%d: checkpointing perturbed the open run", every)
+		}
+		snap, err := checkpoint.ReadFile(path)
+		if err != nil {
+			t.Fatalf("every=%d: ReadFile: %v", every, err)
+		}
+		cfg, p = mk()
+		cfg.Checkpoint = nil
+		resumed, err := Resume(cfg, p, snap)
+		if err != nil {
+			t.Fatalf("every=%d: Resume: %v", every, err)
+		}
+		if got := asimOpenFingerprint(resumed); got != want {
+			t.Errorf("every=%d: resumed open run diverged", every)
+		}
+	}
+}
+
+// TestOpenTwoChunkInstability is the async twin of the synchronous
+// engine's Norros–Reittu regression: two chunks, departure at
+// completion, arrivals above the server's service rate — the one-club
+// forms and the watchdog grades the run Unstable under both selection
+// policies; seed persistence restores ergodicity.
+func TestOpenTwoChunkInstability(t *testing.T) {
+	const n = 513
+	run := func(rarest bool, opts arrival.Options) *arrival.OpenResult {
+		t.Helper()
+		res, err := Run(Config{
+			Nodes: n, Blocks: 2, DownloadPorts: 1,
+			MaxTime:  100_000,
+			Arrivals: openPlan(t, opts),
+		}, NewAsyncRandomized(nil, rarest, 1, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Open
+	}
+
+	// A tighter watchdog than the defaults keeps the unstable cases
+	// short: the divergence signature is unambiguous within a few
+	// 32-unit windows.
+	fast := arrival.Options{
+		Seed: 13, Rate: 1.5,
+		Window: 32, GrowthWindows: 3, GrowthFactor: 0.05,
+		MinOccupancy: 32, AgeLimit: 400,
+	}
+	for _, rarest := range []bool{false, true} {
+		if o := run(rarest, fast); o.Verdict != arrival.VerdictUnstable {
+			t.Errorf("rarest=%v, depart-at-completion: verdict = %v/%v (peak %d), want Unstable",
+				rarest, o.Verdict, o.Reason, o.PeakOccupancy)
+		}
+	}
+
+	stay := fast
+	stay.SeedPolicy = arrival.SeedStay
+	if o := run(false, stay); o.Verdict != arrival.VerdictDrained {
+		t.Errorf("SeedStay: verdict = %v/%v, want Drained", o.Verdict, o.Reason)
+	}
+
+	slow := arrival.Options{Seed: 13, Rate: 0.25}
+	if o := run(false, slow); o.Verdict != arrival.VerdictDrained {
+		t.Errorf("slow arrivals: verdict = %v/%v, want Drained", o.Verdict, o.Reason)
+	}
+}

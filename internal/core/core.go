@@ -14,6 +14,7 @@ import (
 
 	"barterdist/internal/adversary"
 	"barterdist/internal/analysis"
+	"barterdist/internal/arrival"
 	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
 	"barterdist/internal/graph"
@@ -153,6 +154,17 @@ type Config struct {
 	// engine byte for byte.
 	Fault *fault.Options
 
+	// Arrivals, when non-nil, runs an open-system swarm instead of the
+	// paper's closed one: clients enter by a seeded Poisson process (rate
+	// Arrivals.Rate per tick) until the Nodes-1 client pool is exhausted,
+	// depart per Arrivals' policies (at completion, early selfish exit,
+	// lingering seeds), and a stability watchdog grades the run Drained
+	// or Unstable instead of erroring on divergence; see arrival.Options.
+	// Only the swarm algorithms (AlgoRandomized, AlgoTriangular) on the
+	// complete overlay support open mode, and it composes with
+	// Checkpoint but not with Fault or Adversary.
+	Arrivals *arrival.Options
+
 	// Adversary, when non-nil, assigns misbehaving strategies to a
 	// deterministic subset of clients — free-riders, throttlers,
 	// false-advertisers, corrupters, and defectors; see
@@ -195,6 +207,9 @@ type Result struct {
 	// simulate.RunAudit. Its Fault field is nil: the consumed plan is
 	// not reusable, and auditing replays from Sim.FaultLog instead.
 	SimConfig simulate.Config
+	// Open carries the open-system verdict and robustness
+	// instrumentation when Config.Arrivals was set (nil otherwise).
+	Open *arrival.OpenResult
 }
 
 // DownloadUnlimited as Config.DownloadCap removes the download bound.
@@ -220,6 +235,25 @@ func (c *Config) Validate() error {
 	}
 	if c.ShardWorkers < 0 {
 		return fmt.Errorf("core: ShardWorkers = %d is invalid", c.ShardWorkers)
+	}
+	if c.Arrivals != nil {
+		if err := c.Arrivals.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		switch c.Algorithm {
+		case AlgoRandomized, AlgoTriangular:
+		default:
+			return fmt.Errorf("core: open-system Arrivals requires AlgoRandomized or AlgoTriangular (got %q)", c.Algorithm)
+		}
+		if c.Overlay != OverlayComplete && c.Overlay != "" {
+			return fmt.Errorf("core: open-system Arrivals requires the complete overlay (got %q): fixed overlays have no edges for peers that did not exist at build time", c.Overlay)
+		}
+		if c.Fault != nil {
+			return errors.New("core: Arrivals and Fault are mutually exclusive — open-system churn is the arrival plan's job")
+		}
+		if c.Adversary != nil {
+			return errors.New("core: Arrivals does not compose with Adversary yet")
+		}
 	}
 	return nil
 }
@@ -316,6 +350,13 @@ func prepare(cfg *Config) (simulate.Config, simulate.Scheduler, string, error) {
 		}
 		simCfg.Adversary = plan
 	}
+	if cfg.Arrivals != nil {
+		plan, err := arrival.NewPlan(*cfg.Arrivals)
+		if err != nil {
+			return simulate.Config{}, nil, "", fmt.Errorf("core: %w", err)
+		}
+		simCfg.Arrivals = plan
+	}
 	return simCfg, sched, overlayName, nil
 }
 
@@ -329,10 +370,12 @@ func buildResult(cfg Config, simCfg simulate.Config, overlayName string, simRes 
 		Overlay:           overlayName,
 		Sim:               simRes,
 		SimConfig:         simCfg,
+		Open:              simRes.Open,
 	}
 	res.SimConfig.Fault = nil      // the consumed plan must not leak into replays
 	res.SimConfig.Adversary = nil  // ditto: audits replay from Sim.Strategies
 	res.SimConfig.Checkpoint = nil // replays should not overwrite the live checkpoint
+	res.SimConfig.Arrivals = nil   // ditto: the consumed arrival plan is single-use
 	if simRes.Trace != nil && simRes.Trace.Len() > 0 {
 		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace.Cursor())
 	}

@@ -44,6 +44,7 @@ func generatorsCI() []struct {
 		{"tableD", table(TableD)},
 		{"tableE", table(TableE)},
 		{"tableF", table(TableF)},
+		{"tableG", table(TableG)},
 		{"tableScale", table(TableScale)},
 	}
 }

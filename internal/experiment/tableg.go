@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+
+	"barterdist/internal/arrival"
+	"barterdist/internal/asim"
+	"barterdist/internal/core"
+	"barterdist/internal/parallel"
+	"barterdist/internal/randomized"
+	"barterdist/internal/simulate"
+)
+
+func tableGParams(sc Scale) (capacity, k int, rates []float64, reps int) {
+	switch sc {
+	case ScaleFull:
+		// The 10^5 flash crowd of the open-system acceptance bar.
+		return 100_001, 32, []float64{8, 16, 32, 64}, 1
+	case ScaleMedium:
+		return 2049, 16, []float64{0.5, 2, 8}, 2
+	default:
+		return 513, 8, []float64{0.5, 2}, 2
+	}
+}
+
+// TableG is the open-system stability experiment: peer sojourn time
+// and swarm occupancy versus the Poisson arrival rate λ, across barter
+// mechanisms, with departure at completion (the Norros–Reittu open
+// model — no altruistic seeding). Each cell admits a flash crowd of
+// capacity-1 peers and runs to a stability verdict:
+//
+//   - cooperative (sync): the randomized algorithm with no barter —
+//     the baseline an open swarm's throughput scales with;
+//   - credit s=1 (sync): credit-limited barter — the price of barter
+//     in an open system is paid by newcomers, who arrive with nothing
+//     to trade;
+//   - triangular (sync): triangular barter, same question with cycle
+//     liquidity;
+//   - cooperative (async): the asynchronous randomized protocol, whose
+//     time axis is continuous and whose arrival stream interleaves
+//     with transfers rather than ticks.
+//
+// A drained cell reports "mean sojourn / peak occupancy"; a cell whose
+// watchdog trips reports the verdict and reason instead — divergence
+// and starvation are results here, not failures. Every drained or
+// truncated run is replayed through its engine's RunAudit, whose
+// starvation identity (arrived = completed + early exits + still
+// present) covers every peer that ever entered. The (λ, column,
+// replicate) grid fans out over the worker pool with pre-derived
+// seeds and aggregates sequentially, so the table is byte-identical
+// for any Workers value.
+func TableG(sc Scale, opt Options) (*Table, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	capacity, k, rates, reps := tableGParams(sc)
+	cols := []string{"cooperative (sync)", "credit s=1 (sync)", "triangular (sync)", "cooperative (async)"}
+	tbl := &Table{
+		ID:    "tableG",
+		Title: fmt.Sprintf("Open-system stability: sojourn & occupancy vs arrival rate λ (flash crowd of %d peers, k=%d, depart at completion)", capacity-1, k),
+		Header: append([]string{"λ (peers/tick)"}, func() []string {
+			labels := make([]string, len(cols))
+			copy(labels, cols)
+			return labels
+		}()...),
+		Notes: []string{
+			fmt.Sprintf("cells are mean sojourn (ticks) / peak occupancy over %d seed(s), or the watchdog verdict when a run does not drain", reps),
+			"peers arrive as a Poisson stream, download all k blocks, and leave at completion (no lingering seeds)",
+			"block selection is rarest-first in all four columns, so the columns differ only in the barter mechanism",
+			"every run replays through RunAudit's open-system starvation identity: arrived = completed + early exits + still present",
+			"expected: the cooperative columns drain with sojourn near k for any λ the swarm's aggregate upload capacity covers;",
+			"barter makes newcomers (who arrive with nothing to trade) lean on the server, raising sojourn before it risks starvation",
+		},
+	}
+	prog := opt.Progress.Serialized()
+	store, serr := opt.openStore()
+	if serr != nil {
+		return nil, serr
+	}
+	defer store.close()
+	type outcome struct {
+		Verdict string  `json:"verdict"`
+		Reason  string  `json:"reason,omitempty"`
+		Sojourn float64 `json:"sojourn"`
+		Peak    int     `json:"peak"`
+	}
+	budget := func(rate float64) int {
+		// Admitting the whole pool takes ~capacity/λ ticks; the drain
+		// tail and the starvation age limit bound the rest. The watchdog
+		// grades runs that exceed this Unstable/budget — a verdict, not
+		// an error.
+		return int(float64(capacity-1)/rate) + 60*k + 2000
+	}
+	arrOpts := func(ci int, rate float64, rep int) arrival.Options {
+		return arrival.Options{Seed: uint64(23000 + 100*ci + rep), Rate: rate}
+	}
+	runSync := func(ci int, rate float64, rep int) (outcome, error) {
+		ao := arrOpts(ci, rate, rep)
+		cfg := core.Config{
+			Nodes: capacity, Blocks: k,
+			Algorithm:   core.AlgoRandomized,
+			Policy:      randomized.RarestFirst,
+			Seed:        uint64(21000 + 100*ci + rep),
+			RecordTrace: true,
+			MaxTicks:    budget(rate),
+			Arrivals:    &ao,
+		}
+		switch ci {
+		case 1:
+			cfg.CreditLimit = 1
+		case 2:
+			cfg.Algorithm = core.AlgoTriangular
+			cfg.CreditLimit = 1
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableG %s λ=%g: %w", cols[ci], rate, err)
+		}
+		if aerr := simulate.RunAudit(res.SimConfig, res.Sim); aerr != nil {
+			return outcome{}, fmt.Errorf("tableG %s λ=%g: %w", cols[ci], rate, aerr)
+		}
+		o := res.Open
+		return outcome{Verdict: o.Verdict.String(), Reason: o.Reason.String(),
+			Sojourn: o.SojournMean, Peak: o.PeakOccupancy}, nil
+	}
+	runAsync := func(rate float64, rep int) (outcome, error) {
+		const ci = 3
+		ao := arrOpts(ci, rate, rep)
+		plan, err := arrival.NewPlan(ao)
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableG %s λ=%g: %w", cols[ci], rate, err)
+		}
+		cfg := asim.Config{
+			Nodes: capacity, Blocks: k,
+			DownloadPorts: 1,
+			RecordTrace:   true,
+			MaxTime:       float64(budget(rate)),
+			Arrivals:      plan,
+		}
+		res, err := asim.Run(cfg, asim.NewAsyncRandomized(nil, true, 1, uint64(21000+100*ci+rep)))
+		if err != nil {
+			return outcome{}, fmt.Errorf("tableG %s λ=%g: %w", cols[ci], rate, err)
+		}
+		auditCfg := cfg
+		auditCfg.Arrivals = nil // consumed plans must not leak
+		if aerr := asim.RunAudit(auditCfg, res); aerr != nil {
+			return outcome{}, fmt.Errorf("tableG %s λ=%g: %w", cols[ci], rate, aerr)
+		}
+		o := res.Open
+		return outcome{Verdict: o.Verdict.String(), Reason: o.Reason.String(),
+			Sojourn: o.SojournMean, Peak: o.PeakOccupancy}, nil
+	}
+	perRate := len(cols) * reps
+	outs, err := parallel.Map(opt.workers(), len(rates)*perRate, func(j int) (outcome, error) {
+		rate := rates[j/perRate]
+		ci := (j % perRate) / reps
+		rep := j % reps
+		if ci == 0 && rep == 0 {
+			prog.log("tableG: arrival rate λ=%g", rate)
+		}
+		tag := fmt.Sprintf("tableG: %s λ=%g", cols[ci], rate)
+		return cellCached(store, tag, uint64(21000+100*ci+rep), rep, func() (outcome, error) {
+			if ci == 3 {
+				return runAsync(rate, rep)
+			}
+			return runSync(ci, rate, rep)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
+		row := []string{fmt.Sprintf("%g", rate)}
+		for ci := range cols {
+			sojSum, peakSum, drained, unstable := 0.0, 0, 0, ""
+			for rep := 0; rep < reps; rep++ {
+				o := outs[ri*perRate+ci*reps+rep]
+				if o.Verdict != "drained" {
+					unstable = fmt.Sprintf("%s(%s) peak=%d", o.Verdict, o.Reason, o.Peak)
+					continue
+				}
+				sojSum += o.Sojourn
+				peakSum += o.Peak
+				drained++
+			}
+			switch {
+			case drained == 0:
+				row = append(row, unstable)
+			case unstable != "":
+				row = append(row, fmt.Sprintf("%.1f / %d (+%d unstable)",
+					sojSum/float64(drained), peakSum/drained, reps-drained))
+			default:
+				row = append(row, fmt.Sprintf("%.1f / %d", sojSum/float64(drained), peakSum/drained))
+			}
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

@@ -49,6 +49,15 @@ const (
 	Crash Kind = iota + 1
 	// Rejoin marks a previously crashed node coming back.
 	Rejoin
+	// Arrive marks a fresh peer entering an open-system swarm
+	// (internal/arrival). The node id has never been present before and
+	// its block cache is empty; schedulers may treat it exactly like a
+	// wiped Rejoin.
+	Arrive
+	// Depart marks a peer leaving an open-system swarm for good — at
+	// completion, after a seeding linger, or as a selfish early exit.
+	// Engines tear it down exactly like a Crash, but it never returns.
+	Depart
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +67,10 @@ func (k Kind) String() string {
 		return "crash"
 	case Rejoin:
 		return "rejoin"
+	case Arrive:
+		return "arrive"
+	case Depart:
+		return "depart"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -180,6 +180,24 @@ func TestCheckpointScopeFixture(t *testing.T) {
 	}
 }
 
+func TestArrivalScopeFixture(t *testing.T) {
+	// internal/arrival is inside BOTH determinism scopes: the Poisson
+	// schedule must come from the seeded stream (never the wall clock)
+	// and any per-peer map walk could leak order into the departure
+	// queue both engines consume. The openflow fixture carries
+	// violations of each rule, so both analyzers run together and every
+	// want line must fire under the arrival path.
+	as := []*Analyzer{NoWallClockAnalyzer(), MapIterationAnalyzer()}
+	checkFixtureAll(t, as, "openflow", "fixture/internal/arrival/openflow")
+	// Out of scope: the same violating code is silent for both rules.
+	for _, a := range as {
+		_, _, findings := loadFixture(t, a, "openflow", "fixture/internal/report/openflow")
+		if len(findings) != 0 {
+			t.Fatalf("out-of-scope package should be silent for %s, got %v", a.Name, findings)
+		}
+	}
+}
+
 func TestIgnoredErrorsFixtures(t *testing.T) {
 	checkFixture(t, IgnoredErrorsAnalyzer(), "ignorederr", "fixture/ignorederr")
 }

@@ -25,6 +25,10 @@ var mapIterScope = []string{
 	// Snapshots must encode identical bytes for identical state, so any
 	// map iterated during encoding has to walk sorted keys.
 	"internal/checkpoint",
+	// Arrival plans feed both engines' event order; map-order in a
+	// watchdog or departure structure would leak straight into the
+	// trace.
+	"internal/arrival",
 }
 
 // MapIterationAnalyzer flags `for ... range m` over a map in scheduler

@@ -1,0 +1,77 @@
+// Package openflow exercises both scoped determinism rules on
+// arrival-plan-shaped code. Loaded under the arrival import path
+// (fixture/internal/arrival/openflow) the flagged lines fire; loaded
+// under a neutral path the package is silent, which the tests use to
+// prove internal/arrival is inside both scopes.
+//
+// The hazards here are the exact ones an open-system layer invites:
+// "when does the next peer arrive" tempts a wall-clock read instead of
+// the engine's simulated now, and per-peer sojourn bookkeeping tempts
+// a map walk whose order could leak into the departure queue.
+package openflow
+
+import (
+	"sort"
+	"time"
+)
+
+// WatchWindow is a Duration constant — a pure value, always allowed
+// even in scope.
+const WatchWindow = 64 * time.Millisecond
+
+// sojourn is one live peer: when it arrived and how many blocks it
+// still needs, all in *simulated* time.
+type sojourn struct {
+	arrivedAt float64
+	remaining int
+}
+
+// StampArrival schedules the next arrival off the wall clock instead
+// of the simulated axis — the canonical decorrelation bug: two replays
+// of the same seed see different Poisson schedules.
+func StampArrival(s *sojourn) {
+	s.arrivedAt = float64(time.Now().UnixNano()) // want "time.Now forbidden"
+}
+
+// Overdue measures a starvation age in real time.
+func Overdue(t0 time.Time) bool {
+	return time.Since(t0) > WatchWindow // want "time.Since forbidden"
+}
+
+// OldestPeer leaks map order into a decision: under an arrival-time
+// tie the returned peer depends on Go's randomized iteration, so two
+// runs pick different starvation victims.
+func OldestPeer(live map[int]*sojourn) int {
+	oldest, at := -1, 0.0
+	for id, s := range live { // want "iteration over map live has randomized order"
+		if oldest == -1 || s.arrivedAt < at {
+			oldest, at = id, s.arrivedAt
+		}
+	}
+	return oldest
+}
+
+// Occupancy is a commutative integer aggregation — provably
+// order-insensitive, accepted without annotation.
+func Occupancy(live map[int]*sojourn) int {
+	n := 0
+	for _, s := range live {
+		if s.remaining > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DepartureOrder collects ids then sorts; the collection loop is
+// order-sensitive in isolation, so it carries an audited suppression —
+// the pattern a real departure sweep must use before order can reach
+// either engine's event stream.
+func DepartureOrder(live map[int]*sojourn) []int {
+	ids := make([]int, 0, len(live))
+	for id := range live { //lint:ordered ids are sorted below
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

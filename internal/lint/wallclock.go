@@ -25,6 +25,10 @@ var wallClockScope = []string{
 	// (or into its encoding) would make resumed runs diverge from
 	// uninterrupted ones.
 	"internal/checkpoint",
+	// The open-system arrival plan is a decision stream both engines
+	// consume tick by tick; a wall-clock read there would decorrelate
+	// the Poisson schedule from the seed.
+	"internal/arrival",
 }
 
 // wallClockFuncs are the package time entry points that observe or

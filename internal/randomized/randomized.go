@@ -584,13 +584,19 @@ func (s *Scheduler) beginTick(st *simulate.State) {
 	if evs := st.FaultEvents(); len(evs) > 0 {
 		for _, ev := range evs {
 			switch ev.Kind {
-			case fault.Crash:
+			case fault.Crash, fault.Depart:
+				// An open-system departure is a permanent crash as far as
+				// rarity accounting goes: the leaver's holdings stop
+				// counting toward replication.
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, -1)
 				s.candidates.Remove(int(ev.Node))
 				if s.index != nil {
 					s.index.removeNode(st, int(ev.Node))
 				}
-			case fault.Rejoin:
+			case fault.Rejoin, fault.Arrive:
+				// An open-system arrival is a wiped rejoin of a fresh id:
+				// its block set is empty, so AccumulateCounts adds nothing
+				// and the node files as an incomplete candidate.
 				st.Blocks(int(ev.Node)).AccumulateCounts(s.freq, 1)
 				// A wiped rejoiner is always incomplete; an intact one
 				// may have completed before its crash.

@@ -319,9 +319,13 @@ func (ts *TriangularScheduler) Tick(_ int, st *simulate.State, dst []simulate.Tr
 	}
 	for _, ev := range st.FaultEvents() {
 		switch ev.Kind {
-		case fault.Crash:
+		case fault.Crash, fault.Depart:
+			// An open-system departure withdraws the leaver's holdings
+			// exactly like a permanent crash.
 			st.Blocks(int(ev.Node)).AccumulateCounts(ts.freq, -1)
-		case fault.Rejoin:
+		case fault.Rejoin, fault.Arrive:
+			// An arrival's set is empty, so this is a no-op that keeps
+			// the two kinds on one code path.
 			st.Blocks(int(ev.Node)).AccumulateCounts(ts.freq, 1)
 		}
 	}

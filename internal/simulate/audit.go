@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"barterdist/internal/adversary"
+	"barterdist/internal/arrival"
 	"barterdist/internal/fault"
 	"barterdist/internal/trace"
 )
@@ -45,6 +46,7 @@ func auditErr(format string, args ...any) error {
 func RunAudit(cfg Config, res *Result) error {
 	cfg.Fault = nil
 	cfg.Adversary = nil
+	cfg.Arrivals = nil // open replays take arrivals from res.FaultLog
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -70,8 +72,15 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 
 	st := newState(c.Nodes, c.Blocks)
+	open := res.Open != nil
 	faulty := len(res.FaultLog) > 0 || res.FinalAlive != nil
-	if faulty {
+	if open {
+		// Open-system replay: the swarm starts empty — only the server
+		// is present — and the population is rebuilt from the logged
+		// Arrive/Depart events.
+		st.alive = make([]bool, c.Nodes)
+		st.alive[0] = true
+	} else if faulty {
 		st.alive = make([]bool, c.Nodes)
 		for i := range st.alive {
 			st.alive[i] = true
@@ -105,6 +114,8 @@ func RunAudit(cfg Config, res *Result) error {
 	kindCount := make([]int, trace.NumKinds)
 	caps := newCapScratch(c.Nodes)
 	logCursor := 0
+	nextArrive := 1 // open mode: ids must be handed out in order
+	departed, earlyExits := 0, 0
 
 	applyEvents := func(t int) error {
 		for logCursor < len(res.FaultLog) && res.FaultLog[logCursor].Time <= float64(t) {
@@ -118,7 +129,41 @@ func RunAudit(cfg Config, res *Result) error {
 				return auditErr("fault log present but result reports a fault-free run")
 			}
 			switch ev.Kind {
+			case fault.Arrive:
+				if !open {
+					return auditErr("tick %v: arrival event in a closed-system run", ev.Time)
+				}
+				if v != nextArrive {
+					return auditErr("tick %v: node %d arrives out of order (expected %d)", ev.Time, v, nextArrive)
+				}
+				if st.alive[v] {
+					return auditErr("tick %v: node %d arrives while present", ev.Time, v)
+				}
+				if st.have[v].Count() != 0 {
+					return auditErr("tick %v: node %d arrives holding blocks", ev.Time, v)
+				}
+				nextArrive++
+				st.alive[v] = true
+				st.aliveClients++
+			case fault.Depart:
+				if !open {
+					return auditErr("tick %v: departure event in a closed-system run", ev.Time)
+				}
+				if !st.alive[v] {
+					return auditErr("tick %v: node %d departs while absent", ev.Time, v)
+				}
+				st.alive[v] = false
+				st.aliveClients--
+				departed++
+				if st.have[v].Full() {
+					st.complete--
+				} else {
+					earlyExits++
+				}
 			case fault.Crash:
+				if open {
+					return auditErr("tick %v: crash event in an open-system run", ev.Time)
+				}
 				if !st.alive[v] {
 					return auditErr("tick %v: node %d crashes while already dead", ev.Time, v)
 				}
@@ -134,6 +179,9 @@ func RunAudit(cfg Config, res *Result) error {
 					}
 				}
 			case fault.Rejoin:
+				if open {
+					return auditErr("tick %v: rejoin event in an open-system run", ev.Time)
+				}
 				if st.alive[v] {
 					return auditErr("tick %v: node %d rejoins while alive", ev.Time, v)
 				}
@@ -223,7 +271,47 @@ func RunAudit(cfg Config, res *Result) error {
 	}
 
 	// The run must actually have finished under the engine's criterion.
-	if !st.AllClientsComplete() {
+	if open {
+		// Open-system verdict and starvation audit: every peer that
+		// entered must be accounted for — completed, left early, or
+		// still present — including the peers that departed before
+		// completing.
+		o := res.Open
+		arrived := nextArrive - 1
+		switch o.Verdict {
+		case arrival.VerdictDrained:
+			if arrived != c.Nodes-1 {
+				return auditErr("drained verdict with %d/%d arrivals replayed", arrived, c.Nodes-1)
+			}
+			if st.complete != st.aliveClients {
+				return auditErr("drained verdict but %d/%d present clients complete", st.complete, st.aliveClients)
+			}
+		case arrival.VerdictUnstable:
+			// Bounded truncation: no completion requirement.
+		default:
+			return auditErr("open result carries verdict %v", o.Verdict)
+		}
+		if o.Arrived != arrived || o.Departed != departed || o.EarlyExits != earlyExits {
+			return auditErr("replay counts %d arrived / %d departed / %d early exits, result reports %d / %d / %d",
+				arrived, departed, earlyExits, o.Arrived, o.Departed, o.EarlyExits)
+		}
+		comp := 0
+		for v := 1; v < c.Nodes; v++ {
+			if completion[v] != 0 {
+				comp++
+			}
+		}
+		if o.Completed != comp {
+			return auditErr("replay counts %d completions, open result reports %d", comp, o.Completed)
+		}
+		if occ := st.aliveClients - st.complete; o.FinalOccupancy != occ {
+			return auditErr("replay leaves %d peers mid-download, open result reports %d", occ, o.FinalOccupancy)
+		}
+		if o.Arrived != o.Completed+o.EarlyExits+o.FinalOccupancy {
+			return auditErr("open run starves silently: %d arrived != %d completed + %d early exits + %d still present",
+				o.Arrived, o.Completed, o.EarlyExits, o.FinalOccupancy)
+		}
+	} else if !st.AllClientsComplete() {
 		if adversarial {
 			return auditErr("replayed trace does not reach honest completion (%d/%d honest clients complete)",
 				st.completeHonest, st.honestClients)

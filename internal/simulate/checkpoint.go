@@ -55,6 +55,7 @@ const (
 	secTrace     = "sim/trace"
 	secFault     = "sim/fault"
 	secAdversary = "sim/adversary"
+	secArrival   = "sim/arrival"
 	secScheduler = "sim/scheduler"
 )
 
@@ -77,6 +78,7 @@ func (r *runner) snapshot() (*checkpoint.Snapshot, error) {
 	meta.Bool(c.RecordTrace)
 	meta.Bool(r.sf != nil)
 	meta.Bool(r.adv != nil)
+	meta.Bool(r.oa != nil)
 	snap.Add(secMeta, meta.Bytes())
 
 	st := r.st
@@ -139,6 +141,11 @@ func (r *runner) snapshot() (*checkpoint.Snapshot, error) {
 		r.adv.Snapshot(ae)
 		snap.Add(secAdversary, ae.Bytes())
 	}
+	if r.oa != nil {
+		oe := checkpoint.NewEncoder(256 + 12*c.Nodes)
+		r.oa.snapshot(oe)
+		snap.Add(secArrival, oe.Bytes())
+	}
 
 	sche := checkpoint.NewEncoder(1024)
 	if err := cs.SnapshotState(sche); err != nil {
@@ -167,14 +174,16 @@ func (r *runner) restore(snap *checkpoint.Snapshot) error {
 	nodes, blocks := md.Int(), md.Int()
 	upCap, srvCap, downCap := md.Int(), md.Int(), md.Int()
 	recTrace, hasFault, hasAdv := md.Bool(), md.Bool(), md.Bool()
+	hasOpen := md.Bool()
 	if err := md.Finish(); err != nil {
 		return err
 	}
 	if nodes != c.Nodes || blocks != c.Blocks || upCap != c.UploadCap ||
 		srvCap != c.ServerUploadCap || downCap != c.DownloadCap ||
-		recTrace != c.RecordTrace || hasFault != (r.sf != nil) || hasAdv != (r.adv != nil) {
-		return fmt.Errorf("simulate: snapshot taken under a different config (snapshot n=%d k=%d U=%d/%d D=%d trace=%v fault=%v adv=%v)",
-			nodes, blocks, upCap, srvCap, downCap, recTrace, hasFault, hasAdv)
+		recTrace != c.RecordTrace || hasFault != (r.sf != nil) || hasAdv != (r.adv != nil) ||
+		hasOpen != (r.oa != nil) {
+		return fmt.Errorf("simulate: snapshot taken under a different config (snapshot n=%d k=%d U=%d/%d D=%d trace=%v fault=%v adv=%v open=%v)",
+			nodes, blocks, upCap, srvCap, downCap, recTrace, hasFault, hasAdv, hasOpen)
 	}
 
 	sp, err := snap.Section(secState)
@@ -342,6 +351,19 @@ func (r *runner) restore(snap *checkpoint.Snapshot) error {
 			return err
 		}
 	}
+	if r.oa != nil {
+		op, err := snap.Section(secArrival)
+		if err != nil {
+			return err
+		}
+		od := checkpoint.NewDecoder(op)
+		if err := r.oa.restore(od, st, tick); err != nil {
+			return err
+		}
+		if err := od.Finish(); err != nil {
+			return err
+		}
+	}
 
 	shp, err := snap.Section(secScheduler)
 	if err != nil {
@@ -415,10 +437,109 @@ func decodeEvent(d *checkpoint.Decoder, n int) (fault.Event, error) {
 	if ev.Node < 1 || int(ev.Node) >= n {
 		return fault.Event{}, checkpoint.Corruptf("simulate: fault event node %d out of range", ev.Node)
 	}
-	if ev.Kind != fault.Crash && ev.Kind != fault.Rejoin {
+	switch ev.Kind {
+	case fault.Crash, fault.Rejoin, fault.Arrive, fault.Depart:
+	default:
 		return fault.Event{}, checkpoint.Corruptf("simulate: fault event kind %d invalid", ev.Kind)
 	}
 	return ev, nil
+}
+
+// snapshot appends the open-system bookkeeping: the arrival plan and
+// watchdog positions, the departure queue, and every per-peer array the
+// verdict and sojourn statistics are computed from.
+func (oa *simArrivals) snapshot(e *checkpoint.Encoder) {
+	oa.plan.Snapshot(e)
+	oa.wd.Snapshot(e)
+	e.U32(uint32(oa.nextID))
+	e.Int(len(oa.departs))
+	for _, ev := range oa.departs {
+		encodeEvent(e, ev)
+	}
+	e.Int32s(oa.arrivedAt)
+	e.Int32s(oa.exitAfter)
+	e.Bools(oa.departScheduled)
+	e.Int(oa.departed)
+	e.Int(oa.earlyExits)
+	e.Int(oa.peak)
+	e.U32(uint32(oa.oldest))
+	e.Bool(oa.occupancy != nil)
+	if oa.occupancy != nil {
+		e.Int32s(oa.occupancy)
+	}
+}
+
+// restore rewinds the open-system bookkeeping from a snapshot taken at
+// the end of tick. The watchdog's windows, the departure queue, and the
+// occupancy trajectory must all be internally consistent or the
+// snapshot is rejected as corrupt.
+func (oa *simArrivals) restore(d *checkpoint.Decoder, st *State, tick int) error {
+	if err := oa.plan.RestoreState(d); err != nil {
+		return err
+	}
+	if err := oa.wd.RestoreState(d); err != nil {
+		return err
+	}
+	nextID := int32(d.U32())
+	if d.Err() == nil && (nextID < 1 || nextID > int32(st.n)) {
+		return checkpoint.Corruptf("simulate: arrival nextID %d out of range", nextID)
+	}
+	nDeparts := d.Int()
+	if d.Err() == nil && (nDeparts < 0 || nDeparts > st.n) {
+		return checkpoint.Corruptf("simulate: departure queue length %d invalid", nDeparts)
+	}
+	oa.departs = nil
+	prev := 0.0
+	for i := 0; i < nDeparts && d.Err() == nil; i++ {
+		ev, err := decodeEvent(d, st.n)
+		if err != nil {
+			return err
+		}
+		if ev.Kind != fault.Depart || ev.Time < prev {
+			return checkpoint.Corruptf("simulate: departure queue entry %d invalid", i)
+		}
+		prev = ev.Time
+		oa.departs = append(oa.departs, ev)
+	}
+	arrivedAt := d.Int32s()
+	exitAfter := d.Int32s()
+	departScheduled := d.Bools()
+	departed, earlyExits, peak := d.Int(), d.Int(), d.Int()
+	oldest := int32(d.U32())
+	hasOcc := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(arrivedAt) != st.n || len(exitAfter) != st.n || len(departScheduled) != st.n {
+		return checkpoint.Corruptf("simulate: arrival arrays sized %d/%d/%d for %d nodes",
+			len(arrivedAt), len(exitAfter), len(departScheduled), st.n)
+	}
+	if departed < 0 || earlyExits < 0 || earlyExits > departed || peak < 0 {
+		return checkpoint.Corruptf("simulate: arrival counters %d/%d/%d invalid", departed, earlyExits, peak)
+	}
+	if oldest < 1 || oldest > nextID {
+		return checkpoint.Corruptf("simulate: oldest pointer %d outside [1, %d]", oldest, nextID)
+	}
+	if hasOcc != (oa.occupancy != nil) {
+		return checkpoint.Corruptf("simulate: occupancy trajectory presence mismatch")
+	}
+	if hasOcc {
+		occ := d.Int32s()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if len(occ) != tick {
+			return checkpoint.Corruptf("simulate: occupancy trajectory holds %d ticks, state at tick %d", len(occ), tick)
+		}
+		oa.occupancy = append(oa.occupancy[:0], occ...)
+	}
+	oa.nextID = nextID
+	copy(oa.arrivedAt, arrivedAt)
+	copy(oa.exitAfter, exitAfter)
+	copy(oa.departScheduled, departScheduled)
+	oa.departed, oa.earlyExits, oa.peak = departed, earlyExits, peak
+	oa.oldest = oldest
+	return nil
 }
 
 // maybeCheckpoint writes a snapshot if the policy asks for one at the

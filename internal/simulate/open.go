@@ -1,0 +1,203 @@
+package simulate
+
+import (
+	"sort"
+
+	"barterdist/internal/arrival"
+	"barterdist/internal/fault"
+)
+
+// simArrivals carries the engine-side open-system bookkeeping for one
+// run: the arrival plan position, the next unassigned node id, pending
+// departures, the stability watchdog, and the sojourn/occupancy
+// instrumentation that becomes Result.Open.
+//
+// Open-system model: Config.Nodes is the *capacity* — an upper bound
+// on cumulative arrivals, not a population present at tick 0. Node 0
+// is the persistent server; clients enter with fresh ids 1, 2, … in
+// arrival order (ids are never reused), download, and leave according
+// to the seed policy or their selfish early-exit draw. The liveness
+// mask, FaultEvents channel, and FaultLog are shared with the fault
+// layer: an arrival is exposed to schedulers exactly like a wiped
+// rejoin of a never-before-seen node, a departure exactly like a
+// permanent crash, so every churn-aware scheduler works unmodified.
+type simArrivals struct {
+	plan *arrival.Plan
+	wd   *arrival.Watchdog
+
+	nextID  int32         // next unassigned node id (1-based; n = pool exhausted)
+	departs []fault.Event // pending departures, sorted by Time ascending
+
+	arrivedAt       []int32 // tick at which node v entered (0 = never)
+	exitAfter       []int32 // selfish exit threshold in blocks (0 = cooperative)
+	departScheduled []bool
+
+	departed   int
+	earlyExits int
+	peak       int
+	oldest     int32   // smallest present incomplete id; advances monotonically
+	occupancy  []int32 // per-tick trajectory (RecordTrace only)
+}
+
+func newSimArrivals(plan *arrival.Plan, c Config) *simArrivals {
+	opts := plan.Options().WithWatchdogDefaults(c.Blocks)
+	oa := &simArrivals{
+		plan:            plan,
+		wd:              arrival.NewWatchdog(opts),
+		nextID:          1,
+		oldest:          1,
+		arrivedAt:       make([]int32, c.Nodes),
+		exitAfter:       make([]int32, c.Nodes),
+		departScheduled: make([]bool, c.Nodes),
+	}
+	if c.RecordTrace {
+		oa.occupancy = make([]int32, 0, 1024)
+	}
+	return oa
+}
+
+// beginTick applies every departure and arrival scheduled for the
+// start of tick t and exposes them through the State's event channel.
+// Departures drain first so that the event order within a tick is
+// deterministic and a freshly admitted peer can never be torn down by
+// a stale departure in the same tick.
+func (oa *simArrivals) beginTick(t int, st *State, res *Result) {
+	st.events = st.events[:0]
+	for len(oa.departs) > 0 && oa.departs[0].Time <= float64(t) {
+		ev := oa.departs[0]
+		oa.departs = oa.departs[1:]
+		ev.Time = float64(t)
+		oa.applyDepart(ev, st, res)
+	}
+	for oa.nextID < int32(st.n) && oa.plan.NextArrival() <= float64(t) {
+		oa.plan.TakeArrival()
+		oa.applyArrive(t, st, res)
+	}
+}
+
+func (oa *simArrivals) applyArrive(t int, st *State, res *Result) {
+	v := oa.nextID
+	oa.nextID++
+	st.alive[v] = true
+	st.aliveClients++
+	oa.arrivedAt[v] = int32(t)
+	oa.exitAfter[v] = int32(oa.plan.ExitThreshold(st.k))
+	ev := fault.Event{Time: float64(t), Node: v, Kind: fault.Arrive}
+	st.events = append(st.events, ev)
+	res.FaultLog = append(res.FaultLog, ev)
+}
+
+func (oa *simArrivals) applyDepart(ev fault.Event, st *State, res *Result) {
+	v := int(ev.Node)
+	st.alive[v] = false
+	st.aliveClients--
+	if st.have[v].Full() {
+		st.complete--
+	} else {
+		oa.earlyExits++
+	}
+	oa.departed++
+	st.events = append(st.events, ev)
+	res.FaultLog = append(res.FaultLog, ev)
+}
+
+// scheduleDepart queues node v's departure for the start of tick at.
+// Appends arrive in non-decreasing current-tick order but a completion
+// linger can leapfrog an early exit, so the queue is re-sorted like the
+// fault layer's rejoin queue.
+func (oa *simArrivals) scheduleDepart(v, at int) {
+	if oa.departScheduled[v] {
+		return
+	}
+	oa.departScheduled[v] = true
+	oa.departs = append(oa.departs, fault.Event{Time: float64(at), Node: int32(v), Kind: fault.Depart})
+	sort.SliceStable(oa.departs, func(i, j int) bool {
+		return oa.departs[i].Time < oa.departs[j].Time
+	})
+}
+
+// noteDelivery runs after node v usefully received a block in tick t:
+// a selfish peer that just reached its exit threshold departs at the
+// start of the next tick.
+func (oa *simArrivals) noteDelivery(v, t int, st *State) {
+	if oa.exitAfter[v] > 0 && !st.have[v].Full() && int32(st.have[v].Count()) >= oa.exitAfter[v] {
+		oa.scheduleDepart(v, t+1)
+	}
+}
+
+// noteComplete runs when node v finished the file in tick t and applies
+// the seed policy. Under SeedDepart the peer seeds for Linger further
+// ticks and then leaves; under SeedStay it stays for the whole run.
+func (oa *simArrivals) noteComplete(v, t int) {
+	opts := oa.plan.Options()
+	if opts.SeedPolicy == arrival.SeedDepart {
+		oa.scheduleDepart(v, t+1+int(opts.Linger))
+	}
+}
+
+// endTick samples the robustness instrumentation at the end of tick t
+// and returns a non-None reason the moment the watchdog trips.
+func (oa *simArrivals) endTick(t int, st *State) arrival.Reason {
+	occ := st.aliveClients - st.complete
+	if occ > oa.peak {
+		oa.peak = occ
+	}
+	if oa.occupancy != nil {
+		oa.occupancy = append(oa.occupancy, int32(occ))
+	}
+	// The oldest present incomplete peer has the smallest id: ids are
+	// assigned in arrival order, departures are permanent, and block
+	// sets never shrink in open mode, so the pointer only advances.
+	for oa.oldest < oa.nextID && (!st.alive[oa.oldest] || st.have[oa.oldest].Full()) {
+		oa.oldest++
+	}
+	age := 0.0
+	if oa.oldest < oa.nextID {
+		age = float64(t) - float64(oa.arrivedAt[oa.oldest])
+	}
+	return oa.wd.Observe(float64(t), occ, age)
+}
+
+// drained reports the ergodic end state: the arrival pool is exhausted
+// and no present peer is still downloading (lingering seeds may remain).
+func (oa *simArrivals) drained(st *State) bool {
+	return oa.nextID == int32(st.n) && st.complete == st.aliveClients
+}
+
+// seal stamps the verdict and aggregates the open-run instrumentation
+// into res.Open.
+func (oa *simArrivals) seal(res *Result, st *State, v arrival.Verdict, reason arrival.Reason) {
+	o := &arrival.OpenResult{
+		Verdict:        v,
+		Reason:         reason,
+		Arrived:        int(oa.nextID) - 1,
+		Departed:       oa.departed,
+		EarlyExits:     oa.earlyExits,
+		PeakOccupancy:  oa.peak,
+		FinalOccupancy: st.aliveClients - st.complete,
+		Occupancy:      oa.occupancy,
+	}
+	var sum float64
+	for vv := 1; vv < int(oa.nextID); vv++ {
+		ct := res.ClientCompletion[vv]
+		if ct == 0 {
+			continue
+		}
+		o.Completed++
+		s := float64(ct) - float64(oa.arrivedAt[vv])
+		sum += s
+		if s > o.SojournMax {
+			o.SojournMax = s
+		}
+	}
+	if o.Completed > 0 {
+		o.SojournMean = sum / float64(o.Completed)
+	}
+	if oa.occupancy != nil {
+		o.ArrivalTime = make([]float64, st.n)
+		for vv := 1; vv < int(oa.nextID); vv++ {
+			o.ArrivalTime[vv] = float64(oa.arrivedAt[vv])
+		}
+	}
+	res.Open = o
+}

@@ -51,6 +51,7 @@ import (
 	"strings"
 
 	"barterdist/internal/adversary"
+	"barterdist/internal/arrival"
 	"barterdist/internal/bitset"
 	"barterdist/internal/checkpoint"
 	"barterdist/internal/fault"
@@ -129,6 +130,14 @@ type Config struct {
 	// the compliant engine unchanged. Like Fault, a Plan is single-use
 	// and composes with it: the adversary rules on each transfer first.
 	Adversary *adversary.Plan
+	// Arrivals attaches an open-system plan (Poisson peer arrivals,
+	// departures at completion or selfish early exit, seed policy).
+	// Nodes then becomes the *capacity* — an upper bound on cumulative
+	// arrivals — and the run ends with a stability verdict in
+	// Result.Open instead of a closed-batch completion. nil runs the
+	// closed engine unchanged. Single-use, and mutually exclusive with
+	// Fault and Adversary for now.
+	Arrivals *arrival.Plan
 	// Checkpoint enables periodic crash-safe snapshots of the full
 	// engine state: every Checkpoint.Every ticks the engine atomically
 	// rewrites Checkpoint.Path with a snapshot a later Resume call can
@@ -159,6 +168,17 @@ func (c *Config) Validate() error {
 	}
 	if c.DownloadCap < 0 {
 		bad = append(bad, fmt.Sprintf("DownloadCap = %d, need >= 0", c.DownloadCap))
+	}
+	if c.Arrivals != nil {
+		if c.Nodes < 2 {
+			bad = append(bad, "open-system mode needs Nodes >= 2 (capacity for at least one arrival)")
+		}
+		if c.Fault != nil {
+			bad = append(bad, "Arrivals cannot combine with Fault (open-system churn owns the liveness mask)")
+		}
+		if c.Adversary != nil {
+			bad = append(bad, "Arrivals cannot combine with Adversary (open-system completion semantics differ)")
+		}
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("simulate: invalid config: %s", strings.Join(bad, "; "))
@@ -377,8 +397,14 @@ type Result struct {
 	// RecordTrace is set) — the ground truth RunAudit replays against.
 	FinalHave []*bitset.Set
 	// FinalAlive is the final liveness mask (only when RecordTrace is
-	// set and a fault plan was active).
+	// set and a fault or arrival plan was active).
 	FinalAlive []bool
+
+	// Open holds the open-system verdict and robustness instrumentation
+	// (sojourn times, occupancy trajectory); nil for closed-batch runs.
+	// In open mode FaultLog carries the Arrive/Depart events and
+	// CompletionTime is the tick the run drained (or was truncated).
+	Open *arrival.OpenResult
 
 	// Adversary-layer outcomes; zero without an adversary plan.
 
@@ -540,6 +566,7 @@ type runner struct {
 	sched Scheduler
 	sf    *simFaults
 	adv   *adversary.Plan
+	oa    *simArrivals
 
 	caps         *capScratch
 	buf          []Transfer
@@ -615,6 +642,16 @@ func newRunner(cfg Config, sched Scheduler) (*runner, error) {
 		}
 		st.aliveClients = c.Nodes - 1
 	}
+	if c.Arrivals != nil {
+		if err := c.Arrivals.Acquire(); err != nil {
+			return nil, err
+		}
+		r.oa = newSimArrivals(c.Arrivals, c)
+		// Only the persistent server is present at tick 0; clients
+		// appear through the arrival stream with fresh ids.
+		st.alive = make([]bool, c.Nodes)
+		st.alive[0] = true
+	}
 	if adv := c.Adversary; adv != nil {
 		if adv.N() != c.Nodes {
 			return nil, fmt.Errorf("simulate: adversary plan built for %d nodes, config has %d", adv.N(), c.Nodes)
@@ -643,6 +680,17 @@ func newRunner(cfg Config, sched Scheduler) (*runner, error) {
 		// Result is dropped; undershoot falls back to append doubling.
 		transfers := (c.Nodes - 1) * c.Blocks
 		ticks := c.Blocks + 2*logCeil(c.Nodes) + 64
+		if r.oa != nil {
+			// Open-system runs have no fixed completion bound: (n-1)·k
+			// becomes an upper estimate (early exits and truncation
+			// deliver less), and the run lasts at least as long as the
+			// arrival stream — capacity/λ ticks to admit everyone plus
+			// the closed-batch drain tail. Both columns fall back to
+			// trace.Reserve's documented append-doubling grow path when
+			// the estimates undershoot (e.g. an Unstable run idling to
+			// its budget), so sizing here is a hint, never a cap.
+			ticks += int(float64(c.Nodes-1)/c.Arrivals.Options().Rate) + 1
+		}
 		res.Trace.Reserve(transfers, ticks, 0)
 		res.UploadsPerTick = make([]int, 0, ticks)
 	}
@@ -687,6 +735,16 @@ func (r *runner) step(t int) (done bool, err error) {
 		// client; the state is then that of the end of tick t-1.
 		if st.AllClientsComplete() {
 			r.finish(t - 1)
+			return true, nil
+		}
+	}
+	if r.oa != nil {
+		r.oa.beginTick(t, st, res)
+		// A departure can drain the swarm before any transfer is
+		// scheduled; the state is then that of the end of tick t-1.
+		if r.oa.drained(st) {
+			r.finish(t - 1)
+			r.oa.seal(res, st, arrival.VerdictDrained, arrival.ReasonNone)
 			return true, nil
 		}
 	}
@@ -779,6 +837,11 @@ func (r *runner) step(t int) (done bool, err error) {
 				if adv != nil {
 					r.completedNow = append(r.completedNow, tr.To)
 				}
+				if r.oa != nil {
+					r.oa.noteComplete(int(tr.To), t)
+				}
+			} else if r.oa != nil && int(tr.To) != 0 {
+				r.oa.noteDelivery(int(tr.To), t, st)
 			}
 		}
 		res.TotalTransfers++
@@ -801,6 +864,22 @@ func (r *runner) step(t int) (done bool, err error) {
 		st.lost, r.nextLost = r.nextLost, st.lost
 	}
 	st.tick = t
+	if r.oa != nil {
+		// Open runs end in a verdict, not a closed-batch completion:
+		// the watchdog truncates a diverging or starving swarm, and the
+		// drain check requires the arrival pool to be exhausted first.
+		if reason := r.oa.endTick(t, st); reason != arrival.ReasonNone {
+			r.finish(t)
+			r.oa.seal(res, st, arrival.VerdictUnstable, reason)
+			return true, nil
+		}
+		if r.oa.drained(st) {
+			r.finish(t)
+			r.oa.seal(res, st, arrival.VerdictDrained, arrival.ReasonNone)
+			return true, nil
+		}
+		return false, nil
+	}
 	if st.AllClientsComplete() {
 		r.finish(t)
 		return true, nil
@@ -840,6 +919,14 @@ func (r *runner) loop(start int) (*Result, error) {
 		}
 	}
 	st, c := r.st, r.c
+	if r.oa != nil {
+		// Bounded-run truncation: an open run that outlives its budget
+		// is reported as Unstable, never as an error — the verdict is
+		// the result.
+		r.finish(c.MaxTicks)
+		r.oa.seal(r.res, st, arrival.VerdictUnstable, arrival.ReasonBudget)
+		return r.res, nil
+	}
 	if st.honest != nil {
 		return nil, fmt.Errorf("%w (MaxTicks=%d, honest clients complete: %d/%d)",
 			ErrMaxTicks, c.MaxTicks, st.completeHonest, st.honestClients)

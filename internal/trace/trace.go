@@ -83,10 +83,19 @@ type Log struct {
 func New(kinded bool) *Log { return &Log{kinded: kinded} }
 
 // Reserve grows the columns to hold at least the given number of
-// transfers, ticks, and drops without further allocation. Callers
-// derive the transfer hint from the completion bound — a full run
+// *further* transfers, ticks, and drops without allocation. Closed
+// runs derive the transfer hint from the completion bound — a full run
 // delivers exactly (n-1)·k useful blocks, so that is the floor on the
 // scheduled-transfer count.
+//
+// The counts are hints, never caps. Open-system runs have no fixed
+// (n-1)·k bound — the cumulative arrival stream is unbounded and a
+// truncated (Unstable) run can deliver far less or idle far longer
+// than any estimate — so appends past the reservation simply fall back
+// to Go's append doubling; nothing is dropped and nothing over-runs.
+// Reserve is also additive from the current length, so a caller that
+// discovers mid-run that its estimate was short may Reserve again to
+// restore the zero-alloc steady state.
 func (l *Log) Reserve(transfers, ticks, drops int) {
 	grow32 := func(s []uint32, n int) []uint32 {
 		if cap(s)-len(s) >= n {

@@ -205,6 +205,44 @@ func TestReserveZeroAllocAppend(t *testing.T) {
 	}
 }
 
+// TestReserveGrowPath proves Reserve's counts are hints, not caps: an
+// open-system run that undershoots its estimate (the cumulative
+// arrival stream has no (n-1)·k bound) keeps appending correctly past
+// the reservation, and a second mid-stream Reserve is additive from
+// the current length and restores the zero-alloc steady state.
+func TestReserveGrowPath(t *testing.T) {
+	l := New(false)
+	l.Reserve(4, 2, 0)
+	var want []Transfer
+	tick := func(ts ...Transfer) {
+		l.AppendTick(ts, nil, nil)
+		want = append(want, ts...)
+	}
+	// Blow straight past the 4-transfer / 2-tick reservation.
+	for i := int32(0); i < 8; i++ {
+		tick(Transfer{From: 0, To: i + 1, Block: i},
+			Transfer{From: i + 1, To: 0, Block: i})
+	}
+	if l.Ticks() != 8 || l.Len() != 16 {
+		t.Fatalf("past-reservation log holds %d ticks / %d transfers, want 8/16", l.Ticks(), l.Len())
+	}
+	for i, tr := range want {
+		if got := l.At(i); got != tr {
+			t.Fatalf("transfer %d = %v after grow, want %v", i, got, tr)
+		}
+	}
+	// Re-reserving mid-stream preserves content and is zero-alloc again.
+	l.Reserve(2048, 128, 0)
+	if l.Ticks() != 8 || l.Len() != 16 {
+		t.Fatalf("mid-stream Reserve changed the log: %d ticks / %d transfers", l.Ticks(), l.Len())
+	}
+	ts := []Transfer{{9, 10, 11}}
+	allocs := testing.AllocsPerRun(100, func() { l.AppendTick(ts, nil, nil) })
+	if allocs != 0 {
+		t.Fatalf("AppendTick allocates %.1f times per call after mid-stream Reserve; want 0", allocs)
+	}
+}
+
 func TestAppendTickPanicsOnBadDrops(t *testing.T) {
 	assertPanics := func(name string, f func()) {
 		defer func() {
