@@ -6,9 +6,11 @@ package barterdist_test
 // paper artifact is recorded in DESIGN.md's experiment index.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"testing"
 
 	"barterdist"
@@ -16,6 +18,9 @@ import (
 	"barterdist/internal/experiment"
 	"barterdist/internal/fault"
 	"barterdist/internal/lint"
+	"barterdist/internal/mechanism"
+	"barterdist/internal/simulate"
+	"barterdist/internal/trace"
 )
 
 // Benchmarks run the generators with Workers: 1 so that ns/op measures
@@ -259,6 +264,99 @@ func BenchmarkScale20kCreditSmoke(b *testing.B) {
 		}
 		if res.CompletionTime <= 0 {
 			b.Fatal("no completion time")
+		}
+	}
+}
+
+// cannedScaleRun builds the n=20k, k=64 credit s=1 recorded run ONCE
+// per process — the same configuration as BenchmarkScale20kCreditSmoke
+// and the scale smoke test — so the audit-replay and trace-decode
+// benchmarks measure pure verification cost, not simulation.
+var cannedScaleRun = sync.OnceValue(func() *barterdist.Result {
+	res, err := barterdist.Run(barterdist.Config{
+		Nodes: 20000, Blocks: 64,
+		Algorithm:   barterdist.AlgoRandomized,
+		CreditLimit: 1,
+		DownloadCap: 1,
+		RecordTrace: true,
+		Seed:        46000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+})
+
+// BenchmarkAuditReplay is the full verification pass over the canned
+// 20k-peer trace: the engine-invariant replay (simulate.RunAudit) plus
+// the credit s=1 mechanism check, at audit worker widths 1 and 8. The
+// verdicts are byte-identical across widths — only wall-clock moves —
+// so the sub-benchmarks diff the parallel pipeline's speedup directly.
+func BenchmarkAuditReplay(b *testing.B) {
+	res := cannedScaleRun()
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			sc := res.SimConfig
+			sc.AuditWorkers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := simulate.RunAudit(sc, res.Sim); err != nil {
+					b.Fatal(err)
+				}
+				if err := mechanism.VerifyCreditLimitedLog(res.Sim.Trace, false, 1, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceAppend is the recording hot path: append one synthetic
+// 256-transfer tick (with a few drops) per iteration into a kinded
+// columnar log, sealing a compressed frame every 256 ticks. B/op is the
+// number to watch — the frame-compressed log holds ~4.6 bytes per
+// transfer at scale.
+func BenchmarkTraceAppend(b *testing.B) {
+	const perTick = 256
+	ts := make([]trace.Transfer, perTick)
+	for j := range ts {
+		ts[j] = trace.Transfer{From: int32(j), To: int32(j + 1), Block: int32(j % 64)}
+	}
+	dropIdx := []int32{3, 100}
+	dropKinds := []uint8{trace.KindFault, trace.KindRefused}
+	l := trace.New(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AppendTick(ts, dropIdx, dropKinds)
+	}
+	if l.Len() != b.N*perTick {
+		b.Fatal("bad append count")
+	}
+}
+
+// BenchmarkTraceDecode walks the canned 20k-peer compressed trace end
+// to end through the frame decode window — the read path every audit
+// task and mechanism lane is built on.
+func BenchmarkTraceDecode(b *testing.B) {
+	l := cannedScaleRun().Sim.Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w trace.Win
+		sum := uint32(0)
+		for j := 0; j < l.Len(); {
+			from, to, block, base, end := l.Window(&w, j)
+			stop := l.Len()
+			if end < stop {
+				stop = end
+			}
+			for ; j < stop; j++ {
+				k := j - base
+				sum += from[k] + to[k] + block[k]
+			}
+		}
+		if sum == 0 {
+			b.Fatal("empty trace")
 		}
 	}
 }

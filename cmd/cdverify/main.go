@@ -47,7 +47,9 @@ func main() {
 	kset := flag.String("kset", "4,8,11,16", "comma-separated block counts")
 	churn := flag.Bool("churn", true, "also audit fault-injected runs")
 	adv := flag.Bool("adversary", true, "also audit adversarial runs (free-riders, liars, corrupters)")
+	auditW := flag.Int("auditworkers", 0, "worker pool width for audit replay and mechanism verification (0 or 1 = sequential; verdicts identical for any value)")
 	flag.Parse()
+	auditWorkers = *auditW
 
 	ks, err := parseInts(*kset)
 	if err != nil {
@@ -101,6 +103,7 @@ func auditChurn() int {
 	for i, sc := range scenarios {
 		res, err := core.Run(core.Config{
 			Nodes: 24, Blocks: 16, Algorithm: sc.algo, Seed: 7, RecordTrace: true,
+			AuditWorkers: auditWorkers,
 			Fault: &fault.Options{
 				Seed:              uint64(1000 + i),
 				CrashRate:         sc.crash,
@@ -160,6 +163,7 @@ func auditAdversaries() int {
 		res, err := core.Run(core.Config{
 			Nodes: 32, Blocks: 16, Algorithm: sc.algo, CreditLimit: sc.credit,
 			Seed: 11, RecordTrace: true, Adversary: &m,
+			AuditWorkers: auditWorkers,
 		})
 		if err != nil {
 			fmt.Printf("%-24s run failed: %v\n", sc.label, err)
@@ -177,7 +181,7 @@ func auditAdversaries() int {
 			fmt.Printf("    EXPECTATION VIOLATED: behavior audit: %v\n", aerr)
 			bad++
 		}
-		starveErr := mechanism.VerifyStarvation(res.Sim, 1)
+		starveErr := mechanism.VerifyStarvationLog(res.Sim, 1, auditWorkers)
 		starve := "starved"
 		if starveErr != nil {
 			starve = "leeches"
@@ -197,6 +201,13 @@ func auditAdversaries() int {
 	return bad
 }
 
+// auditWorkers is the -auditworkers flag: the worker pool width every
+// audit and mechanism verification in this tool runs at. Verdicts are
+// byte-identical for any value — that is the parallel auditor's
+// determinism contract, exercised directly by running this tool at
+// different widths and diffing the output.
+var auditWorkers int
+
 func stepFor(n int) int {
 	if n < 12 {
 		return 1
@@ -207,13 +218,14 @@ func stepFor(n int) int {
 func auditRow(n, k int, label string, algo core.Algorithm) int {
 	res, err := core.Run(core.Config{
 		Nodes: n, Blocks: k, Algorithm: algo, RecordTrace: true,
+		AuditWorkers: auditWorkers,
 	})
 	if err != nil {
 		fmt.Printf("%-6d %-6d %-18s run failed: %v\n", n, k, label, err)
 		return 1
 	}
 	strict := "no"
-	if mechanism.VerifyStrictBarter(res.Sim.Trace.Cursor()) == nil {
+	if mechanism.VerifyStrictBarterLog(res.Sim.Trace, false, auditWorkers) == nil {
 		strict = "YES"
 	}
 	minCredit := res.MinimalCreditLimit

@@ -17,6 +17,29 @@ func FuzzCheckpointDecode(f *testing.F) {
 	flipped := append([]byte(nil), data...)
 	flipped[len(flipped)-1] ^= 0x80
 	f.Add(flipped)
+	// A section carrying a frame-compressed trace payload (snapshot
+	// layout v2): version byte, kinded flag, one sealed frame of three
+	// const-encoded columns, empty open tail, and the tick/drop offset
+	// columns. Keeps the container fuzzer reaching into the framed
+	// decode surface the engines embed in their run snapshots.
+	framed := NewEncoder(128)
+	framed.U8(2)
+	framed.Bool(false)
+	framed.Int(1)
+	framed.U32(0)
+	framed.U32(0)
+	framed.Bytes8([]byte{0, 1, 0, 2, 0, 3}) // 3 × (const mode, uvarint value)
+	framed.Uint32s(nil)
+	framed.Uint32s(nil)
+	framed.Uint32s(nil)
+	framed.Uint32s([]uint32{65536})
+	framed.Uint32s(nil)
+	framed.Bytes8(nil)
+	framed.Int(0)
+	framed.Uint32s([]uint32{0})
+	withTrace := buildSample()
+	withTrace.Add("trace", framed.Bytes())
+	f.Add(withTrace.Encode())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := Decode(data)

@@ -129,6 +129,13 @@ type Config struct {
 	// wall-clock for cores.
 	ShardWorkers int
 
+	// AuditWorkers is how many OS workers the post-run audits use:
+	// simulate.RunAudit's fixed tick-chunk/node-lane partition and the
+	// mechanism verifiers' pair lanes. 0 and 1 both mean inline
+	// sequential replay. Verdicts and error text are byte-identical for
+	// every value; the knob only trades wall-clock for cores.
+	AuditWorkers int
+
 	// DownloadCap is the per-node download capacity D. 0 lets Run choose
 	// the algorithm's natural requirement (2 for the overlapped riffle,
 	// 1 for the randomized algorithm, unbounded for deterministic
@@ -236,6 +243,9 @@ func (c *Config) Validate() error {
 	if c.ShardWorkers < 0 {
 		return fmt.Errorf("core: ShardWorkers = %d is invalid", c.ShardWorkers)
 	}
+	if c.AuditWorkers < 0 {
+		return fmt.Errorf("core: AuditWorkers = %d is invalid", c.AuditWorkers)
+	}
 	if c.Arrivals != nil {
 		if err := c.Arrivals.Validate(); err != nil {
 			return fmt.Errorf("core: %w", err)
@@ -311,12 +321,13 @@ func prepare(cfg *Config) (simulate.Config, simulate.Scheduler, string, error) {
 		cfg.Algorithm = AlgoBinomialPipeline
 	}
 	simCfg := simulate.Config{
-		Nodes:       cfg.Nodes,
-		Blocks:      cfg.Blocks,
-		DownloadCap: cfg.DownloadCap,
-		MaxTicks:    cfg.MaxTicks,
-		RecordTrace: cfg.RecordTrace || cfg.Verify != MechanismNone,
-		Checkpoint:  cfg.Checkpoint,
+		Nodes:        cfg.Nodes,
+		Blocks:       cfg.Blocks,
+		DownloadCap:  cfg.DownloadCap,
+		MaxTicks:     cfg.MaxTicks,
+		RecordTrace:  cfg.RecordTrace || cfg.Verify != MechanismNone,
+		AuditWorkers: cfg.AuditWorkers,
+		Checkpoint:   cfg.Checkpoint,
 	}
 	if cfg.DownloadCap == DownloadUnlimited {
 		simCfg.DownloadCap = simulate.Unlimited
@@ -377,7 +388,7 @@ func buildResult(cfg Config, simCfg simulate.Config, overlayName string, simRes 
 	res.SimConfig.Checkpoint = nil // replays should not overwrite the live checkpoint
 	res.SimConfig.Arrivals = nil   // ditto: the consumed arrival plan is single-use
 	if simRes.Trace != nil && simRes.Trace.Len() > 0 {
-		res.MinimalCreditLimit = mechanism.MinimalCreditLimit(simRes.Trace.Cursor())
+		res.MinimalCreditLimit = mechanism.MinimalCreditLimitLog(simRes.Trace, false, cfg.AuditWorkers)
 	}
 	if err := verify(cfg, simRes); err != nil {
 		return res, err
@@ -528,9 +539,9 @@ func verify(cfg Config, simRes *simulate.Result) error {
 	}
 	switch cfg.Verify {
 	case MechanismStrict:
-		return mechanism.VerifyStrictBarter(simRes.Trace.ReleasedCursor())
+		return mechanism.VerifyStrictBarterLog(simRes.Trace, true, cfg.AuditWorkers)
 	case MechanismCredit:
-		return mechanism.VerifyCreditLimited(simRes.Trace.ReleasedCursor(), limit)
+		return mechanism.VerifyCreditLimitedLog(simRes.Trace, true, limit, cfg.AuditWorkers)
 	case MechanismTriangular:
 		return mechanism.VerifyTriangular(simRes.Trace.ReleasedCursor(), limit)
 	default:

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+
+	"barterdist/internal/adversary"
+	"barterdist/internal/arrival"
+	"barterdist/internal/fault"
+)
+
+// goldenFingerprints pins the sha256 of the schedule fingerprint for a
+// spread of seeded scenarios. Unlike TestCrossEngineDeterminism (which
+// proves run-to-run stability within one build), these hashes prove
+// stability *across* builds: a representation change — e.g. the
+// frame-compressed trace columns — must reproduce the exact draw
+// sequence and trace bytes of the revision that recorded them.
+// Regenerate only for a sanctioned re-baseline:
+//
+//	CDGOLD_UPDATE=1 go test ./internal/core -run TestScheduleFingerprintGolden -v
+var goldenFingerprints = map[string]string{
+	"randomized+fault":           "34fa4088d016badf1fa155485bc3d0f37b3dce1e92b37817093c89354fdcbbcc",
+	"triangular+adversary":       "191e045fd5ca22360948eea8f3d75480f86cd00daeba0db31ec0a59cc5128010",
+	"randomized+credit+shard":    "e99ad9731923696b7d0ee1407c39fda3cf4592ee709276fab9f54ddcfd233dd4",
+	"open-system+churn":          "4f5e7a540654ff734aaf086523685a28277954b3e62f675a50556720ed7cc42b",
+	"binomial-pipeline+selfheal": "7d5f593de0fd4a8a0f5479a597d299b5ef3d59ce5c948ac5b8e64696a1d1b2b2",
+}
+
+func goldenScenario(name string) Config {
+	faultOpts := &fault.Options{
+		Seed: 77, CrashRate: 0.08, MaxCrashes: 3, RejoinDelay: 4,
+		RejoinLosesBlocks: true, LossRate: 0.05, Victim: fault.VictimUniform,
+	}
+	advOpts := &adversary.Options{
+		Seed: 99, FreeRiderFrac: 0.15, ThrottlerFrac: 0.1,
+		FalseAdvertiserFrac: 0.1, CorrupterFrac: 0.1, DefectorFrac: 0.05,
+	}
+	switch name {
+	case "randomized+fault":
+		return Config{Nodes: 24, Blocks: 12, Algorithm: AlgoRandomized,
+			Overlay: OverlayRandomRegular, Degree: 6, Seed: 42, Fault: faultOpts}
+	case "triangular+adversary":
+		return Config{Nodes: 20, Blocks: 10, Algorithm: AlgoTriangular,
+			CycleLimit: 3, CreditLimit: 1, Seed: 17, Fault: faultOpts, Adversary: advOpts}
+	case "randomized+credit+shard":
+		return Config{Nodes: 48, Blocks: 16, Algorithm: AlgoRandomized,
+			CreditLimit: 1, Seed: 13, ShardWorkers: 4, Fault: faultOpts, Adversary: advOpts}
+	case "open-system+churn":
+		return Config{Nodes: 41, Blocks: 8, Algorithm: AlgoRandomized,
+			Seed: 29,
+			Arrivals: &arrival.Options{
+				Seed: 5, Rate: 1.5, EarlyExit: 0.2, Linger: 3,
+			}}
+	case "binomial-pipeline+selfheal":
+		return Config{Nodes: 18, Blocks: 9, Algorithm: AlgoBinomialPipeline,
+			Seed: 5, Fault: faultOpts}
+	}
+	panic("unknown golden scenario " + name)
+}
+
+func TestScheduleFingerprintGolden(t *testing.T) {
+	update := os.Getenv("CDGOLD_UPDATE") != ""
+	for name, want := range goldenFingerprints {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			cfg := goldenScenario(name)
+			cfg.RecordTrace = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			sum := sha256.Sum256([]byte(fingerprint(res)))
+			got := hex.EncodeToString(sum[:])
+			if update || want == "" {
+				t.Logf("goldenFingerprints[%q] = %q", name, got)
+				if want == "" {
+					t.Skip("golden hash not recorded yet")
+				}
+			}
+			if got != want {
+				t.Fatalf("schedule fingerprint drifted:\n got %s\nwant %s\n"+
+					"(representation changes must not move the draw sequence; "+
+					"re-baseline only with CDGOLD_UPDATE=1 and a sanctioned reason)", got, want)
+			}
+		})
+	}
+}

@@ -49,4 +49,23 @@ func TestLargeSwarmSmoke(t *testing.T) {
 	if err := mechanism.VerifyCreditLimited(res.Sim.Trace.Cursor(), cfg.CreditLimit); err != nil {
 		t.Fatalf("VerifyCreditLimited: %v", err)
 	}
+	// The same audit through the parallel pipeline at width 8 must agree.
+	sc := res.SimConfig
+	sc.AuditWorkers = 8
+	if err := simulate.RunAudit(sc, res.Sim); err != nil {
+		t.Fatalf("RunAudit(AuditWorkers=8): %v", err)
+	}
+	if err := mechanism.VerifyCreditLimitedLog(res.Sim.Trace, false, cfg.CreditLimit, 8); err != nil {
+		t.Fatalf("VerifyCreditLimitedLog(workers=8): %v", err)
+	}
+	// Compression regression pin: the sealed frame-compressed log must
+	// hold this ~1.3M-transfer trace at no more than 5 bytes per
+	// transfer (raw columns are 12 B + drop bookkeeping). A codec
+	// regression — a column falling off encDelta/encSplit onto encRaw,
+	// or frames failing to seal — shows up here long before the 10^5
+	// and 10^6 capstone runs would catch it.
+	n := res.Sim.Trace.Len()
+	if bpt := float64(res.Sim.Trace.MemSize()) / float64(n); bpt > 5 {
+		t.Errorf("trace footprint %.2f B/transfer over %d transfers; want <= 5", bpt, n)
+	}
 }

@@ -1,0 +1,342 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"barterdist/internal/parallel"
+	"barterdist/internal/trace"
+)
+
+// This file holds the deterministic parallel forms of the ledger
+// verifiers. The trace's frame-compressed Log is safe for concurrent
+// readers (each reader owns its decode window), so the credit ledger
+// can be partitioned by *pair*: every unordered client pair {u, v}
+// belongs to the fixed lane min(u, v) % pairLanes, each lane replays
+// the whole trace but books only its own pairs, and the reported
+// violation is the one whose pair was first touched — (tick, position)
+// minimal — in the tick that ends in violation. That selection rule is
+// computable lane-locally and totally ordered, so the verdict and the
+// error text are byte-identical for any worker count, including the
+// workers=1 inline path. (The map-iteration selection the sequential
+// verifiers used before this existed was not even run-to-run stable.)
+
+// pairLanes is the fixed pair-partition width of the parallel ledger
+// verifiers; independent of the worker count by construction.
+const pairLanes = 8
+
+// View modes: which transfers a ledger scan books.
+const (
+	// viewFull books every scheduled transfer (Log.Cursor semantics).
+	viewFull uint8 = iota
+	// viewReleased skips transfers the sender never released — dropped
+	// with an adversary kind (Log.ReleasedCursor semantics).
+	viewReleased
+	// viewDelivered books only transfers that actually delivered
+	// (the starvation auditor's Dropped() skip).
+	viewDelivered
+)
+
+// ledgerHit is one lane's earliest violation: the tick it surfaced and
+// the in-tick position at which the offending pair was first touched.
+type ledgerHit struct {
+	tick, pos int
+	v         *Violation
+}
+
+// betterHit returns the earlier of two hits (nil = none).
+func betterHit(a, b *ledgerHit) *ledgerHit {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.tick != b.tick:
+		if a.tick < b.tick {
+			return a
+		}
+		return b
+	case a.pos <= b.pos:
+		return a
+	}
+	return b
+}
+
+// ledgerScan replays the trace booking one lane's pairs (lane -1 books
+// all pairs: the sequential reference). only, when non-nil, restricts
+// booking to pairs with at least one flagged endpoint (the starvation
+// auditor's free-rider filter). With limit >= 1 it returns the lane's
+// earliest violation (starve selects the starvation message); with
+// limit 0 it returns the lane's peak absolute net balance.
+func ledgerScan(l *trace.Log, view uint8, lane int, only []bool, limit int, starve bool) (*ledgerHit, int) {
+	net := make(map[uint64]int)
+	lastTick := make(map[uint64]int)
+	type touch struct {
+		key uint64
+		pos int
+	}
+	var touched []touch
+	var w trace.Win
+	var dropIdx []int32
+	var dropKinds []uint8
+	maxAbs := 0
+	for t := 1; t <= l.Ticks(); t++ {
+		start, end := l.TickSpan(t - 1)
+		touched = touched[:0]
+		dp := 0
+		if view != viewFull {
+			dropIdx, dropKinds = l.AppendTickDrops(t-1, dropIdx[:0], dropKinds[:0])
+		}
+		for i := start; i < end; {
+			from, to, _, base, wend := l.Window(&w, i)
+			stop := end
+			if wend < stop {
+				stop = wend
+			}
+			for ; i < stop; i++ {
+				dropped := false
+				kind := trace.KindFault
+				if view != viewFull && dp < len(dropIdx) && int(dropIdx[dp]) == i-start {
+					dropped = true
+					if dp < len(dropKinds) {
+						kind = dropKinds[dp]
+					}
+					dp++
+				}
+				if dropped && (view == viewDelivered || kind >= trace.KindRefused) {
+					continue
+				}
+				j := i - base
+				u := int32(from[j])
+				v := int32(to[j])
+				if u == 0 || v == 0 {
+					continue
+				}
+				if only != nil {
+					uf := u > 0 && int(u) < len(only) && only[u]
+					vf := v > 0 && int(v) < len(only) && only[v]
+					if !uf && !vf {
+						continue
+					}
+				}
+				if lane >= 0 {
+					lo := u
+					if v < lo {
+						lo = v
+					}
+					if int(uint32(lo))%pairLanes != lane {
+						continue
+					}
+				}
+				key, swapped := pairKey(u, v)
+				if lastTick[key] != t {
+					lastTick[key] = t
+					touched = append(touched, touch{key, i - start})
+				}
+				if swapped {
+					net[key]--
+				} else {
+					net[key]++
+				}
+			}
+		}
+		// Tick boundary: only pairs touched this tick can have moved.
+		// Touch order is ascending first-touch position, so the first
+		// violating pair found is the lane's minimal hit for this tick.
+		for _, tc := range touched {
+			n := net[tc.key]
+			if limit >= 1 {
+				if n > limit || -n > limit {
+					u, v := int32(tc.key>>32), int32(uint32(tc.key))
+					if n < 0 {
+						u, v = v, u
+						n = -n
+					}
+					reason := fmt.Sprintf("net transfer %d exceeds credit limit %d", n, limit)
+					if starve {
+						reason = fmt.Sprintf("free-rider %d received %d net blocks from client %d, above credit limit %d — barter failed to starve it", v, n, u, limit)
+					}
+					return &ledgerHit{tick: t, pos: tc.pos, v: &Violation{Tick: t, From: u, To: v, Reason: reason}}, maxAbs
+				}
+			} else {
+				if n < 0 {
+					n = -n
+				}
+				if n > maxAbs {
+					maxAbs = n
+				}
+			}
+		}
+	}
+	return nil, maxAbs
+}
+
+// runLanes executes one ledgerScan per pair lane on the worker pool and
+// merges the per-lane results deterministically. The error is non-nil
+// only when a lane panicked (a *parallel.PanicError).
+func runLanes(l *trace.Log, view uint8, only []bool, limit, workers int, starve bool) (*ledgerHit, int, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	type out struct {
+		hit *ledgerHit
+		max int
+	}
+	outs, err := parallel.Map(workers, pairLanes, func(i int) (out, error) {
+		h, m := ledgerScan(l, view, i, only, limit, starve)
+		return out{h, m}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var hit *ledgerHit
+	maxAbs := 0
+	for _, o := range outs {
+		hit = betterHit(hit, o.hit)
+		if o.max > maxAbs {
+			maxAbs = o.max
+		}
+	}
+	return hit, maxAbs, nil
+}
+
+// strictScan checks strict barter over one contiguous tick chunk
+// [loTick, hiTick) of the log (0-based). Tick state never crosses tick
+// boundaries under strict barter, so a tick partition is exact.
+func strictScan(l *trace.Log, view uint8, loTick, hiTick int) *ledgerHit {
+	fwd := make(map[uint64]int)
+	firstPos := make(map[uint64]int)
+	var order []uint64
+	var w trace.Win
+	var dropIdx []int32
+	var dropKinds []uint8
+	for t := loTick + 1; t <= hiTick; t++ {
+		start, end := l.TickSpan(t - 1)
+		clear(fwd)
+		clear(firstPos)
+		order = order[:0]
+		dp := 0
+		if view != viewFull {
+			dropIdx, dropKinds = l.AppendTickDrops(t-1, dropIdx[:0], dropKinds[:0])
+		}
+		for i := start; i < end; {
+			from, to, _, base, wend := l.Window(&w, i)
+			stop := end
+			if wend < stop {
+				stop = wend
+			}
+			for ; i < stop; i++ {
+				dropped := false
+				kind := trace.KindFault
+				if view != viewFull && dp < len(dropIdx) && int(dropIdx[dp]) == i-start {
+					dropped = true
+					if dp < len(dropKinds) {
+						kind = dropKinds[dp]
+					}
+					dp++
+				}
+				if dropped && (view == viewDelivered || kind >= trace.KindRefused) {
+					continue
+				}
+				j := i - base
+				u := int32(from[j])
+				v := int32(to[j])
+				if u == 0 || v == 0 {
+					continue
+				}
+				key := uint64(uint32(u))<<32 | uint64(uint32(v))
+				if fwd[key] == 0 {
+					order = append(order, key)
+					firstPos[key] = i - start
+				}
+				fwd[key]++
+			}
+		}
+		for _, key := range order {
+			cnt := fwd[key]
+			u, v := int32(key>>32), int32(uint32(key))
+			rev := fwd[uint64(uint32(v))<<32|uint64(uint32(u))]
+			if rev != cnt {
+				return &ledgerHit{tick: t, pos: firstPos[key], v: &Violation{
+					Tick: t, From: u, To: v,
+					Reason: fmt.Sprintf("%d transfer(s) forward but %d in return (strict barter requires a simultaneous exchange)", cnt, rev),
+				}}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyStrictBarterLog is the parallel form of VerifyStrictBarter,
+// reading the frame-compressed Log directly. Strict barter carries no
+// state across ticks, so the run is partitioned into pairLanes
+// contiguous tick chunks executed on workers OS workers; the earliest
+// violating tick wins the merge. released selects the released view
+// (ReleasedCursor semantics). The verdict and error text are
+// byte-identical for any worker count.
+func VerifyStrictBarterLog(l *trace.Log, released bool, workers int) error {
+	view := viewFull
+	if released {
+		view = viewReleased
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	ticks := l.Ticks()
+	hits, err := parallel.Map(workers, pairLanes, func(i int) (*ledgerHit, error) {
+		lo := ticks * i / pairLanes
+		hi := ticks * (i + 1) / pairLanes
+		return strictScan(l, view, lo, hi), nil
+	})
+	if err != nil {
+		return err
+	}
+	var hit *ledgerHit
+	for _, h := range hits {
+		hit = betterHit(hit, h)
+	}
+	if hit != nil {
+		return hit.v
+	}
+	return nil
+}
+
+// VerifyCreditLimitedLog is the parallel form of VerifyCreditLimited,
+// reading the frame-compressed Log directly: the pair ledger is
+// partitioned over fixed pair lanes executed on workers OS workers.
+// released selects the released view (ReleasedCursor semantics —
+// transfers an adversarial sender never released are excluded);
+// otherwise every scheduled transfer is booked, matching Log.Cursor.
+// The verdict and error text are byte-identical for any worker count.
+func VerifyCreditLimitedLog(l *trace.Log, released bool, s, workers int) error {
+	if s < 1 {
+		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
+	}
+	view := viewFull
+	if released {
+		view = viewReleased
+	}
+	hit, _, err := runLanes(l, view, nil, s, workers, false)
+	if err != nil {
+		return err
+	}
+	if hit != nil {
+		return hit.v
+	}
+	return nil
+}
+
+// MinimalCreditLimitLog is the parallel form of MinimalCreditLimit:
+// the peak per-pair imbalance at any tick boundary, computed over
+// fixed pair lanes on workers OS workers. The result is the maximum
+// over lanes, identical for any worker count.
+func MinimalCreditLimitLog(l *trace.Log, released bool, workers int) int {
+	view := viewFull
+	if released {
+		view = viewReleased
+	}
+	_, maxAbs, err := runLanes(l, view, nil, 0, workers, false)
+	if err != nil {
+		panic(err) // a lane panicked; sequential code would have panicked too
+	}
+	return maxAbs
+}

@@ -22,6 +22,7 @@ package mechanism
 
 import (
 	"fmt"
+	"slices"
 
 	"barterdist/internal/trace"
 )
@@ -140,17 +141,28 @@ func (v *Violation) Error() string {
 // Log.ReleasedCursor to exclude transfers an adversarial sender never
 // released).
 func VerifyStrictBarter(cur *trace.Cursor) error {
+	// fwd[u<<32|v] counts transfers u -> v this tick; order remembers
+	// each direction's first appearance so the reported violation is
+	// deterministic (the earliest-touched unbalanced direction), not an
+	// artifact of map iteration.
+	fwd := make(map[uint64]int)
+	var order []uint64
 	for cur.NextTick() {
-		// fwd[u<<32|v] counts transfers u -> v this tick.
-		fwd := make(map[uint64]int)
+		clear(fwd)
+		order = order[:0]
 		for cur.Next() {
 			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
-			fwd[uint64(uint32(tr.From))<<32|uint64(uint32(tr.To))]++
+			key := uint64(uint32(tr.From))<<32 | uint64(uint32(tr.To))
+			if fwd[key] == 0 {
+				order = append(order, key)
+			}
+			fwd[key]++
 		}
-		for key, cnt := range fwd {
+		for _, key := range order {
+			cnt := fwd[key]
 			u, v := int32(key>>32), int32(uint32(key))
 			rev := fwd[uint64(uint32(v))<<32|uint64(uint32(u))]
 			if rev != cnt {
@@ -172,29 +184,42 @@ func VerifyCreditLimited(cur *trace.Cursor, s int) error {
 	if s < 1 {
 		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
 	}
+	// Only pairs touched in the current tick can have moved, so the
+	// tick-boundary sweep walks the touched list — O(transfers) overall
+	// instead of O(ticks × pairs) — in first-touch order, which makes
+	// the reported violation deterministic and identical to the one
+	// VerifyCreditLimitedLog selects for any worker count.
 	net := make(map[uint64]int)
+	lastTick := make(map[uint64]int)
+	var touched []uint64
 	for cur.NextTick() {
+		t := cur.Tick()
+		touched = touched[:0]
 		for cur.Next() {
 			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
 			key, swapped := pairKey(tr.From, tr.To)
+			if lastTick[key] != t {
+				lastTick[key] = t
+				touched = append(touched, key)
+			}
 			if swapped {
 				net[key]--
 			} else {
 				net[key]++
 			}
 		}
-		for key, n := range net {
-			if n > s || -n > s {
+		for _, key := range touched {
+			if n := net[key]; n > s || -n > s {
 				u, v := int32(key>>32), int32(uint32(key))
 				if n < 0 {
 					u, v = v, u
 					n = -n
 				}
 				return &Violation{
-					Tick: cur.Tick(), From: u, To: v,
+					Tick: t, From: u, To: v,
 					Reason: fmt.Sprintf("net transfer %d exceeds credit limit %d", n, s),
 				}
 			}
@@ -208,22 +233,34 @@ func VerifyCreditLimited(cur *trace.Cursor, s int) error {
 // imbalance at any tick boundary. A fully cooperative trace may return
 // large values; the Riffle Pipeline returns 1.
 func MinimalCreditLimit(cur *trace.Cursor) int {
+	// Peak imbalance can only move through pairs touched in the current
+	// tick, so the boundary sweep walks the touched list: O(transfers)
+	// overall instead of O(ticks × pairs).
 	net := make(map[uint64]int)
+	lastTick := make(map[uint64]int)
+	var touched []uint64
 	max := 0
 	for cur.NextTick() {
+		t := cur.Tick()
+		touched = touched[:0]
 		for cur.Next() {
 			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
 			key, swapped := pairKey(tr.From, tr.To)
+			if lastTick[key] != t {
+				lastTick[key] = t
+				touched = append(touched, key)
+			}
 			if swapped {
 				net[key]--
 			} else {
 				net[key]++
 			}
 		}
-		for _, n := range net {
+		for _, key := range touched {
+			n := net[key]
 			if n < 0 {
 				n = -n
 			}
@@ -244,77 +281,98 @@ func MinimalCreditLimit(cur *trace.Cursor) int {
 // Cycle cancellation is greedy — 2-cycles first, then 3-cycles — which
 // matches the enforceable handshake the paper sketches (a node agrees to
 // a triangle before transmitting, so cycles are explicit, not found by
-// an optimizer).
+// an optimizer). Cancellation and the credit sweep both run in the
+// canonical first-appearance order of each tick's directed edges (with
+// 3-cycle third parties tried in ascending node id), so the verdict and
+// the reported violation are deterministic, not an artifact of map
+// iteration.
 func VerifyTriangular(cur *trace.Cursor, s int) error {
 	if s < 1 {
 		return fmt.Errorf("mechanism: credit limit %d must be >= 1", s)
 	}
 	net := make(map[uint64]int)
+	lastTick := make(map[uint64]int)
+	count := make(map[uint64]int) // count[u<<32|v] = remaining uncancelled u -> v this tick
+	outs := make(map[int32][]int32)
+	var edges []uint64   // this tick's directed edges, first-appearance order
+	var touched []uint64 // this tick's charged pairs, charge order
+	var thirds []int32
 	for cur.NextTick() {
-		// count[u][v] = remaining uncancelled transfers u -> v this tick.
-		count := make(map[int32]map[int32]int)
-		addEdge := func(u, v int32, d int) {
-			m := count[u]
-			if m == nil {
-				m = make(map[int32]int)
-				count[u] = m
-			}
-			m[v] += d
-			if m[v] == 0 {
-				delete(m, v)
-				if len(m) == 0 {
-					delete(count, u)
-				}
-			}
-		}
+		t := cur.Tick()
+		clear(count)
+		clear(outs)
+		edges = edges[:0]
+		touched = touched[:0]
 		for cur.Next() {
 			tr := cur.Transfer()
 			if tr.From == 0 || tr.To == 0 {
 				continue
 			}
-			addEdge(tr.From, tr.To, 1)
+			key := uint64(uint32(tr.From))<<32 | uint64(uint32(tr.To))
+			if count[key] == 0 {
+				edges = append(edges, key)
+				outs[tr.From] = append(outs[tr.From], tr.To)
+			}
+			count[key]++
 		}
+		dir := func(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
 		// Cancel 2-cycles.
-		for u, outs := range count {
-			for v := range outs {
-				for count[u][v] > 0 && count[v][u] > 0 {
-					addEdge(u, v, -1)
-					addEdge(v, u, -1)
-				}
+		for _, key := range edges {
+			u, v := int32(key>>32), int32(uint32(key))
+			rev := dir(v, u)
+			for count[key] > 0 && count[rev] > 0 {
+				count[key]--
+				count[rev]--
 			}
 		}
-		// Cancel 3-cycles.
-		for u, outs := range count {
-			for v := range outs {
-				for w := range count[v] {
-					for count[u][v] > 0 && count[v][w] > 0 && count[w][u] > 0 {
-						addEdge(u, v, -1)
-						addEdge(v, w, -1)
-						addEdge(w, u, -1)
-					}
+		// Cancel 3-cycles: for each remaining edge u -> v in order, try
+		// third parties w (v's remaining out-neighbors) ascending.
+		for _, key := range edges {
+			u, v := int32(key>>32), int32(uint32(key))
+			if count[key] == 0 {
+				continue
+			}
+			thirds = append(thirds[:0], outs[v]...)
+			slices.Sort(thirds)
+			for _, w := range thirds {
+				vw, wu := dir(v, w), dir(w, u)
+				for count[key] > 0 && count[vw] > 0 && count[wu] > 0 {
+					count[key]--
+					count[vw]--
+					count[wu]--
+				}
+				if count[key] == 0 {
+					break
 				}
 			}
 		}
 		// Remaining transfers consume credit.
-		for u, outs := range count {
-			for v, c := range outs {
-				key, swapped := pairKey(u, v)
-				if swapped {
-					net[key] -= c
-				} else {
-					net[key] += c
-				}
+		for _, key := range edges {
+			c := count[key]
+			if c == 0 {
+				continue
+			}
+			u, v := int32(key>>32), int32(uint32(key))
+			pk, swapped := pairKey(u, v)
+			if lastTick[pk] != t {
+				lastTick[pk] = t
+				touched = append(touched, pk)
+			}
+			if swapped {
+				net[pk] -= c
+			} else {
+				net[pk] += c
 			}
 		}
-		for key, n := range net {
-			if n > s || -n > s {
-				u, v := int32(key>>32), int32(uint32(key))
+		for _, pk := range touched {
+			if n := net[pk]; n > s || -n > s {
+				u, v := int32(pk>>32), int32(uint32(pk))
 				if n < 0 {
 					u, v = v, u
 					n = -n
 				}
 				return &Violation{
-					Tick: cur.Tick(), From: u, To: v,
+					Tick: t, From: u, To: v,
 					Reason: fmt.Sprintf("net non-cycle transfer %d exceeds credit limit %d", n, s),
 				}
 			}

@@ -138,6 +138,12 @@ type Config struct {
 	// closed engine unchanged. Single-use, and mutually exclusive with
 	// Fault and Adversary for now.
 	Arrivals *arrival.Plan
+	// AuditWorkers is how many OS workers RunAudit spreads its fixed
+	// tick-chunk and node-lane partition over. 0 and 1 both mean inline
+	// sequential replay. Verdicts — including error text — are
+	// byte-identical for every value; the knob only trades wall-clock
+	// for cores.
+	AuditWorkers int
 	// Checkpoint enables periodic crash-safe snapshots of the full
 	// engine state: every Checkpoint.Every ticks the engine atomically
 	// rewrites Checkpoint.Path with a snapshot a later Resume call can
@@ -179,6 +185,9 @@ func (c *Config) Validate() error {
 		if c.Adversary != nil {
 			bad = append(bad, "Arrivals cannot combine with Adversary (open-system completion semantics differ)")
 		}
+	}
+	if c.AuditWorkers < 0 {
+		bad = append(bad, fmt.Sprintf("AuditWorkers = %d, need >= 0", c.AuditWorkers))
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("simulate: invalid config: %s", strings.Join(bad, "; "))
@@ -717,6 +726,12 @@ func (r *runner) finish(t int) *Result {
 		}
 		if st.alive != nil {
 			res.FinalAlive = append([]bool(nil), st.alive...)
+		}
+		if res.Trace != nil {
+			// Recording is over: trim the trace to its compressed
+			// footprint so MemSize and long-lived RSS reflect the
+			// sealed frames, not append-path headroom.
+			res.Trace.Compact()
 		}
 	}
 	return res

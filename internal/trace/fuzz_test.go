@@ -6,11 +6,34 @@ import (
 	"barterdist/internal/checkpoint"
 )
 
+// sealedSeed builds a small-on-disk log that still crosses the sealed
+// frame boundary: highly regular columns keep the compressed snapshot
+// a few KiB while exercising every frame decode path under fuzzing.
+func sealedSeed() *Log {
+	l := New(true)
+	ts := make([]Transfer, 4096)
+	for t := 0; t < frameLen/len(ts)+2; t++ {
+		for i := range ts {
+			ts[i] = Transfer{
+				From:  int32(i / 512 % 8),        // lane runs → split RLE
+				To:    int32(t),                  // constant per tick → const
+				Block: int32(frameLen - 3*i - t), // descending → delta
+			}
+		}
+		l.AppendTick(ts, []int32{0, 7}, []uint8{KindFault, KindGarbage})
+	}
+	return l
+}
+
 // FuzzTraceCursor feeds arbitrary bytes to the trace Restore path and,
 // when a Log decodes, drives both cursors over the whole log. The
 // contract: never panic, and every decoded log satisfies the cursor
 // invariants (transfer indices in range, drop counts consistent), so a
 // corrupted snapshot can never produce a silently-wrong trace walk.
+// The seeds cover both snapshot layouts (legacy flat columns and
+// frame-compressed v2) plus targeted frame corruptions: mangled
+// headers, truncated varint/bitpack tails, inconsistent tick-range
+// metadata.
 func FuzzTraceCursor(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(snapshotBytes(New(false)))
@@ -19,6 +42,20 @@ func FuzzTraceCursor(f *testing.F) {
 	mut := snapshotBytes(sampleLog(true))
 	mut[len(mut)/2] ^= 0x40
 	f.Add(mut)
+	// Legacy flat-column layout.
+	f.Add(legacyBytes([][]Transfer{{{1, 2, 3}, {2, 0, 1}}, {{0, 1, 2}}},
+		[][]int{{1}, {0}}, [][]uint8{{KindRefused}, {KindFault}}, true))
+	// Frame-compressed seeds: pristine, corrupt header, corrupt
+	// tick-range metadata, truncated mid-frame.
+	sealed := snapshotBytes(sealedSeed())
+	f.Add(sealed)
+	hdr := append([]byte(nil), sealed...)
+	hdr[1+1+8+4+4+8] = 0xee // first frame's first column mode byte
+	f.Add(hdr)
+	meta := append([]byte(nil), sealed...)
+	meta[1+1+8] ^= 0x01 // first frame's firstTick metadata
+	f.Add(meta)
+	f.Add(sealed[:len(sealed)/3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		l, err := Restore(checkpoint.NewDecoder(data))

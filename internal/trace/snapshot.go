@@ -1,18 +1,39 @@
 package trace
 
 import (
+	"sort"
+
 	"barterdist/internal/checkpoint"
 )
 
-// Snapshot appends the log's full column state to enc. The encoding is
-// the columns verbatim plus the kinded flag and kind count; Restore
-// re-validates every structural invariant, so a corrupted payload can
-// never yield a Log whose cursors misbehave.
+// Snapshot layout versions. Version 1 (the pre-compression layout)
+// never wrote a version byte: its first byte was the kinded Bool (0 or
+// 1), so the v2 tag of 2 is unambiguous and old snapshots stay
+// restorable forever.
+const (
+	snapVersionLegacy = 1
+	snapVersion       = 2
+)
+
+// Snapshot appends the log's full column state to enc: the sealed
+// frames verbatim (each with its tick-range metadata), the raw open
+// tail, and the tick/drop offset columns. Restore re-validates every
+// structural invariant — including a full decode of every frame and a
+// cross-check of the frame tick ranges against tickEnd — so a
+// corrupted payload can never yield a Log whose cursors misbehave.
 func (l *Log) Snapshot(enc *checkpoint.Encoder) {
+	enc.U8(snapVersion)
 	enc.Bool(l.kinded)
-	enc.Uint32s(l.from)
-	enc.Uint32s(l.to)
-	enc.Uint32s(l.block)
+	enc.Int(len(l.frames))
+	for f := range l.frames {
+		first, last := l.frameTickRange(f)
+		enc.U32(uint32(first))
+		enc.U32(uint32(last))
+		enc.Bytes8(l.frames[f].data)
+	}
+	enc.Uint32s(l.openFrom)
+	enc.Uint32s(l.openTo)
+	enc.Uint32s(l.openBlock)
 	enc.Uint32s(l.tickEnd)
 	enc.Uint32s(l.dropPos)
 	enc.Bytes8(l.dropKind)
@@ -20,11 +41,26 @@ func (l *Log) Snapshot(enc *checkpoint.Encoder) {
 	enc.Uint32s(l.dropTickEnd)
 }
 
-// Restore decodes a Log previously written by Snapshot, validating the
-// structural invariants AppendTick maintains:
+// frameTickRange returns the 0-based tick indices of frame f's first
+// and last transfer — the per-frame metadata the snapshot records and
+// Restore cross-checks.
+func (l *Log) frameTickRange(f int) (first, last int) {
+	return l.tickOf(f << frameShift), l.tickOf((f+1)<<frameShift - 1)
+}
+
+// tickOf returns the 0-based tick containing global transfer index i.
+func (l *Log) tickOf(i int) int {
+	return sort.Search(len(l.tickEnd), func(t int) bool { return int(l.tickEnd[t]) > i })
+}
+
+// Restore decodes a Log previously written by Snapshot — either the
+// current frame-compressed v2 layout or the legacy flat-column one —
+// validating the structural invariants AppendTick maintains:
 //
-//   - from/to/block have equal lengths
-//   - tickEnd is monotone non-decreasing and ends exactly at len(from)
+//   - the per-transfer columns have equal lengths (for v2: every frame
+//     decodes exactly, the open tail is shorter than a frame, and the
+//     recorded per-frame tick ranges match tickEnd)
+//   - tickEnd is monotone non-decreasing and ends exactly at Len
 //   - dropPos is strictly ascending and every entry falls inside its
 //     tick's transfer span
 //   - dropTickEnd parallels tickEnd and ends exactly at len(dropPos)
@@ -32,11 +68,93 @@ func (l *Log) Snapshot(enc *checkpoint.Encoder) {
 //
 // Any violation returns an error wrapping checkpoint.ErrCorrupt.
 func Restore(dec *checkpoint.Decoder) (*Log, error) {
+	version := dec.U8()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	switch version {
+	case 0, snapVersionLegacy:
+		// Legacy layout: the byte we consumed was the kinded Bool.
+		return restoreLegacy(dec, version == 1)
+	case snapVersion:
+		return restoreV2(dec)
+	default:
+		return nil, corruptf("trace: unknown snapshot version %d", version)
+	}
+}
+
+func restoreV2(dec *checkpoint.Decoder) (*Log, error) {
+	l := &Log{kinded: dec.Bool()}
+	nFrames := dec.Int()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if nFrames < 0 || nFrames > dec.Remaining() {
+		return nil, corruptf("trace: snapshot claims %d frames in %d bytes", nFrames, dec.Remaining())
+	}
+	ranges := make([][2]uint32, nFrames)
+	l.frames = make([]frame, nFrames)
+	for f := 0; f < nFrames; f++ {
+		ranges[f] = [2]uint32{dec.U32(), dec.U32()}
+		l.frames[f] = frame{data: dec.Bytes8()}
+	}
+	l.openFrom = dec.Uint32s()
+	l.openTo = dec.Uint32s()
+	l.openBlock = dec.Uint32s()
+	l.tickEnd = dec.Uint32s()
+	l.dropPos = dec.Uint32s()
+	l.dropKind = dec.Bytes8()
+	l.kindLen = dec.Int()
+	l.dropTickEnd = dec.Uint32s()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if len(l.openFrom) >= frameLen {
+		return nil, corruptf("trace: open tail holds %d entries, frame size is %d", len(l.openFrom), frameLen)
+	}
+	if len(l.openTo) != len(l.openFrom) || len(l.openBlock) != len(l.openFrom) {
+		return nil, corruptf("trace: open tail lengths differ: from=%d to=%d block=%d",
+			len(l.openFrom), len(l.openTo), len(l.openBlock))
+	}
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	// Decode every frame completely: the column payloads must parse,
+	// consume the frame's bytes exactly, and carry tick-range metadata
+	// consistent with tickEnd.
+	var w Win
+	w.ensure()
+	for f := range l.frames {
+		fr := &l.frames[f]
+		pos := 0
+		for c, dst := range [3][]uint32{w.from, w.to, w.block} {
+			fr.off[c] = uint32(pos)
+			n, err := decodeCol(dst, fr.data[pos:], frameLen)
+			if err != nil {
+				return nil, corruptf("trace: frame %d column %d: %v", f, c, err)
+			}
+			pos += n
+		}
+		if pos != len(fr.data) {
+			return nil, corruptf("trace: frame %d has %d trailing bytes", f, len(fr.data)-pos)
+		}
+		first, last := l.frameTickRange(f)
+		if ranges[f][0] != uint32(first) || ranges[f][1] != uint32(last) {
+			return nil, corruptf("trace: frame %d tick range metadata [%d,%d] disagrees with tick offsets [%d,%d]",
+				f, ranges[f][0], ranges[f][1], first, last)
+		}
+	}
+	return l, nil
+}
+
+// restoreLegacy decodes the pre-compression flat-column layout, whose
+// kinded flag has already been consumed, and re-seals it into frames.
+func restoreLegacy(dec *checkpoint.Decoder, kinded bool) (*Log, error) {
+	from := dec.Uint32s()
+	to := dec.Uint32s()
+	block := dec.Uint32s()
 	l := &Log{
-		kinded:      dec.Bool(),
-		from:        dec.Uint32s(),
-		to:          dec.Uint32s(),
-		block:       dec.Uint32s(),
+		kinded:      kinded,
 		tickEnd:     dec.Uint32s(),
 		dropPos:     dec.Uint32s(),
 		dropKind:    dec.Bytes8(),
@@ -46,37 +164,56 @@ func Restore(dec *checkpoint.Decoder) (*Log, error) {
 	if err := dec.Err(); err != nil {
 		return nil, err
 	}
+	if len(to) != len(from) || len(block) != len(from) {
+		return nil, corruptf("trace: column lengths differ: from=%d to=%d block=%d",
+			len(from), len(to), len(block))
+	}
+	// Re-seal the flat columns into the framed layout before the
+	// structural validation, which runs on the framed form.
+	for base := 0; base < len(from); base += frameLen {
+		end := base + frameLen
+		if end > len(from) {
+			end = len(from)
+		}
+		l.openFrom = append(l.openFrom, from[base:end]...)
+		l.openTo = append(l.openTo, to[base:end]...)
+		l.openBlock = append(l.openBlock, block[base:end]...)
+		if len(l.openFrom) == frameLen {
+			l.sealOpen()
+		}
+	}
+	l.enc = nil // restore is one-shot; don't hold the seal scratch
 	if err := l.validate(); err != nil {
 		return nil, err
 	}
 	return l, nil
 }
 
+// validate checks the tick/drop offset invariants shared by both
+// snapshot layouts. Frame payload validation is v2-specific and
+// happens in restoreV2.
 func (l *Log) validate() error {
 	fail := func(format string, args ...any) error {
 		return corruptf("trace: "+format, args...)
 	}
-	if len(l.to) != len(l.from) || len(l.block) != len(l.from) {
-		return fail("column lengths differ: from=%d to=%d block=%d",
-			len(l.from), len(l.to), len(l.block))
-	}
+	n := l.Len()
 	if len(l.dropTickEnd) != len(l.tickEnd) {
 		return fail("dropTickEnd has %d ticks, tickEnd has %d",
 			len(l.dropTickEnd), len(l.tickEnd))
 	}
 	var prev uint32
 	for t, end := range l.tickEnd {
-		if end < prev || int(end) > len(l.from) {
-			return fail("tickEnd[%d]=%d not monotone within %d transfers", t, end, len(l.from))
+		if end < prev || int(end) > n {
+			return fail("tickEnd[%d]=%d not monotone within %d transfers", t, end, n)
 		}
 		prev = end
 	}
 	if len(l.tickEnd) > 0 {
-		if last := l.tickEnd[len(l.tickEnd)-1]; int(last) != len(l.from) {
-			return fail("last tickEnd %d != transfer count %d", last, len(l.from))
+		if last := l.tickEnd[len(l.tickEnd)-1]; int(last) != n {
+			return fail("last tickEnd %d != transfer count %d", last, n)
 		}
-	} else if len(l.from) != 0 {
-		return fail("%d transfers but no ticks", len(l.from))
+	} else if n != 0 {
+		return fail("%d transfers but no ticks", n)
 	}
 	prev = 0
 	for t, end := range l.dropTickEnd {

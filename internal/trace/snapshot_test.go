@@ -92,7 +92,7 @@ func TestRestoreRejectsInvalid(t *testing.T) {
 		fn   func(l *Log)
 	}
 	for _, m := range []mutator{
-		{"column length mismatch", func(l *Log) { l.to = l.to[:len(l.to)-1] }},
+		{"column length mismatch", func(l *Log) { l.openTo = l.openTo[:len(l.openTo)-1] }},
 		{"tickEnd not monotone", func(l *Log) { l.tickEnd[1] = 0 }},
 		{"tickEnd overshoots", func(l *Log) { l.tickEnd[len(l.tickEnd)-1] = 99 }},
 		{"dropPos out of tick span", func(l *Log) { l.dropPos[0] = 3 }},

@@ -1,14 +1,15 @@
 // Package trace stores simulation transfer traces in columnar,
-// append-only form.
+// append-only, frame-compressed form.
 //
 // The synchronous engine used to record its trace as [][]Transfer — a
 // slice header plus a backing array per tick, with two more ragged
 // slices ([][]int, [][]uint8) on the side for drops. At n = 10^5 peers
 // a single run schedules ~n·k ≈ 6.4M transfers, and the per-tick slice
-// churn made tracing OOM-class. A Log stores the same information in
-// five flat columns:
+// churn made tracing OOM-class. A Log stores the same information as
+// flat columns:
 //
-//	from, to, block []uint32   one entry per scheduled transfer
+//	from, to, block            one entry per scheduled transfer,
+//	                           frame-compressed (see below)
 //	tickEnd         []uint32   prefix offsets: tick t (0-based) spans
 //	                           [tickEnd[t-1], tickEnd[t])
 //	dropPos         []uint32   global transfer indices of drops,
@@ -17,18 +18,35 @@
 //	                           logs only)
 //	dropTickEnd     []uint32   prefix offsets over dropPos per tick
 //
-// Appending a tick touches only the column tails, so steady-state
-// recording is allocation-free once the columns are Reserved (or after
-// the usual append doubling settles). Consumers — fingerprints, the
-// post-hoc auditors, the mechanism verifiers, cdverify — read the Log
-// through a streaming Cursor and never materialize the nested form.
+// The three per-transfer columns are the bulk of the footprint — a
+// flat 12 B/transfer, ≈768 MiB of columns alone at n=10⁶ — so they
+// are stored as fixed-size frames of 64Ki entries. Appends land in a
+// raw open tail; when the tail reaches the frame size it is sealed
+// off the tick path into an immutable byte block whose three columns
+// each pick the cheapest of const/bitpack/delta/low-bit-RLE
+// encodings (frame.go), which measures under 5 B/transfer on the
+// Table Scale runs. The tick and drop offset columns stay raw: they
+// are per-tick, not per-transfer, and the auditors index them
+// directly.
+//
+// Appending a tick touches only the open tail, so steady-state
+// recording is allocation-free once the columns are Reserved; sealing
+// costs one exact-size allocation per 64Ki transfers. Consumers —
+// fingerprints, the post-hoc auditors, the mechanism verifiers,
+// cdverify — read the Log through a streaming Cursor or a Window and
+// never materialize the nested form. A sealed Log is immutable shared
+// state: any number of goroutines may read it concurrently as long as
+// each owns its Cursor or Win (the parallel audit pipeline leans on
+// this).
 //
 // # Adding a column
 //
-// New per-transfer attributes get their own flat []T column appended in
-// AppendTick and exposed through a Cursor accessor; per-tick attributes
-// get a column indexed by tick. Keep columns parallel (same length
-// invariants as from/to/block) and extend Reserve with the new column.
+// New per-transfer attributes get their own column appended in
+// AppendTick and exposed through a Cursor accessor; per-tick
+// attributes get a raw []T column indexed by tick. Keep columns
+// parallel (same length invariants as from/to/block) and extend
+// Reserve with the new column; a per-transfer column that matters at
+// scale gets its own frame encoding in frame.go.
 package trace
 
 import "fmt"
@@ -68,13 +86,17 @@ const (
 // Log is a columnar, append-only transfer trace. The zero value is not
 // ready; use New.
 type Log struct {
-	from, to, block []uint32
-	tickEnd         []uint32
-	dropPos         []uint32
-	dropKind        []uint8 // two kinds per byte, low nibble first
-	kindLen         int     // kinds stored in dropKind
-	dropTickEnd     []uint32
-	kinded          bool
+	frames                      []frame  // sealed 64Ki-entry blocks
+	openFrom, openTo, openBlock []uint32 // raw tail, < frameLen entries
+	tickEnd                     []uint32
+	dropPos                     []uint32
+	dropKind                    []uint8 // two kinds per byte, low nibble first
+	kindLen                     int     // kinds stored in dropKind
+	dropTickEnd                 []uint32
+	kinded                      bool
+
+	enc *encScratch // seal workspace, lazily allocated
+	win *Win        // At/Set decode window; not for concurrent readers
 }
 
 // New returns an empty log. kinded selects whether per-drop kinds are
@@ -83,10 +105,17 @@ type Log struct {
 func New(kinded bool) *Log { return &Log{kinded: kinded} }
 
 // Reserve grows the columns to hold at least the given number of
-// *further* transfers, ticks, and drops without allocation. Closed
-// runs derive the transfer hint from the completion bound — a full run
-// delivers exactly (n-1)·k useful blocks, so that is the floor on the
-// scheduled-transfer count.
+// *further* transfers, ticks, and drops without allocation on the
+// append path. Closed runs derive the transfer hint from the
+// completion bound — a full run delivers exactly (n-1)·k useful
+// blocks, so that is the floor on the scheduled-transfer count.
+//
+// Reservation is frame-granular: the open tail never needs more than
+// one frame's worth of capacity, so a reservation beyond frameLen
+// transfers sizes the tail to a full frame and pre-grows the sealed
+// frame index instead. Seals themselves still allocate (one
+// exact-size block per 64Ki transfers) — that is off the tick path
+// and amortizes to well under one allocation per tick.
 //
 // The counts are hints, never caps. Open-system runs have no fixed
 // (n-1)·k bound — the cumulative arrival stream is unbounded and a
@@ -106,9 +135,25 @@ func (l *Log) Reserve(transfers, ticks, drops int) {
 		return out
 	}
 	if transfers > 0 {
-		l.from = grow32(l.from, transfers)
-		l.to = grow32(l.to, transfers)
-		l.block = grow32(l.block, transfers)
+		// The open tail seals at frameLen entries, so it never needs
+		// more capacity than one frame regardless of the hint.
+		t := transfers
+		if len(l.openFrom)+t > frameLen {
+			t = frameLen - len(l.openFrom)
+		}
+		if t > 0 {
+			l.openFrom = grow32(l.openFrom, t)
+			l.openTo = grow32(l.openTo, t)
+			l.openBlock = grow32(l.openBlock, t)
+		}
+		if extra := transfers >> frameShift; extra > 0 && cap(l.frames)-len(l.frames) < extra {
+			out := make([]frame, len(l.frames), len(l.frames)+extra)
+			copy(out, l.frames)
+			l.frames = out
+		}
+		if transfers >= frameLen && l.enc == nil {
+			l.enc = newEncScratch()
+		}
 	}
 	if ticks > 0 {
 		l.tickEnd = grow32(l.tickEnd, ticks)
@@ -130,13 +175,16 @@ func (l *Log) Reserve(transfers, ticks, drops int) {
 // for kinded logs, ignored otherwise). The slices are copied; callers
 // reuse them across ticks.
 func (l *Log) AppendTick(ts []Transfer, dropIdx []int32, dropKinds []uint8) {
-	base := uint32(len(l.from))
+	base := uint32(l.Len())
 	for _, tr := range ts {
-		l.from = append(l.from, uint32(tr.From))
-		l.to = append(l.to, uint32(tr.To))
-		l.block = append(l.block, uint32(tr.Block))
+		l.openFrom = append(l.openFrom, uint32(tr.From))
+		l.openTo = append(l.openTo, uint32(tr.To))
+		l.openBlock = append(l.openBlock, uint32(tr.Block))
+		if len(l.openFrom) == frameLen {
+			l.sealOpen()
+		}
 	}
-	l.tickEnd = append(l.tickEnd, uint32(len(l.from)))
+	l.tickEnd = append(l.tickEnd, uint32(l.Len()))
 	prev := int32(-1)
 	for _, idx := range dropIdx {
 		if idx <= prev || int(idx) >= len(ts) {
@@ -182,7 +230,7 @@ func (l *Log) kindAt(j int) uint8 {
 func (l *Log) Ticks() int { return len(l.tickEnd) }
 
 // Len returns the total number of scheduled transfers.
-func (l *Log) Len() int { return len(l.from) }
+func (l *Log) Len() int { return l.sealedLen() + len(l.openFrom) }
 
 // Drops returns the total number of recorded drops.
 func (l *Log) Drops() int { return len(l.dropPos) }
@@ -190,22 +238,55 @@ func (l *Log) Drops() int { return len(l.dropPos) }
 // Kinded reports whether per-drop kinds are recorded.
 func (l *Log) Kinded() bool { return l.kinded }
 
-// At returns transfer i (a global index in [0, Len())).
+// At returns transfer i (a global index in [0, Len())). Sealed frames
+// are decoded through the Log's shared window, so At is for
+// single-goroutine use; concurrent readers take a Cursor or Window.
 func (l *Log) At(i int) Transfer {
-	return Transfer{From: int32(l.from[i]), To: int32(l.to[i]), Block: int32(l.block[i])}
+	if s := l.sealedLen(); i >= s {
+		j := i - s
+		return Transfer{From: int32(l.openFrom[j]), To: int32(l.openTo[j]), Block: int32(l.openBlock[j])}
+	}
+	if l.win == nil {
+		l.win = &Win{}
+	}
+	f := i >> frameShift
+	if l.win.from == nil || l.win.idx != f {
+		l.decodeFrame(f, l.win)
+	}
+	j := i & frameMask
+	return Transfer{From: int32(l.win.from[j]), To: int32(l.win.to[j]), Block: int32(l.win.block[j])}
 }
 
 // Set overwrites transfer i. It exists for the audit tests, which
-// doctor recorded traces to prove the auditors catch tampering.
+// doctor recorded traces to prove the auditors catch tampering; a Set
+// inside a sealed frame re-encodes that frame.
 func (l *Log) Set(i int, tr Transfer) {
-	l.from[i] = uint32(tr.From)
-	l.to[i] = uint32(tr.To)
-	l.block[i] = uint32(tr.Block)
+	if s := l.sealedLen(); i >= s {
+		j := i - s
+		l.openFrom[j] = uint32(tr.From)
+		l.openTo[j] = uint32(tr.To)
+		l.openBlock[j] = uint32(tr.Block)
+		return
+	}
+	if l.win == nil {
+		l.win = &Win{}
+	}
+	f := i >> frameShift
+	if l.win.from == nil || l.win.idx != f {
+		l.decodeFrame(f, l.win)
+	}
+	j := i & frameMask
+	l.win.from[j] = uint32(tr.From)
+	l.win.to[j] = uint32(tr.To)
+	l.win.block[j] = uint32(tr.Block)
+	l.reencodeFrame(f, l.win)
 }
 
 // TruncateTicks discards every tick at or after t (0-based), keeping
 // the first t ticks. Like Set, it exists for the audit tests, which
-// doctor recorded traces to prove the auditors catch tampering.
+// doctor recorded traces to prove the auditors catch tampering. A cut
+// inside a sealed frame reopens that frame: its surviving prefix
+// becomes the raw open tail again.
 func (l *Log) TruncateTicks(t int) {
 	if t >= l.Ticks() {
 		return
@@ -214,7 +295,25 @@ func (l *Log) TruncateTicks(t int) {
 	if t > 0 {
 		end, dend = l.tickEnd[t-1], l.dropTickEnd[t-1]
 	}
-	l.from, l.to, l.block = l.from[:end], l.to[:end], l.block[:end]
+	n := int(end)
+	if s := l.sealedLen(); n >= s {
+		keep := n - s
+		l.openFrom = l.openFrom[:keep]
+		l.openTo = l.openTo[:keep]
+		l.openBlock = l.openBlock[:keep]
+	} else {
+		f := n >> frameShift
+		var w Win
+		l.decodeFrame(f, &w)
+		keep := n & frameMask
+		l.frames = l.frames[:f]
+		l.openFrom = append(l.openFrom[:0], w.from[:keep]...)
+		l.openTo = append(l.openTo[:0], w.to[:keep]...)
+		l.openBlock = append(l.openBlock[:0], w.block[:keep]...)
+		if l.win != nil {
+			l.win.invalidate()
+		}
+	}
 	l.tickEnd = l.tickEnd[:t]
 	l.dropPos = l.dropPos[:dend]
 	l.dropTickEnd = l.dropTickEnd[:t]
@@ -275,10 +374,40 @@ func (l *Log) AppendTickDrops(t int, idx []int32, kinds []uint8) ([]int32, []uin
 }
 
 // MemSize returns the approximate heap footprint of the columns in
-// bytes, for capacity reporting in scale experiments.
+// bytes, for capacity reporting in scale experiments: the compressed
+// sealed frames, the raw open tail, and the tick/drop offset columns.
+// Decode windows and the seal scratch are transient per-reader
+// workspace (one frame's worth each) and are not counted.
 func (l *Log) MemSize() int {
-	return 4*(cap(l.from)+cap(l.to)+cap(l.block)+cap(l.tickEnd)+cap(l.dropPos)+cap(l.dropTickEnd)) +
+	sz := 0
+	for i := range l.frames {
+		sz += len(l.frames[i].data)
+	}
+	return sz +
+		4*(cap(l.openFrom)+cap(l.openTo)+cap(l.openBlock)) +
+		4*(cap(l.tickEnd)+cap(l.dropPos)+cap(l.dropTickEnd)) +
 		cap(l.dropKind)
+}
+
+// Compact trims the open tail's spare capacity (reserved at frame
+// granularity for the append path) and drops the seal and decode
+// workspaces. The engines call it once recording ends, so MemSize and
+// resident memory reflect the compressed columns alone; appending
+// after Compact is correct but re-allocates.
+func (l *Log) Compact() {
+	trim := func(s []uint32) []uint32 {
+		if cap(s) == len(s) {
+			return s
+		}
+		out := make([]uint32, len(s))
+		copy(out, s)
+		return out
+	}
+	l.openFrom = trim(l.openFrom)
+	l.openTo = trim(l.openTo)
+	l.openBlock = trim(l.openBlock)
+	l.enc = nil
+	l.win = nil
 }
 
 // Cursor returns a streaming cursor over every scheduled transfer.
@@ -303,6 +432,8 @@ func (l *Log) ReleasedCursor() *Cursor { return &Cursor{l: l, t: -1, released: t
 //	}
 //
 // A cursor is single-use and must not outlive mutation of the Log.
+// Each cursor owns its decode window, so any number of cursors may
+// stream the same (no longer appended-to) Log concurrently.
 type Cursor struct {
 	l        *Log
 	released bool
@@ -315,6 +446,8 @@ type Cursor struct {
 	cur     int // current transfer (global index)
 	dropped bool
 	kind    uint8
+
+	win Win // per-cursor decode window over sealed frames
 }
 
 // NextTick advances to the next tick, returning false past the end.
@@ -361,7 +494,20 @@ func (c *Cursor) Next() bool {
 }
 
 // Transfer returns the current transfer.
-func (c *Cursor) Transfer() Transfer { return c.l.At(c.cur) }
+func (c *Cursor) Transfer() Transfer {
+	l := c.l
+	i := c.cur
+	if s := l.sealedLen(); i >= s {
+		j := i - s
+		return Transfer{From: int32(l.openFrom[j]), To: int32(l.openTo[j]), Block: int32(l.openBlock[j])}
+	}
+	f := i >> frameShift
+	if c.win.from == nil || c.win.idx != f {
+		l.decodeFrame(f, &c.win)
+	}
+	j := i & frameMask
+	return Transfer{From: int32(c.win.from[j]), To: int32(c.win.to[j]), Block: int32(c.win.block[j])}
+}
 
 // Index returns the current transfer's local index within its tick.
 func (c *Cursor) Index() int { return c.cur - c.start }
